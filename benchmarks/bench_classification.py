@@ -1,0 +1,105 @@
+"""E11 — The dichotomy table: every query the paper classifies, classified.
+
+Regenerates the complexity classifications stated across the paper
+(Examples 2.2, 4.1, 4.2, Section 3's basic queries, Theorem B.5's
+self-join examples) and checks each against the published verdict.
+"""
+
+from __future__ import annotations
+
+from repro.core.classify import Complexity, classify
+from repro.core.parser import parse_query
+from repro.workloads.queries import (
+    ACADEMIC_EXOGENOUS,
+    SECTION_4_EXOGENOUS,
+    academic_query,
+    gap_query,
+    q_nr_s_nt,
+    q_r_ns_t,
+    q_rs_nt,
+    q_rst,
+    section_4_q,
+    section_4_q_prime,
+)
+from repro.workloads.running_example import query_q1, query_q2, query_q3, query_q4
+
+P = Complexity.POLYNOMIAL_TIME
+H = Complexity.FP_SHARP_P_COMPLETE
+U = Complexity.UNKNOWN
+
+CASES = [
+    ("q1 (Ex 2.2)", query_q1(), frozenset(), P, "hierarchical"),
+    ("q2 (Ex 2.2)", query_q2(), frozenset(), H, "Thm 3.1"),
+    ("q2, X={Stud,Course}", query_q2(), frozenset({"Stud", "Course"}), P, "Thm 4.3"),
+    ("qRST", q_rst(), frozenset(), H, "Livshits et al."),
+    ("q¬RS¬T", q_nr_s_nt(), frozenset(), H, "Lemma 3.3"),
+    ("qR¬ST", q_r_ns_t(), frozenset(), H, "Lemma 3.3"),
+    ("qRS¬T", q_rs_nt(), frozenset(), H, "Lemma 3.3"),
+    ("qR¬ST, X={S}", q_r_ns_t(), frozenset({"S"}), H, "Section 4"),
+    ("Section 4 q, X={S,P}", section_4_q(), SECTION_4_EXOGENOUS, P, "Thm 4.3"),
+    ("Section 4 q', X={S,P}", section_4_q_prime(), SECTION_4_EXOGENOUS, H, "Thm 4.3"),
+    ("academic (Ex 4.1)", academic_query(), frozenset(), H, "Thm 3.1"),
+    ("academic, X={Pub,Cit}", academic_query(), ACADEMIC_EXOGENOUS, P, "Ex 4.1"),
+    ("academic, X={Cit}", academic_query(), frozenset({"Citations"}), P, "Ex 4.1"),
+    (
+        "Unemployed-Married (B.5)",
+        parse_query("q() :- Unemployed(x), Married(x, y), Unemployed(y)"),
+        frozenset(),
+        H,
+        "Thm B.5",
+    ),
+    (
+        "¬Citizen-Married (B.5)",
+        parse_query("q() :- not Citizen(x), Married(x, y), not Citizen(y)"),
+        frozenset(),
+        H,
+        "Thm B.5",
+    ),
+    ("gap query (§5.1)", gap_query(), frozenset(), U, "self-join, open"),
+    # q3's only two-variable atoms are the two Adv atoms, so every
+    # non-hierarchical triplet has the twice-occurring Adv in the middle:
+    # outside Theorem B.5, hence open like all remaining self-join cases.
+    ("q3 (Ex 2.2)", query_q3(), frozenset(), U, "self-joins, beyond B.5"),
+    ("q4 (Ex 2.2)", query_q4(), frozenset(), U, "mixed polarity, open"),
+]
+
+
+def test_e11_classification_table(benchmark, report):
+    def classify_all():
+        return [classify(query, exo) for _, query, exo, _, _ in CASES]
+
+    verdicts = benchmark(classify_all)
+    rows = []
+    failures = []
+    for (name, _, exo, expected, source), verdict in zip(CASES, verdicts):
+        ok = verdict.complexity is expected
+        if not ok:
+            failures.append(name)
+        rows.append(
+            (
+                name,
+                ",".join(sorted(exo)) or "-",
+                verdict.complexity.value,
+                expected.value,
+                source,
+                "ok" if ok else "MISMATCH",
+            )
+        )
+    report(
+        "E11: the dichotomy table (Theorems 3.1 / 4.3 / B.5)",
+        ("query", "X", "classifier", "paper", "source", "status"),
+        rows,
+    )
+    assert not failures, failures
+
+
+def test_e11_classifier_cost(benchmark, report):
+    """Classification is itself polynomial — measure it on the worst case."""
+    q = section_4_q_prime()
+
+    verdict = benchmark(lambda: classify(q, SECTION_4_EXOGENOUS))
+    report(
+        "E11: classifier cost on Section 4 q' (path search dominated)",
+        ("query", "verdict"),
+        [(repr(q), verdict.complexity.value)],
+    )

@@ -1,0 +1,104 @@
+"""E2 — Theorem 3.1 positive side: CntSat correctness and polynomial scaling.
+
+Two claims are made executable:
+
+* the polynomial algorithm returns exactly the brute-force values on
+  random hierarchical instances (correctness sweep);
+* its running time scales polynomially in the number of endogenous facts
+  where brute force scales exponentially (timing series on the scaled
+  running-example family).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.shapley.brute_force import satisfying_subset_counts, shapley_brute_force
+from repro.shapley.cntsat import count_satisfying_subsets
+from repro.shapley.exact import shapley_hierarchical
+from repro.workloads.generators import (
+    random_database_for_query,
+    random_hierarchical_query,
+    star_join_database,
+)
+from repro.workloads.running_example import query_q1
+
+
+def test_e2_correctness_sweep(benchmark, report):
+    rng = random.Random(2024)
+
+    def sweep() -> tuple[int, int]:
+        agreements = instances = 0
+        local = random.Random(rng.randint(0, 10**9))
+        while instances < 10:
+            q = random_hierarchical_query(rng=local)
+            db = random_database_for_query(q, domain_size=3, rng=local)
+            if len(db.endogenous) > 11:
+                continue
+            instances += 1
+            if count_satisfying_subsets(db, q) == satisfying_subset_counts(db, q):
+                agreements += 1
+        return agreements, instances
+
+    agreements, instances = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    assert agreements == instances
+    report(
+        "E2: CntSat vs enumeration on random hierarchical CQ¬ instances",
+        ("instances per round", "agreements", "status"),
+        [(instances, agreements, "all equal")],
+    )
+
+
+def test_e2_polynomial_vs_exponential_scaling(benchmark, report):
+    rng = random.Random(7)
+    q1 = query_q1()
+    rows = []
+    for students, courses in ((3, 2), (4, 3), (6, 4), (10, 6), (16, 8), (24, 10)):
+        db = star_join_database(students, courses, rng=random.Random(rng.random()))
+        endo = sorted(db.endogenous, key=repr)
+        if not endo:
+            continue
+        target = endo[0]
+
+        start = time.perf_counter()
+        value = shapley_hierarchical(db, q1, target)
+        poly_seconds = time.perf_counter() - start
+
+        if len(endo) <= 14:
+            start = time.perf_counter()
+            brute = shapley_brute_force(db, q1, target)
+            brute_seconds: float | None = time.perf_counter() - start
+            assert brute == value
+        else:
+            brute_seconds = None
+        rows.append(
+            (
+                len(endo),
+                f"{poly_seconds * 1000:.2f} ms",
+                f"{brute_seconds * 1000:.2f} ms" if brute_seconds else "(2^n, skipped)",
+            )
+        )
+
+    # The benchmarked payload: one mid-size polynomial computation.
+    db = star_join_database(12, 6, rng=random.Random(1))
+    target = sorted(db.endogenous, key=repr)[0]
+    benchmark(lambda: shapley_hierarchical(db, q1, target))
+    report(
+        "E2: exact Shapley scaling on scaled running-example databases (q1)",
+        ("|Dn|", "CntSat time", "brute-force time"),
+        rows,
+    )
+
+
+def test_e2_count_vector_cost(benchmark, report):
+    """Cost of one full |Sat(D, q, k)| vector on a larger instance."""
+    db = star_join_database(20, 8, rng=random.Random(3))
+    q1 = query_q1()
+    counts = benchmark(lambda: count_satisfying_subsets(db, q1))
+    assert len(counts) == len(db.endogenous) + 1
+    report(
+        "E2: CntSat count-vector on a 20-student instance",
+        ("|Dn|", "vector length", "subsets counted"),
+        [(len(db.endogenous), len(counts), sum(counts))],
+    )

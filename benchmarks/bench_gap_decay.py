@@ -1,0 +1,147 @@
+"""E6 — Theorem 5.1 / Section 5.1: the gap property fails under negation.
+
+Regenerates the decay series of ``Shapley(D_n, q, f) = n!·n!/(2n+1)!`` for
+``q() :- R(x), S(x, y), ¬R(y)``: measured (brute force) for small n,
+closed form for larger n, with the ``2^-Θ(n)`` envelope and the 1/poly
+floor that positive CQs would enjoy.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.reductions.gap import expected_gap_value, gap_instance, theorem_5_1_family
+from repro.shapley.approximate import (
+    multiplicative_sample_lower_bound,
+)
+from repro.shapley.brute_force import shapley_brute_force
+from repro.workloads.queries import gap_query, q_nr_s_nt
+
+
+def test_e6_decay_series(benchmark, report):
+    def measure():
+        rows = []
+        for n in range(1, 5):
+            inst = gap_instance(n)
+            measured = shapley_brute_force(inst.database, inst.query, inst.target)
+            rows.append((n, measured))
+        return rows
+
+    measured_rows = benchmark.pedantic(measure, rounds=2, iterations=1)
+    rows = []
+    for n, measured in measured_rows:
+        closed = expected_gap_value(n)
+        assert measured == closed
+        rows.append(
+            (
+                n,
+                2 * n + 1,
+                str(closed),
+                f"{float(closed):.3e}",
+                f"{float(Fraction(1, 2 ** n)):.3e}",
+                "ok",
+            )
+        )
+    for n in (6, 8, 12, 16, 24):
+        closed = expected_gap_value(n)
+        rows.append(
+            (
+                n,
+                2 * n + 1,
+                str(closed) if n <= 8 else "(huge fraction)",
+                f"{float(closed):.3e}",
+                f"{float(Fraction(1, 2 ** n)):.3e}",
+                "closed form",
+            )
+        )
+        assert closed <= Fraction(1, 2**n)
+    report(
+        "E6: gap decay for q() :- R(x), S(x,y), ¬R(y)  (value = n!n!/(2n+1)!)",
+        ("n", "|Dn|", "Shapley", "float", "2^-n envelope", "source"),
+        rows,
+    )
+
+
+def test_e6_gap_floor_violation(benchmark, report):
+    """Where the value crosses the 1/poly floor positive CQs guarantee."""
+
+    def crossing() -> int:
+        n = 1
+        while True:
+            inst_value = expected_gap_value(n)
+            floor = Fraction(1, (2 * n + 1) * (2 * n + 2))
+            if inst_value < floor:
+                return n
+            n += 1
+
+    cross = benchmark(crossing)
+    rows = []
+    for n in range(1, cross + 3):
+        value = expected_gap_value(n)
+        inst_floor = Fraction(1, (2 * n + 1) * (2 * n + 2))
+        rows.append(
+            (
+                n,
+                f"{float(value):.3e}",
+                f"{float(inst_floor):.3e}",
+                "below floor" if value < inst_floor else "above",
+            )
+        )
+    report(
+        "E6: gap value vs the 1/poly floor of positive CQs",
+        ("n", "Shapley", "1/(m(m+1)) floor", "status"),
+        rows,
+    )
+    assert cross <= 4
+
+
+def test_e6_sample_cost_blowup(benchmark, report):
+    """Samples needed to resolve the value multiplicatively (exponential)."""
+
+    def table():
+        return [
+            (n, multiplicative_sample_lower_bound(expected_gap_value(n)))
+            for n in range(1, 13)
+        ]
+
+    rows = benchmark(table)
+    report(
+        "E6: additive-sampling budget needed to certify the value nonzero",
+        ("n", "samples ≥ 1/value²"),
+        [(n, f"{cost:.3e}") for n, cost in rows],
+    )
+    assert rows[-1][1] > 10**12
+
+
+def test_e6_theorem_51_generic_construction(benchmark, report):
+    """The generic Theorem 5.1 family on two queries with negation."""
+
+    def build():
+        results = []
+        for query in (gap_query(), q_nr_s_nt()):
+            family = theorem_5_1_family(query, 2)
+            value = shapley_brute_force(
+                family.database, family.query, family.target
+            )
+            results.append((query, family, value))
+        return results
+
+    results = benchmark.pedantic(build, rounds=2, iterations=1)
+    rows = []
+    for query, family, value in results:
+        assert value != 0
+        assert abs(value) <= family.upper_bound
+        rows.append(
+            (
+                repr(query),
+                family.n,
+                len(family.database.endogenous),
+                str(value),
+                str(family.upper_bound),
+            )
+        )
+    report(
+        "E6: generic Theorem 5.1 construction (0 < |Shapley| ≤ n!n!/(2n+1)!)",
+        ("query", "n", "|Dn|", "value", "bound"),
+        rows,
+    )

@@ -1,0 +1,199 @@
+"""E3 — Lemmas B.1/B.2/B.3: the hardness reductions, executed.
+
+* Lemma B.1: ``Shapley(D, qRST, f) = -Shapley(D, q¬RS¬T, f)`` on random
+  instances satisfying the proof's premises;
+* Lemma B.2: complementing ``S`` maps qRST values onto qR¬ST values;
+* Lemma B.3: the full pipeline recovering ``|IS(g)|`` of bipartite graphs
+  from qRS¬T Shapley values via the exact linear system.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.reductions.independent_set import (
+    closure_counts,
+    independent_set_count,
+    random_bipartite_graph,
+    recover_independent_set_count,
+)
+from repro.reductions.shapley_reductions import (
+    complement_s_instance,
+    random_rst_database,
+)
+from repro.shapley.brute_force import shapley_brute_force
+from repro.workloads.queries import q_nr_s_nt, q_r_ns_t, q_rst
+
+
+def test_e3_lemma_b1_sign_flip(benchmark, report):
+    rng = random.Random(31)
+
+    def sweep():
+        agreements = total = 0
+        for _ in range(4):
+            db = random_rst_database(3, 3, rng=rng)
+            for f in sorted(db.endogenous, key=repr):
+                total += 1
+                left = shapley_brute_force(db, q_rst(), f)
+                right = shapley_brute_force(db, q_nr_s_nt(), f)
+                if left == -right:
+                    agreements += 1
+        return agreements, total
+
+    agreements, total = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert agreements == total
+    report(
+        "E3: Lemma B.1 — Shapley(qRST) = -Shapley(q¬RS¬T)",
+        ("facts checked", "sign-flip equalities"),
+        [(total, agreements)],
+    )
+
+
+def test_e3_lemma_b2_complement(benchmark, report):
+    rng = random.Random(32)
+
+    def sweep():
+        agreements = total = 0
+        for _ in range(4):
+            db = random_rst_database(3, 3, rng=rng)
+            mirrored = complement_s_instance(db)
+            for f in sorted(db.endogenous, key=repr):
+                total += 1
+                if shapley_brute_force(db, q_rst(), f) == shapley_brute_force(
+                    mirrored, q_r_ns_t(), f
+                ):
+                    agreements += 1
+        return agreements, total
+
+    agreements, total = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert agreements == total
+    report(
+        "E3: Lemma B.2 — complementing S maps qRST onto qR¬ST",
+        ("facts checked", "equalities"),
+        [(total, agreements)],
+    )
+
+
+def test_e3_lemma_b3_independent_set_recovery(benchmark, report):
+    rng = random.Random(33)
+    graphs = [random_bipartite_graph(2, 2, rng=rng) for _ in range(3)]
+
+    def recover_all():
+        return [recover_independent_set_count(graph) for graph in graphs]
+
+    recovered = benchmark.pedantic(recover_all, rounds=1, iterations=1)
+    rows = []
+    for graph, got in zip(graphs, recovered):
+        truth = independent_set_count(graph)
+        closure = sum(closure_counts(graph))
+        assert got == truth == closure
+        rows.append(
+            (
+                f"K({len(graph.left)},{len(graph.right)}) sample, "
+                f"{len(graph.edges)} edges",
+                truth,
+                closure,
+                got,
+                "ok",
+            )
+        )
+    report(
+        "E3: Lemma B.3 — |IS(g)| recovered from qRS¬T Shapley values",
+        ("graph", "|IS| direct", "Σ|S(g,k)|", "via Shapley system", "status"),
+        rows,
+    )
+
+
+def test_e3_lemma_b4_embedding(benchmark, report):
+    """The general Theorem 3.1 hardness embedding, executed."""
+    import random as _random
+
+    from repro.core.parser import parse_query
+    from repro.reductions.embedding import embed_rst_instance
+
+    queries = [
+        ("all positive", parse_query("q() :- A(x, w), B(x, y), C(y)")),
+        ("one negative side", parse_query("q() :- A(x), B(x, y), not C(y), D(x)")),
+        (
+            "two negative sides",
+            parse_query("q() :- not A(x), B(x, y), not C(y), P(x), Q(y)"),
+        ),
+        ("negative middle", parse_query("q() :- A(x), not B(x, y), C(y)")),
+    ]
+    rng = _random.Random(34)
+
+    def sweep():
+        rows = []
+        for name, query in queries:
+            db = random_rst_database(2, 2, rng=rng)
+            instance = embed_rst_instance(query, db)
+            agreements = total = 0
+            for f in sorted(db.endogenous, key=repr):
+                total += 1
+                source = shapley_brute_force(db, instance.source_query, f)
+                embedded = shapley_brute_force(
+                    instance.database, query, instance.fact_map[f]
+                )
+                agreements += source == embedded
+            rows.append((name, instance.source_query.name, total, agreements))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert all(total == agreements for _, _, total, agreements in rows)
+    report(
+        "E3: Lemma B.4 — embedding RST instances into arbitrary"
+        " non-hierarchical CQ¬s",
+        ("triplet shape", "source query", "facts", "values preserved"),
+        rows,
+    )
+
+
+def test_e3_appendix_c_path_embedding(benchmark, report):
+    """The Theorem 4.3 hardness embedding along non-hierarchical paths."""
+    import random as _random
+
+    from repro.reductions.path_embedding import embed_rst_instance_via_path
+    from repro.workloads.queries import (
+        SECTION_4_EXOGENOUS,
+        academic_query,
+        section_4_q_prime,
+    )
+
+    rng = _random.Random(35)
+    cases = [
+        ("academic (Ex 4.1)", academic_query(), frozenset()),
+        ("Section 4 q' with X={S,P}", section_4_q_prime(), SECTION_4_EXOGENOUS),
+    ]
+
+    def sweep():
+        rows = []
+        for name, query, exogenous in cases:
+            db = random_rst_database(2, 2, rng=rng)
+            instance = embed_rst_instance_via_path(query, db, exogenous)
+            agreements = total = 0
+            for f in sorted(db.endogenous, key=repr):
+                total += 1
+                source = shapley_brute_force(db, instance.source_query, f)
+                embedded = shapley_brute_force(
+                    instance.database, query, instance.fact_map[f]
+                )
+                agreements += source == embedded
+            rows.append(
+                (
+                    name,
+                    instance.source_query.name,
+                    len(instance.path_variables),
+                    total,
+                    agreements,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert all(total == agreements for *_, total, agreements in rows)
+    report(
+        "E3: Appendix C — embedding along a non-hierarchical path"
+        " (Theorem 4.3 hardness)",
+        ("query", "source", "interior path vars", "facts", "values preserved"),
+        rows,
+    )

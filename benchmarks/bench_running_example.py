@@ -1,0 +1,99 @@
+"""E1 — Figure 1 / Example 2.3: the running example's exact Shapley values.
+
+Regenerates the paper's table of Shapley values for q1 on the university
+database, by both the polynomial algorithm (CntSat route) and the
+brute-force oracle, and checks them against the published fractions.
+"""
+
+from __future__ import annotations
+
+from repro.shapley.brute_force import shapley_all_brute_force
+from repro.shapley.exact import shapley_all_values
+from repro.workloads.running_example import (
+    EXAMPLE_2_3_SHAPLEY,
+    figure_1_database,
+    query_q1,
+)
+
+FACT_LABELS = {
+    "TA(Adam)": "f_t1",
+    "TA(Ben)": "f_t2",
+    "TA(David)": "f_t3",
+    "Reg(Adam, OS)": "f_r1",
+    "Reg(Adam, AI)": "f_r2",
+    "Reg(Ben, OS)": "f_r3",
+    "Reg(Caroline, DB)": "f_r4",
+    "Reg(Caroline, IC)": "f_r5",
+}
+
+
+def test_e1_polynomial_algorithm(benchmark, report):
+    db = figure_1_database()
+    q1 = query_q1()
+
+    values = benchmark(lambda: shapley_all_values(db, q1))
+
+    rows = []
+    for f in sorted(values, key=repr):
+        expected = EXAMPLE_2_3_SHAPLEY[f]
+        rows.append(
+            (
+                FACT_LABELS.get(repr(f), repr(f)),
+                repr(f),
+                str(expected),
+                str(values[f]),
+                "ok" if values[f] == expected else "MISMATCH",
+            )
+        )
+    assert all(row[-1] == "ok" for row in rows)
+    assert sum(values.values()) == 1
+    report(
+        "E1: Example 2.3 Shapley values under q1 (polynomial algorithm)",
+        ("fact", "tuple", "paper", "measured", "status"),
+        rows,
+    )
+    benchmark.extra_info["values"] = {repr(f): str(v) for f, v in values.items()}
+
+
+def test_e1_brute_force_oracle(benchmark, report):
+    db = figure_1_database()
+    q1 = query_q1()
+
+    values = benchmark.pedantic(
+        lambda: shapley_all_brute_force(db, q1), rounds=3, iterations=1
+    )
+    assert values == EXAMPLE_2_3_SHAPLEY
+    report(
+        "E1: brute-force oracle agreement (8 endogenous facts, 2^8 coalitions)",
+        ("check", "result"),
+        [
+            ("all 8 values match the paper", "yes"),
+            ("efficiency axiom (sum = 1)", str(sum(values.values()))),
+        ],
+    )
+
+
+def test_e1_negative_vs_positive_magnitudes(benchmark, report):
+    """The paper's qualitative claims: orderings among the values."""
+    db = figure_1_database()
+    q1 = query_q1()
+    values = benchmark(lambda: shapley_all_values(db, q1))
+    by_label = {FACT_LABELS[repr(f)]: v for f, v in values.items()}
+    checks = [
+        ("|f_t1| > |f_t2| (Adam hurts more than Ben)",
+         abs(by_label["f_t1"]) > abs(by_label["f_t2"])),
+        ("f_t3 = 0 (David is a null player)", by_label["f_t3"] == 0),
+        ("f_r4 = f_r5 (Caroline's courses symmetric)",
+         by_label["f_r4"] == by_label["f_r5"]),
+        ("f_r4 > f_r3 (unblocked registration counts more)",
+         by_label["f_r4"] > by_label["f_r3"]),
+        ("Reg facts positive, TA facts non-positive",
+         all(v > 0 for k, v in by_label.items() if k.startswith("f_r"))
+         and all(v <= 0 for k, v in by_label.items() if k.startswith("f_t"))),
+    ]
+    assert all(result for _, result in checks)
+    report(
+        "E1: qualitative orderings from Example 2.3",
+        ("claim", "holds"),
+        [(claim, "yes" if result else "NO") for claim, result in checks],
+    )

@@ -1,0 +1,131 @@
+"""E8 / E10 — Propositions 5.5 and 5.8: the NP-hardness gadgets, executed.
+
+* E8: (2+, 2−, 4+−)-CNF → relevance to qRST¬R (Figure 4), equivalence
+  checked against the DPLL referee; the Lemma D.1 coloring chain feeds it;
+* E10: 3CNF → relevance of R(0) to the UCQ¬ qSAT, same referee.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.logic.cnf import CnfFormula
+from repro.logic.generators import random_2p2n4, random_3cnf
+from repro.logic.solver import is_satisfiable
+from repro.reductions.coloring_to_sat import (
+    SimpleGraph,
+    coloring_to_2p2n4,
+    is_3_colorable,
+    random_graph,
+)
+from repro.reductions.sat_to_relevance import q_rst_nr_instance, q_sat_instance
+from repro.relevance.brute_force import is_relevant_brute_force
+
+
+def test_e8_figure_4_gadget(benchmark, report):
+    """The exact database of Figure 4."""
+    phi = CnfFormula.from_lists([[1, 2], [-1, -3], [3, 4, -1, -2]])
+
+    def run():
+        inst = q_rst_nr_instance(phi)
+        return inst, is_relevant_brute_force(inst.database, inst.query, inst.target)
+
+    inst, relevant = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert relevant and is_satisfiable(phi)
+    report(
+        "E8: the Figure 4 instance for (x1∨x2) ∧ (¬x1∨¬x3) ∧ (x3∨x4∨¬x1∨¬x2)",
+        ("fact count", "endogenous", "T(c) relevant", "formula satisfiable"),
+        [(len(inst.database), len(inst.database.endogenous), relevant, True)],
+    )
+
+
+def test_e8_equivalence_sweep(benchmark, report):
+    rng = random.Random(55)
+    formulas = [random_2p2n4(4, rng.randint(2, 5), rng=rng) for _ in range(8)]
+
+    def sweep():
+        outcomes = []
+        for phi in formulas:
+            inst = q_rst_nr_instance(phi)
+            outcomes.append(
+                (
+                    is_satisfiable(phi),
+                    is_relevant_brute_force(inst.database, inst.query, inst.target),
+                )
+            )
+        return outcomes
+
+    outcomes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert all(sat == relevant for sat, relevant in outcomes)
+    sat_count = sum(1 for sat, _ in outcomes if sat)
+    report(
+        "E8: Prop 5.5 equivalence — relevance(T(c)) ⟺ SAT(φ)",
+        ("formulas", "satisfiable", "equivalences hold"),
+        [(len(outcomes), sat_count, "all")],
+    )
+
+
+def test_e8_coloring_chain(benchmark, report):
+    """Lemma D.1: 3-colorability flows through the chain into SAT."""
+    rng = random.Random(56)
+    triangle = SimpleGraph.from_edge_list(
+        ("a", "b", "c"), (("a", "b"), ("b", "c"), ("a", "c"))
+    )
+    k4 = SimpleGraph.from_edge_list(
+        ("a", "b", "c", "d"),
+        (("a", "b"), ("a", "c"), ("a", "d"), ("b", "c"), ("b", "d"), ("c", "d")),
+    )
+    graphs = [("triangle", triangle), ("K4", k4)]
+    for i in range(3):
+        graphs.append((f"random{i}", random_graph(4, edge_probability=0.5, rng=rng)))
+
+    def chain():
+        return [
+            (name, is_3_colorable(g), is_satisfiable(coloring_to_2p2n4(g)))
+            for name, g in graphs
+        ]
+
+    outcomes = benchmark.pedantic(chain, rounds=1, iterations=1)
+    assert all(colorable == sat for _, colorable, sat in outcomes)
+    report(
+        "E8: Lemma D.1 chain — 3-colorable ⟺ (2+,2−,4±)-CNF satisfiable",
+        ("graph", "3-colorable", "chain formula SAT"),
+        outcomes,
+    )
+
+
+def test_e10_qsat_gadget(benchmark, report):
+    rng = random.Random(57)
+    formulas = [random_3cnf(4, rng.randint(2, 7), rng=rng) for _ in range(6)]
+    # Include a guaranteed-unsatisfiable formula (all sign patterns on 3 vars).
+    formulas.append(
+        CnfFormula.from_lists(
+            [
+                [s1 * 1, s2 * 2, s3 * 3]
+                for s1 in (1, -1)
+                for s2 in (1, -1)
+                for s3 in (1, -1)
+            ]
+        )
+    )
+
+    def sweep():
+        outcomes = []
+        for phi in formulas:
+            inst = q_sat_instance(phi)
+            outcomes.append(
+                (
+                    len(phi),
+                    is_satisfiable(phi),
+                    is_relevant_brute_force(inst.database, inst.query, inst.target),
+                )
+            )
+        return outcomes
+
+    outcomes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert all(sat == relevant for _, sat, relevant in outcomes)
+    report(
+        "E10: Prop 5.8 equivalence — relevance(R(0), qSAT) ⟺ SAT(3CNF)",
+        ("clauses", "satisfiable", "R(0) relevant"),
+        outcomes,
+    )

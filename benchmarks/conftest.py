@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark prints the paper-style rows it regenerates (bypassing
+pytest's capture so the tables land in ``bench_output.txt``) and records
+the same data in ``benchmark.extra_info`` for machine consumption.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a titled table outside pytest's capture."""
+
+    def _report(title: str, headers: Sequence[str], rows: Iterable[Sequence]):
+        rendered_rows = [[str(cell) for cell in row] for row in rows]
+        widths = [
+            max(len(header), *(len(row[i]) for row in rendered_rows), 1)
+            if rendered_rows
+            else len(header)
+            for i, header in enumerate(headers)
+        ]
+        with capsys.disabled():
+            print(f"\n=== {title} ===")
+            print(
+                "  ".join(header.ljust(width) for header, width in zip(headers, widths))
+            )
+            print("  ".join("-" * width for width in widths))
+            for row in rendered_rows:
+                print(
+                    "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+                )
+
+    return _report

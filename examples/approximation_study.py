@@ -1,0 +1,72 @@
+"""Approximation under negation: the Section 5 story as a script.
+
+Shows (1) the additive Monte-Carlo estimator converging on the running
+example, and (2) the same estimator failing to resolve the exponentially
+small — but provably nonzero — Shapley value of the Theorem 5.1 gap
+family, which is why no multiplicative FPRAS falls out of sampling once
+negation enters the query.
+
+Run:  python examples/approximation_study.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import fact
+from repro.reductions.gap import expected_gap_value, gap_instance
+from repro.shapley.approximate import (
+    approximate_shapley,
+    hoeffding_sample_count,
+    multiplicative_sample_lower_bound,
+)
+from repro.shapley.exact import shapley_hierarchical
+from repro.workloads.running_example import figure_1_database, query_q1
+
+
+def main() -> None:
+    # --- Part 1: additive convergence on a well-behaved instance -------
+    db = figure_1_database()
+    q1 = query_q1()
+    target = fact("TA", "Adam")
+    exact = shapley_hierarchical(db, q1, target)
+    print(f"part 1 — running example, f = {target!r}, exact = {exact}")
+    print(f"  {'samples':>8} {'estimate':>10} {'|error|':>9}")
+    for samples in (50, 200, 800, 3200):
+        estimate = approximate_shapley(
+            db, q1, target, samples=samples, rng=random.Random(samples)
+        )
+        error = abs(float(estimate.value - exact))
+        print(f"  {samples:>8} {float(estimate.value):>+10.4f} {error:>9.4f}")
+    budget = hoeffding_sample_count(0.05, 0.05)
+    print(f"  (Hoeffding budget for ε=0.05, δ=0.05: {budget} samples)")
+    print()
+
+    # --- Part 2: the gap family defeats additive sampling --------------
+    print("part 2 — gap family for q() :- R(x), S(x, y), ¬R(y)")
+    print(f"  {'n':>3} {'exact value':>14} {'estimate@2000':>14} {'samples to resolve':>19}")
+    for n in (1, 2, 3, 4):
+        inst = gap_instance(n)
+        estimate = approximate_shapley(
+            inst.database, inst.query, inst.target,
+            samples=2000, rng=random.Random(n),
+        )
+        needed = multiplicative_sample_lower_bound(inst.expected_value)
+        print(
+            f"  {n:>3} {float(inst.expected_value):>14.3e}"
+            f" {float(estimate.value):>14.3e} {needed:>19.2e}"
+        )
+    print()
+    print("  closed form n!·n!/(2n+1)! keeps shrinking exponentially:")
+    for n in (8, 16, 32):
+        print(f"    n = {n:>3}: {float(expected_gap_value(n)):.3e}")
+    print()
+    print(
+        "  conclusion: the additive FPRAS stays an additive FPRAS — the\n"
+        "  value is nonzero yet no polynomial sample budget certifies it,\n"
+        "  exactly the gap-property failure of Theorem 5.1."
+    )
+
+
+if __name__ == "__main__":
+    main()

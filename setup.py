@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline reproduction environment lacks the ``wheel`` package, so
+``pip install -e .`` must use the legacy ``setup.py develop`` code path;
+all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

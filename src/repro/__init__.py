@@ -1,0 +1,81 @@
+"""repro — Shapley values for conjunctive queries with negation.
+
+A full reproduction of *"The Impact of Negation on the Complexity of the
+Shapley Value in Conjunctive Queries"* (Reshef, Kimelfeld & Livshits,
+PODS 2020): exact and approximate Shapley computation over databases with
+endogenous/exogenous facts, the Theorem 3.1 / 4.3 dichotomies and their
+algorithms (CntSat, ExoShap), relevance deciders, the paper's hardness
+gadgets, and a tuple-independent probabilistic-database engine.
+
+Quickstart::
+
+    from repro import Database, fact, parse_query, shapley_value
+
+    db = Database(
+        endogenous=[fact("Reg", "ann", "db")],
+        exogenous=[fact("Stud", "ann")],
+    )
+    q = parse_query("q() :- Stud(x), Reg(x, y)")
+    print(shapley_value(db, q, fact("Reg", "ann", "db")))  # 1
+"""
+
+from repro.core import (
+    Atom,
+    Classification,
+    Complexity,
+    ConjunctiveQuery,
+    Database,
+    Fact,
+    UnionQuery,
+    Variable,
+    classify,
+    fact,
+    has_non_hierarchical_path,
+    holds,
+    is_hierarchical,
+    parse_query,
+    parse_ucq,
+)
+from repro.shapley import (
+    approximate_shapley,
+    count_satisfying_subsets,
+    exo_shapley,
+    shapley_aggregate,
+    shapley_all_values,
+    shapley_brute_force,
+    shapley_count,
+    shapley_hierarchical,
+    shapley_sum,
+    shapley_value,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "Classification",
+    "Complexity",
+    "ConjunctiveQuery",
+    "Database",
+    "Fact",
+    "UnionQuery",
+    "Variable",
+    "__version__",
+    "approximate_shapley",
+    "classify",
+    "count_satisfying_subsets",
+    "exo_shapley",
+    "fact",
+    "has_non_hierarchical_path",
+    "holds",
+    "is_hierarchical",
+    "parse_query",
+    "parse_ucq",
+    "shapley_aggregate",
+    "shapley_all_values",
+    "shapley_brute_force",
+    "shapley_count",
+    "shapley_hierarchical",
+    "shapley_sum",
+    "shapley_value",
+]

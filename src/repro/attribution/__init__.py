@@ -1,0 +1,28 @@
+"""Alternative fact-attribution measures the paper compares against.
+
+Section 1 of the paper positions the Shapley value against two earlier
+measures: causal *responsibility* (Meliou et al.) and the *causal effect*
+(Salimi et al.).  Implementing them on the same substrate lets the
+benchmarks compare all three rankings on identical databases, and exposes
+two cross-checks the test suite exploits:
+
+* a fact has positive responsibility iff it is relevant (Definition 5.2);
+* the causal effect equals the Banzhaf value of the query game.
+"""
+
+from repro.attribution.causal_effect import all_causal_effects, causal_effect
+from repro.attribution.responsibility import (
+    ResponsibilityResult,
+    all_responsibilities,
+    minimal_contingency_set,
+    responsibility,
+)
+
+__all__ = [
+    "ResponsibilityResult",
+    "all_causal_effects",
+    "all_responsibilities",
+    "causal_effect",
+    "minimal_contingency_set",
+    "responsibility",
+]

@@ -1,0 +1,90 @@
+"""Causal responsibility (Meliou et al., discussed in the paper's intro).
+
+The *responsibility* of a fact ``f`` is ``1 / (1 + k)`` where ``k`` is the
+size of a smallest *contingency set* ``Γ ⊆ Dn \\ {f}`` whose removal makes
+``f`` counterfactual: ``q(D \\ Γ) ≠ q(D \\ Γ \\ {f})``.  Facts that are
+never counterfactual get responsibility 0.
+
+The paper contrasts this measure with the Shapley value (Section 1); the
+library implements it so the two can be compared on the same databases
+(see ``benchmarks/bench_attribution.py``).  For non-monotone queries the
+counterfactual condition is taken in both directions, matching the
+"actual cause" reading used in Section 5's relevance discussion:
+a fact is an actual cause iff its responsibility is positive iff it is
+relevant in the sense of Definition 5.2 (witnessed by sets of the form
+``E = Dn \\ Γ \\ {f}``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.core.database import Database
+from repro.core.evaluation import holds
+from repro.core.facts import Fact
+from repro.core.query import BooleanQuery
+
+MAX_CONTINGENCY_FACTS = 24
+
+
+@dataclass(frozen=True)
+class ResponsibilityResult:
+    """Responsibility with its witnessing minimal contingency set."""
+
+    responsibility: Fraction
+    contingency: frozenset[Fact] | None
+
+    @property
+    def is_cause(self) -> bool:
+        return self.responsibility > 0
+
+
+def minimal_contingency_set(
+    database: Database, query: BooleanQuery, target: Fact
+) -> frozenset[Fact] | None:
+    """A smallest ``Γ`` making ``target`` counterfactual, or None.
+
+    Searches contingency sets in increasing size (so the first hit is
+    minimum); exponential in ``|Dn|`` in the worst case, which matches
+    the NP-hardness of responsibility for the hard queries.
+    """
+    if not database.is_endogenous(target):
+        raise ValueError(f"{target!r} is not an endogenous fact of the database")
+    others = sorted(database.endogenous - {target}, key=repr)
+    if len(others) > MAX_CONTINGENCY_FACTS:
+        raise ValueError(
+            f"contingency search over {len(others)} facts would enumerate"
+            f" 2^{len(others)} subsets"
+        )
+    exogenous = list(database.exogenous)
+    for size in range(len(others) + 1):
+        for gamma in itertools.combinations(others, size):
+            removed = set(gamma)
+            kept = [item for item in others if item not in removed]
+            with_target = holds(query, exogenous + kept + [target])
+            without_target = holds(query, exogenous + kept)
+            if with_target != without_target:
+                return frozenset(gamma)
+    return None
+
+
+def responsibility(
+    database: Database, query: BooleanQuery, target: Fact
+) -> ResponsibilityResult:
+    """Causal responsibility ``1 / (1 + |Γ_min|)`` of ``target`` for ``query``."""
+    gamma = minimal_contingency_set(database, query, target)
+    if gamma is None:
+        return ResponsibilityResult(Fraction(0), None)
+    return ResponsibilityResult(Fraction(1, 1 + len(gamma)), gamma)
+
+
+def all_responsibilities(
+    database: Database, query: BooleanQuery
+) -> dict[Fact, ResponsibilityResult]:
+    """Responsibility of every endogenous fact."""
+    return {
+        f: responsibility(database, query, f)
+        for f in sorted(database.endogenous, key=repr)
+    }

@@ -1,0 +1,151 @@
+"""Command-line interface: attribution queries without writing Python.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro classify  "q() :- R(x), S(x, y), T(y)" [--exogenous S]
+    python -m repro shapley   db.json "q() :- Stud(x), not TA(x), Reg(x, y)"
+    python -m repro shapley   db.json QUERY --fact 'TA' Adam
+    python -m repro relevance db.json QUERY --fact 'TA' Adam
+    python -m repro demo                         # the paper's running example
+
+The database file uses the JSON layout of :mod:`repro.io`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.classify import classify
+from repro.core.facts import Fact
+from repro.core.parser import parse_query
+from repro.io import load_database
+from repro.relevance.algorithms import (
+    is_negatively_relevant,
+    is_positively_relevant,
+)
+from repro.shapley.exact import shapley_all_values, shapley_value
+
+
+def _parse_fact(relation: str, args: Sequence[str]) -> Fact:
+    """Build a fact from CLI tokens, converting numeric-looking arguments."""
+    converted: list = []
+    for token in args:
+        try:
+            converted.append(int(token))
+        except ValueError:
+            converted.append(token)
+    return Fact(relation, tuple(converted))
+
+
+def _cmd_classify(options: argparse.Namespace) -> int:
+    query = parse_query(options.query)
+    verdict = classify(query, frozenset(options.exogenous or ()))
+    print(f"query:  {query!r}")
+    print(f"class:  {verdict.complexity.value}")
+    print(f"reason: {verdict.reason}")
+    if verdict.witness is not None:
+        print(f"witness: {verdict.witness!r}")
+    return 0
+
+
+def _cmd_shapley(options: argparse.Namespace) -> int:
+    database = load_database(options.database)
+    query = parse_query(options.query)
+    exogenous = frozenset(options.exogenous) if options.exogenous else None
+    if options.fact:
+        target = _parse_fact(options.fact[0], options.fact[1:])
+        value = shapley_value(database, query, target, exogenous)
+        print(f"{target!r}: {value} ({float(value):+.6f})")
+        return 0
+    values = shapley_all_values(database, query, exogenous)
+    for f in sorted(values, key=repr):
+        print(f"{f!r:32} {values[f]!s:>12} ({float(values[f]):+.6f})")
+    total = sum(values.values())
+    print(f"{'(sum)':32} {total!s:>12}")
+    return 0
+
+
+def _cmd_relevance(options: argparse.Namespace) -> int:
+    database = load_database(options.database)
+    query = parse_query(options.query)
+    target = _parse_fact(options.fact[0], options.fact[1:])
+    positive = is_positively_relevant(database, query, target)
+    negative = is_negatively_relevant(database, query, target)
+    print(f"{target!r}:")
+    print(f"  positively relevant: {positive}")
+    print(f"  negatively relevant: {negative}")
+    print(f"  Shapley value is {'nonzero' if positive or negative else 'zero'}")
+    return 0
+
+
+def _cmd_demo(_: argparse.Namespace) -> int:
+    from repro.workloads.running_example import (
+        EXAMPLE_2_3_SHAPLEY,
+        figure_1_database,
+        query_q1,
+    )
+
+    db = figure_1_database()
+    values = shapley_all_values(db, query_q1())
+    print(f"running example (Figure 1), query {query_q1()!r}:")
+    for f in sorted(values, key=repr):
+        match = "✓" if values[f] == EXAMPLE_2_3_SHAPLEY[f] else "✗"
+        print(f"  {f!r:26} {values[f]!s:>8}  paper: {EXAMPLE_2_3_SHAPLEY[f]!s:>8} {match}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Shapley values for conjunctive queries with negation"
+        " (PODS 2020 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    p_classify = commands.add_parser(
+        "classify", help="dichotomy classification of a query"
+    )
+    p_classify.add_argument("query", help="datalog-style query text")
+    p_classify.add_argument(
+        "--exogenous", nargs="*", metavar="REL", help="exogenous relations (X)"
+    )
+    p_classify.set_defaults(handler=_cmd_classify)
+
+    p_shapley = commands.add_parser("shapley", help="exact Shapley values")
+    p_shapley.add_argument("database", help="database JSON file")
+    p_shapley.add_argument("query", help="datalog-style query text")
+    p_shapley.add_argument(
+        "--fact", nargs="+", metavar=("REL", "ARG"),
+        help="single target fact: relation then arguments",
+    )
+    p_shapley.add_argument(
+        "--exogenous", nargs="*", metavar="REL", help="exogenous relations (X)"
+    )
+    p_shapley.set_defaults(handler=_cmd_shapley)
+
+    p_relevance = commands.add_parser(
+        "relevance", help="relevance of a fact (polarity-consistent queries)"
+    )
+    p_relevance.add_argument("database", help="database JSON file")
+    p_relevance.add_argument("query", help="datalog-style query text")
+    p_relevance.add_argument(
+        "--fact", nargs="+", required=True, metavar=("REL", "ARG"),
+        help="target fact: relation then arguments",
+    )
+    p_relevance.set_defaults(handler=_cmd_relevance)
+
+    p_demo = commands.add_parser("demo", help="reproduce Example 2.3")
+    p_demo.set_defaults(handler=_cmd_demo)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+    return options.handler(options)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

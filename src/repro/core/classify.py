@@ -1,0 +1,119 @@
+"""The dichotomy classifier (Theorems 3.1, 4.3 and B.5).
+
+Given a CQ¬ and the set of exogenous relations, :func:`classify` decides on
+which side of the paper's dichotomies the *exact* Shapley computation
+falls:
+
+* **self-join-free** queries: polynomial time iff the query has no
+  non-hierarchical path w.r.t. ``X`` (Theorem 4.3); with ``X = ∅`` this is
+  exactly the hierarchical / non-hierarchical dichotomy (Theorem 3.1);
+* queries **with self-joins**: FP^#P-hardness is known when the query is
+  polarity consistent and some non-hierarchical triplet has a middle atom
+  whose relation occurs only once (Theorem B.5); otherwise the complexity
+  is open (the paper's concluding remarks), reported as ``UNKNOWN``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import AbstractSet
+
+from repro.core.hierarchy import (
+    NonHierarchicalTriplet,
+    is_hierarchical,
+    non_hierarchical_triplets,
+)
+from repro.core.paths import NonHierarchicalPath, find_non_hierarchical_path
+from repro.core.query import ConjunctiveQuery
+
+
+class Complexity(enum.Enum):
+    """Data complexity of exact Shapley computation for a query."""
+
+    POLYNOMIAL_TIME = "polynomial time"
+    FP_SHARP_P_COMPLETE = "FP^#P-complete"
+    UNKNOWN = "open / unknown"
+
+
+@dataclass(frozen=True)
+class Classification:
+    """Outcome of the dichotomy: complexity side, human-readable reason, witness."""
+
+    complexity: Complexity
+    reason: str
+    witness: NonHierarchicalPath | NonHierarchicalTriplet | None = None
+
+    @property
+    def tractable(self) -> bool:
+        return self.complexity is Complexity.POLYNOMIAL_TIME
+
+    def __repr__(self) -> str:
+        return f"Classification({self.complexity.value}: {self.reason})"
+
+
+def classify(
+    query: ConjunctiveQuery,
+    exogenous_relations: AbstractSet[str] = frozenset(),
+) -> Classification:
+    """Classify exact Shapley computation for ``query`` given exogenous ``X``."""
+    if not query.is_boolean:
+        query = query.as_boolean()
+    if query.is_self_join_free:
+        return _classify_self_join_free(query, exogenous_relations)
+    return _classify_with_self_joins(query, exogenous_relations)
+
+
+def _classify_self_join_free(
+    query: ConjunctiveQuery, exogenous_relations: AbstractSet[str]
+) -> Classification:
+    path = find_non_hierarchical_path(query, exogenous_relations)
+    if path is not None:
+        theorem = "Theorem 4.3" if exogenous_relations else "Theorem 3.1"
+        return Classification(
+            Complexity.FP_SHARP_P_COMPLETE,
+            f"self-join-free CQ¬ with a non-hierarchical path ({theorem})",
+            witness=path,
+        )
+    if exogenous_relations and not is_hierarchical(query):
+        reason = (
+            "non-hierarchical but without a non-hierarchical path w.r.t. the"
+            " exogenous relations; tractable via ExoShap (Theorem 4.3)"
+        )
+    else:
+        reason = "hierarchical self-join-free CQ¬ (Theorem 3.1)"
+    return Classification(Complexity.POLYNOMIAL_TIME, reason)
+
+
+def _classify_with_self_joins(
+    query: ConjunctiveQuery, exogenous_relations: AbstractSet[str]
+) -> Classification:
+    if exogenous_relations:
+        return Classification(
+            Complexity.UNKNOWN,
+            "self-joins combined with exogenous relations are beyond the"
+            " paper's dichotomies",
+        )
+    if query.is_polarity_consistent:
+        relation_count: dict[str, int] = {}
+        for atom in query.atoms:
+            relation_count[atom.relation] = relation_count.get(atom.relation, 0) + 1
+        for triplet in non_hierarchical_triplets(query):
+            if relation_count[triplet.atom_xy.relation] == 1:
+                return Classification(
+                    Complexity.FP_SHARP_P_COMPLETE,
+                    "polarity-consistent CQ¬ with a non-hierarchical triplet"
+                    " whose middle relation occurs once (Theorem B.5)",
+                    witness=triplet,
+                )
+    if is_hierarchical(query):
+        return Classification(
+            Complexity.UNKNOWN,
+            "hierarchical with self-joins: the dichotomy for self-joins is"
+            " open (Section 6)",
+        )
+    return Classification(
+        Complexity.UNKNOWN,
+        "non-hierarchical with self-joins but outside the Theorem B.5"
+        " hardness class; open (Section 6)",
+    )

@@ -1,0 +1,46 @@
+"""Facts: ground relational tuples.
+
+A fact is ``R(c1, ..., ck)`` — a relation name plus a tuple of constants.
+Constants are arbitrary hashable Python values (strings and integers in
+practice).  Facts are immutable and hashable so they can serve as players
+of a cooperative game and as set members throughout the library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+Constant = Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class Fact:
+    """A ground fact ``relation(args)``.
+
+    >>> Fact("Reg", ("Adam", "OS"))
+    Reg(Adam, OS)
+    """
+
+    relation: str
+    args: tuple[Constant, ...]
+
+    def __post_init__(self) -> None:
+        if not self.relation:
+            raise ValueError("a fact needs a non-empty relation name")
+        if not isinstance(self.args, tuple):
+            # Accept any sequence at construction time for convenience.
+            object.__setattr__(self, "args", tuple(self.args))
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    def __repr__(self) -> str:
+        rendered = ", ".join(str(arg) for arg in self.args)
+        return f"{self.relation}({rendered})"
+
+
+def fact(relation: str, *args: Constant) -> Fact:
+    """Convenience constructor: ``fact("R", 1, 2) == Fact("R", (1, 2))``."""
+    return Fact(relation, tuple(args))

@@ -1,0 +1,134 @@
+"""Gaifman graphs and exogenous-atom graphs (Section 4 of the paper).
+
+* The **Gaifman graph** ``G(q)`` has a vertex per variable and an edge
+  between two variables that co-occur in some atom (positive or negative).
+* Given a set ``X`` of exogenous relations, an atom is *exogenous* if its
+  relation is in ``X``; a variable is *exogenous* if it occurs **only** in
+  exogenous atoms.
+* The **exogenous atom graph** ``gx(q)`` has a vertex per exogenous atom
+  and an edge between two atoms sharing an exogenous variable; its
+  connected components drive the joining step of ExoShap (Lemma 4.6).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import AbstractSet
+
+from repro.core.query import Atom, ConjunctiveQuery, Variable
+from repro.util.graphs import UndirectedGraph
+
+
+def gaifman_graph(query: ConjunctiveQuery) -> UndirectedGraph:
+    """The Gaifman graph ``G(q)`` over variable names."""
+    graph = UndirectedGraph()
+    for var in query.variables:
+        graph.add_vertex(var)
+    for atom in query.atoms:
+        for u, v in combinations(sorted(atom.variables, key=lambda t: t.name), 2):
+            graph.add_edge(u, v)
+    return graph
+
+
+def positive_gaifman_graph(query: ConjunctiveQuery) -> UndirectedGraph:
+    """Gaifman graph restricted to edges induced by positive atoms.
+
+    Theorem 5.1 requires the query to be *positively connected*: every two
+    variables connected through positive atoms.
+    """
+    graph = UndirectedGraph()
+    for var in query.variables:
+        graph.add_vertex(var)
+    for atom in query.positive_atoms:
+        for u, v in combinations(sorted(atom.variables, key=lambda t: t.name), 2):
+            graph.add_edge(u, v)
+    return graph
+
+
+def is_positively_connected(query: ConjunctiveQuery) -> bool:
+    """Are all variables of ``q`` in one component of the positive Gaifman graph?"""
+    if not query.variables:
+        return True
+    return len(positive_gaifman_graph(query).connected_components()) == 1
+
+
+def exogenous_atoms(
+    query: ConjunctiveQuery, exogenous_relations: AbstractSet[str]
+) -> tuple[Atom, ...]:
+    """``Atoms_x(q)``: atoms whose relation belongs to ``X``."""
+    return tuple(atom for atom in query.atoms if atom.relation in exogenous_relations)
+
+
+def non_exogenous_atoms(
+    query: ConjunctiveQuery, exogenous_relations: AbstractSet[str]
+) -> tuple[Atom, ...]:
+    """``Atoms_\\x(q)``: atoms whose relation does not belong to ``X``."""
+    return tuple(
+        atom for atom in query.atoms if atom.relation not in exogenous_relations
+    )
+
+
+def exogenous_variables(
+    query: ConjunctiveQuery, exogenous_relations: AbstractSet[str]
+) -> frozenset[Variable]:
+    """``Vars_x(q)``: variables occurring only in exogenous atoms."""
+    in_non_exogenous = frozenset(
+        var
+        for atom in non_exogenous_atoms(query, exogenous_relations)
+        for var in atom.variables
+    )
+    return query.variables - in_non_exogenous
+
+
+def exogenous_atom_graph(
+    query: ConjunctiveQuery, exogenous_relations: AbstractSet[str]
+) -> UndirectedGraph:
+    """The graph ``gx(q)``: exogenous atoms linked by shared exogenous variables.
+
+    Vertices are atom *indices* into ``query.atoms`` so the graph remains
+    well-defined even for queries with repeated atoms.
+    """
+    exo_vars = exogenous_variables(query, exogenous_relations)
+    indices = [
+        position
+        for position, atom in enumerate(query.atoms)
+        if atom.relation in exogenous_relations
+    ]
+    graph = UndirectedGraph(vertices=indices)
+    for left, right in combinations(indices, 2):
+        shared = query.atoms[left].variables & query.atoms[right].variables
+        if shared & exo_vars:
+            graph.add_edge(left, right)
+    return graph
+
+
+def exogenous_components(
+    query: ConjunctiveQuery, exogenous_relations: AbstractSet[str]
+) -> list[tuple[int, ...]]:
+    """Connected components of ``gx(q)`` as sorted atom-index tuples."""
+    graph = exogenous_atom_graph(query, exogenous_relations)
+    return [tuple(sorted(component)) for component in graph.connected_components()]
+
+
+def infer_exogenous_relations(
+    query: ConjunctiveQuery, database: "object"
+) -> frozenset[str]:
+    """Relations of ``q`` that contain only exogenous facts in ``database``.
+
+    Convenience for the common case where ``X`` is not given explicitly
+    but is evident from the data (Section 4 fixes ``X`` at the schema
+    level; inferring it from the instance is the natural default).
+    """
+    from repro.core.database import Database
+
+    if not isinstance(database, Database):
+        raise TypeError("infer_exogenous_relations expects a Database")
+    present = database.relation_names
+    inferred = set()
+    for name in query.relation_names:
+        if name in present and database.relation_is_exogenous(name):
+            inferred.add(name)
+        if name not in present:
+            # A relation with no facts at all is vacuously exogenous.
+            inferred.add(name)
+    return frozenset(inferred)

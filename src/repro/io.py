@@ -1,0 +1,96 @@
+"""Serialization: databases to/from JSON, CNF to/from DIMACS.
+
+The JSON layout is deliberately simple::
+
+    {
+      "endogenous": [["Reg", ["Adam", "OS"]], ...],
+      "exogenous":  [["Stud", ["Adam"]], ...]
+    }
+
+Constants round-trip as JSON scalars (strings, ints, floats, bools).
+DIMACS follows the standard ``p cnf`` header convention, so formulas can
+be exchanged with external SAT tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.database import Database
+from repro.core.facts import Fact
+from repro.logic.cnf import Clause, CnfFormula
+
+
+# ----------------------------------------------------------------------
+# Databases <-> JSON
+# ----------------------------------------------------------------------
+def database_to_dict(database: Database) -> dict[str, Any]:
+    """A JSON-ready dictionary of the database."""
+
+    def rows(facts) -> list[list[Any]]:
+        return [[item.relation, list(item.args)] for item in sorted(facts, key=repr)]
+
+    return {
+        "endogenous": rows(database.endogenous),
+        "exogenous": rows(database.exogenous),
+    }
+
+
+def database_from_dict(payload: dict[str, Any]) -> Database:
+    """Rebuild a database from :func:`database_to_dict` output."""
+    db = Database()
+    for key, endogenous in (("exogenous", False), ("endogenous", True)):
+        for entry in payload.get(key, []):
+            relation, args = entry
+            db.add(Fact(relation, tuple(args)), endogenous=endogenous)
+    return db
+
+
+def save_database(database: Database, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(database_to_dict(database), indent=2))
+
+
+def load_database(path: str | Path) -> Database:
+    return database_from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# CNF <-> DIMACS
+# ----------------------------------------------------------------------
+def formula_to_dimacs(formula: CnfFormula) -> str:
+    """Serialize to the standard DIMACS CNF format."""
+    lines = [f"p cnf {formula.num_variables} {len(formula.clauses)}"]
+    for clause in formula.clauses:
+        lines.append(" ".join(str(literal) for literal in clause.literals) + " 0")
+    return "\n".join(lines) + "\n"
+
+
+def formula_from_dimacs(text: str) -> CnfFormula:
+    """Parse DIMACS CNF (comments and the problem line are skipped)."""
+    clauses: list[Clause] = []
+    pending: list[int] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith(("c", "p", "%")):
+            continue
+        for token in line.split():
+            literal = int(token)
+            if literal == 0:
+                if pending:
+                    clauses.append(Clause(tuple(pending)))
+                    pending = []
+            else:
+                pending.append(literal)
+    if pending:
+        clauses.append(Clause(tuple(pending)))
+    return CnfFormula(tuple(clauses))
+
+
+def save_formula(formula: CnfFormula, path: str | Path) -> None:
+    Path(path).write_text(formula_to_dimacs(formula))
+
+
+def load_formula(path: str | Path) -> CnfFormula:
+    return formula_from_dimacs(Path(path).read_text())

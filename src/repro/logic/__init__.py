@@ -1,0 +1,34 @@
+"""Propositional logic substrate: CNF formulas, DPLL solving, model counting."""
+
+from repro.logic.cnf import (
+    Clause,
+    CnfFormula,
+    clause_shape_2p2n4,
+    is_2p2n4,
+    is_3cnf,
+    is_3p2n,
+    is_monotone_negative,
+    is_monotone_positive,
+)
+from repro.logic.counting import count_models, count_models_naive
+from repro.logic.generators import random_2p2n4, random_3cnf, random_3p2n
+from repro.logic.solver import is_satisfiable, solve, verify
+
+__all__ = [
+    "Clause",
+    "CnfFormula",
+    "clause_shape_2p2n4",
+    "count_models",
+    "count_models_naive",
+    "is_2p2n4",
+    "is_3cnf",
+    "is_3p2n",
+    "is_monotone_negative",
+    "is_monotone_positive",
+    "is_satisfiable",
+    "random_2p2n4",
+    "random_3cnf",
+    "random_3p2n",
+    "solve",
+    "verify",
+]

@@ -1,0 +1,154 @@
+"""CNF formulas: the propositional substrate of the hardness reductions.
+
+Variables are positive integers; a literal is a nonzero integer whose sign
+is its polarity (DIMACS convention).  The module defines the formula
+classes the paper's Section 5 reductions use:
+
+* **3CNF** — Proposition 5.8 (relevance to qSAT);
+* **(3+, 2−)-CNF** — monotone-positive 3-clauses plus monotone-negative
+  2-clauses (intermediate step of Lemma D.1);
+* **(2+, 2−, 4+−)-CNF** — clauses of shape ``(x ∨ y)``, ``(¬x ∨ ¬y)`` or
+  ``(x ∨ y ∨ ¬z ∨ ¬w)`` — the source problem of Proposition 5.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+Literal = int
+Assignment = Mapping[int, bool]
+
+
+@dataclass(frozen=True)
+class Clause:
+    """A disjunction of literals (kept in input order, duplicates allowed)."""
+
+    literals: tuple[Literal, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.literals, tuple):
+            object.__setattr__(self, "literals", tuple(self.literals))
+        if any(literal == 0 for literal in self.literals):
+            raise ValueError("0 is not a valid literal")
+
+    @property
+    def variables(self) -> frozenset[int]:
+        return frozenset(abs(literal) for literal in self.literals)
+
+    @property
+    def positive_literals(self) -> tuple[int, ...]:
+        return tuple(literal for literal in self.literals if literal > 0)
+
+    @property
+    def negative_literals(self) -> tuple[int, ...]:
+        return tuple(literal for literal in self.literals if literal < 0)
+
+    def satisfied_by(self, assignment: Assignment) -> bool:
+        return any(
+            assignment.get(abs(literal), False) == (literal > 0)
+            for literal in self.literals
+        )
+
+    def __iter__(self) -> Iterator[Literal]:
+        return iter(self.literals)
+
+    def __len__(self) -> int:
+        return len(self.literals)
+
+    def __repr__(self) -> str:
+        rendered = " ∨ ".join(
+            f"x{literal}" if literal > 0 else f"¬x{-literal}"
+            for literal in self.literals
+        )
+        return f"({rendered})"
+
+
+@dataclass(frozen=True)
+class CnfFormula:
+    """A conjunction of clauses."""
+
+    clauses: tuple[Clause, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.clauses, tuple):
+            object.__setattr__(
+                self,
+                "clauses",
+                tuple(
+                    clause if isinstance(clause, Clause) else Clause(tuple(clause))
+                    for clause in self.clauses
+                ),
+            )
+
+    @classmethod
+    def from_lists(cls, clauses: Iterable[Iterable[int]]) -> "CnfFormula":
+        return cls(tuple(Clause(tuple(clause)) for clause in clauses))
+
+    @property
+    def variables(self) -> frozenset[int]:
+        return frozenset(
+            variable for clause in self.clauses for variable in clause.variables
+        )
+
+    @property
+    def num_variables(self) -> int:
+        return max(self.variables, default=0)
+
+    def satisfied_by(self, assignment: Assignment) -> bool:
+        return all(clause.satisfied_by(assignment) for clause in self.clauses)
+
+    def __iter__(self) -> Iterator[Clause]:
+        return iter(self.clauses)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __repr__(self) -> str:
+        return " ∧ ".join(repr(clause) for clause in self.clauses) or "⊤"
+
+
+def is_3cnf(formula: CnfFormula) -> bool:
+    """Every clause has at most three literals (Proposition 5.8 source class)."""
+    return all(len(clause) <= 3 for clause in formula.clauses)
+
+
+def is_monotone_positive(clause: Clause) -> bool:
+    return all(literal > 0 for literal in clause)
+
+
+def is_monotone_negative(clause: Clause) -> bool:
+    return all(literal < 0 for literal in clause)
+
+
+def is_3p2n(formula: CnfFormula) -> bool:
+    """(3+, 2−)-CNF: positive 3-clauses and negative 2-clauses only."""
+    for clause in formula.clauses:
+        if is_monotone_positive(clause) and len(clause) == 3:
+            continue
+        if is_monotone_negative(clause) and len(clause) == 2:
+            continue
+        return False
+    return True
+
+
+def clause_shape_2p2n4(clause: Clause) -> str | None:
+    """The (2+, 2−, 4+−) shape of a clause, or None if it has none.
+
+    Shapes: ``"2+"`` for ``(x ∨ y)``, ``"2-"`` for ``(¬x ∨ ¬y)``,
+    ``"4"`` for ``(x ∨ y ∨ ¬z ∨ ¬w)``.
+    """
+    positives = clause.positive_literals
+    negatives = clause.negative_literals
+    if len(positives) == 2 and not negatives:
+        return "2+"
+    if len(negatives) == 2 and not positives:
+        return "2-"
+    if len(positives) == 2 and len(negatives) == 2:
+        return "4"
+    return None
+
+
+def is_2p2n4(formula: CnfFormula) -> bool:
+    """(2+, 2−, 4+−)-CNF: the Proposition 5.5 source class."""
+    return all(clause_shape_2p2n4(clause) is not None for clause in formula.clauses)

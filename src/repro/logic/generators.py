@@ -1,0 +1,80 @@
+"""Random CNF generators for the reduction experiments.
+
+Each generator produces formulas in one of the classes the paper's
+reductions consume, with a seeded :class:`random.Random` for
+reproducibility.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.logic.cnf import Clause, CnfFormula
+
+
+def random_3cnf(
+    num_variables: int, num_clauses: int, rng: random.Random | None = None
+) -> CnfFormula:
+    """A random 3CNF formula (Proposition 5.8 inputs)."""
+    if num_variables < 3:
+        raise ValueError("random_3cnf needs at least 3 variables")
+    rng = rng or random.Random()
+    clauses = []
+    for _ in range(num_clauses):
+        variables = rng.sample(range(1, num_variables + 1), 3)
+        literals = tuple(
+            variable if rng.random() < 0.5 else -variable for variable in variables
+        )
+        clauses.append(Clause(literals))
+    return CnfFormula(tuple(clauses))
+
+
+def random_2p2n4(
+    num_variables: int,
+    num_clauses: int,
+    rng: random.Random | None = None,
+) -> CnfFormula:
+    """A random (2+, 2−, 4+−)-CNF formula (Proposition 5.5 inputs).
+
+    Always includes at least one positive 2-clause, matching the paper's
+    WLOG assumption (formulas without one are trivially satisfied by the
+    all-zero assignment).
+    """
+    if num_variables < 4:
+        raise ValueError("random_2p2n4 needs at least 4 variables")
+    if num_clauses < 1:
+        raise ValueError("random_2p2n4 needs at least one clause")
+    rng = rng or random.Random()
+    clauses = []
+    for position in range(num_clauses):
+        shape = "2+" if position == 0 else rng.choice(("2+", "2-", "4"))
+        if shape == "2+":
+            x, y = rng.sample(range(1, num_variables + 1), 2)
+            clauses.append(Clause((x, y)))
+        elif shape == "2-":
+            x, y = rng.sample(range(1, num_variables + 1), 2)
+            clauses.append(Clause((-x, -y)))
+        else:
+            x, y, z, w = rng.sample(range(1, num_variables + 1), 4)
+            clauses.append(Clause((x, y, -z, -w)))
+    return CnfFormula(tuple(clauses))
+
+
+def random_3p2n(
+    num_variables: int,
+    num_positive_clauses: int,
+    num_negative_clauses: int,
+    rng: random.Random | None = None,
+) -> CnfFormula:
+    """A random (3+, 2−)-CNF formula (Lemma D.1 intermediate class)."""
+    if num_variables < 3:
+        raise ValueError("random_3p2n needs at least 3 variables")
+    rng = rng or random.Random()
+    clauses = []
+    for _ in range(num_positive_clauses):
+        x, y, z = rng.sample(range(1, num_variables + 1), 3)
+        clauses.append(Clause((x, y, z)))
+    for _ in range(num_negative_clauses):
+        x, y = rng.sample(range(1, num_variables + 1), 2)
+        clauses.append(Clause((-x, -y)))
+    return CnfFormula(tuple(clauses))

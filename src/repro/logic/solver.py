@@ -1,0 +1,104 @@
+"""A DPLL SAT solver with unit propagation and pure-literal elimination.
+
+The solver is the independent referee for the hardness-reduction
+experiments: the reductions of Propositions 5.5 and 5.8 map CNF
+satisfiability to relevance questions, and the test suite checks that the
+relevance oracle and this solver always agree on the same formulas.
+"""
+
+from __future__ import annotations
+
+from repro.logic.cnf import Assignment, CnfFormula
+
+
+def _propagate(
+    clauses: list[list[int]], assignment: dict[int, bool]
+) -> list[list[int]] | None:
+    """Apply the partial assignment; propagate unit clauses to fixpoint.
+
+    Returns the residual clause list, or None on conflict.
+    """
+    changed = True
+    while changed:
+        changed = False
+        residual: list[list[int]] = []
+        for clause in clauses:
+            satisfied = False
+            remaining: list[int] = []
+            for literal in clause:
+                variable = abs(literal)
+                if variable in assignment:
+                    if assignment[variable] == (literal > 0):
+                        satisfied = True
+                        break
+                else:
+                    remaining.append(literal)
+            if satisfied:
+                continue
+            if not remaining:
+                return None
+            if len(remaining) == 1:
+                literal = remaining[0]
+                assignment[abs(literal)] = literal > 0
+                changed = True
+            else:
+                residual.append(remaining)
+        clauses = residual
+    return clauses
+
+
+def _pure_literals(clauses: list[list[int]], assignment: dict[int, bool]) -> bool:
+    """Assign variables occurring with a single polarity; report if any changed."""
+    polarity_seen: dict[int, set[bool]] = {}
+    for clause in clauses:
+        for literal in clause:
+            polarity_seen.setdefault(abs(literal), set()).add(literal > 0)
+    changed = False
+    for variable, polarities in polarity_seen.items():
+        if variable not in assignment and len(polarities) == 1:
+            assignment[variable] = next(iter(polarities))
+            changed = True
+    return changed
+
+
+def _dpll(clauses: list[list[int]], assignment: dict[int, bool]) -> dict[int, bool] | None:
+    result = _propagate(clauses, assignment)
+    if result is None:
+        return None
+    clauses = result
+    if _pure_literals(clauses, assignment):
+        return _dpll(clauses, assignment)
+    if not clauses:
+        return assignment
+    # Branch on the first literal of the shortest clause.
+    branch_clause = min(clauses, key=len)
+    literal = branch_clause[0]
+    for choice in (literal > 0, literal < 0):
+        trial = dict(assignment)
+        trial[abs(literal)] = choice
+        solution = _dpll([list(clause) for clause in clauses], trial)
+        if solution is not None:
+            return solution
+    return None
+
+
+def solve(formula: CnfFormula) -> dict[int, bool] | None:
+    """A satisfying assignment (total over the formula's variables), or None."""
+    clauses = [list(clause.literals) for clause in formula.clauses]
+    solution = _dpll(clauses, {})
+    if solution is None:
+        return None
+    for variable in formula.variables:
+        solution.setdefault(variable, False)
+    assert formula.satisfied_by(solution)
+    return solution
+
+
+def is_satisfiable(formula: CnfFormula) -> bool:
+    """Decide satisfiability with DPLL."""
+    return solve(formula) is not None
+
+
+def verify(formula: CnfFormula, assignment: Assignment) -> bool:
+    """Check a purported model (used by tests and the reduction cross-checks)."""
+    return formula.satisfied_by(assignment)

@@ -1,0 +1,18 @@
+"""Tuple-independent probabilistic databases and query evaluation (Section 4.3)."""
+
+from repro.probabilistic.deterministic import (
+    infer_deterministic_relations,
+    query_probability_with_deterministic,
+)
+from repro.probabilistic.lifted import query_probability_lifted
+from repro.probabilistic.tid import TupleIndependentDatabase, uniform_tid
+from repro.probabilistic.worlds import query_probability_by_worlds
+
+__all__ = [
+    "TupleIndependentDatabase",
+    "infer_deterministic_relations",
+    "query_probability_by_worlds",
+    "query_probability_lifted",
+    "query_probability_with_deterministic",
+    "uniform_tid",
+]

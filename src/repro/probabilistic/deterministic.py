@@ -1,0 +1,73 @@
+"""Theorem 4.10: probabilistic query evaluation with deterministic relations.
+
+Fink & Olteanu's dichotomy classifies CQ¬s as polynomial iff hierarchical.
+The paper observes that the ExoShap rewriting (Section 4.2) transfers:
+with a set ``X`` of *deterministic* relations (every fact has probability
+1), evaluation is polynomial iff the query has no non-hierarchical path
+w.r.t. ``X``.  This module performs exactly that: reuse the Algorithm 1
+rewriting with deterministic relations in the exogenous role, then run
+lifted inference on the rewritten hierarchical instance.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import AbstractSet
+
+from repro.core.database import Database
+from repro.core.query import ConjunctiveQuery
+from repro.probabilistic.lifted import query_probability_lifted
+from repro.probabilistic.tid import TupleIndependentDatabase
+from repro.shapley.exoshap import rewrite_to_hierarchical
+
+
+def infer_deterministic_relations(
+    tid: TupleIndependentDatabase, query: ConjunctiveQuery
+) -> frozenset[str]:
+    """Relations of the query whose facts all have probability 1."""
+    inferred = set()
+    for name in query.relation_names:
+        if tid.relation_is_deterministic(name):
+            inferred.add(name)
+    return frozenset(inferred)
+
+
+def query_probability_with_deterministic(
+    tid: TupleIndependentDatabase,
+    query: ConjunctiveQuery,
+    deterministic_relations: AbstractSet[str] | None = None,
+) -> Fraction:
+    """``P(D ⊨ q)`` exploiting deterministic relations (Theorem 4.10).
+
+    Raises :class:`repro.core.errors.NotHierarchicalError` when the query
+    has a non-hierarchical path w.r.t. the deterministic relations — the
+    FP^#P-complete side of the theorem.
+    """
+    query = query.as_boolean()
+    if deterministic_relations is None:
+        deterministic_relations = infer_deterministic_relations(tid, query)
+    for name in deterministic_relations:
+        if not tid.relation_is_deterministic(name):
+            raise ValueError(
+                f"relation {name} is declared deterministic but has a fact"
+                " with probability < 1"
+            )
+
+    # Stage the TID as a Database: deterministic facts exogenous, the rest
+    # endogenous — precisely the role split the ExoShap rewriting expects.
+    staged = Database()
+    probabilities: dict = {}
+    for item, probability in tid.items():
+        if probability == 1:
+            staged.add_exogenous(item)
+        else:
+            staged.add_endogenous(item)
+            probabilities[item] = probability
+    rewrite = rewrite_to_hierarchical(staged, query, deterministic_relations)
+
+    rewritten_tid = TupleIndependentDatabase()
+    for item in rewrite.database.exogenous:
+        rewritten_tid.add_deterministic(item)
+    for item in rewrite.database.endogenous:
+        rewritten_tid.add(item, probabilities[item])
+    return query_probability_lifted(rewritten_tid, rewrite.query)

@@ -1,0 +1,112 @@
+"""Tuple-independent probabilistic databases (TIDs).
+
+A TID assigns each fact an independent marginal probability; a query's
+probability is the total probability of the possible worlds satisfying it.
+The paper's Section 4.3 observes that the ExoShap machinery transfers to
+query evaluation over TIDs with *deterministic* relations (probability 1),
+generalizing Fink and Olteanu's dichotomy — Theorem 4.10.
+
+Probabilities are :class:`fractions.Fraction` so the lifted and
+brute-force engines can be compared exactly.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Iterator, Mapping
+
+from repro.core.errors import SchemaError
+from repro.core.facts import Fact
+
+
+class TupleIndependentDatabase:
+    """A finite map from facts to independent marginal probabilities."""
+
+    def __init__(self, probabilities: Mapping[Fact, Fraction | int] | None = None):
+        self._probabilities: dict[Fact, Fraction] = {}
+        self._arities: dict[str, int] = {}
+        if probabilities:
+            for item, probability in probabilities.items():
+                self.add(item, probability)
+
+    def add(self, item: Fact, probability: Fraction | int | float) -> None:
+        probability = Fraction(probability).limit_denominator(10**12) if isinstance(
+            probability, float
+        ) else Fraction(probability)
+        if not 0 <= probability <= 1:
+            raise ValueError(f"probability {probability} outside [0, 1]")
+        known = self._arities.setdefault(item.relation, item.arity)
+        if known != item.arity:
+            raise SchemaError(
+                f"relation {item.relation} used with arities {known} and {item.arity}"
+            )
+        self._probabilities[item] = probability
+
+    def add_deterministic(self, item: Fact) -> None:
+        self.add(item, Fraction(1))
+
+    def probability(self, item: Fact) -> Fraction:
+        return self._probabilities.get(item, Fraction(0))
+
+    @property
+    def facts(self) -> frozenset[Fact]:
+        return frozenset(self._probabilities)
+
+    def relation(self, name: str) -> frozenset[Fact]:
+        return frozenset(
+            item for item in self._probabilities if item.relation == name
+        )
+
+    def relation_is_deterministic(self, name: str) -> bool:
+        """Does every fact of the relation have probability exactly 1?"""
+        return all(
+            probability == 1
+            for item, probability in self._probabilities.items()
+            if item.relation == name
+        )
+
+    @property
+    def deterministic_facts(self) -> frozenset[Fact]:
+        return frozenset(
+            item
+            for item, probability in self._probabilities.items()
+            if probability == 1
+        )
+
+    @property
+    def uncertain_facts(self) -> frozenset[Fact]:
+        return frozenset(
+            item
+            for item, probability in self._probabilities.items()
+            if probability != 1
+        )
+
+    def items(self) -> Iterator[tuple[Fact, Fraction]]:
+        return iter(self._probabilities.items())
+
+    def __len__(self) -> int:
+        return len(self._probabilities)
+
+    def __contains__(self, item: Fact) -> bool:
+        return item in self._probabilities
+
+    def active_domain(self) -> frozenset:
+        return frozenset(
+            value for item in self._probabilities for value in item.args
+        )
+
+    def __repr__(self) -> str:
+        certain = len(self.deterministic_facts)
+        return (
+            f"TupleIndependentDatabase({len(self)} facts, {certain} deterministic)"
+        )
+
+
+def uniform_tid(
+    facts: Iterable[Fact], probability: Fraction | int = Fraction(1, 2)
+) -> TupleIndependentDatabase:
+    """All facts share one probability (handy for tests and benches)."""
+    tid = TupleIndependentDatabase()
+    for item in facts:
+        tid.add(item, probability)
+    return tid

@@ -1,0 +1,43 @@
+"""Possible-world enumeration: the brute-force probabilistic oracle.
+
+``P(D ⊨ q) = Σ_{W ⊆ uncertain} Π p(W) · 1[(deterministic ∪ W) ⊨ q]`` —
+exponential in the number of uncertain facts, used to validate the lifted
+engine.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+
+from repro.core.evaluation import holds
+from repro.core.query import BooleanQuery
+from repro.probabilistic.tid import TupleIndependentDatabase
+
+MAX_UNCERTAIN_FACTS = 20
+
+
+def query_probability_by_worlds(
+    tid: TupleIndependentDatabase, query: BooleanQuery
+) -> Fraction:
+    """Exact query probability by enumerating all possible worlds."""
+    uncertain = sorted(tid.uncertain_facts, key=repr)
+    if len(uncertain) > MAX_UNCERTAIN_FACTS:
+        raise ValueError(
+            f"enumerating 2^{len(uncertain)} worlds is not a computation;"
+            " use the lifted engine"
+        )
+    deterministic = list(tid.deterministic_facts)
+    total = Fraction(0)
+    for size in range(len(uncertain) + 1):
+        for subset in itertools.combinations(uncertain, size):
+            world = deterministic + list(subset)
+            if not holds(query, world):
+                continue
+            weight = Fraction(1)
+            chosen = set(subset)
+            for item in uncertain:
+                probability = tid.probability(item)
+                weight *= probability if item in chosen else 1 - probability
+            total += weight
+    return total

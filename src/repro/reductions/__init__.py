@@ -1,0 +1,85 @@
+"""Executable hardness gadgets and constructions from the paper's proofs."""
+
+from repro.reductions.coloring_to_sat import (
+    SimpleGraph,
+    coloring_to_2p2n4,
+    coloring_to_3p2n,
+    is_3_colorable,
+    random_graph,
+    three_p2n_to_2p2n4,
+)
+from repro.reductions.embedding import (
+    EmbeddedInstance,
+    embed_rst_instance,
+    normalize_triplet,
+    select_source_query,
+)
+from repro.reductions.gap import (
+    GapInstance,
+    Theorem51Family,
+    expected_gap_value,
+    gap_instance,
+    theorem_5_1_family,
+)
+from repro.reductions.independent_set import (
+    BipartiteGraph,
+    closure_counts,
+    independent_set_count,
+    instance_d0,
+    instance_dr,
+    random_bipartite_graph,
+    recover_independent_set_count,
+    solve_linear_system,
+)
+from repro.reductions.path_embedding import (
+    PathEmbeddedInstance,
+    embed_rst_instance_via_path,
+)
+from repro.reductions.sat_to_relevance import (
+    RelevanceInstance,
+    q_rst_nr_instance,
+    q_rst_nr_witness_coalition,
+    q_sat_instance,
+    q_sat_witness_coalition,
+)
+from repro.reductions.shapley_reductions import (
+    complement_s_instance,
+    negate_rt_instance,
+    random_rst_database,
+)
+
+__all__ = [
+    "BipartiteGraph",
+    "EmbeddedInstance",
+    "GapInstance",
+    "PathEmbeddedInstance",
+    "RelevanceInstance",
+    "SimpleGraph",
+    "Theorem51Family",
+    "closure_counts",
+    "coloring_to_2p2n4",
+    "coloring_to_3p2n",
+    "complement_s_instance",
+    "embed_rst_instance",
+    "embed_rst_instance_via_path",
+    "expected_gap_value",
+    "normalize_triplet",
+    "gap_instance",
+    "independent_set_count",
+    "instance_d0",
+    "instance_dr",
+    "is_3_colorable",
+    "negate_rt_instance",
+    "q_rst_nr_instance",
+    "q_rst_nr_witness_coalition",
+    "q_sat_instance",
+    "q_sat_witness_coalition",
+    "random_bipartite_graph",
+    "random_graph",
+    "random_rst_database",
+    "recover_independent_set_count",
+    "select_source_query",
+    "solve_linear_system",
+    "theorem_5_1_family",
+    "three_p2n_to_2p2n4",
+]

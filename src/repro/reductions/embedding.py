@@ -1,0 +1,161 @@
+"""The Lemma B.4 embedding: any non-hierarchical CQ¬ simulates an RST query.
+
+The general hardness side of Theorem 3.1 reduces one of the four basic
+queries (qRST, q¬RS¬T, qR¬ST, qRS¬T — chosen by the polarity of a
+*reduction-safe* non-hierarchical triplet) to an arbitrary
+non-hierarchical self-join-free CQ¬ ``q``: an input database ``D`` over
+``{R, S, T}`` is embedded into a database ``D'`` over ``q``'s schema such
+that every endogenous fact keeps its exact Shapley value.
+
+This module makes that proof executable:
+
+* :func:`select_source_query` picks the basic query matching the triplet;
+* :func:`embed_rst_instance` builds ``D'`` and the fact correspondence;
+* the tests and the E3 bench verify ``Shapley(D, q_src, f) ==
+  Shapley(D', q, f')`` on random instances — the strongest runnable form
+  of "computing the Shapley value for q is at least as hard as for qRST".
+
+The embedding maps ``R(a)`` to the ``αx`` atom with ``x ↦ a`` and every
+other variable to the padding constant ``⊙``; ``T(b)`` likewise through
+``αy``; and each ``S(a, b)`` to exogenous facts of *every* other atom
+under ``x ↦ a, y ↦ b``.  Relations of negative atoms outside the triplet
+stay empty, so they never block a homomorphism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.database import Database
+from repro.core.errors import SelfJoinError
+from repro.core.facts import Fact
+from repro.core.hierarchy import (
+    NonHierarchicalTriplet,
+    find_non_hierarchical_triplet,
+)
+from repro.core.query import Atom, ConjunctiveQuery
+from repro.workloads.queries import q_nr_s_nt, q_r_ns_t, q_rs_nt, q_rst
+
+PADDING = "⊙"
+
+
+@dataclass(frozen=True)
+class EmbeddedInstance:
+    """The embedded database plus the endogenous-fact correspondence."""
+
+    database: Database
+    query: ConjunctiveQuery
+    source_query: ConjunctiveQuery
+    fact_map: dict[Fact, Fact]
+    triplet: NonHierarchicalTriplet
+
+
+def normalize_triplet(triplet: NonHierarchicalTriplet) -> NonHierarchicalTriplet:
+    """Swap the side atoms so a lone negative side sits in the ``αy`` slot.
+
+    qRS¬T negates its *unary, y-side* atom, so when exactly one side of
+    the triplet is negative we orient the triplet to put it on the y
+    side; all other shapes are symmetric in x/y.
+    """
+    if triplet.atom_x.negated and not triplet.atom_y.negated:
+        return NonHierarchicalTriplet(
+            triplet.atom_y, triplet.atom_xy, triplet.atom_x, triplet.y, triplet.x
+        )
+    return triplet
+
+
+def select_source_query(triplet: NonHierarchicalTriplet) -> ConjunctiveQuery:
+    """The basic query whose hardness transfers through this triplet.
+
+    Polarities (αx, αxy, αy) → source (after normalization): all positive
+    → qRST; negative sides around a positive middle → q¬RS¬T; negative
+    middle with positive sides → qR¬ST; positive middle with exactly one
+    negative side → qRS¬T.  (The paper's case list has a typo making the
+    fourth case's middle "negative" — that shape contradicts the
+    reduction-safety property proved in Lemma B.4; the consistent
+    reading, used here, matches qRS¬T's actual polarity pattern.)
+    """
+    triplet = normalize_triplet(triplet)
+    nx, nxy, ny = (
+        triplet.atom_x.negated,
+        triplet.atom_xy.negated,
+        triplet.atom_y.negated,
+    )
+    if not nxy:
+        if not nx and not ny:
+            return q_rst()
+        if nx and ny:
+            return q_nr_s_nt()
+        return q_rs_nt()  # exactly one negative side, on y after normalizing
+    if not nx and not ny:
+        return q_r_ns_t()
+    raise ValueError(
+        "triplet is not reduction-safe: a negative middle atom together"
+        " with a negative side atom cannot be sourced (Lemma B.4"
+        " guarantees a safe triplet always exists)"
+    )
+
+
+def _image(atom: Atom, x, y, a, b) -> Fact:
+    """The fact obtained from ``atom`` under x ↦ a, y ↦ b, others ↦ ⊙."""
+    from repro.core.query import Variable
+
+    values = []
+    for term in atom.terms:
+        if not isinstance(term, Variable):
+            values.append(term)  # a constant in the atom
+        elif term == x:
+            values.append(a)
+        elif term == y:
+            values.append(b)
+        else:
+            values.append(PADDING)
+    return Fact(atom.relation, tuple(values))
+
+
+def embed_rst_instance(
+    query: ConjunctiveQuery,
+    source_db: Database,
+    triplet: NonHierarchicalTriplet | None = None,
+) -> EmbeddedInstance:
+    """Embed an RST-family database into ``query``'s schema (Lemma B.4).
+
+    Preconditions: ``query`` self-join-free and non-hierarchical;
+    ``source_db`` over relations ``R``, ``S``, ``T`` with every ``S`` fact
+    exogenous (as in the hardness instances of Lemma 3.3).
+    """
+    query = query.as_boolean()
+    if not query.is_self_join_free:
+        raise SelfJoinError("Lemma B.4 embeds into self-join-free queries")
+    if triplet is None:
+        triplet = find_non_hierarchical_triplet(query)
+    if triplet is None:
+        raise ValueError(f"{query!r} is hierarchical; nothing to embed")
+    triplet = normalize_triplet(triplet)
+    source_query = select_source_query(triplet)
+    for item in source_db.relation("S"):
+        if source_db.is_endogenous(item):
+            raise ValueError("the source instance must keep S exogenous")
+
+    x, y = triplet.x, triplet.y
+    embedded = Database()
+    fact_map: dict[Fact, Fact] = {}
+
+    for item in source_db.relation("R"):
+        target = _image(triplet.atom_x, x, y, item.args[0], None)
+        embedded.add(target, endogenous=source_db.is_endogenous(item))
+        fact_map[item] = target
+    for item in source_db.relation("T"):
+        target = _image(triplet.atom_y, x, y, None, item.args[0])
+        embedded.add(target, endogenous=source_db.is_endogenous(item))
+        fact_map[item] = target
+    for item in source_db.relation("S"):
+        a, b = item.args
+        for atom in query.atoms:
+            if atom in (triplet.atom_x, triplet.atom_y):
+                continue
+            if atom.negated and atom != triplet.atom_xy:
+                # Relations of other negative atoms stay empty.
+                continue
+            embedded.add_exogenous(_image(atom, x, y, a, b))
+    return EmbeddedInstance(embedded, query, source_query, fact_map, triplet)

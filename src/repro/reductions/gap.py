@@ -1,0 +1,206 @@
+"""The gap-property violation (Section 5.1 and Theorem 5.1).
+
+For CQs without negation, a nonzero Shapley value is at least the
+reciprocal of a polynomial (the *gap property*), which upgrades the
+additive FPRAS to a multiplicative one.  The paper's Section 5.1 example
+breaks this with the query ``q() :- R(x), S(x, y), ¬R(y)`` and a database
+family where ``Shapley(D_n, q, f) = n!·n!/(2n+1)! ≤ 2^-Θ(n)``.
+
+:func:`gap_instance` builds that concrete family;
+:func:`theorem_5_1_family` implements the general construction of the
+Theorem 5.1 proof for *any* satisfiable, constant-free, positively
+connected CQ¬ with a negated atom, by gluing ``n`` copies of a minimal
+"almost-satisfying" database with ``n + 1`` copies of a minimal satisfying
+one.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+from math import factorial
+
+from repro.core.database import Database
+from repro.core.evaluation import holds
+from repro.core.facts import Fact
+from repro.core.gaifman import is_positively_connected
+from repro.core.query import ConjunctiveQuery
+from repro.workloads.queries import gap_query
+
+
+@dataclass(frozen=True)
+class GapInstance:
+    """A database, query, target fact, and the closed-form Shapley value."""
+
+    database: Database
+    query: ConjunctiveQuery
+    target: Fact
+    expected_value: Fraction
+
+
+def expected_gap_value(n: int) -> Fraction:
+    """``n!·n!/(2n+1)!`` — the exact Shapley value of the Section 5.1 family."""
+    if n < 1:
+        raise ValueError("the gap family needs n >= 1")
+    return Fraction(factorial(n) * factorial(n), factorial(2 * n + 1))
+
+
+def gap_instance(n: int) -> GapInstance:
+    """The Section 5.1 database ``D_n`` for ``q() :- R(x), S(x, y), ¬R(y)``.
+
+    Constants ``x_i`` / ``y_i`` play the roles of ``c^i_x`` / ``c^i_y``;
+    the target fact is ``R(x_0)`` whose Shapley value is exponentially
+    small yet strictly positive.
+    """
+    if n < 1:
+        raise ValueError("the gap family needs n >= 1")
+    db = Database()
+    for i in range(2 * n + 1):
+        db.add_exogenous(Fact("S", (f"x{i}", f"y{i}")))
+    for i in range(1, n + 1):
+        db.add_exogenous(Fact("R", (f"x{i}",)))
+        db.add_endogenous(Fact("R", (f"y{i}",)))
+    for i in (0, *range(n + 1, 2 * n + 1)):
+        db.add_endogenous(Fact("R", (f"x{i}",)))
+    return GapInstance(db, gap_query(), Fact("R", ("x0",)), expected_gap_value(n))
+
+
+# ----------------------------------------------------------------------
+# General Theorem 5.1 construction
+# ----------------------------------------------------------------------
+def _canonical_satisfying_database(query: ConjunctiveQuery) -> frozenset[Fact]:
+    """A minimal satisfying database: freeze each variable to a fresh constant.
+
+    For a constant-free CQ¬ the frozen instance satisfies the query unless
+    a negated atom collides with a positive one under the freezing, in
+    which case the query is reported unsatisfiable for this construction.
+    """
+    freeze = {var: f"c_{var.name}" for var in query.variables}
+    facts = frozenset(
+        atom.substitute(freeze).to_fact() for atom in query.positive_atoms
+    )
+    if not holds(query, facts):
+        raise ValueError(
+            f"the canonical freezing of {query!r} does not satisfy it;"
+            " Theorem 5.1 needs a satisfiable query"
+        )
+    # Minimality matters: in the D'_q copies, removing the chosen fact must
+    # break satisfaction, so every fact must be essential.
+    current = set(facts)
+    for item in sorted(facts, key=repr):
+        if holds(query, current - {item}):
+            current.remove(item)
+    return frozenset(current)
+
+
+def _rename(facts: frozenset[Fact], tag: str) -> frozenset[Fact]:
+    """An isomorphic copy of ``facts`` over a disjoint constant domain."""
+    return frozenset(
+        Fact(item.relation, tuple(f"{tag}:{value}" for value in item.args))
+        for item in facts
+    )
+
+
+def _blocking_extension(
+    query: ConjunctiveQuery, base: frozenset[Fact]
+) -> tuple[frozenset[Fact], Fact]:
+    """Grow ``base`` with negated-relation facts until the query fails.
+
+    Returns the unsatisfying database and the *last* fact added, i.e. the
+    fact ``f`` with ``(D \\ {f}) ⊨ q`` and ``D ⊭ q`` of the proof.
+    """
+    domain = sorted({value for item in base for value in item.args})
+    negated_relations = sorted(
+        {atom.relation for atom in query.negative_atoms}
+    )
+    arity = {atom.relation: atom.arity for atom in query.atoms}
+    current = set(base)
+    for relation in negated_relations:
+        for combo in itertools.product(domain, repeat=arity[relation]):
+            candidate = Fact(relation, combo)
+            if candidate in current:
+                continue
+            current.add(candidate)
+            if not holds(query, current):
+                return frozenset(current), candidate
+    raise ValueError(
+        f"could not block {query!r} by adding negated-relation facts;"
+        " the query may be trivially satisfiable"
+    )
+
+
+def _minimize_blocked(
+    query: ConjunctiveQuery, facts: frozenset[Fact], blocker: Fact
+) -> frozenset[Fact]:
+    """Shrink a blocked database while keeping ``(D \\ {f}) ⊨ q`` and ``D ⊭ q``."""
+    current = set(facts)
+    for item in sorted(facts - {blocker}, key=repr):
+        trial = current - {item}
+        if blocker in trial and not holds(query, trial) and holds(
+            query, trial - {blocker}
+        ):
+            current = trial
+    return frozenset(current)
+
+
+@dataclass(frozen=True)
+class Theorem51Family:
+    """The database family of Theorem 5.1 for one value of ``n``."""
+
+    database: Database
+    query: ConjunctiveQuery
+    target: Fact
+    n: int
+
+    @property
+    def upper_bound(self) -> Fraction:
+        """The proof's bound ``n!·n!/(2n+1)!`` on the Shapley value."""
+        return Fraction(
+            factorial(self.n) * factorial(self.n), factorial(2 * self.n + 1)
+        )
+
+
+def theorem_5_1_family(query: ConjunctiveQuery, n: int) -> Theorem51Family:
+    """Instantiate the Theorem 5.1 construction for ``query`` at size ``n``.
+
+    Preconditions (checked): the query is Boolean, constant-free, has a
+    negated atom, is positively connected, and is satisfiable by its
+    canonical freezing.  The resulting database has ``2n + 1`` endogenous
+    facts and the target's Shapley value is nonzero with magnitude at most
+    ``n!·n!/(2n+1)!``.
+    """
+    query = query.as_boolean()
+    if n < 1:
+        raise ValueError("the family needs n >= 1")
+    if not query.negative_atoms:
+        raise ValueError("Theorem 5.1 applies to queries with a negated atom")
+    if any(atom.constants for atom in query.atoms):
+        raise ValueError("Theorem 5.1 applies to constant-free queries")
+    if not is_positively_connected(query):
+        raise ValueError("Theorem 5.1 applies to positively connected queries")
+
+    satisfying = _canonical_satisfying_database(query)
+    blocked, blocker = _blocking_extension(query, satisfying)
+    blocked = _minimize_blocked(query, blocked, blocker)
+
+    def renamed(item: Fact, tag: str) -> Fact:
+        return Fact(item.relation, tuple(f"{tag}:{value}" for value in item.args))
+
+    db = Database()
+    # Copies D_1..D_n: blocked databases, endogenous fact f_i = blocker.
+    for i in range(1, n + 1):
+        tag = f"d{i}"
+        marked = renamed(blocker, tag)
+        for item in _rename(blocked, tag):
+            db.add(item, endogenous=item == marked)
+    # Copies D_0, D_{n+1}..D_{2n}: minimal satisfying databases, endogenous
+    # fact f_i = a deterministically chosen member.
+    chosen = sorted(satisfying, key=repr)[0]
+    target = renamed(chosen, "s0")
+    for i in (0, *range(n + 1, 2 * n + 1)):
+        tag = f"s{i}"
+        marked = renamed(chosen, tag)
+        for item in _rename(satisfying, tag):
+            db.add(item, endogenous=item == marked)
+    return Theorem51Family(db, query, target, n)

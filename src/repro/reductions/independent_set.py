@@ -1,0 +1,244 @@
+"""Counting independent sets via Shapley values (Lemma B.3).
+
+The hardness proof for ``qRS¬T() :- R(x), S(x, y), ¬T(y)`` reduces counting
+independent sets in a bipartite graph to ``N + 2`` Shapley computations
+whose results feed an exactly solvable linear system.  This module makes
+that reduction executable:
+
+1. :func:`closure_counts` and :func:`independent_set_count` compute the
+   ground truth ``|S(g, k)|`` / ``|IS(g)|`` by enumeration (and verify the
+   bijection ``|S(g)| = |IS(g)|`` of the proof);
+2. :func:`instance_d0` / :func:`instance_dr` build the databases
+   ``D^0, D^1, ..., D^{N+1}`` of the proof;
+3. :func:`recover_independent_set_count` runs a Shapley oracle on them,
+   assembles the linear system over ``|S(g, k)|``, solves it with exact
+   Gaussian elimination, and returns ``|IS(g)|``.
+
+Running this end-to-end on small graphs *executes* the FP^#P-hardness
+proof: if the Shapley oracle is exact, the recovered count always matches
+direct enumeration.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from math import comb, factorial
+from typing import Callable, Sequence
+
+from repro.core.database import Database
+from repro.core.facts import Fact
+from repro.core.query import ConjunctiveQuery
+from repro.shapley.brute_force import shapley_brute_force
+from repro.workloads.queries import q_rs_nt
+
+
+@dataclass(frozen=True)
+class BipartiteGraph:
+    """A bipartite graph with left part ``A``, right part ``B``, edges ``A×B``."""
+
+    left: tuple[str, ...]
+    right: tuple[str, ...]
+    edges: frozenset[tuple[str, str]]
+
+    def __post_init__(self) -> None:
+        left_set, right_set = set(self.left), set(self.right)
+        if left_set & right_set:
+            raise ValueError("left and right parts must be disjoint")
+        for a, b in self.edges:
+            if a not in left_set or b not in right_set:
+                raise ValueError(f"edge ({a}, {b}) not between the parts")
+
+    @property
+    def size(self) -> int:
+        return len(self.left) + len(self.right)
+
+    def has_isolated_vertex(self) -> bool:
+        touched_left = {a for a, _ in self.edges}
+        touched_right = {b for _, b in self.edges}
+        return bool(set(self.left) - touched_left) or bool(
+            set(self.right) - touched_right
+        )
+
+    def neighbors_of_left(self, a: str) -> frozenset[str]:
+        return frozenset(b for aa, b in self.edges if aa == a)
+
+
+def random_bipartite_graph(
+    num_left: int,
+    num_right: int,
+    edge_probability: float = 0.5,
+    rng: random.Random | None = None,
+) -> BipartiteGraph:
+    """A random bipartite graph without isolated vertices (proof premise)."""
+    rng = rng or random.Random()
+    left = tuple(f"a{i}" for i in range(num_left))
+    right = tuple(f"b{j}" for j in range(num_right))
+    edges = {
+        (a, b) for a in left for b in right if rng.random() < edge_probability
+    }
+    # Patch isolated vertices with one incident edge each.
+    for a in left:
+        if not any(edge[0] == a for edge in edges):
+            edges.add((a, rng.choice(right)))
+    for b in right:
+        if not any(edge[1] == b for edge in edges):
+            edges.add((rng.choice(left), b))
+    return BipartiteGraph(left, right, frozenset(edges))
+
+
+# ----------------------------------------------------------------------
+# Ground truth by enumeration
+# ----------------------------------------------------------------------
+def independent_set_count(graph: BipartiteGraph) -> int:
+    """``|IS(g)|`` — number of independent vertex subsets, by enumeration."""
+    vertices = list(graph.left) + list(graph.right)
+    count = 0
+    for size in range(len(vertices) + 1):
+        for subset in itertools.combinations(vertices, size):
+            chosen = set(subset)
+            if all(
+                not (a in chosen and b in chosen) for a, b in graph.edges
+            ):
+                count += 1
+    return count
+
+
+def closure_counts(graph: BipartiteGraph) -> list[int]:
+    """``|S(g, k)|`` for all k: subsets closed under left-to-right neighbors.
+
+    ``S(g)`` contains ``A' ∪ B'`` with the property that every neighbor of
+    a chosen left vertex is chosen; the proof's bijection gives
+    ``Σ_k |S(g, k)| = |IS(g)|``.
+    """
+    vertices = list(graph.left) + list(graph.right)
+    left_set = set(graph.left)
+    counts = [0] * (len(vertices) + 1)
+    for size in range(len(vertices) + 1):
+        for subset in itertools.combinations(vertices, size):
+            chosen = set(subset)
+            if all(
+                b in chosen
+                for a, b in graph.edges
+                if a in chosen and a in left_set
+            ):
+                counts[size] += 1
+    return counts
+
+
+# ----------------------------------------------------------------------
+# Databases of the reduction
+# ----------------------------------------------------------------------
+def instance_d0(graph: BipartiteGraph) -> tuple[Database, Fact]:
+    """``D^0`` of Lemma B.3 and the target fact ``T(0)``."""
+    db = Database()
+    target = Fact("T", ("0",))
+    for a in graph.left:
+        db.add_endogenous(Fact("R", (a,)))
+        db.add_exogenous(Fact("S", (a, "0")))
+    for b in graph.right:
+        db.add_endogenous(Fact("T", (b,)))
+    for a, b in graph.edges:
+        db.add_exogenous(Fact("S", (a, b)))
+    db.add_endogenous(target)
+    return db, target
+
+
+def instance_dr(graph: BipartiteGraph, r: int) -> tuple[Database, Fact]:
+    """``D^r`` of Lemma B.3: ``D^0`` minus the S(a,0) edges, plus ``r`` fresh
+    left vertices ``0_i`` each wired to the new right vertex ``0``."""
+    if r < 1:
+        raise ValueError("r must be at least 1")
+    db = Database()
+    target = Fact("T", ("0",))
+    for a in graph.left:
+        db.add_endogenous(Fact("R", (a,)))
+    for b in graph.right:
+        db.add_endogenous(Fact("T", (b,)))
+    for a, b in graph.edges:
+        db.add_exogenous(Fact("S", (a, b)))
+    db.add_endogenous(target)
+    for i in range(1, r + 1):
+        db.add_endogenous(Fact("R", (f"0_{i}",)))
+        db.add_exogenous(Fact("S", (f"0_{i}", "0")))
+    return db, target
+
+
+ShapleyOracle = Callable[[Database, ConjunctiveQuery, Fact], Fraction]
+
+
+def _magnitude(value: Fraction) -> Fraction:
+    """The proof works with ``1 - (P00 + P11)/(N+1)!`` = |Shapley| (value ≤ 0)."""
+    return -value
+
+
+def recover_independent_set_count(
+    graph: BipartiteGraph,
+    oracle: ShapleyOracle = shapley_brute_force,
+) -> int:
+    """``|IS(g)|`` recovered from Shapley values only (the Lemma B.3 pipeline)."""
+    if graph.has_isolated_vertex():
+        raise ValueError("the reduction requires a graph without isolated vertices")
+    query = q_rs_nt()
+    m = len(graph.left)
+    n_total = graph.size
+
+    db0, target0 = instance_d0(graph)
+    shapley0 = _magnitude(oracle(db0, query, target0))
+    perms0 = factorial(n_total + 1)
+    p00 = Fraction(perms0, m + 1)
+    p11 = (1 - shapley0) * perms0 - p00
+
+    matrix: list[list[Fraction]] = []
+    rhs: list[Fraction] = []
+    for r in range(1, n_total + 2):
+        db_r, target_r = instance_dr(graph, r)
+        shapley_r = _magnitude(oracle(db_r, query, target_r))
+        m_r = comb(n_total + r + 1, r) * factorial(r)
+        total_r = factorial(n_total + r + 1)
+        rhs.append((1 - shapley_r) * total_r - p11 * m_r)
+        matrix.append(
+            [
+                Fraction(factorial(k) * factorial(n_total - k + r))
+                for k in range(n_total + 1)
+            ]
+        )
+    solution = solve_linear_system(matrix, rhs)
+    total = sum(solution)
+    if total.denominator != 1:
+        raise ArithmeticError(f"non-integral |S(g)| recovered: {total}")
+    return int(total)
+
+
+def solve_linear_system(
+    matrix: Sequence[Sequence[Fraction]], rhs: Sequence[Fraction]
+) -> list[Fraction]:
+    """Exact Gaussian elimination with partial (nonzero) pivoting."""
+    size = len(matrix)
+    if any(len(row) != size for row in matrix) or len(rhs) != size:
+        raise ValueError("the system must be square")
+    augmented = [list(map(Fraction, row)) + [Fraction(value)]
+                 for row, value in zip(matrix, rhs)]
+    for column in range(size):
+        pivot_row = next(
+            (row for row in range(column, size) if augmented[row][column] != 0),
+            None,
+        )
+        if pivot_row is None:
+            raise ArithmeticError("singular system (the proof guarantees otherwise)")
+        augmented[column], augmented[pivot_row] = (
+            augmented[pivot_row],
+            augmented[column],
+        )
+        pivot = augmented[column][column]
+        augmented[column] = [entry / pivot for entry in augmented[column]]
+        for row in range(size):
+            if row != column and augmented[row][column] != 0:
+                factor = augmented[row][column]
+                augmented[row] = [
+                    entry - factor * lead
+                    for entry, lead in zip(augmented[row], augmented[column])
+                ]
+    return [augmented[row][size] for row in range(size)]

@@ -1,0 +1,201 @@
+"""The Appendix C embedding: hardness through a non-hierarchical *path*.
+
+Theorem 4.3's negative side reduces a basic RST query to any self-join-
+free CQ¬ with a non-hierarchical path w.r.t. the exogenous relations
+``X``.  Unlike the Lemma B.4 embedding (which routes the ``S`` relation
+through the single middle atom), this construction threads each edge
+``S(a, b)`` through the *entire path*: the variables ``v1 … vn`` along
+the path all receive the pair value ``⟨a, b⟩``, so a homomorphism exists
+precisely when its endpoints agree on one original edge.
+
+Construction (following Appendix C):
+
+1. ``R(a)``/``T(b)`` become (endogenous iff they were) facts of the two
+   inducing atoms ``αx`` / ``αy`` with the other variables padded by ⊙;
+2. every ``S(a, b)`` stamps an exogenous fact into every *other* atom
+   under ``x ↦ a, y ↦ b, v_i ↦ ⟨a, b⟩``, rest ↦ ⊙;
+3. relations of negative atoms are complemented over the new active
+   domain (their endogenous facts are kept as-is) — the same trick as
+   Lemma B.2/C.3.
+
+The result preserves every endogenous fact's Shapley value, which the
+tests check against brute force; running it is the executable form of
+"Shapley for q is FP^#P-hard whenever q has a non-hierarchical path".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import AbstractSet
+
+from repro.core.database import Database
+from repro.core.errors import SelfJoinError
+from repro.core.facts import Constant, Fact
+from repro.core.gaifman import gaifman_graph
+from repro.core.paths import NonHierarchicalPath, find_non_hierarchical_path
+from repro.core.query import Atom, ConjunctiveQuery, Variable
+from repro.reductions.embedding import PADDING, select_source_query
+from repro.core.hierarchy import NonHierarchicalTriplet
+
+
+@dataclass(frozen=True)
+class PathEmbeddedInstance:
+    """The embedded database plus the endogenous-fact correspondence."""
+
+    database: Database
+    query: ConjunctiveQuery
+    source_query: ConjunctiveQuery
+    fact_map: dict[Fact, Fact]
+    path: NonHierarchicalPath
+    path_variables: tuple[Variable, ...]
+
+
+def _find_path_vertices(
+    query: ConjunctiveQuery, witness: NonHierarchicalPath
+) -> tuple[Variable, ...]:
+    """The interior variables ``v1 … vn`` of the witnessing path."""
+    graph = gaifman_graph(query)
+    forbidden = (
+        witness.atom_x.variables | witness.atom_y.variables
+    ) - {witness.x, witness.y}
+    # Breadth-first search recording parents, avoiding forbidden vertices.
+    from collections import deque
+
+    parents: dict[Variable, Variable] = {}
+    seen = {witness.x}
+    queue = deque([witness.x])
+    while queue:
+        current = queue.popleft()
+        if current == witness.y:
+            break
+        for neighbor in graph.neighbors(current):
+            if neighbor in forbidden or neighbor in seen:
+                continue
+            seen.add(neighbor)
+            parents[neighbor] = current
+            queue.append(neighbor)
+    if witness.y not in seen:
+        raise ValueError("witness path no longer present in the Gaifman graph")
+    chain: list[Variable] = []
+    current = witness.y
+    while current != witness.x:
+        chain.append(current)
+        current = parents.get(current, witness.x)
+        if current == witness.x:
+            break
+    chain.reverse()
+    return tuple(chain[:-1]) if chain and chain[-1] == witness.y else tuple(chain)
+
+
+def _orient(witness: NonHierarchicalPath) -> NonHierarchicalPath:
+    """Put a lone negative inducing atom on the y side (qRS¬T shape)."""
+    if witness.atom_x.negated and not witness.atom_y.negated:
+        return NonHierarchicalPath(
+            witness.atom_y, witness.atom_x, witness.y, witness.x
+        )
+    return witness
+
+
+def _source_for(witness: NonHierarchicalPath) -> ConjunctiveQuery:
+    """Reuse the Lemma B.4 polarity table with a positive pseudo-middle."""
+    pseudo_middle = Atom("_S", (witness.x, witness.y), negated=False)
+    triplet = NonHierarchicalTriplet(
+        witness.atom_x, pseudo_middle, witness.atom_y, witness.x, witness.y
+    )
+    return select_source_query(triplet)
+
+
+def _image(
+    atom: Atom,
+    witness: NonHierarchicalPath,
+    path_vars: tuple[Variable, ...],
+    a: Constant,
+    b: Constant,
+) -> Fact:
+    pair = (a, b)
+    values = []
+    for term in atom.terms:
+        if not isinstance(term, Variable):
+            values.append(term)
+        elif term == witness.x:
+            values.append(a)
+        elif term == witness.y:
+            values.append(b)
+        elif term in path_vars:
+            values.append(pair)
+        else:
+            values.append(PADDING)
+    return Fact(atom.relation, tuple(values))
+
+
+def embed_rst_instance_via_path(
+    query: ConjunctiveQuery,
+    source_db: Database,
+    exogenous_relations: AbstractSet[str] = frozenset(),
+    witness: NonHierarchicalPath | None = None,
+) -> PathEmbeddedInstance:
+    """Embed an RST-family database along a non-hierarchical path.
+
+    ``source_db`` must keep every ``S`` fact exogenous and use fresh
+    constants disjoint from ⊙ (the Lemma 3.3 instances qualify).
+    """
+    query = query.as_boolean()
+    if not query.is_self_join_free:
+        raise SelfJoinError("the Appendix C embedding needs a self-join-free query")
+    if witness is None:
+        witness = find_non_hierarchical_path(query, exogenous_relations)
+    if witness is None:
+        raise ValueError(
+            f"{query!r} has no non-hierarchical path w.r.t."
+            f" X={sorted(exogenous_relations)}; Theorem 4.3 calls it tractable"
+        )
+    for item in source_db.relation("S"):
+        if source_db.is_endogenous(item):
+            raise ValueError("the source instance must keep S exogenous")
+    witness = _orient(witness)
+    path_vars = _find_path_vertices(query, witness)
+    source_query = _source_for(witness)
+
+    intermediate = Database()
+    fact_map: dict[Fact, Fact] = {}
+    for item in source_db.relation("R"):
+        target = _image(witness.atom_x, witness, path_vars, item.args[0], None)
+        intermediate.add(target, endogenous=source_db.is_endogenous(item))
+        fact_map[item] = target
+    for item in source_db.relation("T"):
+        target = _image(witness.atom_y, witness, path_vars, None, item.args[0])
+        intermediate.add(target, endogenous=source_db.is_endogenous(item))
+        fact_map[item] = target
+    for item in source_db.relation("S"):
+        a, b = item.args
+        for atom in query.atoms:
+            if atom in (witness.atom_x, witness.atom_y):
+                continue
+            intermediate.add_exogenous(_image(atom, witness, path_vars, a, b))
+
+    # Complement the exogenous part of every negative atom's relation over
+    # the new active domain (Lemma C.3 / the D'' step of Appendix C).
+    domain = sorted(intermediate.active_domain(), key=repr)
+    embedded = Database()
+    for item in intermediate.endogenous:
+        embedded.add_endogenous(item)
+    negative_relations = {atom.relation for atom in query.negative_atoms}
+    for atom in query.atoms:
+        relation = atom.relation
+        if relation in negative_relations:
+            continue
+        for item in intermediate.relation(relation):
+            if intermediate.is_exogenous(item):
+                embedded.add_exogenous(item)
+    for relation in sorted(negative_relations):
+        arity = next(
+            atom.arity for atom in query.atoms if atom.relation == relation
+        )
+        present = {item.args for item in intermediate.relation(relation)}
+        for combo in itertools.product(domain, repeat=arity):
+            if combo not in present:
+                embedded.add_exogenous(Fact(relation, combo))
+    return PathEmbeddedInstance(
+        embedded, query, source_query, fact_map, witness, path_vars
+    )

@@ -1,0 +1,124 @@
+"""CNF-to-relevance gadgets (Propositions 5.5 and 5.8, Figure 4).
+
+Two constructions map satisfiability questions to relevance questions:
+
+* :func:`q_rst_nr_instance` — the Figure 4 gadget: a (2+, 2−, 4+−)-CNF
+  formula becomes a database over ``{R, S, T}`` such that the endogenous
+  fact ``T(c)`` is relevant to ``qRST¬R`` **iff** the formula is
+  satisfiable (Proposition 5.5);
+* :func:`q_sat_instance` — a 3CNF formula becomes a database over
+  ``{C, V, T, R}`` such that ``R(0)`` is relevant to the UCQ¬ ``qSAT``
+  **iff** the formula is satisfiable (Proposition 5.8).
+
+Each construction also exposes the *intended witness coalition* derived
+from a satisfying assignment, so tests can verify the two directions of
+the correctness proof separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.database import Database
+from repro.core.facts import Fact
+from repro.core.query import ConjunctiveQuery, UnionQuery
+from repro.logic.cnf import Assignment, CnfFormula, clause_shape_2p2n4
+from repro.workloads.queries import q_rst_nr, q_sat
+
+
+@dataclass(frozen=True)
+class RelevanceInstance:
+    """A relevance question: is ``target`` relevant to ``query`` on ``database``?"""
+
+    database: Database
+    query: ConjunctiveQuery | UnionQuery
+    target: Fact
+
+
+def q_rst_nr_instance(formula: CnfFormula) -> RelevanceInstance:
+    """The Proposition 5.5 / Figure 4 gadget for a (2+, 2−, 4+−)-CNF formula.
+
+    Requires at least one positive 2-clause (the paper's WLOG assumption:
+    formulas without one are satisfied by the all-zero assignment, making
+    satisfiability trivial).
+    """
+    shapes = [clause_shape_2p2n4(clause) for clause in formula.clauses]
+    if any(shape is None for shape in shapes):
+        raise ValueError("the gadget needs a (2+, 2−, 4+−)-CNF formula")
+    if "2+" not in shapes:
+        raise ValueError(
+            "the gadget assumes at least one positive 2-clause"
+            " (otherwise the all-zero assignment satisfies the formula)"
+        )
+    db = Database()
+    for variable in sorted(formula.variables):
+        db.add_endogenous(Fact("R", (variable,)))
+        db.add_exogenous(Fact("T", (variable,)))
+    for clause, shape in zip(formula.clauses, shapes):
+        if shape == "2+":
+            i, j = clause.positive_literals
+            db.add_exogenous(Fact("S", (i, j, "a", "a")))
+        elif shape == "2-":
+            i, j = (-lit for lit in clause.negative_literals)
+            db.add_exogenous(Fact("S", ("b", "b", i, j)))
+        else:
+            i, j = clause.positive_literals
+            k, l = (-lit for lit in clause.negative_literals)
+            db.add_exogenous(Fact("S", (i, j, k, l)))
+    db.add_exogenous(Fact("R", ("a",)))
+    db.add_exogenous(Fact("T", ("a",)))
+    db.add_exogenous(Fact("R", ("c",)))
+    db.add_exogenous(Fact("S", ("d", "d", "c", "c")))
+    target = Fact("T", ("c",))
+    db.add_endogenous(target)
+    return RelevanceInstance(db, q_rst_nr(), target)
+
+
+def q_rst_nr_witness_coalition(
+    instance: RelevanceInstance, assignment: Assignment
+) -> frozenset[Fact]:
+    """The coalition ``E = {R(i) : z(x_i) = 1}`` from a satisfying assignment.
+
+    Adding the target after exactly this coalition flips the query from
+    false to true (the "if" direction of the Proposition 5.5 proof).
+    """
+    return frozenset(
+        item
+        for item in instance.database.endogenous
+        if item.relation == "R" and assignment.get(item.args[0], False)
+    )
+
+
+def q_sat_instance(formula: CnfFormula) -> RelevanceInstance:
+    """The Proposition 5.8 gadget for a 3CNF formula.
+
+    Clause literals become ``C`` facts whose value components mark the
+    *falsifying* choice of each variable (0 for a positive literal, 1 for
+    a negative one).
+    """
+    if any(len(clause) != 3 for clause in formula.clauses):
+        raise ValueError("the qSAT gadget expects exactly-3-literal clauses")
+    db = Database()
+    for variable in sorted(formula.variables):
+        db.add_exogenous(Fact("V", (variable,)))
+        db.add_endogenous(Fact("T", (variable, 1)))
+        db.add_endogenous(Fact("T", (variable, 0)))
+    for clause in formula.clauses:
+        variables = tuple(abs(literal) for literal in clause.literals)
+        values = tuple(1 if literal < 0 else 0 for literal in clause.literals)
+        db.add_exogenous(Fact("C", variables + values))
+    target = Fact("R", (0,))
+    db.add_endogenous(target)
+    return RelevanceInstance(db, q_sat(), target)
+
+
+def q_sat_witness_coalition(
+    instance: RelevanceInstance, assignment: Assignment
+) -> frozenset[Fact]:
+    """The coalition ``E = {T(i, z(x_i))}`` from a satisfying assignment."""
+    return frozenset(
+        item
+        for item in instance.database.endogenous
+        if item.relation == "T"
+        and item.args[1] == (1 if assignment.get(item.args[0], False) else 0)
+    )

@@ -1,0 +1,84 @@
+"""Query-to-query Shapley reductions (Lemmas B.1 and B.2).
+
+These are the executable cores of the Theorem 3.1 hardness proofs:
+
+* **Lemma B.1** (reverse-permutation argument): on databases where all of
+  ``S`` is exogenous and every ``S(a,b)`` has both ``R(a)`` and ``T(b)``
+  present, ``Shapley(D, qRST, f) = -Shapley(D, q¬RS¬T, f)``.
+* **Lemma B.2** (complementation): replacing ``S`` by its complement over
+  ``dom(R) × dom(T)`` gives ``Shapley(D, qRST, f) = Shapley(D', qR¬ST, f)``.
+
+The functions build the transformed instances; the benchmarks check the
+claimed equalities with exact arithmetic on random instances.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.database import Database
+from repro.core.facts import Fact
+
+
+def random_rst_database(
+    num_left: int,
+    num_right: int,
+    edge_probability: float = 0.5,
+    endogenous_probability: float = 1.0,
+    rng: random.Random | None = None,
+) -> Database:
+    """A random instance for the qRST family satisfying the B.1/B.2 premises.
+
+    * every ``S`` fact is exogenous;
+    * for every ``S(a, b)`` both ``R(a)`` and ``T(b)`` are facts of ``D``;
+    * by default every ``R`` / ``T`` fact is endogenous — this matches the
+      hardness database of Livshits et al. that the lemmas assume, and the
+      exact equalities of Lemmas B.1/B.2 need it (with exogenous ``R``/``T``
+      facts the two sides can differ).
+    """
+    rng = rng or random.Random()
+    db = Database()
+    lefts = [f"a{i}" for i in range(num_left)]
+    rights = [f"b{j}" for j in range(num_right)]
+    for a in lefts:
+        db.add(Fact("R", (a,)), endogenous=rng.random() < endogenous_probability)
+    for b in rights:
+        db.add(Fact("T", (b,)), endogenous=rng.random() < endogenous_probability)
+    for a in lefts:
+        for b in rights:
+            if rng.random() < edge_probability:
+                db.add_exogenous(Fact("S", (a, b)))
+    return db
+
+
+def negate_rt_instance(database: Database) -> Database:
+    """The identity transformation used by Lemma B.1.
+
+    The lemma compares the *same* database under qRST and q¬RS¬T, so the
+    instance is returned as-is (copied); the function exists to make the
+    reduction explicit in the experiment code.
+    """
+    return database.copy()
+
+
+def complement_s_instance(database: Database) -> Database:
+    """The Lemma B.2 instance: complement ``S`` over ``dom(R) × dom(T)``.
+
+    ``S'(a, b)`` holds iff ``R(a)`` and ``T(b)`` are facts of ``D`` and
+    ``S(a, b)`` is not.
+    """
+    result = Database()
+    for item in database.endogenous:
+        if item.relation in ("R", "T"):
+            result.add_endogenous(item)
+    for item in database.exogenous:
+        if item.relation in ("R", "T"):
+            result.add_exogenous(item)
+    r_values = [item.args[0] for item in database.relation("R")]
+    t_values = [item.args[0] for item in database.relation("T")]
+    present = {item.args for item in database.relation("S")}
+    for a in sorted(r_values, key=repr):
+        for b in sorted(t_values, key=repr):
+            if (a, b) not in present:
+                result.add_exogenous(Fact("S", (a, b)))
+    return result

@@ -1,0 +1,51 @@
+"""Relevance of facts to queries (Definition 5.2) and its deciders."""
+
+from repro.relevance.algorithms import (
+    PolarityError,
+    is_negatively_relevant,
+    is_positively_relevant,
+    is_relevant,
+    is_shapley_zero,
+)
+from repro.relevance.brute_force import (
+    RelevanceWitness,
+    find_relevance_witness,
+    is_negatively_relevant_brute_force,
+    is_positively_relevant_brute_force,
+    is_relevant_brute_force,
+)
+from repro.relevance.polarity import (
+    fact_is_polarity_consistent,
+    is_polarity_consistent,
+    negative_endogenous_facts,
+    negative_relation_names,
+    polarity,
+    zero_shapley_iff_irrelevant,
+)
+from repro.relevance.ucq import (
+    is_negatively_relevant_ucq,
+    is_positively_relevant_ucq,
+    is_relevant_ucq,
+)
+
+__all__ = [
+    "PolarityError",
+    "RelevanceWitness",
+    "fact_is_polarity_consistent",
+    "find_relevance_witness",
+    "is_negatively_relevant",
+    "is_negatively_relevant_brute_force",
+    "is_negatively_relevant_ucq",
+    "is_polarity_consistent",
+    "is_positively_relevant",
+    "is_positively_relevant_brute_force",
+    "is_positively_relevant_ucq",
+    "is_relevant",
+    "is_relevant_brute_force",
+    "is_relevant_ucq",
+    "is_shapley_zero",
+    "negative_endogenous_facts",
+    "negative_relation_names",
+    "polarity",
+    "zero_shapley_iff_irrelevant",
+]

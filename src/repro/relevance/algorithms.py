@@ -1,0 +1,131 @@
+"""IsPosRelevant / IsNegRelevant (Algorithms 2 and 3, Proposition 5.7).
+
+For a *polarity-consistent* CQ¬, relevance is decidable in polynomial
+time.  Both algorithms scan the (polynomially many) assignments of the
+query variables that map every positive atom into the database — i.e. the
+homomorphisms of the positive part — and test a canonical subset:
+
+* ``P`` — endogenous facts that are images of positive atoms under ``h``;
+* ``N`` — endogenous facts that are images of negative atoms under ``h``;
+* the canonical coalition adds *all* endogenous facts of negative-only
+  relations except ``N`` (they can only help violate the query), which is
+  sound precisely because the query is polarity consistent.
+
+Since for polarity-consistent relations relevance coincides with nonzero
+Shapley value, this also decides "is ``Shapley(D, q, f) = 0``" in
+polynomial time.
+"""
+
+from __future__ import annotations
+
+from repro.core.database import Database
+from repro.core.errors import ReproError
+from repro.core.evaluation import FactIndex, find_homomorphisms, holds
+from repro.core.facts import Fact
+from repro.core.query import ConjunctiveQuery
+from repro.relevance.polarity import negative_endogenous_facts
+
+
+class PolarityError(ReproError):
+    """Algorithms 2/3 require a polarity-consistent query."""
+
+
+def _homomorphism_images(
+    query: ConjunctiveQuery, database: Database
+):
+    """Yield ``(P, N, negatives_hit_exogenous)`` per positive-part homomorphism.
+
+    ``P`` / ``N`` are the endogenous images of positive / negative atoms;
+    the flag reports whether some negative atom lands on an exogenous fact
+    (which disqualifies the assignment in both algorithms).
+    """
+    positive_part = ConjunctiveQuery(query.positive_atoms, name=query.name)
+    index = FactIndex(database.facts)
+    for assignment in find_homomorphisms(positive_part, index):
+        positives = frozenset(
+            atom.substitute(assignment).to_fact() for atom in query.positive_atoms
+        )
+        negative_images = frozenset(
+            atom.substitute(assignment).to_fact() for atom in query.negative_atoms
+        )
+        p = frozenset(item for item in positives if database.is_endogenous(item))
+        n = frozenset(
+            item for item in negative_images if database.is_endogenous(item)
+        )
+        hits_exogenous = any(
+            item in database.exogenous for item in negative_images
+        )
+        yield p, n, hits_exogenous
+
+
+def _require_polarity_consistent(query: ConjunctiveQuery) -> None:
+    if not query.is_polarity_consistent:
+        mixed = sorted(
+            name for name in query.relation_names if query.polarity(name) == "both"
+        )
+        raise PolarityError(
+            f"Algorithms 2/3 require a polarity-consistent query; relations"
+            f" {mixed} occur both positively and negatively"
+        )
+
+
+def is_positively_relevant(
+    database: Database, query: ConjunctiveQuery, target: Fact
+) -> bool:
+    """Algorithm 2: can adding ``target`` flip the query false → true?"""
+    query = query.as_boolean()
+    _require_polarity_consistent(query)
+    if not database.is_endogenous(target):
+        raise ValueError(f"{target!r} is not an endogenous fact of the database")
+    negq = negative_endogenous_facts(query, database)
+    exogenous = list(database.exogenous)
+    for p, n, hits_exogenous in _homomorphism_images(query, database):
+        if hits_exogenous:
+            continue
+        if target not in p:
+            continue
+        coalition = (p - {target}) | (negq - n)
+        if not holds(query, exogenous + list(coalition)):
+            return True
+    return False
+
+
+def is_negatively_relevant(
+    database: Database, query: ConjunctiveQuery, target: Fact
+) -> bool:
+    """Algorithm 3: can adding ``target`` flip the query true → false?"""
+    query = query.as_boolean()
+    _require_polarity_consistent(query)
+    if not database.is_endogenous(target):
+        raise ValueError(f"{target!r} is not an endogenous fact of the database")
+    negq = negative_endogenous_facts(query, database)
+    exogenous = list(database.exogenous)
+    for p, n, hits_exogenous in _homomorphism_images(query, database):
+        if hits_exogenous:
+            continue
+        if target in p:
+            continue
+        coalition = p | (negq - n) | {target}
+        if not holds(query, exogenous + list(coalition)):
+            return True
+    return False
+
+
+def is_relevant(
+    database: Database, query: ConjunctiveQuery, target: Fact
+) -> bool:
+    """Definition 5.2 for polarity-consistent CQ¬s, in polynomial time."""
+    return is_positively_relevant(database, query, target) or is_negatively_relevant(
+        database, query, target
+    )
+
+
+def is_shapley_zero(
+    database: Database, query: ConjunctiveQuery, target: Fact
+) -> bool:
+    """Decide ``Shapley(D, q, f) = 0`` via relevance (Proposition 5.7).
+
+    Valid because in a polarity-consistent query every fact is polarity
+    consistent, so relevance coincides with nonzero Shapley value.
+    """
+    return not is_relevant(database, query, target)

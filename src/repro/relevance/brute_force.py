@@ -1,0 +1,93 @@
+"""Brute-force relevance oracle (Definition 5.2).
+
+A fact ``f ∈ Dn`` is *relevant* to a Boolean query ``q`` if
+``q(Dx ∪ E) ≠ q(Dx ∪ E ∪ {f})`` for some ``E ⊆ Dn``; *positively* relevant
+when adding ``f`` turns the query true, *negatively* relevant when it
+turns it false.
+
+This oracle enumerates all subsets — exponential, but it validates the
+polynomial Algorithms 2/3 and powers the NP-hardness gadget experiments on
+small instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.core.database import Database
+from repro.core.evaluation import holds
+from repro.core.facts import Fact
+from repro.core.query import BooleanQuery
+
+MAX_BRUTE_FORCE_FACTS = 24
+
+
+@dataclass(frozen=True)
+class RelevanceWitness:
+    """A subset ``E`` on which adding ``f`` flips the query, and the direction."""
+
+    subset: frozenset[Fact]
+    positive: bool
+
+    def __repr__(self) -> str:
+        direction = "false→true" if self.positive else "true→false"
+        rendered = sorted(map(repr, self.subset))
+        return f"RelevanceWitness({direction}, E={rendered})"
+
+
+def _check(database: Database, target: Fact) -> list[Fact]:
+    if not database.is_endogenous(target):
+        raise ValueError(f"{target!r} is not an endogenous fact of the database")
+    others = sorted(database.endogenous - {target}, key=repr)
+    if len(others) > MAX_BRUTE_FORCE_FACTS:
+        raise ValueError(
+            f"brute-force relevance over {len(others)} facts would enumerate"
+            f" 2^{len(others)} subsets"
+        )
+    return others
+
+
+def find_relevance_witness(
+    database: Database,
+    query: BooleanQuery,
+    target: Fact,
+    positive: bool | None = None,
+) -> RelevanceWitness | None:
+    """A witness subset for the (positive/negative/either) relevance of ``target``.
+
+    ``positive=True`` looks only for false→true flips, ``False`` only for
+    true→false, ``None`` for either.
+    """
+    others = _check(database, target)
+    exogenous = list(database.exogenous)
+    for size in range(len(others) + 1):
+        for subset in itertools.combinations(others, size):
+            chosen = list(subset)
+            without = holds(query, exogenous + chosen)
+            with_target = holds(query, exogenous + chosen + [target])
+            if without == with_target:
+                continue
+            flips_positive = with_target and not without
+            if positive is None or positive == flips_positive:
+                return RelevanceWitness(frozenset(subset), flips_positive)
+    return None
+
+
+def is_relevant_brute_force(
+    database: Database, query: BooleanQuery, target: Fact
+) -> bool:
+    """Definition 5.2 by subset enumeration."""
+    return find_relevance_witness(database, query, target) is not None
+
+
+def is_positively_relevant_brute_force(
+    database: Database, query: BooleanQuery, target: Fact
+) -> bool:
+    return find_relevance_witness(database, query, target, positive=True) is not None
+
+
+def is_negatively_relevant_brute_force(
+    database: Database, query: BooleanQuery, target: Fact
+) -> bool:
+    return find_relevance_witness(database, query, target, positive=False) is not None

@@ -1,0 +1,64 @@
+"""Polarity consistency (Section 5.2).
+
+A relation symbol is *polarity consistent* in a query if it occurs only in
+positive atoms or only in negative atoms; a query is polarity consistent if
+all its relations are.  The connection to the Shapley value (page 10 of
+the paper): a fact over a polarity-consistent relation is relevant to ``q``
+iff its Shapley value is nonzero — facts over mixed-polarity relations can
+be relevant yet have Shapley value zero by cancellation (Example 5.3).
+"""
+
+from __future__ import annotations
+
+from repro.core.facts import Fact
+from repro.core.query import BooleanQuery, ConjunctiveQuery, UnionQuery
+
+
+def polarity(query: BooleanQuery, relation: str) -> str:
+    """``"positive"``, ``"negative"``, ``"both"`` or ``"absent"`` for CQ¬ or UCQ¬."""
+    return query.polarity(relation)
+
+
+def is_polarity_consistent(query: BooleanQuery) -> bool:
+    """Is every relation symbol of the query polarity consistent?
+
+    For a :class:`UnionQuery` this is the union-wide condition under which
+    relevance is tractable — strictly stronger than per-disjunct
+    consistency (the qSAT example separates the two).
+    """
+    return query.is_polarity_consistent
+
+
+def fact_is_polarity_consistent(query: BooleanQuery, target: Fact) -> bool:
+    """Is the *target fact's* relation polarity consistent in the query?"""
+    return query.polarity(target.relation) != "both"
+
+
+def zero_shapley_iff_irrelevant(query: BooleanQuery, target: Fact) -> bool:
+    """Does ``Shapley(D, q, f) = 0 ⟺ f not relevant to q`` hold for this fact?
+
+    True exactly when the fact's relation is polarity consistent: then the
+    fact is only ever positively relevant or only ever negatively relevant,
+    so permutation contributions cannot cancel.
+    """
+    return fact_is_polarity_consistent(query, target)
+
+
+def negative_relation_names(query: BooleanQuery) -> frozenset[str]:
+    """Relations occurring in a negative atom of the query (``Negq``)."""
+    if isinstance(query, UnionQuery):
+        return frozenset(
+            atom.relation
+            for disjunct in query.disjuncts
+            for atom in disjunct.negative_atoms
+        )
+    assert isinstance(query, ConjunctiveQuery)
+    return frozenset(atom.relation for atom in query.negative_atoms)
+
+
+def negative_endogenous_facts(query: BooleanQuery, database) -> frozenset[Fact]:
+    """``Negq(Dn)``: endogenous facts in relations of negative atoms."""
+    negatives = negative_relation_names(query)
+    return frozenset(
+        item for item in database.endogenous if item.relation in negatives
+    )

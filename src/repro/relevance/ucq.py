@@ -1,0 +1,96 @@
+"""Relevance for unions of CQ¬s (Section 5.2, last paragraphs).
+
+For a UCQ¬ that is polarity consistent *as a whole* (every relation occurs
+only positively or only negatively across all disjuncts), relevance is
+decidable in polynomial time: the canonical-coalition argument of
+Algorithms 2/3 lifts to the union, with the satisfaction / violation
+checks performed against the whole union.
+
+Per-disjunct polarity consistency is **not** enough — the paper proves the
+relevance problem for the UCQ¬ ``qSAT`` (whose disjuncts are each polarity
+consistent while the union is not) NP-complete, and the reduction gadget
+lives in :mod:`repro.reductions.sat_to_relevance`.
+"""
+
+from __future__ import annotations
+
+from repro.core.database import Database
+from repro.core.evaluation import FactIndex, find_homomorphisms, holds
+from repro.core.facts import Fact
+from repro.core.query import ConjunctiveQuery, UnionQuery
+from repro.relevance.algorithms import PolarityError
+from repro.relevance.polarity import negative_endogenous_facts
+
+
+def _require_union_polarity_consistent(query: UnionQuery) -> None:
+    if not query.is_polarity_consistent:
+        mixed = sorted(
+            name for name in query.relation_names if query.polarity(name) == "both"
+        )
+        raise PolarityError(
+            "UCQ relevance requires union-wide polarity consistency;"
+            f" relations {mixed} occur both positively and negatively"
+            " across the disjuncts"
+        )
+
+
+def _disjunct_images(disjunct: ConjunctiveQuery, database: Database):
+    """``(P, N, negatives_hit_exogenous)`` per positive-part homomorphism."""
+    positive_part = ConjunctiveQuery(disjunct.positive_atoms, name=disjunct.name)
+    index = FactIndex(database.facts)
+    for assignment in find_homomorphisms(positive_part, index):
+        positives = frozenset(
+            atom.substitute(assignment).to_fact() for atom in disjunct.positive_atoms
+        )
+        negative_images = frozenset(
+            atom.substitute(assignment).to_fact() for atom in disjunct.negative_atoms
+        )
+        p = frozenset(item for item in positives if database.is_endogenous(item))
+        n = frozenset(item for item in negative_images if database.is_endogenous(item))
+        hits_exogenous = any(item in database.exogenous for item in negative_images)
+        yield p, n, hits_exogenous
+
+
+def is_positively_relevant_ucq(
+    database: Database, query: UnionQuery, target: Fact
+) -> bool:
+    """Can adding ``target`` flip the union false → true?"""
+    _require_union_polarity_consistent(query)
+    if not database.is_endogenous(target):
+        raise ValueError(f"{target!r} is not an endogenous fact of the database")
+    negq = negative_endogenous_facts(query, database)
+    exogenous = list(database.exogenous)
+    for disjunct in query.disjuncts:
+        for p, n, hits_exogenous in _disjunct_images(disjunct, database):
+            if hits_exogenous or target not in p:
+                continue
+            coalition = (p - {target}) | (negq - n)
+            if not holds(query, exogenous + list(coalition)):
+                return True
+    return False
+
+
+def is_negatively_relevant_ucq(
+    database: Database, query: UnionQuery, target: Fact
+) -> bool:
+    """Can adding ``target`` flip the union true → false?"""
+    _require_union_polarity_consistent(query)
+    if not database.is_endogenous(target):
+        raise ValueError(f"{target!r} is not an endogenous fact of the database")
+    negq = negative_endogenous_facts(query, database)
+    exogenous = list(database.exogenous)
+    for disjunct in query.disjuncts:
+        for p, n, hits_exogenous in _disjunct_images(disjunct, database):
+            if hits_exogenous or target in p:
+                continue
+            coalition = p | (negq - n) | {target}
+            if not holds(query, exogenous + list(coalition)):
+                return True
+    return False
+
+
+def is_relevant_ucq(database: Database, query: UnionQuery, target: Fact) -> bool:
+    """Definition 5.2 for union-wide polarity-consistent UCQ¬s."""
+    return is_positively_relevant_ucq(
+        database, query, target
+    ) or is_negatively_relevant_ucq(database, query, target)

@@ -1,0 +1,98 @@
+"""Shapley value computation: exact (polynomial and brute force) and approximate."""
+
+from repro.shapley.answers import (
+    answer_attribution,
+    ground_at_answer,
+    shapley_for_answer,
+)
+from repro.shapley.model_counting import model_count, satisfaction_probability
+from repro.shapley.aggregates import (
+    candidate_answers,
+    shapley_aggregate,
+    shapley_count,
+    shapley_sum,
+)
+from repro.shapley.approximate import (
+    ShapleyEstimate,
+    approximate_shapley,
+    gap_property_floor,
+    hoeffding_sample_count,
+    multiplicative_sample_lower_bound,
+    sample_marginal_contributions,
+)
+from repro.shapley.banzhaf import (
+    banzhaf_brute_force,
+    banzhaf_from_counts,
+)
+from repro.shapley.banzhaf import banzhaf_value as banzhaf_fact_value
+from repro.shapley.brute_force import (
+    MAX_BRUTE_FORCE_PLAYERS,
+    query_game,
+    satisfying_subset_counts,
+    shapley_all_brute_force,
+    shapley_brute_force,
+)
+from repro.shapley.cntsat import count_satisfying_subsets
+from repro.shapley.exact import (
+    shapley_all_values,
+    shapley_from_counts,
+    shapley_hierarchical,
+    shapley_value,
+)
+from repro.shapley.exoshap import ExoShapRewrite, exo_shapley, rewrite_to_hierarchical
+from repro.shapley.stratified import (
+    StratifiedEstimate,
+    estimator_variance_comparison,
+    stratified_shapley_estimate,
+)
+from repro.shapley.games import (
+    banzhaf_value,
+    efficiency_gap,
+    permutation_marginals,
+    shapley_all,
+    shapley_by_permutations,
+    shapley_by_subsets,
+)
+
+__all__ = [
+    "MAX_BRUTE_FORCE_PLAYERS",
+    "ExoShapRewrite",
+    "ShapleyEstimate",
+    "StratifiedEstimate",
+    "answer_attribution",
+    "approximate_shapley",
+    "banzhaf_brute_force",
+    "estimator_variance_comparison",
+    "stratified_shapley_estimate",
+    "banzhaf_fact_value",
+    "banzhaf_from_counts",
+    "banzhaf_value",
+    "candidate_answers",
+    "count_satisfying_subsets",
+    "efficiency_gap",
+    "exo_shapley",
+    "gap_property_floor",
+    "ground_at_answer",
+    "hoeffding_sample_count",
+    "model_count",
+    "multiplicative_sample_lower_bound",
+    "permutation_marginals",
+    "query_game",
+    "rewrite_to_hierarchical",
+    "sample_marginal_contributions",
+    "satisfaction_probability",
+    "satisfying_subset_counts",
+    "shapley_for_answer",
+    "shapley_aggregate",
+    "shapley_all",
+    "shapley_all_brute_force",
+    "shapley_all_values",
+    "shapley_brute_force",
+    "shapley_by_permutations",
+    "shapley_by_subsets",
+    "shapley_count",
+    "shapley_from_counts",
+    "shapley_hierarchical",
+    "shapley_sum",
+    "shapley_value",
+]

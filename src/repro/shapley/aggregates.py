@@ -1,0 +1,108 @@
+"""Shapley values of facts w.r.t. aggregate queries over CQ¬s.
+
+The paper (remarks in Section 3, following Livshits et al.) extends the
+dichotomy to summations over CQ¬s via linearity of expectation: for an
+aggregate ``α = Σ_t val(t) · 1[t ∈ q(D)]`` over the answer tuples of a
+(non-Boolean) CQ¬ ``q``,
+
+    ``Shapley(D, α, f) = Σ_t val(t) · Shapley(D, q_t, f)``
+
+where ``q_t`` is the Boolean query obtained by substituting the head
+variables with the constants of ``t``.
+
+Candidate tuples must be enumerated over the *positive part* of the query:
+with negation, a tuple can be an answer under a subset ``E`` without being
+an answer on the full database.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import AbstractSet, Callable
+
+from repro.core.database import Database
+from repro.core.evaluation import answers
+from repro.core.facts import Constant, Fact
+from repro.core.query import ConjunctiveQuery
+from repro.shapley.exact import shapley_value
+
+TupleValue = Callable[[tuple[Constant, ...]], Fraction | int]
+
+
+def candidate_answers(
+    database: Database, query: ConjunctiveQuery
+) -> frozenset[tuple[Constant, ...]]:
+    """All tuples that could be answers under *some* endogenous subset.
+
+    Negated atoms only shrink answer sets for a fixed assignment, but a
+    smaller ``E`` can enable an assignment that the full database blocks;
+    the positive atoms alone determine which head tuples are ever
+    reachable, so we evaluate the positive part on all facts.
+    """
+    if query.is_boolean:
+        raise ValueError("aggregates need a query with head variables")
+    positive_part = ConjunctiveQuery(
+        query.positive_atoms, head=query.head, name=query.name
+    )
+    return answers(positive_part, database.facts)
+
+
+def shapley_aggregate(
+    database: Database,
+    query: ConjunctiveQuery,
+    target: Fact,
+    value_of: TupleValue,
+    exogenous_relations: AbstractSet[str] | None = None,
+) -> Fraction:
+    """Shapley value of ``target`` w.r.t. ``Σ_t value_of(t)`` over answers."""
+    total = Fraction(0)
+    for row in sorted(candidate_answers(database, query), key=repr):
+        weight = Fraction(value_of(row))
+        if not weight:
+            continue
+        assignment = dict(zip(query.head, row))
+        grounded = ConjunctiveQuery(
+            tuple(atom.substitute(assignment) for atom in query.atoms),
+            name=f"{query.name}_{'_'.join(map(str, row))}",
+        )
+        total += weight * shapley_value(
+            database, grounded, target, exogenous_relations
+        )
+    return total
+
+
+def shapley_count(
+    database: Database,
+    query: ConjunctiveQuery,
+    target: Fact,
+    exogenous_relations: AbstractSet[str] | None = None,
+) -> Fraction:
+    """Shapley value w.r.t. ``Count{t | q(t)}`` (each answer weighs 1)."""
+    return shapley_aggregate(
+        database, query, target, lambda row: 1, exogenous_relations
+    )
+
+
+def shapley_sum(
+    database: Database,
+    query: ConjunctiveQuery,
+    target: Fact,
+    value_index: int,
+    exogenous_relations: AbstractSet[str] | None = None,
+) -> Fraction:
+    """Shapley value w.r.t. ``Sum{t[value_index] | q(t)}``.
+
+    ``value_index`` selects the numeric head position to sum, e.g. the
+    profit attribute in the paper's export example.
+    """
+    if not query.head:
+        raise ValueError("shapley_sum needs a query with head variables")
+    if not 0 <= value_index < len(query.head):
+        raise ValueError(
+            f"value_index {value_index} out of range for head of size {len(query.head)}"
+        )
+
+    def value_of(row: tuple[Constant, ...]) -> Fraction:
+        return Fraction(row[value_index])
+
+    return shapley_aggregate(database, query, target, value_of, exogenous_relations)

@@ -1,0 +1,62 @@
+"""Answer-level attribution: Shapley values for a specific answer tuple.
+
+For a non-Boolean query, "why is ``t`` an answer?" is the Boolean
+question ``q_t`` obtained by grounding the head at ``t`` (Livshits et
+al.'s view, restated in Section 2 of the paper).  These helpers ground
+the query and delegate to the Boolean machinery, so every tractability
+result transfers verbatim.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import AbstractSet
+
+from repro.core.database import Database
+from repro.core.facts import Constant, Fact
+from repro.core.query import ConjunctiveQuery
+from repro.shapley.exact import shapley_value
+
+
+def ground_at_answer(
+    query: ConjunctiveQuery, answer: tuple[Constant, ...]
+) -> ConjunctiveQuery:
+    """The Boolean query asking whether ``answer`` is in the result."""
+    if query.is_boolean:
+        raise ValueError("the query must have head variables")
+    if len(answer) != len(query.head):
+        raise ValueError(
+            f"answer arity {len(answer)} does not match head arity {len(query.head)}"
+        )
+    assignment = dict(zip(query.head, answer))
+    return ConjunctiveQuery(
+        tuple(atom.substitute(assignment) for atom in query.atoms),
+        name=f"{query.name}@{','.join(map(str, answer))}",
+    )
+
+
+def shapley_for_answer(
+    database: Database,
+    query: ConjunctiveQuery,
+    answer: tuple[Constant, ...],
+    target: Fact,
+    exogenous_relations: AbstractSet[str] | None = None,
+) -> Fraction:
+    """``Shapley(D, q_t, f)``: the contribution of ``f`` to answer ``t``."""
+    return shapley_value(
+        database, ground_at_answer(query, answer), target, exogenous_relations
+    )
+
+
+def answer_attribution(
+    database: Database,
+    query: ConjunctiveQuery,
+    answer: tuple[Constant, ...],
+    exogenous_relations: AbstractSet[str] | None = None,
+) -> dict[Fact, Fraction]:
+    """Shapley values of every endogenous fact for one answer tuple."""
+    grounded = ground_at_answer(query, answer)
+    return {
+        f: shapley_value(database, grounded, f, exogenous_relations)
+        for f in sorted(database.endogenous, key=repr)
+    }

@@ -1,0 +1,118 @@
+"""Brute-force Shapley values for Boolean queries.
+
+Works for **any** Boolean query (CQ¬, UCQ¬, self-joins, anything with a
+``holds`` semantics) by instantiating the query game of Section 2:
+
+* players  — the endogenous facts ``Dn``;
+* value    — ``v(E) = q(Dx ∪ E) - q(Dx)``.
+
+Complexity is exponential in ``|Dn|``; this module is the ground-truth
+oracle against which the polynomial algorithms (CntSat, ExoShap) and the
+sampling estimator are validated.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from typing import Callable
+
+from repro.core.database import Database
+from repro.core.evaluation import holds
+from repro.core.facts import Fact
+from repro.core.query import BooleanQuery
+from repro.util.combinatorics import shapley_coefficient
+
+# Enumerating 2^|Dn| subsets beyond this size is a bug, not a computation.
+MAX_BRUTE_FORCE_PLAYERS = 24
+
+
+def query_game(
+    database: Database, query: BooleanQuery
+) -> tuple[list[Fact], Callable[[frozenset], int]]:
+    """The cooperative game (players, value function) of a query.
+
+    The returned value function memoizes satisfaction per coalition, since
+    Shapley computations revisit coalitions many times.
+    """
+    players = sorted(database.endogenous, key=repr)
+    exogenous = list(database.exogenous)
+    baseline = 1 if holds(query, exogenous) else 0
+    cache: dict[frozenset, int] = {}
+
+    def value(coalition: frozenset) -> int:
+        if coalition not in cache:
+            satisfied = 1 if holds(query, exogenous + list(coalition)) else 0
+            cache[coalition] = satisfied - baseline
+        return cache[coalition]
+
+    return players, value
+
+
+def _check_size(database: Database) -> None:
+    size = len(database.endogenous)
+    if size > MAX_BRUTE_FORCE_PLAYERS:
+        raise ValueError(
+            f"brute force over {size} endogenous facts would enumerate 2^{size}"
+            " subsets; use the polynomial algorithms or sampling instead"
+        )
+
+
+def shapley_brute_force(
+    database: Database, query: BooleanQuery, target: Fact
+) -> Fraction:
+    """Exact ``Shapley(D, q, f)`` by coalition enumeration."""
+    if not database.is_endogenous(target):
+        raise ValueError(f"{target!r} is not an endogenous fact of the database")
+    _check_size(database)
+    players, value = query_game(database, query)
+    others = [player for player in players if player != target]
+    n = len(players)
+    total = Fraction(0)
+    for size in range(n):
+        coefficient = shapley_coefficient(n, size)
+        for subset in itertools.combinations(others, size):
+            coalition = frozenset(subset)
+            marginal = value(coalition | {target}) - value(coalition)
+            if marginal:
+                total += coefficient * marginal
+    return total
+
+
+def shapley_all_brute_force(
+    database: Database, query: BooleanQuery
+) -> dict[Fact, Fraction]:
+    """Exact Shapley values of every endogenous fact, sharing evaluations."""
+    _check_size(database)
+    players, value = query_game(database, query)
+    n = len(players)
+    result: dict[Fact, Fraction] = {player: Fraction(0) for player in players}
+    if n == 0:
+        return result
+    for size in range(n):
+        coefficient = shapley_coefficient(n, size)
+        for subset in itertools.combinations(players, size):
+            coalition = frozenset(subset)
+            base = value(coalition)
+            for player in players:
+                if player in coalition:
+                    continue
+                marginal = value(coalition | {player}) - base
+                if marginal:
+                    result[player] += coefficient * marginal
+    return result
+
+
+def satisfying_subset_counts(
+    database: Database, query: BooleanQuery
+) -> list[int]:
+    """Brute-force ``|Sat(D, q, k)|`` for every ``k`` (oracle for CntSat tests)."""
+    _check_size(database)
+    players = sorted(database.endogenous, key=repr)
+    exogenous = list(database.exogenous)
+    counts = [0] * (len(players) + 1)
+    for size in range(len(players) + 1):
+        for subset in itertools.combinations(players, size):
+            if holds(query, exogenous + list(subset)):
+                counts[size] += 1
+    return counts

@@ -1,0 +1,146 @@
+"""Generic cooperative games and exact Shapley / Banzhaf values.
+
+The Shapley value (Section 2 of the paper) of player ``a`` in game
+``v : P(A) → Q`` is the expected marginal contribution of ``a`` over a
+uniformly random permutation of the players:
+
+.. math::
+
+    Shapley(A, v, a) = \\frac{1}{|A|!} \\sum_{\\sigma \\in \\Pi_A}
+        (v(\\sigma_a \\cup \\{a\\}) - v(\\sigma_a))
+
+This module implements the definition twice — by permutation enumeration
+and by the equivalent subset (coalition) formula — which the test suite
+cross-checks.  Everything is exact rational arithmetic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from typing import Callable, Hashable, Iterable, Sequence
+
+from repro.util.combinatorics import shapley_coefficient
+
+Player = Hashable
+ValueFunction = Callable[[frozenset], Fraction | int]
+
+
+def shapley_by_permutations(
+    players: Sequence[Player], value: ValueFunction, target: Player
+) -> Fraction:
+    """Shapley value straight from the permutation definition.
+
+    Exponential in ``|players|``; intended as a ground-truth oracle for
+    small games in tests.
+    """
+    players = list(players)
+    if target not in players:
+        raise ValueError(f"target {target!r} is not a player")
+    total = Fraction(0)
+    count = 0
+    for permutation in itertools.permutations(players):
+        before = frozenset(
+            itertools.takewhile(lambda player: player != target, permutation)
+        )
+        total += Fraction(value(before | {target})) - Fraction(value(before))
+        count += 1
+    return total / count
+
+
+def shapley_by_subsets(
+    players: Sequence[Player], value: ValueFunction, target: Player
+) -> Fraction:
+    """Shapley value via the coalition form.
+
+    ``Σ_S |S|!(n-|S|-1)!/n! · (v(S ∪ {a}) - v(S))`` over subsets ``S`` of
+    the other players.  Still exponential, but with ``2^(n-1)`` instead of
+    ``n!`` evaluations.
+    """
+    others = [player for player in players if player != target]
+    if len(others) == len(players):
+        raise ValueError(f"target {target!r} is not a player")
+    n = len(players)
+    total = Fraction(0)
+    for size in range(len(others) + 1):
+        coefficient = shapley_coefficient(n, size)
+        for subset in itertools.combinations(others, size):
+            coalition = frozenset(subset)
+            marginal = Fraction(value(coalition | {target})) - Fraction(value(coalition))
+            if marginal:
+                total += coefficient * marginal
+    return total
+
+
+def shapley_all(
+    players: Sequence[Player], value: ValueFunction
+) -> dict[Player, Fraction]:
+    """Shapley values of all players, sharing coalition evaluations.
+
+    Evaluates ``v`` once per subset (``2^n`` evaluations) instead of once
+    per (player, subset) pair.
+    """
+    players = list(players)
+    n = len(players)
+    if n == 0:
+        return {}
+    cache: dict[frozenset, Fraction] = {}
+
+    def cached_value(coalition: frozenset) -> Fraction:
+        if coalition not in cache:
+            cache[coalition] = Fraction(value(coalition))
+        return cache[coalition]
+
+    result: dict[Player, Fraction] = {player: Fraction(0) for player in players}
+    for size in range(n):
+        coefficient = shapley_coefficient(n, size)
+        for subset in itertools.combinations(players, size):
+            coalition = frozenset(subset)
+            base = cached_value(coalition)
+            for player in players:
+                if player in coalition:
+                    continue
+                marginal = cached_value(coalition | {player}) - base
+                if marginal:
+                    result[player] += coefficient * marginal
+    return result
+
+
+def banzhaf_value(
+    players: Sequence[Player], value: ValueFunction, target: Player
+) -> Fraction:
+    """The (raw) Banzhaf value: average marginal contribution over subsets.
+
+    Not used by the paper's theorems, but a standard companion power index;
+    included because the count-vector machinery computes it for free and it
+    is a useful sanity cross-check (same zero set for monotone games).
+    """
+    others = [player for player in players if player != target]
+    if len(others) == len(players):
+        raise ValueError(f"target {target!r} is not a player")
+    total = Fraction(0)
+    for size in range(len(others) + 1):
+        for subset in itertools.combinations(others, size):
+            coalition = frozenset(subset)
+            total += Fraction(value(coalition | {target})) - Fraction(value(coalition))
+    return total / 2 ** len(others)
+
+
+def efficiency_gap(
+    players: Sequence[Player], value: ValueFunction, values: dict[Player, Fraction]
+) -> Fraction:
+    """``Σ_a Shapley(a) - (v(A) - v(∅))`` — zero iff the efficiency axiom holds."""
+    grand = frozenset(players)
+    total = sum(values.values(), Fraction(0))
+    return total - (Fraction(value(grand)) - Fraction(value(frozenset())))
+
+
+def permutation_marginals(
+    players: Sequence[Player], value: ValueFunction, target: Player
+) -> Iterable[Fraction]:
+    """Marginal contribution of ``target`` in every permutation (test helper)."""
+    for permutation in itertools.permutations(players):
+        before = frozenset(
+            itertools.takewhile(lambda player: player != target, permutation)
+        )
+        yield Fraction(value(before | {target})) - Fraction(value(before))

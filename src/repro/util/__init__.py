@@ -1,0 +1,28 @@
+"""Small self-contained utilities shared across the library.
+
+The utilities are deliberately dependency-free: exact combinatorics over
+Python integers / :class:`fractions.Fraction` and a tiny undirected-graph
+toolkit sufficient for Gaifman graphs and exogenous atom graphs.
+"""
+
+from repro.util.combinatorics import (
+    binomial,
+    binomial_vector,
+    convolve,
+    convolve_many,
+    falling_factorial,
+    shapley_coefficient,
+    subtract_vectors,
+)
+from repro.util.graphs import UndirectedGraph
+
+__all__ = [
+    "UndirectedGraph",
+    "binomial",
+    "binomial_vector",
+    "convolve",
+    "convolve_many",
+    "falling_factorial",
+    "shapley_coefficient",
+    "subtract_vectors",
+]

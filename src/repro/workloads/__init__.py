@@ -1,0 +1,37 @@
+"""Workloads: the paper's running example, canonical queries, and generators."""
+
+from repro.workloads import generators, queries, running_example
+from repro.workloads.generators import (
+    export_database,
+    random_database_for_query,
+    random_hierarchical_query,
+    random_self_join_free_query,
+    star_join_database,
+)
+from repro.workloads.running_example import (
+    EXAMPLE_2_3_SHAPLEY,
+    EXOGENOUS_RELATIONS,
+    figure_1_database,
+    query_q1,
+    query_q2,
+    query_q3,
+    query_q4,
+)
+
+__all__ = [
+    "EXAMPLE_2_3_SHAPLEY",
+    "EXOGENOUS_RELATIONS",
+    "export_database",
+    "figure_1_database",
+    "generators",
+    "queries",
+    "query_q1",
+    "query_q2",
+    "query_q3",
+    "query_q4",
+    "random_database_for_query",
+    "random_hierarchical_query",
+    "random_self_join_free_query",
+    "running_example",
+    "star_join_database",
+]

@@ -1,0 +1,88 @@
+"""The paper's running example: the university database of Figure 1.
+
+Relations ``Stud``, ``Course`` and ``Adv`` are exogenous; ``TA`` and
+``Reg`` are endogenous (Example 2.3).  The module also exposes the
+queries q1-q4 of Example 2.2 and the exact Shapley values of every
+endogenous fact under q1 as reported in Example 2.3 (main text; the
+values satisfy the efficiency axiom and sum to 1).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.core.database import Database
+from repro.core.facts import Fact, fact
+from repro.core.parser import parse_query
+from repro.core.query import ConjunctiveQuery
+
+# Endogenous facts, named as in Figure 1.
+F_T1 = fact("TA", "Adam")
+F_T2 = fact("TA", "Ben")
+F_T3 = fact("TA", "David")
+F_R1 = fact("Reg", "Adam", "OS")
+F_R2 = fact("Reg", "Adam", "AI")
+F_R3 = fact("Reg", "Ben", "OS")
+F_R4 = fact("Reg", "Caroline", "DB")
+F_R5 = fact("Reg", "Caroline", "IC")
+
+
+def figure_1_database() -> Database:
+    """The database of Figure 1 with the Example 2.3 endogenous split."""
+    exogenous = [
+        fact("Stud", "Adam"),
+        fact("Stud", "Ben"),
+        fact("Stud", "Caroline"),
+        fact("Stud", "David"),
+        fact("Course", "OS", "EE"),
+        fact("Course", "IC", "EE"),
+        fact("Course", "DB", "CS"),
+        fact("Course", "AI", "CS"),
+        fact("Adv", "Michael", "Adam"),
+        fact("Adv", "Michael", "Ben"),
+        fact("Adv", "Naomi", "Caroline"),
+        fact("Adv", "Michael", "David"),
+    ]
+    endogenous = [F_T1, F_T2, F_T3, F_R1, F_R2, F_R3, F_R4, F_R5]
+    return Database(endogenous=endogenous, exogenous=exogenous)
+
+
+def query_q1() -> ConjunctiveQuery:
+    """q1() :- Stud(x), ¬TA(x), Reg(x, y) — hierarchical (Example 2.2)."""
+    return parse_query("q1() :- Stud(x), not TA(x), Reg(x, y)")
+
+
+def query_q2() -> ConjunctiveQuery:
+    """q2() :- Stud(x), ¬TA(x), Reg(x, y), ¬Course(y, CS) — non-hierarchical."""
+    return parse_query("q2() :- Stud(x), not TA(x), Reg(x, y), not Course(y, 'CS')")
+
+
+def query_q3() -> ConjunctiveQuery:
+    """q3 with self-joins on Adv and TA (Example 2.2)."""
+    return parse_query(
+        "q3() :- Adv(x, y), Adv(x, z), not TA(y), not TA(z),"
+        " Reg(y, 'IC'), Reg(z, 'DB')"
+    )
+
+
+def query_q4() -> ConjunctiveQuery:
+    """q4 with self-joins and mixed polarity on TA and Reg (Example 2.2)."""
+    return parse_query(
+        "q4() :- Adv(x, y), Adv(x, z), TA(y), not TA(z),"
+        " Reg(z, w), not Reg(y, w)"
+    )
+
+
+# Exact Shapley values under q1 as reported in Example 2.3 (main text).
+EXAMPLE_2_3_SHAPLEY: dict[Fact, Fraction] = {
+    F_T1: Fraction(-3, 28),
+    F_T2: Fraction(-2, 35),
+    F_T3: Fraction(0),
+    F_R1: Fraction(37, 210),
+    F_R2: Fraction(37, 210),
+    F_R3: Fraction(27, 140),
+    F_R4: Fraction(13, 42),
+    F_R5: Fraction(13, 42),
+}
+
+EXOGENOUS_RELATIONS = frozenset({"Stud", "Course", "Adv"})

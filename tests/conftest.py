@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.workloads.running_example import figure_1_database, query_q1
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministically seeded RNG; tests stay reproducible."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def running_example_db():
+    return figure_1_database()
+
+
+@pytest.fixture
+def q1():
+    return query_q1()

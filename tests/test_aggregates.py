@@ -1,0 +1,120 @@
+"""Unit tests for aggregate Shapley values (Section 3 remarks)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.facts import fact
+from repro.core.parser import parse_query
+from repro.shapley.aggregates import (
+    candidate_answers,
+    shapley_aggregate,
+    shapley_count,
+    shapley_sum,
+)
+from repro.shapley.games import shapley_by_subsets
+
+
+def brute_force_aggregate_shapley(database, query, target, value_of):
+    """Direct Shapley of the aggregate game (ground truth for the tests)."""
+    from repro.core.evaluation import answers
+
+    players = sorted(database.endogenous, key=repr)
+    exogenous = list(database.exogenous)
+
+    def aggregate(facts) -> Fraction:
+        return sum(
+            (Fraction(value_of(row)) for row in answers(query, facts)),
+            Fraction(0),
+        )
+
+    baseline = aggregate(exogenous)
+
+    def value(coalition: frozenset) -> Fraction:
+        return aggregate(exogenous + list(coalition)) - baseline
+
+    return shapley_by_subsets(players, value, target)
+
+
+@pytest.fixture
+def export_db() -> Database:
+    db = Database()
+    db.add_exogenous(fact("Grows", "fr", "wine"))
+    db.add_endogenous(fact("Export", "m1", "wine", "us"))
+    db.add_endogenous(fact("Export", "m1", "cheese", "fr"))
+    db.add_endogenous(fact("Export", "m2", "cheese", "us"))
+    db.add_endogenous(fact("Profit", "us", "wine", 10))
+    db.add_endogenous(fact("Profit", "us", "cheese", 4))
+    return db
+
+
+class TestCandidateAnswers:
+    def test_includes_tuples_blocked_on_full_database(self):
+        # y=1 is blocked by T(1) on the full database but reachable for
+        # E = {R(1)}; candidate enumeration must include it.
+        q = parse_query("ans(y) :- R(y), not T(y)")
+        db = Database(endogenous=[fact("R", 1), fact("T", 1)])
+        assert candidate_answers(db, q) == {(1,)}
+
+    def test_rejects_boolean_query(self):
+        q = parse_query("q() :- R(x)")
+        with pytest.raises(ValueError):
+            candidate_answers(Database(endogenous=[fact("R", 1)]), q)
+
+
+class TestCount:
+    def test_count_matches_direct_game(self):
+        q = parse_query("ans(y) :- R(y), not T(y)")
+        db = Database(
+            endogenous=[fact("R", 1), fact("R", 2), fact("T", 1)]
+        )
+        for f in sorted(db.endogenous, key=repr):
+            expected = brute_force_aggregate_shapley(db, q, f, lambda row: 1)
+            assert shapley_count(db, q, f) == expected
+
+    def test_count_linearity_on_disjoint_answers(self):
+        q = parse_query("ans(x) :- R(x)")
+        db = Database(endogenous=[fact("R", 1), fact("R", 2)])
+        # Each fact alone produces its own answer: Shapley = 1 each.
+        assert shapley_count(db, q, fact("R", 1)) == 1
+        assert shapley_count(db, q, fact("R", 2)) == 1
+
+
+class TestSum:
+    def test_paper_sum_example_shape(self, export_db):
+        # Sum{{r | Export(p,c), ¬Grows(c,p), Profit(c,p,r)}} — the paper's
+        # aggregate; head (p, c, r), value at position 2.
+        q = parse_query(
+            "ans(p, c, r) :- Export(m, p, c), not Grows(c, p), Profit(c, p, r)"
+        )
+        for f in sorted(export_db.endogenous, key=repr):
+            expected = brute_force_aggregate_shapley(
+                export_db, q, f, lambda row: row[2]
+            )
+            assert shapley_sum(export_db, q, f, value_index=2) == expected
+
+    def test_sum_validates_value_index(self, export_db):
+        q = parse_query("ans(p) :- Export(m, p, c)")
+        with pytest.raises(ValueError):
+            shapley_sum(export_db, q, fact("Export", "m1", "wine", "us"), 3)
+
+    def test_sum_needs_head(self, export_db):
+        q = parse_query("q() :- Export(m, p, c)")
+        with pytest.raises(ValueError):
+            shapley_sum(export_db, q, fact("Export", "m1", "wine", "us"), 0)
+
+
+class TestGeneralAggregate:
+    def test_zero_weights_skipped(self):
+        q = parse_query("ans(x) :- R(x)")
+        db = Database(endogenous=[fact("R", 1), fact("R", 2)])
+        value = shapley_aggregate(db, q, fact("R", 1), lambda row: 0)
+        assert value == 0
+
+    def test_weighted_aggregate(self):
+        q = parse_query("ans(x) :- R(x)")
+        db = Database(endogenous=[fact("R", 1), fact("R", 2)])
+        weight = {(1,): 5, (2,): 3}
+        value = shapley_aggregate(db, q, fact("R", 1), lambda row: weight[row])
+        assert value == 5

@@ -1,0 +1,76 @@
+"""Unit tests for answer-level attribution."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.facts import fact
+from repro.core.parser import parse_query
+from repro.shapley.answers import (
+    answer_attribution,
+    ground_at_answer,
+    shapley_for_answer,
+)
+from repro.shapley.brute_force import shapley_brute_force
+from repro.workloads.running_example import figure_1_database
+
+
+class TestGrounding:
+    def test_ground_at_answer(self):
+        q = parse_query("ans(x) :- Stud(x), Reg(x, y)")
+        grounded = ground_at_answer(q, ("Adam",))
+        assert grounded.is_boolean
+        assert grounded.atoms[0].terms == ("Adam",)
+
+    def test_arity_mismatch_rejected(self):
+        q = parse_query("ans(x) :- Stud(x)")
+        with pytest.raises(ValueError):
+            ground_at_answer(q, ("Adam", "extra"))
+
+    def test_boolean_query_rejected(self):
+        q = parse_query("q() :- Stud(x)")
+        with pytest.raises(ValueError):
+            ground_at_answer(q, ())
+
+
+class TestAnswerShapley:
+    def test_matches_manual_grounding(self):
+        db = figure_1_database()
+        q = parse_query("ans(x) :- Stud(x), not TA(x), Reg(x, y)")
+        manual = parse_query("q() :- Stud('Caroline'), not TA('Caroline'), Reg('Caroline', y)")
+        target = fact("Reg", "Caroline", "DB")
+        assert shapley_for_answer(db, q, ("Caroline",), target) == (
+            shapley_brute_force(db, manual, target)
+        )
+
+    def test_attribution_localizes(self):
+        # Only Caroline's own facts matter for the answer "Caroline".
+        db = figure_1_database()
+        q = parse_query("ans(x) :- Stud(x), not TA(x), Reg(x, y)")
+        values = answer_attribution(db, q, ("Caroline",))
+        for f, value in values.items():
+            if "Caroline" in f.args:
+                assert value > 0
+            else:
+                assert value == 0
+
+    def test_answer_blocked_on_full_database(self):
+        # "Adam" is no answer on the full database (he is a TA), but his
+        # registration facts still carry positive Shapley value for the
+        # answer, while his TA fact carries negative value.
+        db = figure_1_database()
+        q = parse_query("ans(x) :- Stud(x), not TA(x), Reg(x, y)")
+        values = answer_attribution(db, q, ("Adam",))
+        assert values[fact("Reg", "Adam", "OS")] > 0
+        assert values[fact("TA", "Adam")] < 0
+        total = sum(values.values())
+        # Efficiency: q_Adam(D) - q_Adam(Dx) = 0 - 0 = 0.
+        assert total == 0
+
+    def test_simple_share(self):
+        db = Database(endogenous=[fact("R", 1, 2), fact("R", 1, 3)])
+        q = parse_query("ans(x) :- R(x, y)")
+        values = answer_attribution(db, q, (1,))
+        assert values[fact("R", 1, 2)] == Fraction(1, 2)
+        assert values[fact("R", 1, 3)] == Fraction(1, 2)

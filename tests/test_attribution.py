@@ -1,0 +1,122 @@
+"""Unit tests for the comparison attribution measures (intro of the paper)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.attribution.causal_effect import all_causal_effects, causal_effect
+from repro.attribution.responsibility import (
+    all_responsibilities,
+    minimal_contingency_set,
+    responsibility,
+)
+from repro.core.database import Database
+from repro.core.facts import fact
+from repro.core.parser import parse_query
+from repro.relevance.brute_force import is_relevant_brute_force
+from repro.shapley.banzhaf import banzhaf_brute_force
+from repro.workloads.generators import random_database_for_query
+from repro.workloads.running_example import figure_1_database, query_q1
+
+
+class TestResponsibility:
+    def test_counterfactual_fact_has_full_responsibility(self):
+        q = parse_query("q() :- R(x)")
+        db = Database(endogenous=[fact("R", 1)])
+        result = responsibility(db, q, fact("R", 1))
+        assert result.responsibility == 1
+        assert result.contingency == frozenset()
+
+    def test_contingency_shrinks_responsibility(self):
+        q = parse_query("q() :- R(x)")
+        db = Database(endogenous=[fact("R", 1), fact("R", 2)])
+        result = responsibility(db, q, fact("R", 1))
+        # Remove R(2) to make R(1) counterfactual: |Γ| = 1.
+        assert result.responsibility == Fraction(1, 2)
+        assert result.contingency == {fact("R", 2)}
+
+    def test_irrelevant_fact_zero(self):
+        db = figure_1_database()
+        result = responsibility(db, query_q1(), fact("TA", "David"))
+        assert result.responsibility == 0
+        assert result.contingency is None
+        assert not result.is_cause
+
+    def test_negative_direction_counts(self):
+        q = parse_query("q() :- R(x), not T(x)")
+        db = Database(endogenous=[fact("T", 1)], exogenous=[fact("R", 1)])
+        assert responsibility(db, q, fact("T", 1)).responsibility == 1
+
+    def test_positive_responsibility_iff_relevant(self, rng):
+        q = parse_query("q() :- R(x), not T(x), S(x, y)")
+        for _ in range(8):
+            db = random_database_for_query(q, domain_size=2, rng=rng)
+            endo = sorted(db.endogenous, key=repr)
+            if not endo or len(endo) > 9:
+                continue
+            f = rng.choice(endo)
+            cause = responsibility(db, q, f).is_cause
+            assert cause == is_relevant_brute_force(db, q, f)
+
+    def test_guards(self):
+        q = parse_query("q() :- R(x)")
+        db = Database(exogenous=[fact("R", 1)])
+        with pytest.raises(ValueError):
+            minimal_contingency_set(db, q, fact("R", 1))
+        big = Database(endogenous=[fact("R", i) for i in range(30)])
+        with pytest.raises(ValueError):
+            responsibility(big, q, fact("R", 0))
+
+    def test_all_responsibilities_running_example(self):
+        db = figure_1_database()
+        results = all_responsibilities(db, query_q1())
+        # Caroline's registrations are counterfactual with small
+        # contingencies; David's TA-ship is no cause at all.
+        assert results[fact("TA", "David")].responsibility == 0
+        assert results[fact("Reg", "Caroline", "DB")].responsibility > 0
+
+
+class TestCausalEffect:
+    def test_equals_banzhaf_on_running_example(self):
+        db = figure_1_database()
+        for f in sorted(db.endogenous, key=repr):
+            assert causal_effect(db, query_q1(), f) == banzhaf_brute_force(
+                db, query_q1(), f
+            )
+
+    def test_equals_banzhaf_on_random_instances(self, rng):
+        q = parse_query("q() :- R(x), not T(x), S(x, y)")
+        checked = 0
+        while checked < 6:
+            db = random_database_for_query(q, domain_size=2, rng=rng)
+            endo = sorted(db.endogenous, key=repr)
+            if not endo or len(endo) > 9:
+                continue
+            f = rng.choice(endo)
+            assert causal_effect(db, q, f) == banzhaf_brute_force(db, q, f)
+            checked += 1
+
+    def test_falls_back_for_non_hierarchical(self):
+        from repro.workloads.queries import q_rst
+
+        db = Database(
+            endogenous=[fact("R", 1), fact("T", 2)],
+            exogenous=[fact("S", 1, 2)],
+        )
+        assert causal_effect(db, q_rst(), fact("R", 1)) == banzhaf_brute_force(
+            db, q_rst(), fact("R", 1)
+        )
+
+    def test_sign_reflects_polarity(self):
+        db = figure_1_database()
+        effects = all_causal_effects(db, query_q1())
+        for f, value in effects.items():
+            if f.relation == "Reg":
+                assert value >= 0
+            else:
+                assert value <= 0
+
+    def test_rejects_non_endogenous(self):
+        db = figure_1_database()
+        with pytest.raises(ValueError):
+            causal_effect(db, query_q1(), fact("Stud", "Adam"))

@@ -1,0 +1,103 @@
+"""Unit tests for the brute-force query-game Shapley oracle."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.facts import fact
+from repro.core.parser import parse_query, parse_ucq
+from repro.shapley.brute_force import (
+    query_game,
+    satisfying_subset_counts,
+    shapley_all_brute_force,
+    shapley_brute_force,
+)
+
+
+class TestQueryGame:
+    def test_value_is_delta_from_exogenous_baseline(self):
+        q = parse_query("q() :- R(x), not T(x)")
+        db = Database(endogenous=[fact("T", 1)], exogenous=[fact("R", 1)])
+        players, value = query_game(db, q)
+        # Baseline: exogenous alone satisfy q, so v(∅) = 0 and adding the
+        # blocking T(1) gives v = -1.
+        assert value(frozenset()) == 0
+        assert value(frozenset({fact("T", 1)})) == -1
+
+    def test_players_are_endogenous(self):
+        q = parse_query("q() :- R(x)")
+        db = Database(endogenous=[fact("R", 1)], exogenous=[fact("R", 2)])
+        players, _ = query_game(db, q)
+        assert players == [fact("R", 1)]
+
+
+class TestShapleyBruteForce:
+    def test_single_pivotal_fact(self):
+        q = parse_query("q() :- R(x)")
+        db = Database(endogenous=[fact("R", 1)])
+        assert shapley_brute_force(db, q, fact("R", 1)) == 1
+
+    def test_two_symmetric_facts(self):
+        q = parse_query("q() :- R(x)")
+        db = Database(endogenous=[fact("R", 1), fact("R", 2)])
+        assert shapley_brute_force(db, q, fact("R", 1)) == Fraction(1, 2)
+
+    def test_negative_fact_value(self):
+        q = parse_query("q() :- R(x), not T(x)")
+        db = Database(endogenous=[fact("T", 1)], exogenous=[fact("R", 1)])
+        assert shapley_brute_force(db, q, fact("T", 1)) == -1
+
+    def test_cancellation_example_5_3(self):
+        # R(1,2) is both positively and negatively relevant; Shapley = 0.
+        q = parse_query("q() :- R(x, y), not R(y, x)")
+        db = Database(endogenous=[fact("R", 1, 2), fact("R", 2, 1)])
+        assert shapley_brute_force(db, q, fact("R", 1, 2)) == 0
+        assert shapley_brute_force(db, q, fact("R", 2, 1)) == 0
+
+    def test_non_endogenous_target_rejected(self):
+        q = parse_query("q() :- R(x)")
+        db = Database(exogenous=[fact("R", 1)])
+        with pytest.raises(ValueError):
+            shapley_brute_force(db, q, fact("R", 1))
+
+    def test_size_guard(self):
+        q = parse_query("q() :- R(x)")
+        db = Database(endogenous=[fact("R", i) for i in range(30)])
+        with pytest.raises(ValueError):
+            shapley_brute_force(db, q, fact("R", 0))
+
+    def test_ucq_supported(self):
+        u = parse_ucq("R(x) | S(x)")
+        db = Database(endogenous=[fact("R", 1), fact("S", 1)])
+        assert shapley_brute_force(db, u, fact("R", 1)) == Fraction(1, 2)
+
+
+class TestShapleyAll:
+    def test_matches_individual_and_efficiency(self, running_example_db, q1):
+        values = shapley_all_brute_force(running_example_db, q1)
+        total = sum(values.values())
+        # q(D) = 1, q(Dx) = 0 → efficiency: values sum to 1.
+        assert total == 1
+        sample = sorted(values, key=repr)[:2]
+        for f in sample:
+            assert values[f] == shapley_brute_force(running_example_db, q1, f)
+
+    def test_empty_database(self):
+        q = parse_query("q() :- R(x)")
+        assert shapley_all_brute_force(Database(), q) == {}
+
+
+class TestSatisfyingSubsetCounts:
+    def test_simple_counts(self):
+        q = parse_query("q() :- R(x)")
+        db = Database(endogenous=[fact("R", 1), fact("R", 2)])
+        # k=0: no; k=1: both singletons; k=2: the pair.
+        assert satisfying_subset_counts(db, q) == [0, 2, 1]
+
+    def test_negation_counts(self):
+        q = parse_query("q() :- R(x), not T(x)")
+        db = Database(
+            endogenous=[fact("T", 1)], exogenous=[fact("R", 1)]
+        )
+        assert satisfying_subset_counts(db, q) == [1, 0]

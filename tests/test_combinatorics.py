@@ -1,0 +1,101 @@
+"""Unit tests for exact combinatorics helpers."""
+
+from fractions import Fraction
+from math import comb, factorial
+
+import pytest
+
+from repro.util.combinatorics import (
+    binomial,
+    binomial_vector,
+    convolve,
+    convolve_many,
+    falling_factorial,
+    shapley_coefficient,
+    subtract_vectors,
+)
+
+
+class TestBinomial:
+    def test_matches_math_comb(self):
+        for n in range(8):
+            for k in range(n + 1):
+                assert binomial(n, k) == comb(n, k)
+
+    def test_out_of_range_is_zero(self):
+        assert binomial(3, 5) == 0
+        assert binomial(3, -1) == 0
+        assert binomial(-2, 0) == 0
+
+    def test_vector(self):
+        assert binomial_vector(3) == [1, 3, 3, 1]
+        assert binomial_vector(0) == [1]
+
+    def test_vector_rejects_negative(self):
+        with pytest.raises(ValueError):
+            binomial_vector(-1)
+
+
+class TestFallingFactorial:
+    def test_values(self):
+        assert falling_factorial(5, 0) == 1
+        assert falling_factorial(5, 2) == 20
+        assert falling_factorial(5, 5) == 120
+        assert falling_factorial(3, 4) == 0  # passes through zero
+
+    def test_rejects_negative_k(self):
+        with pytest.raises(ValueError):
+            falling_factorial(5, -1)
+
+
+class TestConvolve:
+    def test_polynomial_product(self):
+        assert convolve([1, 1], [1, 1]) == [1, 2, 1]
+        assert convolve([1, 2], [3]) == [3, 6]
+
+    def test_binomial_identity(self):
+        # Vandermonde: C(m+n, k) = sum_j C(m, j) C(n, k-j).
+        assert convolve(binomial_vector(3), binomial_vector(4)) == binomial_vector(7)
+
+    def test_empty(self):
+        assert convolve([], [1, 2]) == []
+
+    def test_many_identity(self):
+        assert convolve_many([]) == [1]
+        assert convolve_many([[1, 1], [1, 1], [1, 1]]) == [1, 3, 3, 1]
+
+
+class TestSubtract:
+    def test_same_length(self):
+        assert subtract_vectors([3, 2, 1], [1, 1, 1]) == [2, 1, 0]
+
+    def test_padding(self):
+        assert subtract_vectors([3, 2], [1, 1, 1]) == [2, 1, -1]
+        assert subtract_vectors([3, 2, 5], [1]) == [2, 2, 5]
+
+
+class TestShapleyCoefficient:
+    def test_closed_form(self):
+        for n in range(1, 7):
+            for k in range(n):
+                expected = Fraction(
+                    factorial(k) * factorial(n - k - 1), factorial(n)
+                )
+                assert shapley_coefficient(n, k) == expected
+
+    def test_coefficients_sum_to_one_over_positions(self):
+        # Summing the coefficient over all subsets of each size gives 1:
+        # sum_k C(n-1, k) * k!(n-k-1)!/n! = sum_k 1/n = 1.
+        for n in range(1, 8):
+            total = sum(
+                comb(n - 1, k) * shapley_coefficient(n, k) for k in range(n)
+            )
+            assert total == 1
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            shapley_coefficient(0, 0)
+        with pytest.raises(ValueError):
+            shapley_coefficient(3, 3)
+        with pytest.raises(ValueError):
+            shapley_coefficient(3, -1)

@@ -1,0 +1,111 @@
+"""Unit tests for the Database container."""
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.errors import SchemaError
+from repro.core.facts import fact
+
+
+@pytest.fixture
+def db() -> Database:
+    return Database(
+        endogenous=[fact("R", 1), fact("R", 2)],
+        exogenous=[fact("S", 1, 2), fact("T", 2)],
+    )
+
+
+class TestBasics:
+    def test_partition(self, db):
+        assert db.endogenous == {fact("R", 1), fact("R", 2)}
+        assert db.exogenous == {fact("S", 1, 2), fact("T", 2)}
+        assert len(db) == 4
+
+    def test_membership(self, db):
+        assert fact("R", 1) in db
+        assert fact("R", 9) not in db
+        assert db.is_endogenous(fact("R", 1))
+        assert not db.is_endogenous(fact("S", 1, 2))
+        assert db.is_exogenous(fact("S", 1, 2))
+
+    def test_relation_access(self, db):
+        assert db.relation("R") == {fact("R", 1), fact("R", 2)}
+        assert db.relation("missing") == frozenset()
+
+    def test_arity_tracking(self, db):
+        assert db.arity("S") == 2
+        with pytest.raises(SchemaError):
+            db.arity("missing")
+
+    def test_inconsistent_arity_rejected(self, db):
+        with pytest.raises(SchemaError):
+            db.add_endogenous(fact("R", 1, 2))
+
+    def test_relabel_on_reinsert(self, db):
+        db.add_exogenous(fact("R", 1))
+        assert db.is_exogenous(fact("R", 1))
+        assert len(db) == 4  # no duplicate
+
+    def test_active_domain(self, db):
+        assert db.active_domain() == {1, 2}
+
+    def test_relation_is_exogenous(self, db):
+        assert db.relation_is_exogenous("S")
+        assert not db.relation_is_exogenous("R")
+        assert db.relation_is_exogenous("unseen")
+
+
+class TestEdits:
+    def test_remove(self, db):
+        db.remove(fact("R", 1))
+        assert fact("R", 1) not in db
+        with pytest.raises(KeyError):
+            db.remove(fact("R", 1))
+
+    def test_copy_isolation(self, db):
+        clone = db.copy()
+        clone.add_endogenous(fact("R", 3))
+        assert fact("R", 3) not in db
+
+    def test_with_fact_exogenous(self, db):
+        moved = db.with_fact_exogenous(fact("R", 1))
+        assert moved.is_exogenous(fact("R", 1))
+        assert db.is_endogenous(fact("R", 1))
+        with pytest.raises(KeyError):
+            db.with_fact_exogenous(fact("R", 99))
+
+    def test_without_fact(self, db):
+        smaller = db.without_fact(fact("R", 1))
+        assert fact("R", 1) not in smaller
+        assert fact("R", 1) in db
+
+    def test_with_endogenous_subset(self, db):
+        sub = db.with_endogenous_subset([fact("R", 2)])
+        assert sub.endogenous == {fact("R", 2)}
+        assert sub.exogenous == db.exogenous
+        with pytest.raises(KeyError):
+            db.with_endogenous_subset([fact("S", 1, 2)])
+
+
+class TestComplement:
+    def test_unary_complement(self, db):
+        complement = db.complement_relation("R")
+        expected = frozenset(
+            fact("R", value) for value in db.active_domain()
+        ) - {fact("R", 1), fact("R", 2)}
+        assert complement == expected == frozenset()
+
+    def test_binary_complement_size(self, db):
+        complement = db.complement_relation("S")
+        domain = db.active_domain()
+        assert len(complement) == len(domain) ** 2 - 1
+        assert fact("S", 1, 2) not in complement
+        assert fact("S", 2, 1) in complement
+
+    def test_complement_with_explicit_domain(self, db):
+        complement = db.complement_relation("T", domain=[1, 2, 3])
+        assert complement == {fact("T", 1), fact("T", 3)}
+
+    def test_complement_of_fresh_relation(self, db):
+        complement = db.complement_relation("U", arity=1)
+        assert complement == {fact("U", 1), fact("U", 2)}

@@ -1,0 +1,118 @@
+"""Unit tests for homomorphism search and query evaluation."""
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.evaluation import (
+    FactIndex,
+    answer_facts,
+    answers,
+    evaluate_boolean,
+    find_homomorphisms,
+    holds,
+)
+from repro.core.facts import fact
+from repro.core.parser import parse_query, parse_ucq
+from repro.core.query import Variable
+
+
+class TestHolds:
+    def test_positive_join(self):
+        q = parse_query("q() :- R(x), S(x, y)")
+        assert holds(q, [fact("R", 1), fact("S", 1, 2)])
+        assert not holds(q, [fact("R", 1), fact("S", 2, 2)])
+
+    def test_negation_blocks(self):
+        q = parse_query("q() :- R(x), not T(x)")
+        assert holds(q, [fact("R", 1)])
+        assert not holds(q, [fact("R", 1), fact("T", 1)])
+        assert holds(q, [fact("R", 1), fact("R", 2), fact("T", 2)])
+
+    def test_constants(self):
+        q = parse_query("q() :- Reg(x, OS)")
+        assert holds(q, [fact("Reg", "ann", "OS")])
+        assert not holds(q, [fact("Reg", "ann", "AI")])
+
+    def test_repeated_variable(self):
+        q = parse_query("q() :- R(x, x)")
+        assert holds(q, [fact("R", 1, 1)])
+        assert not holds(q, [fact("R", 1, 2)])
+
+    def test_self_join_with_negation(self):
+        # Example 5.3's query: R(x, y), ¬R(y, x).
+        q = parse_query("q() :- R(x, y), not R(y, x)")
+        assert not holds(q, [fact("R", 1, 2), fact("R", 2, 1)])
+        assert holds(q, [fact("R", 1, 2)])
+
+    def test_database_input_uses_all_facts(self):
+        q = parse_query("q() :- R(x), S(x)")
+        db = Database(endogenous=[fact("R", 1)], exogenous=[fact("S", 1)])
+        assert holds(q, db)
+
+    def test_evaluate_boolean(self):
+        q = parse_query("q() :- R(x)")
+        assert evaluate_boolean(q, [fact("R", 1)]) == 1
+        assert evaluate_boolean(q, []) == 0
+
+    def test_ucq_any_disjunct(self):
+        u = parse_ucq("R(x) | S(x)")
+        assert holds(u, [fact("S", 7)])
+        assert not holds(u, [fact("T", 7)])
+
+    def test_empty_relation_fails_positive_atom(self):
+        q = parse_query("q() :- R(x), Missing(x)")
+        assert not holds(q, [fact("R", 1)])
+
+
+class TestHomomorphisms:
+    def test_all_assignments(self):
+        q = parse_query("q() :- R(x), S(x, y)")
+        facts = [fact("R", 1), fact("R", 2), fact("S", 1, 3), fact("S", 1, 4)]
+        found = list(find_homomorphisms(q, facts))
+        assert len(found) == 2
+        xs = {assignment[Variable("x")] for assignment in found}
+        ys = {assignment[Variable("y")] for assignment in found}
+        assert xs == {1} and ys == {3, 4}
+
+    def test_negation_filters_assignments(self):
+        q = parse_query("q() :- R(x), not T(x)")
+        facts = [fact("R", 1), fact("R", 2), fact("T", 1)]
+        found = list(find_homomorphisms(q, facts))
+        assert [assignment[Variable("x")] for assignment in found] == [2]
+
+    def test_every_variable_bound(self):
+        q = parse_query("q() :- R(x, y), not S(y)")
+        found = list(find_homomorphisms(q, [fact("R", 1, 2)]))
+        assert found and set(found[0]) == {Variable("x"), Variable("y")}
+
+
+class TestAnswers:
+    def test_projection(self):
+        q = parse_query("ans(x) :- R(x, y)")
+        rows = answers(q, [fact("R", 1, 2), fact("R", 1, 3), fact("R", 4, 5)])
+        assert rows == {(1,), (4,)}
+
+    def test_answers_rejects_boolean(self):
+        q = parse_query("q() :- R(x)")
+        with pytest.raises(ValueError):
+            answers(q, [fact("R", 1)])
+
+    def test_answer_facts(self):
+        q = parse_query("ans(y, x) :- R(x, y)")
+        produced = answer_facts(q, [fact("R", 1, 2)], "Swapped")
+        assert produced == {fact("Swapped", 2, 1)}
+
+
+class TestFactIndex:
+    def test_contains_and_relation(self):
+        index = FactIndex([fact("R", 1), fact("S", 2)])
+        assert fact("R", 1) in index
+        assert fact("R", 2) not in index
+        assert index.relation("S") == {fact("S", 2)}
+        assert index.relation("missing") == set()
+
+    def test_index_reuse_is_consistent(self):
+        q = parse_query("q() :- R(x)")
+        index = FactIndex([fact("R", 1)])
+        assert holds(q, index)
+        assert holds(q, index)

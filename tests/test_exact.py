@@ -1,0 +1,122 @@
+"""Unit tests for the exact-Shapley dispatcher and the counts reduction."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.errors import IntractableQueryError
+from repro.core.facts import fact
+from repro.core.parser import parse_query, parse_ucq
+from repro.shapley.brute_force import (
+    satisfying_subset_counts,
+    shapley_all_brute_force,
+    shapley_brute_force,
+)
+from repro.shapley.exact import (
+    shapley_all_values,
+    shapley_from_counts,
+    shapley_hierarchical,
+    shapley_value,
+)
+from repro.workloads.generators import (
+    random_database_for_query,
+    random_hierarchical_query,
+)
+from repro.workloads.queries import q_rst
+from repro.workloads.running_example import (
+    EXAMPLE_2_3_SHAPLEY,
+    figure_1_database,
+    query_q1,
+    query_q2,
+)
+
+
+class TestShapleyFromCounts:
+    def test_reduction_is_algorithm_agnostic(self, rng):
+        # Plugging the brute-force counter into the reduction must equal
+        # direct brute-force Shapley (checks the reduction itself).
+        q = parse_query("q() :- R(x), not T(x)")
+        for _ in range(8):
+            db = random_database_for_query(q, domain_size=3, rng=rng)
+            if not db.endogenous or len(db.endogenous) > 10:
+                continue
+            f = sorted(db.endogenous, key=repr)[0]
+            via_counts = shapley_from_counts(
+                db, q, f, counter=satisfying_subset_counts
+            )
+            direct = shapley_brute_force(db, q, f)
+            assert via_counts == direct
+
+    def test_rejects_exogenous_target(self):
+        q = parse_query("q() :- R(x)")
+        db = Database(exogenous=[fact("R", 1)], endogenous=[fact("R", 2)])
+        with pytest.raises(ValueError):
+            shapley_from_counts(db, q, fact("R", 1))
+
+
+class TestShapleyHierarchical:
+    def test_running_example_values(self):
+        db = figure_1_database()
+        for f, expected in EXAMPLE_2_3_SHAPLEY.items():
+            assert shapley_hierarchical(db, query_q1(), f) == expected
+
+    def test_random_agreement_with_brute_force(self, rng):
+        for _ in range(10):
+            q = random_hierarchical_query(rng=rng)
+            db = random_database_for_query(q, domain_size=3, rng=rng)
+            endo = sorted(db.endogenous, key=repr)
+            if not endo or len(endo) > 10:
+                continue
+            f = endo[0]
+            assert shapley_hierarchical(db, q, f) == shapley_brute_force(db, q, f)
+
+
+class TestDispatcher:
+    def test_routes_hierarchical(self):
+        db = figure_1_database()
+        f = fact("TA", "Adam")
+        assert shapley_value(db, query_q1(), f) == Fraction(-3, 28)
+
+    def test_routes_exoshap(self):
+        # q2 is non-hierarchical, but Stud/Course are exogenous in the
+        # running example, so the dispatcher must still answer exactly.
+        db = figure_1_database()
+        f = fact("TA", "Adam")
+        expected = shapley_brute_force(db, query_q2(), f)
+        assert shapley_value(db, query_q2(), f) == expected
+
+    def test_falls_back_to_brute_force(self):
+        db = Database(
+            endogenous=[fact("R", 1), fact("T", 2)],
+            exogenous=[fact("S", 1, 2)],
+        )
+        f = fact("R", 1)
+        assert shapley_value(db, q_rst(), f) == shapley_brute_force(db, q_rst(), f)
+
+    def test_intractable_raises_without_brute_force(self):
+        db = Database(
+            endogenous=[fact("R", 1), fact("T", 2)],
+            exogenous=[fact("S", 1, 2)],
+        )
+        with pytest.raises(IntractableQueryError):
+            shapley_value(db, q_rst(), fact("R", 1), allow_brute_force=False)
+
+    def test_ucq_brute_force(self):
+        u = parse_ucq("R(x) | S(x)")
+        db = Database(endogenous=[fact("R", 1), fact("S", 1)])
+        assert shapley_value(db, u, fact("R", 1)) == Fraction(1, 2)
+
+
+class TestShapleyAllValues:
+    def test_matches_brute_force_everywhere(self):
+        db = figure_1_database()
+        polynomial = shapley_all_values(db, query_q1())
+        brute = shapley_all_brute_force(db, query_q1())
+        assert polynomial == brute
+
+    def test_efficiency_axiom_on_running_example(self):
+        db = figure_1_database()
+        values = shapley_all_values(db, query_q1())
+        assert sum(values.values()) == 1

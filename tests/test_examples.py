@@ -1,0 +1,57 @@
+"""Smoke tests: every shipped example runs end to end and prints sanity markers."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "exact Shapley values" in out
+        assert "polynomial time" in out
+
+    def test_university_registrar(self, capsys):
+        out = run_example("university_registrar", capsys)
+        assert "-3/28" in out
+        assert "sum = 1" in out
+        assert "True" in out  # ExoShap agreement line
+
+    def test_exports_audit(self, capsys):
+        out = run_example("exports_audit", capsys)
+        assert "FP^#P-complete" in out
+        assert "polynomial time" in out
+        assert "Shapley ranking" in out
+
+    @pytest.mark.slow
+    def test_approximation_study(self, capsys):
+        out = run_example("approximation_study", capsys)
+        assert "gap family" in out
+        assert "additive FPRAS" in out
+
+    def test_probabilistic_cleaning(self, capsys):
+        out = run_example("probabilistic_cleaning", capsys)
+        assert "agrees: True" in out
+        assert "Theorem 4.10" in out
+
+    def test_attribution_compare(self, capsys):
+        out = run_example("attribution_compare", capsys)
+        assert "causal effect == Banzhaf on every fact: True" in out
+        assert "(tied)" in out

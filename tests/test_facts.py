@@ -1,0 +1,37 @@
+"""Unit tests for facts."""
+
+import pytest
+
+from repro.core.facts import Fact, fact
+
+
+class TestFact:
+    def test_construction_and_accessors(self):
+        f = Fact("R", (1, "a"))
+        assert f.relation == "R"
+        assert f.args == (1, "a")
+        assert f.arity == 2
+
+    def test_convenience_constructor(self):
+        assert fact("R", 1, 2) == Fact("R", (1, 2))
+
+    def test_zero_arity(self):
+        assert fact("Flag").arity == 0
+
+    def test_sequence_coerced_to_tuple(self):
+        f = Fact("R", [1, 2])  # type: ignore[arg-type]
+        assert f.args == (1, 2)
+        assert hash(f) == hash(Fact("R", (1, 2)))
+
+    def test_equality_and_hash(self):
+        assert fact("R", 1) == fact("R", 1)
+        assert fact("R", 1) != fact("R", 2)
+        assert fact("R", 1) != fact("S", 1)
+        assert len({fact("R", 1), fact("R", 1), fact("R", 2)}) == 2
+
+    def test_repr(self):
+        assert repr(fact("Reg", "Adam", "OS")) == "Reg(Adam, OS)"
+
+    def test_empty_relation_rejected(self):
+        with pytest.raises(ValueError):
+            Fact("", (1,))

@@ -1,0 +1,119 @@
+"""Unit tests for Gaifman graphs and exogenous-atom graphs."""
+
+from repro.core.database import Database
+from repro.core.facts import fact
+from repro.core.gaifman import (
+    exogenous_atom_graph,
+    exogenous_atoms,
+    exogenous_components,
+    exogenous_variables,
+    gaifman_graph,
+    infer_exogenous_relations,
+    is_positively_connected,
+    non_exogenous_atoms,
+    positive_gaifman_graph,
+)
+from repro.core.parser import parse_query
+from repro.core.query import Variable
+
+V = Variable
+
+
+class TestGaifmanGraph:
+    def test_edges_from_co_occurrence(self):
+        q = parse_query("q() :- R(x, y), S(y, z)")
+        g = gaifman_graph(q)
+        assert g.has_edge(V("x"), V("y"))
+        assert g.has_edge(V("y"), V("z"))
+        assert not g.has_edge(V("x"), V("z"))
+
+    def test_negated_atoms_contribute(self):
+        q = parse_query("q() :- R(x), S(y), not T(x, y)")
+        assert gaifman_graph(q).has_edge(V("x"), V("y"))
+
+    def test_example_4_2_graph(self):
+        # Figure 2a: the Gaifman graph of the first Example 4.2 query.
+        q = parse_query(
+            "q() :- not R(x), Q(x, v), S(x, z), U(z, w), not P(w, y), T(y, v)"
+        )
+        g = gaifman_graph(q)
+        expected_edges = {
+            frozenset((V("x"), V("v"))),
+            frozenset((V("x"), V("z"))),
+            frozenset((V("z"), V("w"))),
+            frozenset((V("w"), V("y"))),
+            frozenset((V("y"), V("v"))),
+        }
+        assert {frozenset(edge) for edge in g.edges()} == expected_edges
+
+
+class TestPositiveConnectivity:
+    def test_positive_edges_only(self):
+        q = parse_query("q() :- R(x), S(y), not T(x, y)")
+        g = positive_gaifman_graph(q)
+        assert not g.has_edge(V("x"), V("y"))
+        assert not is_positively_connected(q)
+
+    def test_gap_query_is_positively_connected(self):
+        q = parse_query("q() :- R(x), S(x, y), not R(y)")
+        assert is_positively_connected(q)
+
+    def test_no_variables_is_connected(self):
+        q = parse_query("q() :- R(1)")
+        assert is_positively_connected(q)
+
+
+class TestExogenousStructure:
+    def setup_method(self):
+        # The Example 4.2 second query with X = {R, S, O, P, V}.
+        self.q = parse_query(
+            "q() :- U(t, r), not T(y), Q(y, w), not V(t), R(x, y),"
+            " not S(x, z), O(z), P(u, y, w)"
+        )
+        self.x = frozenset({"R", "S", "O", "P", "V"})
+
+    def test_atom_partition(self):
+        assert {a.relation for a in exogenous_atoms(self.q, self.x)} == self.x
+        assert {a.relation for a in non_exogenous_atoms(self.q, self.x)} == {
+            "U",
+            "T",
+            "Q",
+        }
+
+    def test_exogenous_variables(self):
+        # x and z occur only in R, S, O; u occurs only in P; t occurs in U too.
+        assert exogenous_variables(self.q, self.x) == {V("x"), V("z"), V("u")}
+
+    def test_components_match_example_4_5(self):
+        components = exogenous_components(self.q, self.x)
+        rendered = {
+            frozenset(self.q.atoms[i].relation for i in component)
+            for component in components
+        }
+        # {R, S, O} share exogenous variables x/z; P and V are singletons.
+        assert rendered == {
+            frozenset({"R", "S", "O"}),
+            frozenset({"P"}),
+            frozenset({"V"}),
+        }
+
+    def test_graph_edges(self):
+        g = exogenous_atom_graph(self.q, self.x)
+        # 5 exogenous atoms, edges only within the {R, S, O} chain.
+        assert len(g) == 5
+        assert len(list(g.edges())) == 2
+
+
+class TestInferExogenous:
+    def test_inference_from_database(self):
+        q = parse_query("q() :- Stud(x), not TA(x), Reg(x, y)")
+        db = Database(
+            endogenous=[fact("TA", "a"), fact("Reg", "a", "c")],
+            exogenous=[fact("Stud", "a")],
+        )
+        assert infer_exogenous_relations(q, db) == {"Stud"}
+
+    def test_missing_relation_counts_as_exogenous(self):
+        q = parse_query("q() :- Stud(x), Reg(x, y)")
+        db = Database(endogenous=[fact("Reg", "a", "c")])
+        assert infer_exogenous_relations(q, db) == {"Stud"}

@@ -1,0 +1,99 @@
+"""Unit tests for hierarchy analysis."""
+
+import random
+
+from repro.core.hierarchy import (
+    connected_atom_components,
+    find_non_hierarchical_triplet,
+    is_hierarchical,
+    non_hierarchical_triplets,
+    root_variables,
+    subquery,
+    variable_atom_map,
+)
+from repro.core.parser import parse_query
+from repro.core.query import Variable
+from repro.workloads.generators import random_hierarchical_query
+from repro.workloads.queries import q_nr_s_nt, q_r_ns_t, q_rs_nt, q_rst
+from repro.workloads.running_example import query_q1, query_q2, query_q3, query_q4
+
+V = Variable
+
+
+class TestIsHierarchical:
+    def test_example_2_2(self):
+        # The paper: q1 is hierarchical, q2-q4 are not.
+        assert is_hierarchical(query_q1())
+        assert not is_hierarchical(query_q2())
+        assert not is_hierarchical(query_q3())
+        assert not is_hierarchical(query_q4())
+
+    def test_basic_hard_queries(self):
+        for q in (q_rst(), q_nr_s_nt(), q_r_ns_t(), q_rs_nt()):
+            assert not is_hierarchical(q), q
+
+    def test_single_atom(self):
+        assert is_hierarchical(parse_query("q() :- R(x, y, z)"))
+
+    def test_disjoint_subqueries(self):
+        assert is_hierarchical(parse_query("q() :- R(x), S(y)"))
+
+    def test_random_generator_produces_hierarchical(self):
+        rng = random.Random(11)
+        for _ in range(50):
+            q = random_hierarchical_query(rng=rng)
+            assert is_hierarchical(q), q
+
+
+class TestTriplets:
+    def test_q_rst_triplet(self):
+        triplet = find_non_hierarchical_triplet(q_rst())
+        assert triplet is not None
+        assert triplet.atom_xy.relation == "S"
+        assert {triplet.atom_x.relation, triplet.atom_y.relation} == {"R", "T"}
+
+    def test_hierarchical_query_has_none(self):
+        assert find_non_hierarchical_triplet(query_q1()) is None
+        assert non_hierarchical_triplets(query_q1()) == []
+
+    def test_reduction_safe_preference(self):
+        # q¬RS¬T: αx and αy negative, middle positive — that shape is the
+        # reduction-safe one and must be returned.
+        triplet = find_non_hierarchical_triplet(q_nr_s_nt())
+        assert triplet is not None
+        assert not triplet.atom_xy.negated
+        assert triplet.atom_x.negated and triplet.atom_y.negated
+
+
+class TestRoots:
+    def test_root_of_connected_query(self):
+        q = parse_query("q() :- R(x, y), S(x), not T(x)")
+        assert root_variables(q) == {V("x")}
+
+    def test_no_root(self):
+        assert root_variables(q_rst()) == frozenset()
+
+    def test_variable_atom_map(self):
+        q = parse_query("q() :- R(x, y), S(y)")
+        mapping = variable_atom_map(q)
+        assert mapping[V("x")] == {0}
+        assert mapping[V("y")] == {0, 1}
+
+
+class TestComponents:
+    def test_split(self):
+        q = parse_query("q() :- R(x), S(x), T(y), U(1)")
+        components = connected_atom_components(q)
+        rendered = {frozenset(c) for c in components}
+        assert rendered == {frozenset({0, 1}), frozenset({2}), frozenset({3})}
+
+    def test_subquery_extraction(self):
+        q = parse_query("q() :- R(x), S(x), T(y)")
+        sub = subquery(q, (0, 1))
+        assert {atom.relation for atom in sub.atoms} == {"R", "S"}
+
+    def test_negated_atoms_stay_with_binders(self):
+        q = parse_query("q() :- R(x), not S(x), T(y)")
+        components = connected_atom_components(q)
+        rendered = {frozenset(c) for c in components}
+        assert frozenset({0, 1}) in rendered

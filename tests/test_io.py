@@ -1,0 +1,142 @@
+"""Unit tests for JSON / DIMACS serialization."""
+
+from repro.io import (
+    database_from_dict,
+    database_to_dict,
+    formula_from_dimacs,
+    formula_to_dimacs,
+    load_database,
+    load_formula,
+    save_database,
+    save_formula,
+)
+from repro.logic.cnf import CnfFormula
+from repro.logic.solver import is_satisfiable
+from repro.workloads.running_example import figure_1_database
+
+
+class TestDatabaseJson:
+    def test_roundtrip_in_memory(self):
+        db = figure_1_database()
+        clone = database_from_dict(database_to_dict(db))
+        assert clone.endogenous == db.endogenous
+        assert clone.exogenous == db.exogenous
+
+    def test_roundtrip_on_disk(self, tmp_path):
+        db = figure_1_database()
+        path = tmp_path / "db.json"
+        save_database(db, path)
+        clone = load_database(path)
+        assert clone.endogenous == db.endogenous
+        assert clone.exogenous == db.exogenous
+
+    def test_integer_constants_roundtrip(self):
+        from repro.core.database import Database
+        from repro.core.facts import fact
+
+        db = Database(endogenous=[fact("R", 1, "a")])
+        clone = database_from_dict(database_to_dict(db))
+        assert clone.endogenous == {fact("R", 1, "a")}
+
+    def test_missing_keys_tolerated(self):
+        db = database_from_dict({})
+        assert len(db) == 0
+
+
+class TestDimacs:
+    def test_roundtrip(self):
+        formula = CnfFormula.from_lists([[1, -2, 3], [-1, 2], [2]])
+        again = formula_from_dimacs(formula_to_dimacs(formula))
+        assert again == formula
+
+    def test_header_and_terminators(self):
+        text = formula_to_dimacs(CnfFormula.from_lists([[1, 2]]))
+        assert text.startswith("p cnf 2 1")
+        assert text.strip().endswith("1 2 0")
+
+    def test_comments_skipped(self):
+        text = "c a comment\np cnf 2 2\n1 -2 0\nc another\n2 0\n"
+        formula = formula_from_dimacs(text)
+        assert len(formula) == 2
+        assert is_satisfiable(formula)
+
+    def test_clause_spanning_lines(self):
+        formula = formula_from_dimacs("p cnf 3 1\n1 2\n3 0\n")
+        assert len(formula) == 1
+        assert len(formula.clauses[0]) == 3
+
+    def test_disk_roundtrip(self, tmp_path):
+        formula = CnfFormula.from_lists([[1, 2], [-1, -2]])
+        path = tmp_path / "f.cnf"
+        save_formula(formula, path)
+        assert load_formula(path) == formula
+
+
+class TestCli:
+    def test_demo_runs(self, capsys):
+        from repro.cli import main
+
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "-3/28" in out
+
+    def test_classify_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["classify", "q() :- R(x), S(x, y), T(y)"]) == 0
+        assert "FP^#P-complete" in capsys.readouterr().out
+
+    def test_classify_with_exogenous(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "classify",
+                "q() :- Author(x, y), Pub(x, z), Citations(z, w)",
+                "--exogenous", "Pub", "Citations",
+            ]
+        )
+        assert code == 0
+        assert "polynomial" in capsys.readouterr().out
+
+    def test_shapley_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "db.json"
+        save_database(figure_1_database(), path)
+        code = main(
+            [
+                "shapley", str(path),
+                "q() :- Stud(x), not TA(x), Reg(x, y)",
+                "--fact", "TA", "Adam",
+            ]
+        )
+        assert code == 0
+        assert "-3/28" in capsys.readouterr().out
+
+    def test_shapley_all_facts(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "db.json"
+        save_database(figure_1_database(), path)
+        code = main(
+            ["shapley", str(path), "q() :- Stud(x), not TA(x), Reg(x, y)"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "13/42" in out and "(sum)" in out
+
+    def test_relevance_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "db.json"
+        save_database(figure_1_database(), path)
+        code = main(
+            [
+                "relevance", str(path),
+                "q() :- Stud(x), not TA(x), Reg(x, y)",
+                "--fact", "TA", "David",
+            ]
+        )
+        assert code == 0
+        assert "zero" in capsys.readouterr().out

@@ -1,0 +1,84 @@
+"""Unit tests for CNF formulas and formula classes."""
+
+import pytest
+
+from repro.logic.cnf import (
+    Clause,
+    CnfFormula,
+    clause_shape_2p2n4,
+    is_2p2n4,
+    is_3cnf,
+    is_3p2n,
+    is_monotone_negative,
+    is_monotone_positive,
+)
+
+
+class TestClause:
+    def test_variables_and_polarity(self):
+        clause = Clause((1, -2, 3))
+        assert clause.variables == {1, 2, 3}
+        assert clause.positive_literals == (1, 3)
+        assert clause.negative_literals == (-2,)
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            Clause((1, 0))
+
+    def test_satisfaction(self):
+        clause = Clause((1, -2))
+        assert clause.satisfied_by({1: True, 2: True})
+        assert clause.satisfied_by({1: False, 2: False})
+        assert not clause.satisfied_by({1: False, 2: True})
+
+    def test_missing_variables_default_false(self):
+        assert Clause((-5,)).satisfied_by({})
+        assert not Clause((5,)).satisfied_by({})
+
+    def test_repr(self):
+        assert repr(Clause((1, -2))) == "(x1 ∨ ¬x2)"
+
+
+class TestFormula:
+    def test_from_lists(self):
+        formula = CnfFormula.from_lists([[1, 2], [-1]])
+        assert len(formula) == 2
+        assert formula.variables == {1, 2}
+        assert formula.num_variables == 2
+
+    def test_satisfaction(self):
+        formula = CnfFormula.from_lists([[1, 2], [-1, -2]])
+        assert formula.satisfied_by({1: True, 2: False})
+        assert not formula.satisfied_by({1: True, 2: True})
+
+    def test_empty_formula_is_true(self):
+        assert CnfFormula(()).satisfied_by({})
+        assert repr(CnfFormula(())) == "⊤"
+
+
+class TestClasses:
+    def test_3cnf(self):
+        assert is_3cnf(CnfFormula.from_lists([[1, 2, 3], [-1, 2]]))
+        assert not is_3cnf(CnfFormula.from_lists([[1, 2, 3, 4]]))
+
+    def test_monotone_checks(self):
+        assert is_monotone_positive(Clause((1, 2)))
+        assert not is_monotone_positive(Clause((1, -2)))
+        assert is_monotone_negative(Clause((-1, -2)))
+
+    def test_3p2n(self):
+        assert is_3p2n(CnfFormula.from_lists([[1, 2, 3], [-1, -2]]))
+        assert not is_3p2n(CnfFormula.from_lists([[1, 2]]))
+        assert not is_3p2n(CnfFormula.from_lists([[1, -2, 3]]))
+
+    def test_2p2n4_shapes(self):
+        assert clause_shape_2p2n4(Clause((1, 2))) == "2+"
+        assert clause_shape_2p2n4(Clause((-1, -2))) == "2-"
+        assert clause_shape_2p2n4(Clause((1, 2, -3, -4))) == "4"
+        assert clause_shape_2p2n4(Clause((1, 2, -3, -3))) == "4"  # duplicates ok
+        assert clause_shape_2p2n4(Clause((1,))) is None
+        assert clause_shape_2p2n4(Clause((1, -2))) is None
+
+    def test_is_2p2n4(self):
+        assert is_2p2n4(CnfFormula.from_lists([[1, 2], [-3, -4], [1, 2, -3, -4]]))
+        assert not is_2p2n4(CnfFormula.from_lists([[1, 2, 3]]))

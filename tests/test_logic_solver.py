@@ -1,0 +1,101 @@
+"""Unit tests for the DPLL solver and model counters."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.logic.cnf import CnfFormula
+from repro.logic.counting import count_models, count_models_naive
+from repro.logic.generators import random_2p2n4, random_3cnf, random_3p2n
+from repro.logic.cnf import is_2p2n4, is_3cnf, is_3p2n
+from repro.logic.solver import is_satisfiable, solve, verify
+
+
+def brute_force_satisfiable(formula: CnfFormula) -> bool:
+    variables = sorted(formula.variables)
+    return any(
+        formula.satisfied_by(dict(zip(variables, bits)))
+        for bits in itertools.product((False, True), repeat=len(variables))
+    )
+
+
+class TestSolve:
+    def test_simple_sat(self):
+        formula = CnfFormula.from_lists([[1, 2], [-1], [2, 3]])
+        model = solve(formula)
+        assert model is not None
+        assert verify(formula, model)
+        assert model[1] is False
+
+    def test_simple_unsat(self):
+        formula = CnfFormula.from_lists([[1], [-1]])
+        assert solve(formula) is None
+        assert not is_satisfiable(formula)
+
+    def test_empty_formula(self):
+        assert solve(CnfFormula(())) == {}
+
+    def test_unit_propagation_chain(self):
+        formula = CnfFormula.from_lists([[1], [-1, 2], [-2, 3], [-3, -4]])
+        model = solve(formula)
+        assert model is not None and model[1] and model[2] and model[3]
+        assert model[4] is False
+
+    def test_model_total_over_variables(self):
+        formula = CnfFormula.from_lists([[1, 2]])
+        model = solve(formula)
+        assert model is not None and set(model) == {1, 2}
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_against_brute_force(self, seed):
+        rng = random.Random(seed)
+        for _ in range(15):
+            formula = random_3cnf(5, rng.randint(1, 12), rng=rng)
+            assert is_satisfiable(formula) == brute_force_satisfiable(formula)
+
+
+class TestCounting:
+    def test_known_counts(self):
+        # x1 ∨ x2 over 2 variables: 3 models.
+        assert count_models(CnfFormula.from_lists([[1, 2]])) == 3
+        assert count_models_naive(CnfFormula.from_lists([[1, 2]])) == 3
+
+    def test_unsat_counts_zero(self):
+        assert count_models(CnfFormula.from_lists([[1], [-1]])) == 0
+
+    def test_empty_formula_counts_one(self):
+        assert count_models(CnfFormula(())) == 1
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_dpll_count_matches_naive(self, seed):
+        rng = random.Random(seed)
+        for _ in range(10):
+            formula = random_3cnf(5, rng.randint(1, 8), rng=rng)
+            assert count_models(formula) == count_models_naive(formula)
+
+
+class TestGenerators:
+    def test_random_3cnf_class(self, rng):
+        formula = random_3cnf(6, 10, rng=rng)
+        assert is_3cnf(formula)
+        assert len(formula) == 10
+
+    def test_random_2p2n4_class(self, rng):
+        formula = random_2p2n4(6, 8, rng=rng)
+        assert is_2p2n4(formula)
+        shapes = [len(clause) for clause in formula.clauses]
+        assert shapes[0] == 2  # first clause is the guaranteed 2+ clause
+
+    def test_random_3p2n_class(self, rng):
+        formula = random_3p2n(6, 4, 5, rng=rng)
+        assert is_3p2n(formula)
+        assert len(formula) == 9
+
+    def test_generator_bounds(self):
+        with pytest.raises(ValueError):
+            random_3cnf(2, 1)
+        with pytest.raises(ValueError):
+            random_2p2n4(3, 1)
+        with pytest.raises(ValueError):
+            random_2p2n4(5, 0)

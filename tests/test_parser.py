@@ -1,0 +1,96 @@
+"""Unit tests for the datalog-style parser."""
+
+import pytest
+
+from repro.core.errors import QuerySyntaxError
+from repro.core.parser import parse_query, parse_ucq
+from repro.core.query import Variable
+
+
+class TestParseQuery:
+    def test_simple(self):
+        q = parse_query("q() :- R(x), S(x, y)")
+        assert q.name == "q"
+        assert q.is_boolean
+        assert len(q.atoms) == 2
+        assert q.variables == {Variable("x"), Variable("y")}
+
+    def test_negation_spellings(self):
+        for negator in ("not ", "!", "¬", "~"):
+            q = parse_query(f"q() :- R(x), {negator}S(x)")
+            assert q.atoms[1].negated, negator
+
+    def test_constants(self):
+        q = parse_query("q() :- Course(y, CS), Reg(x, y), T(x, 3), U(x, 'lower')")
+        course, reg, t, u = q.atoms
+        assert course.terms[1] == "CS"
+        assert t.terms[1] == 3
+        assert u.terms[1] == "lower"
+
+    def test_negative_numbers(self):
+        q = parse_query("q() :- R(x, -5)")
+        assert q.atoms[0].terms[1] == -5
+
+    def test_head_variables(self):
+        q = parse_query("answers(x, y) :- R(x, y), S(y)")
+        assert q.name == "answers"
+        assert q.head == (Variable("x"), Variable("y"))
+
+    def test_headless_body_only(self):
+        q = parse_query("R(x), S(x)")
+        assert q.name == "q"
+        assert len(q.atoms) == 2
+
+    def test_running_example_queries(self):
+        q2 = parse_query("q2() :- Stud(x), not TA(x), Reg(x, y), not Course(y, 'CS')")
+        assert [atom.negated for atom in q2.atoms] == [False, True, False, True]
+
+    def test_repeated_variables(self):
+        q = parse_query("q() :- R(x, x)")
+        assert q.atoms[0].terms == (Variable("x"), Variable("x"))
+
+    def test_errors(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("q() :- R(x")
+        with pytest.raises(QuerySyntaxError):
+            parse_query("q() :- ")
+        with pytest.raises(QuerySyntaxError):
+            parse_query("q() :- R(x) S(x)")
+        with pytest.raises(QuerySyntaxError):
+            parse_query("q() :- R(x) @ S(x)")
+
+    def test_head_constant_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("q(CS) :- R(x)")
+
+
+class TestParseUcq:
+    def test_two_disjuncts(self):
+        u = parse_ucq("q() :- R(x) | q() :- S(x)")
+        assert len(u.disjuncts) == 2
+        assert u.disjuncts[0].name == "q1"
+        assert u.disjuncts[1].name == "q2"
+
+    def test_bare_bodies(self):
+        u = parse_ucq("R(x) | S(x) | T(x, 0)")
+        assert len(u.disjuncts) == 3
+
+    def test_unicode_or(self):
+        u = parse_ucq("R(x) ∨ S(x)")
+        assert len(u.disjuncts) == 2
+
+    def test_qsat_shape(self):
+        u = parse_ucq(
+            "C(x1, x2, x3, v1, v2, v3), T(x1, v1), T(x2, v2), T(x3, v3)"
+            " | V(x), not T(x, 1), not T(x, 0)"
+            " | T(x, 1), T(x, 0)"
+            " | R(0)"
+        )
+        assert len(u.disjuncts) == 4
+        assert u.polarity("T") == "both"
+        assert all(d.is_polarity_consistent for d in u.disjuncts)
+
+    def test_roundtrip_via_repr(self):
+        q = parse_query("q() :- Stud(x), not TA(x), Reg(x, y)")
+        again = parse_query(repr(q))
+        assert again.atoms == q.atoms

@@ -1,0 +1,78 @@
+"""Property-based parser tests: repr round-trips and fuzz rejection."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import ReproError
+from repro.core.parser import parse_query, parse_ucq
+from repro.workloads.generators import (
+    random_hierarchical_query,
+    random_self_join_free_query,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6), st.booleans())
+def test_repr_roundtrip_on_generated_queries(seed, hierarchical):
+    rng = random.Random(seed)
+    query = (
+        random_hierarchical_query(rng=rng)
+        if hierarchical
+        else random_self_join_free_query(rng=rng)
+    )
+    again = parse_query(repr(query))
+    assert again.atoms == query.atoms
+    assert again.head == query.head
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.text(max_size=40))
+def test_fuzz_never_crashes_outside_repro_errors(text):
+    # The parser may succeed or raise a library error, never anything else.
+    try:
+        parse_query(text)
+    except ReproError:
+        pass
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6), st.integers(min_value=2, max_value=4))
+def test_ucq_roundtrip(seed, disjuncts):
+    rng = random.Random(seed)
+    parts = []
+    for _ in range(disjuncts):
+        query = random_self_join_free_query(
+            num_variables=rng.randint(1, 3), num_atoms=rng.randint(1, 3), rng=rng
+        )
+        parts.append(", ".join(repr(atom) for atom in query.atoms))
+    text = " | ".join(parts)
+    union = parse_ucq(text)
+    assert len(union.disjuncts) == disjuncts
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["R", "S", "T"]),
+            st.integers(min_value=1, max_value=3),
+        ),
+        min_size=1,
+        max_size=4,
+    )
+)
+def test_well_formed_bodies_parse(shape):
+    # Build a body from relation/arity pairs with fresh variables; all
+    # positive, hence always safe.  Relations repeat → self-joins must be
+    # accepted (arity is forced consistent per relation).
+    arity_of = {}
+    atoms = []
+    counter = 0
+    for relation, arity in shape:
+        arity = arity_of.setdefault(relation, arity)
+        variables = ", ".join(f"v{counter + i}" for i in range(arity))
+        counter += arity
+        atoms.append(f"{relation}({variables})")
+    query = parse_query("q() :- " + ", ".join(atoms))
+    assert len(query.atoms) == len(shape)

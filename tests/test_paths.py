@@ -1,0 +1,83 @@
+"""Unit tests for non-hierarchical path detection (Theorem 4.3 criterion)."""
+
+import random
+
+from repro.core.hierarchy import is_hierarchical
+from repro.core.parser import parse_query
+from repro.core.paths import find_non_hierarchical_path, has_non_hierarchical_path
+from repro.workloads.generators import random_self_join_free_query
+from repro.workloads.queries import (
+    ACADEMIC_EXOGENOUS,
+    EXAMPLE_4_2_Q_EXOGENOUS,
+    EXAMPLE_4_2_Q_PRIME_EXOGENOUS,
+    SECTION_4_EXOGENOUS,
+    academic_query,
+    example_4_2_q,
+    example_4_2_q_prime,
+    q_r_ns_t,
+    section_4_q,
+    section_4_q_prime,
+)
+from repro.workloads.running_example import query_q2
+
+
+class TestPaperExamples:
+    def test_section_4_pair(self):
+        # q and q' differ in one variable; only q' keeps a path with X={S,P}.
+        assert not has_non_hierarchical_path(section_4_q(), SECTION_4_EXOGENOUS)
+        assert has_non_hierarchical_path(section_4_q_prime(), SECTION_4_EXOGENOUS)
+
+    def test_section_4_pair_without_exogenous(self):
+        # Without exogenous relations both are hard (both non-hierarchical).
+        assert has_non_hierarchical_path(section_4_q())
+        assert has_non_hierarchical_path(section_4_q_prime())
+
+    def test_example_4_2(self):
+        assert has_non_hierarchical_path(example_4_2_q(), EXAMPLE_4_2_Q_EXOGENOUS)
+        assert not has_non_hierarchical_path(
+            example_4_2_q_prime(), EXAMPLE_4_2_Q_PRIME_EXOGENOUS
+        )
+
+    def test_example_4_2_witness_atoms(self):
+        witness = find_non_hierarchical_path(
+            example_4_2_q(), EXAMPLE_4_2_Q_EXOGENOUS
+        )
+        assert witness is not None
+        # The paper's witness: ¬R(x) and T(y, v) with path x - z - w - y.
+        assert {witness.atom_x.relation, witness.atom_y.relation} == {"R", "T"}
+
+    def test_academic_query(self):
+        # Example 4.1: hard in general, tractable with Pub and Citations
+        # exogenous, and tractable already with Citations alone.
+        q = academic_query()
+        assert has_non_hierarchical_path(q)
+        assert not has_non_hierarchical_path(q, ACADEMIC_EXOGENOUS)
+        assert not has_non_hierarchical_path(q, {"Citations"})
+        assert has_non_hierarchical_path(q, {"Pub"})
+
+    def test_q2_with_exogenous_stud_course(self):
+        assert has_non_hierarchical_path(query_q2())
+        assert not has_non_hierarchical_path(query_q2(), {"Stud", "Course"})
+
+    def test_q_r_ns_t_with_s_exogenous_stays_hard(self):
+        # Section 4: "If we assume that only S is exogenous, the query
+        # remains hard."
+        assert has_non_hierarchical_path(q_r_ns_t(), {"S"})
+
+
+class TestEquivalenceWithHierarchy:
+    def test_empty_x_matches_non_hierarchicality(self):
+        # With X = ∅, "has a non-hierarchical path" must coincide with
+        # "not hierarchical" (Theorem 4.3 degenerates to Theorem 3.1).
+        rng = random.Random(23)
+        for _ in range(200):
+            q = random_self_join_free_query(
+                num_variables=rng.randint(2, 5),
+                num_atoms=rng.randint(2, 5),
+                rng=rng,
+            )
+            assert has_non_hierarchical_path(q) == (not is_hierarchical(q)), q
+
+    def test_all_relations_exogenous_never_has_path(self):
+        q = parse_query("q() :- R(x), S(x, y), T(y)")
+        assert not has_non_hierarchical_path(q, {"R", "S", "T"})

@@ -1,0 +1,154 @@
+"""Unit tests for tuple-independent probabilistic databases (Section 4.3)."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core.errors import NotHierarchicalError, SchemaError, SelfJoinError
+from repro.core.facts import fact
+from repro.core.parser import parse_query
+from repro.probabilistic.deterministic import (
+    infer_deterministic_relations,
+    query_probability_with_deterministic,
+)
+from repro.probabilistic.lifted import query_probability_lifted
+from repro.probabilistic.tid import TupleIndependentDatabase, uniform_tid
+from repro.probabilistic.worlds import query_probability_by_worlds
+from repro.workloads.generators import (
+    random_database_for_query,
+    random_hierarchical_query,
+)
+from repro.workloads.queries import (
+    SECTION_4_EXOGENOUS,
+    q_rst,
+    section_4_q,
+    section_4_q_prime,
+)
+
+HALF = Fraction(1, 2)
+
+
+class TestTid:
+    def test_probability_bounds(self):
+        tid = TupleIndependentDatabase()
+        with pytest.raises(ValueError):
+            tid.add(fact("R", 1), Fraction(3, 2))
+
+    def test_arity_check(self):
+        tid = TupleIndependentDatabase({fact("R", 1): HALF})
+        with pytest.raises(SchemaError):
+            tid.add(fact("R", 1, 2), HALF)
+
+    def test_deterministic_split(self):
+        tid = TupleIndependentDatabase(
+            {fact("R", 1): Fraction(1), fact("S", 1): HALF}
+        )
+        assert tid.deterministic_facts == {fact("R", 1)}
+        assert tid.uncertain_facts == {fact("S", 1)}
+        assert tid.relation_is_deterministic("R")
+        assert not tid.relation_is_deterministic("S")
+
+    def test_missing_fact_probability_zero(self):
+        tid = TupleIndependentDatabase()
+        assert tid.probability(fact("R", 9)) == 0
+
+    def test_uniform_builder(self):
+        tid = uniform_tid([fact("R", 1), fact("R", 2)], Fraction(1, 4))
+        assert tid.probability(fact("R", 1)) == Fraction(1, 4)
+
+
+class TestLifted:
+    def test_single_fact(self):
+        q = parse_query("q() :- R(x)")
+        tid = TupleIndependentDatabase({fact("R", 1): HALF})
+        assert query_probability_lifted(tid, q) == HALF
+
+    def test_independent_or(self):
+        q = parse_query("q() :- R(x)")
+        tid = uniform_tid([fact("R", 1), fact("R", 2)])
+        assert query_probability_lifted(tid, q) == Fraction(3, 4)
+
+    def test_negation(self):
+        q = parse_query("q() :- R(x), not T(x)")
+        tid = TupleIndependentDatabase(
+            {fact("R", 1): HALF, fact("T", 1): Fraction(1, 4)}
+        )
+        assert query_probability_lifted(tid, q) == HALF * Fraction(3, 4)
+
+    def test_conjunction(self):
+        q = parse_query("q() :- R(x), S(y)")
+        tid = TupleIndependentDatabase(
+            {fact("R", 1): HALF, fact("S", 2): Fraction(1, 3)}
+        )
+        assert query_probability_lifted(tid, q) == Fraction(1, 6)
+
+    def test_guards(self):
+        tid = uniform_tid([fact("R", 1)])
+        with pytest.raises(SelfJoinError):
+            query_probability_lifted(tid, parse_query("q() :- R(x), R(y)"))
+        with pytest.raises(NotHierarchicalError):
+            query_probability_lifted(uniform_tid([fact("S", 1, 1)]), q_rst())
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_against_worlds(self, seed):
+        rng = random.Random(seed)
+        for _ in range(6):
+            q = random_hierarchical_query(rng=rng)
+            db = random_database_for_query(q, domain_size=3, rng=rng)
+            tid = TupleIndependentDatabase()
+            for item in db.facts:
+                tid.add(item, Fraction(rng.randint(0, 4), 4))
+            if len(tid.uncertain_facts) > 12:
+                continue
+            assert query_probability_lifted(tid, q) == (
+                query_probability_by_worlds(tid, q)
+            ), q
+
+
+class TestTheorem410:
+    def _random_tid(self, query, exogenous, rng):
+        db = random_database_for_query(
+            query, domain_size=2, fill_probability=0.5,
+            exogenous_relations=tuple(exogenous), rng=rng,
+        )
+        tid = TupleIndependentDatabase()
+        for item in db.exogenous:
+            tid.add_deterministic(item)
+        for item in db.endogenous:
+            tid.add(item, Fraction(rng.randint(1, 3), 4))
+        return tid
+
+    def test_section_4_q_tractable(self, rng):
+        q = section_4_q()
+        for _ in range(5):
+            tid = self._random_tid(q, SECTION_4_EXOGENOUS, rng)
+            if len(tid.uncertain_facts) > 12:
+                continue
+            assert query_probability_with_deterministic(
+                tid, q, SECTION_4_EXOGENOUS
+            ) == query_probability_by_worlds(tid, q)
+
+    def test_section_4_q_prime_hard(self, rng):
+        q = section_4_q_prime()
+        tid = self._random_tid(q, SECTION_4_EXOGENOUS, rng)
+        with pytest.raises(NotHierarchicalError):
+            query_probability_with_deterministic(tid, q, SECTION_4_EXOGENOUS)
+
+    def test_inference_of_deterministic_relations(self):
+        q = section_4_q()
+        tid = TupleIndependentDatabase(
+            {
+                fact("S", 1, 1): Fraction(1),
+                fact("P", 1, 1): Fraction(1),
+                fact("R", 1, 1): HALF,
+                fact("T", 1, 1): HALF,
+            }
+        )
+        assert infer_deterministic_relations(tid, q) == {"S", "P"}
+
+    def test_declared_deterministic_validated(self):
+        q = section_4_q()
+        tid = TupleIndependentDatabase({fact("S", 1, 1): HALF})
+        with pytest.raises(ValueError):
+            query_probability_with_deterministic(tid, q, {"S", "P"})

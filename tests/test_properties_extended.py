@@ -1,0 +1,144 @@
+"""Extended property-based tests for the higher-level machinery.
+
+These lean on seeded instance generators driven by hypothesis-chosen
+seeds, checking the cross-algorithm equalities that constitute the
+library's correctness story: ExoShap == brute force, Banzhaf counts ==
+enumeration == causal effect, embeddings preserve values, and model
+counts match satisfaction probabilities.
+"""
+
+import random
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.attribution.causal_effect import causal_effect
+from repro.core.database import Database
+from repro.core.facts import Fact
+from repro.core.parser import parse_query
+from repro.reductions.embedding import embed_rst_instance
+from repro.reductions.shapley_reductions import random_rst_database
+from repro.relevance.brute_force import is_relevant_brute_force
+from repro.relevance.polarity import zero_shapley_iff_irrelevant
+from repro.shapley.banzhaf import banzhaf_brute_force, banzhaf_from_counts
+from repro.shapley.brute_force import (
+    shapley_all_brute_force,
+    shapley_brute_force,
+)
+from repro.shapley.exoshap import exo_shapley
+from repro.shapley.model_counting import model_count, satisfaction_probability
+from repro.shapley.stratified import stratified_shapley_estimate
+from repro.workloads.generators import random_database_for_query
+
+Q2_SHAPE = parse_query("q() :- Stud(x), not TA(x), Reg(x, y), not Course(y, 1)")
+Q2_EXOGENOUS = ("Stud", "Course")
+
+seeds = st.integers(min_value=0, max_value=10**6)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seeds)
+def test_exoshap_equals_brute_force(seed):
+    rng = random.Random(seed)
+    db = random_database_for_query(
+        Q2_SHAPE, domain_size=3, fill_probability=0.45,
+        exogenous_relations=Q2_EXOGENOUS, rng=rng,
+    )
+    endo = sorted(db.endogenous, key=repr)
+    if not endo or len(endo) > 9:
+        return
+    target = rng.choice(endo)
+    assert exo_shapley(db, Q2_SHAPE, target, set(Q2_EXOGENOUS)) == (
+        shapley_brute_force(db, Q2_SHAPE, target)
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(seeds)
+def test_banzhaf_counts_equal_enumeration_and_causal_effect(seed):
+    rng = random.Random(seed)
+    q = parse_query("q() :- R(x), not T(x), S(x, y)")
+    db = random_database_for_query(q, domain_size=2, rng=rng)
+    endo = sorted(db.endogenous, key=repr)
+    if not endo or len(endo) > 8:
+        return
+    target = rng.choice(endo)
+    via_counts = banzhaf_from_counts(db, q, target)
+    via_enumeration = banzhaf_brute_force(db, q, target)
+    via_probability = causal_effect(db, q, target)
+    assert via_counts == via_enumeration == via_probability
+
+
+@settings(max_examples=15, deadline=None)
+@given(seeds)
+def test_lemma_b4_embedding_preserves_values(seed):
+    rng = random.Random(seed)
+    query = parse_query("q() :- A(x), B(x, y), not C(y), D(x)")
+    source_db = random_rst_database(2, 2, rng=rng)
+    instance = embed_rst_instance(query, source_db)
+    endo = sorted(source_db.endogenous, key=repr)
+    if not endo:
+        return
+    f = rng.choice(endo)
+    assert shapley_brute_force(source_db, instance.source_query, f) == (
+        shapley_brute_force(instance.database, query, instance.fact_map[f])
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(seeds)
+def test_model_count_consistent_with_probability(seed):
+    rng = random.Random(seed)
+    q = parse_query("q() :- R(x), not T(x)")
+    db = random_database_for_query(q, domain_size=3, rng=rng)
+    if len(db.endogenous) > 10:
+        return
+    count = model_count(db, q)
+    m = len(db.endogenous)
+    assert satisfaction_probability(db, q) == Fraction(count, 2**m)
+    assert 0 <= count <= 2**m
+
+
+@settings(max_examples=25, deadline=None)
+@given(seeds)
+def test_zero_shapley_iff_relevance_for_polarity_consistent_facts(seed):
+    rng = random.Random(seed)
+    q = parse_query("q() :- R(x), not T(x), S(x, y)")
+    db = random_database_for_query(q, domain_size=2, rng=rng)
+    endo = sorted(db.endogenous, key=repr)
+    if not endo or len(endo) > 8:
+        return
+    target = rng.choice(endo)
+    assert zero_shapley_iff_irrelevant(q, target)
+    value = shapley_brute_force(db, q, target)
+    assert (value != 0) == is_relevant_brute_force(db, q, target)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seeds, st.integers(min_value=1, max_value=4))
+def test_stratified_estimator_unbiased_shape(seed, per_stratum):
+    # With m <= 2 every stratum is deterministic: the stratified estimate
+    # equals the exact value for any budget.
+    rng = random.Random(seed)
+    db = Database(endogenous=[Fact("R", (1,)), Fact("R", (2,))])
+    q = parse_query("q() :- R(x)")
+    estimate = stratified_shapley_estimate(
+        db, q, Fact("R", (1,)), samples_per_stratum=per_stratum, rng=rng
+    )
+    assert estimate.value == Fraction(1, 2)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seeds)
+def test_efficiency_under_negation(seed):
+    rng = random.Random(seed)
+    q = parse_query("q() :- R(x), not T(x), S(x, y), not U(y)")
+    db = random_database_for_query(q, domain_size=2, rng=rng)
+    if len(db.endogenous) > 8:
+        return
+    from repro.core.evaluation import holds
+
+    values = shapley_all_brute_force(db, q)
+    grand = 1 if holds(q, db) else 0
+    baseline = 1 if holds(q, list(db.exogenous)) else 0
+    assert sum(values.values(), Fraction(0)) == grand - baseline

@@ -1,0 +1,148 @@
+"""Unit tests for the query AST (atoms, CQ¬, UCQ¬)."""
+
+import pytest
+
+from repro.core.errors import SchemaError, UnsafeNegationError
+from repro.core.facts import fact
+from repro.core.query import Atom, ConjunctiveQuery, UnionQuery, Variable
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestAtom:
+    def test_variables_and_constants(self):
+        atom = Atom("R", (X, "c", Y))
+        assert atom.variables == {X, Y}
+        assert atom.constants == {"c"}
+        assert atom.arity == 3
+        assert not atom.is_ground
+
+    def test_ground_atom_to_fact(self):
+        atom = Atom("R", (1, 2))
+        assert atom.is_ground
+        assert atom.to_fact() == fact("R", 1, 2)
+
+    def test_to_fact_rejects_variables(self):
+        with pytest.raises(ValueError):
+            Atom("R", (X,)).to_fact()
+
+    def test_substitute(self):
+        atom = Atom("R", (X, Y, X))
+        grounded = atom.substitute({X: 1})
+        assert grounded.terms == (1, Y, 1)
+
+    def test_matches_repeated_variable(self):
+        atom = Atom("R", (X, X))
+        assert atom.matches(fact("R", 1, 1))
+        assert not atom.matches(fact("R", 1, 2))
+
+    def test_matches_constant_position(self):
+        atom = Atom("R", (X, "c"))
+        assert atom.matches(fact("R", 5, "c"))
+        assert not atom.matches(fact("R", 5, "d"))
+
+    def test_matches_wrong_relation_or_arity(self):
+        atom = Atom("R", (X,))
+        assert not atom.matches(fact("S", 1))
+        assert not atom.matches(fact("R", 1, 2))
+
+    def test_repr_shows_negation(self):
+        assert repr(Atom("R", (X,), negated=True)) == "¬R(x)"
+
+
+class TestConjunctiveQuery:
+    def test_positive_negative_split(self):
+        q = ConjunctiveQuery((Atom("R", (X,)), Atom("S", (X,), negated=True)))
+        assert len(q.positive_atoms) == 1
+        assert len(q.negative_atoms) == 1
+        assert q.variables == {X}
+
+    def test_unsafe_negation_rejected(self):
+        with pytest.raises(UnsafeNegationError):
+            ConjunctiveQuery((Atom("R", (X,)), Atom("S", (Y,), negated=True)))
+
+    def test_head_variable_must_be_positive(self):
+        with pytest.raises(UnsafeNegationError):
+            ConjunctiveQuery((Atom("R", (X,)),), head=(Y,))
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(ValueError):
+            ConjunctiveQuery(())
+
+    def test_inconsistent_arities_rejected(self):
+        with pytest.raises(SchemaError):
+            ConjunctiveQuery((Atom("R", (X,)), Atom("R", (X, Y))))
+
+    def test_self_join_detection(self):
+        q = ConjunctiveQuery((Atom("R", (X,)), Atom("R", (X,), negated=True)))
+        assert q.has_self_joins
+        q2 = ConjunctiveQuery((Atom("R", (X,)), Atom("S", (X,))))
+        assert q2.is_self_join_free
+
+    def test_polarity(self):
+        q = ConjunctiveQuery(
+            (
+                Atom("R", (X,)),
+                Atom("R", (X,), negated=True),
+                Atom("S", (X,)),
+                Atom("T", (X,), negated=True),
+            )
+        )
+        assert q.polarity("R") == "both"
+        assert q.polarity("S") == "positive"
+        assert q.polarity("T") == "negative"
+        assert q.polarity("U") == "absent"
+        assert not q.is_polarity_consistent
+        assert q.relation_is_polarity_consistent("S")
+        assert not q.relation_is_polarity_consistent("R")
+
+    def test_atoms_with_variable(self):
+        r, s = Atom("R", (X, Y)), Atom("S", (Y,))
+        q = ConjunctiveQuery((r, s))
+        assert q.atoms_with_variable(X) == (r,)
+        assert q.atoms_with_variable(Y) == (r, s)
+
+    def test_substitution(self):
+        q = ConjunctiveQuery((Atom("R", (X, Y)),))
+        grounded = q.substitute({X: 1, Y: 2})
+        assert grounded.atoms[0].is_ground
+
+    def test_substituting_head_variable_rejected(self):
+        q = ConjunctiveQuery((Atom("R", (X,)),), head=(X,))
+        with pytest.raises(ValueError):
+            q.substitute({X: 1})
+
+    def test_as_boolean(self):
+        q = ConjunctiveQuery((Atom("R", (X,)),), head=(X,))
+        assert not q.is_boolean
+        assert q.as_boolean().is_boolean
+
+
+class TestUnionQuery:
+    def _cq(self, relation: str, negated_second: str | None = None):
+        atoms = [Atom(relation, (X,))]
+        if negated_second:
+            atoms.append(Atom(negated_second, (X,), negated=True))
+        return ConjunctiveQuery(tuple(atoms))
+
+    def test_construction(self):
+        u = UnionQuery((self._cq("R"), self._cq("S")))
+        assert len(u.disjuncts) == 2
+        assert u.relation_names == {"R", "S"}
+
+    def test_rejects_non_boolean_disjunct(self):
+        q = ConjunctiveQuery((Atom("R", (X,)),), head=(X,))
+        with pytest.raises(ValueError):
+            UnionQuery((q,))
+
+    def test_union_polarity(self):
+        # T positive in one disjunct, negative in another: union inconsistent
+        # even though each disjunct is consistent.
+        u = UnionQuery((self._cq("T"), self._cq("V", negated_second="T")))
+        assert all(d.is_polarity_consistent for d in u.disjuncts)
+        assert u.polarity("T") == "both"
+        assert not u.is_polarity_consistent
+
+    def test_empty_union_rejected(self):
+        with pytest.raises(ValueError):
+            UnionQuery(())

@@ -1,0 +1,109 @@
+"""Unit tests for the Lemma B.4 embedding."""
+
+import random
+
+import pytest
+
+from repro.core.errors import SelfJoinError
+from repro.core.parser import parse_query
+from repro.reductions.embedding import (
+    embed_rst_instance,
+    normalize_triplet,
+    select_source_query,
+)
+from repro.core.hierarchy import NonHierarchicalTriplet, find_non_hierarchical_triplet
+from repro.reductions.shapley_reductions import random_rst_database
+from repro.shapley.brute_force import shapley_brute_force
+
+ALL_POSITIVE = parse_query("q() :- A(x, w), B(x, y), C(y)")
+ONE_NEG_SIDE = parse_query("q() :- A(x), B(x, y), not C(y), D(x)")
+NEG_SIDE_ON_X = parse_query("q() :- not A(x), B(x, y), C(y), P(x)")
+TWO_NEG_SIDES = parse_query("q() :- not A(x), B(x, y), not C(y), P(x), Q(y)")
+NEG_MIDDLE = parse_query("q() :- A(x), not B(x, y), C(y)")
+
+
+class TestSourceSelection:
+    def _triplet(self, query):
+        triplet = find_non_hierarchical_triplet(query)
+        assert triplet is not None
+        return triplet
+
+    def test_all_positive_maps_to_qrst(self):
+        assert select_source_query(self._triplet(ALL_POSITIVE)).name == "qRST"
+
+    def test_two_negative_sides(self):
+        assert select_source_query(self._triplet(TWO_NEG_SIDES)).name == "qnRSnT"
+
+    def test_negative_middle(self):
+        assert select_source_query(self._triplet(NEG_MIDDLE)).name == "qRnST"
+
+    def test_one_negative_side(self):
+        assert select_source_query(self._triplet(ONE_NEG_SIDE)).name == "qRSnT"
+
+    def test_normalization_swaps_lone_negative_x_side(self):
+        triplet = self._triplet(NEG_SIDE_ON_X)
+        normalized = normalize_triplet(triplet)
+        assert not normalized.atom_x.negated
+        assert normalized.atom_y.negated or not triplet.atom_x.negated
+
+    def test_unsafe_triplet_rejected(self):
+        q = parse_query("q() :- A(x), not B(x, y), not C(y), D(y)")
+        # Construct a deliberately unsafe triplet: negative middle +
+        # negative side.
+        triplet = NonHierarchicalTriplet(
+            q.atoms[0], q.atoms[1], q.atoms[2], *_xy(q)
+        )
+        with pytest.raises(ValueError):
+            select_source_query(triplet)
+
+
+def _xy(query):
+    from repro.core.query import Variable
+
+    return Variable("x"), Variable("y")
+
+
+class TestEmbedding:
+    @pytest.mark.parametrize(
+        "query",
+        [ALL_POSITIVE, ONE_NEG_SIDE, NEG_SIDE_ON_X, TWO_NEG_SIDES, NEG_MIDDLE],
+        ids=["positive", "one-neg-side", "neg-x-side", "two-neg-sides", "neg-middle"],
+    )
+    def test_shapley_preserved(self, query):
+        rng = random.Random(hash(repr(query)) % (2**31))
+        for _ in range(3):
+            source_db = random_rst_database(2, 2, rng=rng)
+            instance = embed_rst_instance(query, source_db)
+            for f in sorted(source_db.endogenous, key=repr):
+                source_value = shapley_brute_force(
+                    source_db, instance.source_query, f
+                )
+                embedded_value = shapley_brute_force(
+                    instance.database, query, instance.fact_map[f]
+                )
+                assert source_value == embedded_value, (query, f)
+
+    def test_endogenous_count_preserved(self):
+        source_db = random_rst_database(3, 2, rng=random.Random(1))
+        instance = embed_rst_instance(ALL_POSITIVE, source_db)
+        assert len(instance.database.endogenous) == len(source_db.endogenous)
+
+    def test_rejects_hierarchical_query(self):
+        q = parse_query("q() :- A(x), B(x, y)")
+        with pytest.raises(ValueError):
+            embed_rst_instance(q, random_rst_database(2, 2, rng=random.Random(2)))
+
+    def test_rejects_self_joins(self):
+        q = parse_query("q() :- A(x), B(x, y), A(y)")
+        with pytest.raises(SelfJoinError):
+            embed_rst_instance(q, random_rst_database(2, 2, rng=random.Random(3)))
+
+    def test_rejects_endogenous_s(self):
+        from repro.core.database import Database
+        from repro.core.facts import fact
+
+        bad = Database(
+            endogenous=[fact("S", 1, 2), fact("R", 1), fact("T", 2)]
+        )
+        with pytest.raises(ValueError):
+            embed_rst_instance(ALL_POSITIVE, bad)

@@ -1,0 +1,90 @@
+"""Unit tests for the gap-property constructions (Section 5.1, Theorem 5.1)."""
+
+from fractions import Fraction
+from math import factorial
+
+import pytest
+
+from repro.core.evaluation import holds
+from repro.core.parser import parse_query
+from repro.reductions.gap import (
+    expected_gap_value,
+    gap_instance,
+    theorem_5_1_family,
+)
+from repro.shapley.brute_force import shapley_brute_force
+from repro.workloads.queries import gap_query, q_nr_s_nt
+
+
+class TestSection51Family:
+    def test_closed_form(self):
+        for n in (1, 2, 5):
+            assert expected_gap_value(n) == Fraction(
+                factorial(n) ** 2, factorial(2 * n + 1)
+            )
+
+    def test_shapley_matches_closed_form(self):
+        for n in (1, 2, 3):
+            inst = gap_instance(n)
+            assert shapley_brute_force(inst.database, inst.query, inst.target) == (
+                inst.expected_value
+            )
+
+    def test_exponential_decay(self):
+        # The paper's bound: value ≤ 2^-n for n ≥ ... (here: strictly
+        # decreasing and below 1/2^n from n = 2 on).
+        for n in (2, 3, 4, 5):
+            assert expected_gap_value(n) <= Fraction(1, 2**n)
+            assert expected_gap_value(n) < expected_gap_value(n - 1)
+
+    def test_structure(self):
+        inst = gap_instance(3)
+        assert len(inst.database.endogenous) == 2 * 3 + 1
+        # Dx satisfies q (the paper's first observation).
+        assert holds(inst.query, list(inst.database.exogenous))
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            gap_instance(0)
+        with pytest.raises(ValueError):
+            expected_gap_value(0)
+
+
+class TestTheorem51General:
+    def test_on_gap_query(self):
+        family = theorem_5_1_family(gap_query(), 2)
+        value = shapley_brute_force(family.database, family.query, family.target)
+        assert value != 0
+        assert abs(value) <= family.upper_bound
+
+    def test_on_q_nr_s_nt(self):
+        family = theorem_5_1_family(q_nr_s_nt(), 2)
+        value = shapley_brute_force(family.database, family.query, family.target)
+        assert value != 0
+        assert abs(value) <= family.upper_bound
+
+    def test_on_negated_guard_query(self):
+        q = parse_query("q() :- R(x, y), not T(x)")
+        family = theorem_5_1_family(q, 2)
+        value = shapley_brute_force(family.database, family.query, family.target)
+        assert value != 0
+        assert abs(value) <= family.upper_bound
+
+    def test_database_size_is_linear(self):
+        small = theorem_5_1_family(gap_query(), 1)
+        large = theorem_5_1_family(gap_query(), 3)
+        assert len(large.database.endogenous) == 2 * 3 + 1
+        assert len(small.database.endogenous) == 2 * 1 + 1
+
+    def test_preconditions_enforced(self):
+        with pytest.raises(ValueError):
+            theorem_5_1_family(parse_query("q() :- R(x)"), 2)  # no negation
+        with pytest.raises(ValueError):
+            theorem_5_1_family(parse_query("q() :- R(x, 1), not T(x)"), 2)  # constant
+        with pytest.raises(ValueError):
+            # Not positively connected: x and y only linked via ¬T.
+            theorem_5_1_family(
+                parse_query("q() :- R(x), S(y), not T(x, y)"), 2
+            )
+        with pytest.raises(ValueError):
+            theorem_5_1_family(gap_query(), 0)

@@ -1,0 +1,177 @@
+"""Unit tests for the Lemma B.3 independent-set counting reduction."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.reductions.independent_set import (
+    BipartiteGraph,
+    closure_counts,
+    independent_set_count,
+    instance_d0,
+    instance_dr,
+    random_bipartite_graph,
+    recover_independent_set_count,
+    solve_linear_system,
+)
+
+
+@pytest.fixture
+def path_graph() -> BipartiteGraph:
+    # a0 - b0 - a1 (as a bipartite graph: edges (a0,b0), (a1,b0)).
+    return BipartiteGraph(
+        ("a0", "a1"), ("b0",), frozenset({("a0", "b0"), ("a1", "b0")})
+    )
+
+
+class TestGraph:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BipartiteGraph(("v",), ("v",), frozenset())
+        with pytest.raises(ValueError):
+            BipartiteGraph(("a",), ("b",), frozenset({("b", "a")}))
+
+    def test_isolated_detection(self, path_graph):
+        assert not path_graph.has_isolated_vertex()
+        lonely = BipartiteGraph(("a", "c"), ("b",), frozenset({("a", "b")}))
+        assert lonely.has_isolated_vertex()
+
+    def test_random_generator_never_isolated(self, rng):
+        for _ in range(10):
+            g = random_bipartite_graph(3, 3, edge_probability=0.2, rng=rng)
+            assert not g.has_isolated_vertex()
+
+
+class TestGroundTruth:
+    def test_path_graph_counts(self, path_graph):
+        # Independent sets of a0-b0-a1: {}, {a0}, {a1}, {b0}, {a0,a1} = 5.
+        assert independent_set_count(path_graph) == 5
+
+    def test_closure_bijection(self, path_graph, rng):
+        assert sum(closure_counts(path_graph)) == 5
+        for _ in range(5):
+            g = random_bipartite_graph(3, 2, rng=rng)
+            assert sum(closure_counts(g)) == independent_set_count(g)
+
+
+class TestInstances:
+    def test_d0_structure(self, path_graph):
+        db, target = instance_d0(path_graph)
+        assert target in db.endogenous
+        assert len(db.endogenous) == path_graph.size + 1
+        # S(a, 0) present for every left vertex.
+        assert all(
+            any(item.args == (a, "0") for item in db.relation("S"))
+            for a in path_graph.left
+        )
+
+    def test_dr_structure(self, path_graph):
+        db, target = instance_dr(path_graph, 2)
+        assert len(db.endogenous) == path_graph.size + 1 + 2
+        with pytest.raises(ValueError):
+            instance_dr(path_graph, 0)
+
+
+class TestLinearSystem:
+    def test_solves_identity(self):
+        matrix = [[Fraction(1), Fraction(0)], [Fraction(0), Fraction(1)]]
+        assert solve_linear_system(matrix, [Fraction(3), Fraction(4)]) == [3, 4]
+
+    def test_solves_dense(self):
+        matrix = [[Fraction(2), Fraction(1)], [Fraction(1), Fraction(3)]]
+        solution = solve_linear_system(matrix, [Fraction(5), Fraction(10)])
+        assert solution == [Fraction(1), Fraction(3)]
+
+    def test_rejects_singular(self):
+        matrix = [[Fraction(1), Fraction(1)], [Fraction(2), Fraction(2)]]
+        with pytest.raises(ArithmeticError):
+            solve_linear_system(matrix, [Fraction(1), Fraction(2)])
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            solve_linear_system([[Fraction(1)]], [Fraction(1), Fraction(2)])
+
+
+class TestRecovery:
+    def test_path_graph_recovery(self, path_graph):
+        assert recover_independent_set_count(path_graph) == 5
+
+    def test_random_graphs(self, rng):
+        for _ in range(2):
+            g = random_bipartite_graph(2, 2, rng=rng)
+            assert recover_independent_set_count(g) == independent_set_count(g)
+
+    def test_rejects_isolated(self):
+        lonely = BipartiteGraph(("a", "c"), ("b",), frozenset({("a", "b")}))
+        with pytest.raises(ValueError):
+            recover_independent_set_count(lonely)
+
+
+class TestPermutationFormulas:
+    """The closed-form permutation counts inside the Lemma B.3 proof."""
+
+    def _transition_counts(self, db, target):
+        """(P00, P11, P10) by enumerating all permutations of Dn."""
+        import itertools
+
+        from repro.core.evaluation import holds
+        from repro.workloads.queries import q_rs_nt
+
+        query = q_rs_nt()
+        endo = sorted(db.endogenous, key=repr)
+        exogenous = list(db.exogenous)
+        p00 = p11 = p10 = 0
+        for permutation in itertools.permutations(endo):
+            prefix = []
+            for item in permutation:
+                if item == target:
+                    break
+                prefix.append(item)
+            before = holds(query, exogenous + prefix)
+            after = holds(query, exogenous + prefix + [target])
+            if not before and not after:
+                p00 += 1
+            elif before and after:
+                p11 += 1
+            elif before and not after:
+                p10 += 1
+        return p00, p11, p10
+
+    def test_d0_p00_closed_form(self, path_graph):
+        # P0→0 = (N+1)!/(m+1): T(0) precedes every left-vertex R fact.
+        from math import factorial
+
+        db, target = instance_d0(path_graph)
+        p00, p11, p10 = self._transition_counts(db, target)
+        n_total = path_graph.size
+        m = len(path_graph.left)
+        assert p00 == factorial(n_total + 1) // (m + 1)
+        # Only 0→0, 1→1, 1→0 can occur (f never turns qRS¬T true).
+        assert p00 + p11 + p10 == factorial(n_total + 1)
+
+    def test_d0_shapley_from_transitions(self, path_graph):
+        from fractions import Fraction
+        from math import factorial
+
+        from repro.shapley.brute_force import shapley_brute_force
+        from repro.workloads.queries import q_rs_nt
+
+        db, target = instance_d0(path_graph)
+        _, _, p10 = self._transition_counts(db, target)
+        total = factorial(path_graph.size + 1)
+        assert shapley_brute_force(db, q_rs_nt(), target) == -Fraction(p10, total)
+
+    def test_dr_p00_matches_closure_sum(self, path_graph):
+        # P^r_0→0 = Σ_k |S(g, k)| · k! · (N − k + r)!  (the linear system's rows).
+        from math import factorial
+
+        r = 1
+        db, target = instance_dr(path_graph, r)
+        p00, _, _ = self._transition_counts(db, target)
+        n_total = path_graph.size
+        closures = closure_counts(path_graph)
+        expected = sum(
+            closures[k] * factorial(k) * factorial(n_total - k + r)
+            for k in range(n_total + 1)
+        )
+        assert p00 == expected

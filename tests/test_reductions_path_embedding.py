@@ -1,0 +1,85 @@
+"""Unit tests for the Appendix C path-based embedding (Theorem 4.3 hardness)."""
+
+import random
+
+import pytest
+
+from repro.core.errors import SelfJoinError
+from repro.core.parser import parse_query
+from repro.reductions.path_embedding import embed_rst_instance_via_path
+from repro.reductions.shapley_reductions import random_rst_database
+from repro.shapley.brute_force import shapley_brute_force
+from repro.workloads.queries import (
+    SECTION_4_EXOGENOUS,
+    academic_query,
+    section_4_q,
+    section_4_q_prime,
+)
+
+
+class TestPreconditions:
+    def test_rejects_query_without_path(self):
+        db = random_rst_database(2, 2, rng=random.Random(0))
+        with pytest.raises(ValueError):
+            embed_rst_instance_via_path(section_4_q(), db, SECTION_4_EXOGENOUS)
+
+    def test_rejects_self_joins(self):
+        q = parse_query("q() :- A(x), B(x, y), A(y)")
+        db = random_rst_database(2, 2, rng=random.Random(1))
+        with pytest.raises(SelfJoinError):
+            embed_rst_instance_via_path(q, db)
+
+    def test_rejects_endogenous_s(self):
+        from repro.core.database import Database
+        from repro.core.facts import fact
+
+        bad = Database(endogenous=[fact("S", 1, 2), fact("R", 1), fact("T", 2)])
+        with pytest.raises(ValueError):
+            embed_rst_instance_via_path(academic_query(), bad)
+
+
+class TestShapleyPreservation:
+    @pytest.mark.parametrize(
+        "query, exogenous",
+        [
+            (academic_query(), frozenset()),
+            (section_4_q_prime(), SECTION_4_EXOGENOUS),
+            (
+                parse_query("q() :- Stud(x), not TA2(x), Reg(x, y), not Course(y)"),
+                frozenset(),
+            ),
+        ],
+        ids=["academic", "section4-qprime", "negated-q2-shape"],
+    )
+    def test_values_preserved(self, query, exogenous):
+        rng = random.Random(5)
+        source_db = random_rst_database(2, 2, rng=rng)
+        instance = embed_rst_instance_via_path(query, source_db, exogenous)
+        for f in sorted(source_db.endogenous, key=repr):
+            assert shapley_brute_force(
+                source_db, instance.source_query, f
+            ) == shapley_brute_force(
+                instance.database, query, instance.fact_map[f]
+            ), f
+
+    def test_path_variables_receive_pair_values(self):
+        rng = random.Random(6)
+        source_db = random_rst_database(2, 2, rng=rng)
+        instance = embed_rst_instance_via_path(
+            section_4_q_prime(), source_db, SECTION_4_EXOGENOUS
+        )
+        # q' routes x—z—y through the exogenous atoms: interior var z.
+        assert instance.path_variables
+        pair_values = {
+            value
+            for item in instance.database.facts
+            for value in item.args
+            if isinstance(value, tuple)
+        }
+        assert pair_values  # ⟨a, b⟩ markers present
+
+    def test_endogenous_count_preserved(self):
+        rng = random.Random(7)
+        source_db = random_rst_database(3, 2, rng=rng)
+        instance = embed_rst_instance_via_path(academic_query(), source_db)
+        assert len(instance.database.endogenous) == len(source_db.endogenous)

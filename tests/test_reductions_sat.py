@@ -1,0 +1,126 @@
+"""Unit tests for the CNF-to-relevance gadgets (Propositions 5.5 and 5.8)."""
+
+import random
+
+import pytest
+
+from repro.core.evaluation import holds
+from repro.logic.cnf import CnfFormula
+from repro.logic.generators import random_2p2n4, random_3cnf
+from repro.logic.solver import is_satisfiable, solve
+from repro.reductions.sat_to_relevance import (
+    q_rst_nr_instance,
+    q_rst_nr_witness_coalition,
+    q_sat_instance,
+    q_sat_witness_coalition,
+)
+from repro.relevance.brute_force import is_relevant_brute_force
+
+
+class TestProposition55:
+    def test_figure_4_example(self):
+        # (x1 ∨ x2) ∧ (¬x1 ∨ ¬x3) ∧ (x3 ∨ x4 ∨ ¬x1 ∨ ¬x2), satisfiable.
+        phi = CnfFormula.from_lists([[1, 2], [-1, -3], [3, 4, -1, -2]])
+        inst = q_rst_nr_instance(phi)
+        # The database of Figure 4: S facts encode the three clauses.
+        s_tuples = {item.args for item in inst.database.relation("S")}
+        assert (1, 2, "a", "a") in s_tuples
+        assert ("b", "b", 1, 3) in s_tuples
+        assert (3, 4, 1, 2) in s_tuples
+        assert ("d", "d", "c", "c") in s_tuples
+        assert is_relevant_brute_force(inst.database, inst.query, inst.target)
+
+    def test_exogenous_satisfies_query_initially(self):
+        phi = CnfFormula.from_lists([[1, 2]])
+        inst = q_rst_nr_instance(phi)
+        assert holds(inst.query, list(inst.database.exogenous))
+
+    def test_paper_witness_coalition(self):
+        phi = CnfFormula.from_lists([[1, 2], [-1, -3], [3, 4, -1, -2]])
+        inst = q_rst_nr_instance(phi)
+        # The paper's example assignment: x2 = x3 = 1, x1 = x4 = 0.
+        coalition = q_rst_nr_witness_coalition(
+            inst, {1: False, 2: True, 3: True, 4: False}
+        )
+        exogenous = list(inst.database.exogenous)
+        chosen = list(coalition)
+        assert not holds(inst.query, exogenous + chosen)
+        assert holds(inst.query, exogenous + chosen + [inst.target])
+
+    def test_unsatisfiable_formula_not_relevant(self):
+        # (x1 ∨ x2) ∧ ¬x1-ish contradictions via 2- clauses.
+        phi = CnfFormula.from_lists([[1, 2], [-1, -1], [-2, -2]])
+        assert not is_satisfiable(phi)
+        inst = q_rst_nr_instance(phi)
+        assert not is_relevant_brute_force(inst.database, inst.query, inst.target)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_equivalence_with_sat(self, seed):
+        rng = random.Random(seed)
+        phi = random_2p2n4(4, rng.randint(2, 5), rng=rng)
+        inst = q_rst_nr_instance(phi)
+        assert is_satisfiable(phi) == is_relevant_brute_force(
+            inst.database, inst.query, inst.target
+        )
+
+    def test_witness_from_solver_model(self, rng):
+        phi = random_2p2n4(4, 3, rng=rng)
+        model = solve(phi)
+        if model is None:
+            pytest.skip("sampled formula unsatisfiable")
+        inst = q_rst_nr_instance(phi)
+        coalition = q_rst_nr_witness_coalition(inst, model)
+        exogenous = list(inst.database.exogenous)
+        assert not holds(inst.query, exogenous + list(coalition))
+        assert holds(inst.query, exogenous + list(coalition) + [inst.target])
+
+    def test_rejects_wrong_class(self):
+        with pytest.raises(ValueError):
+            q_rst_nr_instance(CnfFormula.from_lists([[1, 2, 3]]))
+        with pytest.raises(ValueError):
+            # No 2+ clause.
+            q_rst_nr_instance(CnfFormula.from_lists([[-1, -2]]))
+
+
+class TestProposition58:
+    def test_satisfiable_formula_relevant(self):
+        phi = CnfFormula.from_lists([[1, 2, 3], [-1, -2, 3]])
+        inst = q_sat_instance(phi)
+        assert is_relevant_brute_force(inst.database, inst.query, inst.target)
+
+    def test_unsatisfiable_formula_not_relevant(self):
+        # All eight sign patterns over three variables: unsatisfiable.
+        signs = [
+            [s1 * 1, s2 * 2, s3 * 3]
+            for s1 in (1, -1)
+            for s2 in (1, -1)
+            for s3 in (1, -1)
+        ]
+        phi = CnfFormula.from_lists(signs)
+        assert not is_satisfiable(phi)
+        inst = q_sat_instance(phi)
+        assert not is_relevant_brute_force(inst.database, inst.query, inst.target)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_equivalence_with_sat(self, seed):
+        rng = random.Random(seed)
+        phi = random_3cnf(4, rng.randint(2, 6), rng=rng)
+        inst = q_sat_instance(phi)
+        assert is_satisfiable(phi) == is_relevant_brute_force(
+            inst.database, inst.query, inst.target
+        )
+
+    def test_witness_from_solver_model(self, rng):
+        phi = random_3cnf(4, 3, rng=rng)
+        model = solve(phi)
+        if model is None:
+            pytest.skip("sampled formula unsatisfiable")
+        inst = q_sat_instance(phi)
+        coalition = q_sat_witness_coalition(inst, model)
+        exogenous = list(inst.database.exogenous)
+        assert not holds(inst.query, exogenous + list(coalition))
+        assert holds(inst.query, exogenous + list(coalition) + [inst.target])
+
+    def test_rejects_non_3cnf(self):
+        with pytest.raises(ValueError):
+            q_sat_instance(CnfFormula.from_lists([[1, 2]]))

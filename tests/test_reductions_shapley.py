@@ -1,0 +1,62 @@
+"""Unit tests for the Lemma B.1 / B.2 query reductions."""
+
+import random
+
+import pytest
+
+from repro.core.facts import fact
+from repro.reductions.shapley_reductions import (
+    complement_s_instance,
+    negate_rt_instance,
+    random_rst_database,
+)
+from repro.shapley.brute_force import shapley_brute_force
+from repro.workloads.queries import q_nr_s_nt, q_r_ns_t, q_rst
+
+
+class TestRandomInstance:
+    def test_premises_hold(self, rng):
+        db = random_rst_database(4, 3, rng=rng)
+        for item in db.relation("S"):
+            assert db.is_exogenous(item)
+            a, b = item.args
+            assert fact("R", a) in db
+            assert fact("T", b) in db
+
+    def test_default_all_rt_endogenous(self, rng):
+        db = random_rst_database(4, 3, rng=rng)
+        for item in db.relation("R") | db.relation("T"):
+            assert db.is_endogenous(item)
+
+
+class TestLemmaB1:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_negation_flips_sign(self, seed):
+        rng = random.Random(seed)
+        db = random_rst_database(3, 3, rng=rng)
+        mirrored = negate_rt_instance(db)
+        for f in sorted(db.endogenous, key=repr):
+            assert shapley_brute_force(db, q_rst(), f) == -shapley_brute_force(
+                mirrored, q_nr_s_nt(), f
+            ), f
+
+
+class TestLemmaB2:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_complement_preserves_value(self, seed):
+        rng = random.Random(seed)
+        db = random_rst_database(3, 3, rng=rng)
+        complemented = complement_s_instance(db)
+        for f in sorted(db.endogenous, key=repr):
+            assert shapley_brute_force(db, q_rst(), f) == shapley_brute_force(
+                complemented, q_r_ns_t(), f
+            ), f
+
+    def test_complement_structure(self, rng):
+        db = random_rst_database(3, 2, edge_probability=0.5, rng=rng)
+        complemented = complement_s_instance(db)
+        original_edges = {item.args for item in db.relation("S")}
+        complement_edges = {item.args for item in complemented.relation("S")}
+        assert not original_edges & complement_edges
+        assert len(original_edges) + len(complement_edges) == 3 * 2
+        assert complemented.endogenous == db.endogenous

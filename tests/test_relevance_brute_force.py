@@ -1,0 +1,68 @@
+"""Unit tests for the brute-force relevance oracle."""
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.facts import fact
+from repro.core.parser import parse_query, parse_ucq
+from repro.relevance.brute_force import (
+    find_relevance_witness,
+    is_negatively_relevant_brute_force,
+    is_positively_relevant_brute_force,
+    is_relevant_brute_force,
+)
+
+
+class TestWitness:
+    def test_positive_witness(self):
+        q = parse_query("q() :- R(x), S(x)")
+        db = Database(endogenous=[fact("R", 1), fact("S", 1)])
+        witness = find_relevance_witness(db, q, fact("R", 1))
+        assert witness is not None
+        assert witness.positive
+        assert witness.subset == {fact("S", 1)}
+
+    def test_negative_witness(self):
+        q = parse_query("q() :- R(x), not T(x)")
+        db = Database(endogenous=[fact("T", 1)], exogenous=[fact("R", 1)])
+        witness = find_relevance_witness(db, q, fact("T", 1))
+        assert witness is not None
+        assert not witness.positive
+        assert witness.subset == frozenset()
+
+    def test_direction_filter(self):
+        q = parse_query("q() :- R(x)")
+        db = Database(endogenous=[fact("R", 1)])
+        assert find_relevance_witness(db, q, fact("R", 1), positive=True)
+        assert find_relevance_witness(db, q, fact("R", 1), positive=False) is None
+
+    def test_example_5_3_both_directions(self):
+        q = parse_query("q() :- R(x, y), not R(y, x)")
+        db = Database(endogenous=[fact("R", 1, 2), fact("R", 2, 1)])
+        f = fact("R", 1, 2)
+        assert is_positively_relevant_brute_force(db, q, f)
+        assert is_negatively_relevant_brute_force(db, q, f)
+        assert is_relevant_brute_force(db, q, f)
+
+    def test_irrelevant(self):
+        q = parse_query("q() :- R(x), S(x)")
+        db = Database(endogenous=[fact("R", 1)])  # S empty: no way to satisfy
+        assert not is_relevant_brute_force(db, q, fact("R", 1))
+
+    def test_ucq_supported(self):
+        u = parse_ucq("R(x) | S(x)")
+        db = Database(endogenous=[fact("R", 1)], exogenous=[fact("S", 1)])
+        # The union is already true exogenously: R(1) cannot flip it.
+        assert not is_relevant_brute_force(db, u, fact("R", 1))
+
+    def test_rejects_non_endogenous(self):
+        q = parse_query("q() :- R(x)")
+        db = Database(exogenous=[fact("R", 1)])
+        with pytest.raises(ValueError):
+            is_relevant_brute_force(db, q, fact("R", 1))
+
+    def test_size_guard(self):
+        q = parse_query("q() :- R(x)")
+        db = Database(endogenous=[fact("R", i) for i in range(30)])
+        with pytest.raises(ValueError):
+            is_relevant_brute_force(db, q, fact("R", 0))

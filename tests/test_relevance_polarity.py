@@ -1,0 +1,67 @@
+"""Unit tests for polarity-consistency analysis (Section 5.2)."""
+
+from repro.core.database import Database
+from repro.core.facts import fact
+from repro.core.parser import parse_query
+from repro.relevance.polarity import (
+    fact_is_polarity_consistent,
+    is_polarity_consistent,
+    negative_endogenous_facts,
+    negative_relation_names,
+    polarity,
+    zero_shapley_iff_irrelevant,
+)
+from repro.workloads.queries import q_rst_nr, q_sat
+from repro.workloads.running_example import query_q1, query_q2, query_q3, query_q4
+
+
+class TestQueryPolarity:
+    def test_example_5_4(self):
+        # q1-q3 polarity consistent; q4 mixes TA and Reg.
+        assert is_polarity_consistent(query_q1())
+        assert is_polarity_consistent(query_q2())
+        assert is_polarity_consistent(query_q3())
+        assert not is_polarity_consistent(query_q4())
+
+    def test_q4_mixed_relations(self):
+        q4 = query_q4()
+        assert polarity(q4, "Adv") == "positive"
+        assert polarity(q4, "TA") == "both"
+        assert polarity(q4, "Reg") == "both"
+
+    def test_q_rst_nr_mixed_r(self):
+        # Proposition 5.5: the query is not polarity consistent (R mixed)
+        # although the target relation T is.
+        q = q_rst_nr()
+        assert not is_polarity_consistent(q)
+        assert polarity(q, "R") == "both"
+        assert polarity(q, "T") == "positive"
+
+    def test_qsat_union_polarity(self):
+        u = q_sat()
+        assert all(d.is_polarity_consistent for d in u.disjuncts)
+        assert not is_polarity_consistent(u)
+        assert polarity(u, "T") == "both"
+        assert polarity(u, "R") == "positive"
+
+
+class TestFactPolarity:
+    def test_zero_iff_irrelevant_criterion(self):
+        q4 = query_q4()
+        assert zero_shapley_iff_irrelevant(q4, fact("Adv", "a", "b"))
+        assert not zero_shapley_iff_irrelevant(q4, fact("TA", "a"))
+        assert fact_is_polarity_consistent(q4, fact("Adv", "a", "b"))
+
+
+class TestNegq:
+    def test_negative_relations(self):
+        assert negative_relation_names(query_q2()) == {"TA", "Course"}
+        assert negative_relation_names(q_sat()) == {"T"}
+
+    def test_negative_endogenous_facts(self):
+        q = parse_query("q() :- R(x), not T(x), not U(x)")
+        db = Database(
+            endogenous=[fact("R", 1), fact("T", 1), fact("U", 2)],
+            exogenous=[fact("T", 2)],
+        )
+        assert negative_endogenous_facts(q, db) == {fact("T", 1), fact("U", 2)}

@@ -1,0 +1,183 @@
+"""The paper's running example, reproduced exactly (Figure 1, Example 2.3).
+
+This is the library's E1 experiment in test form: every number the paper
+reports for q1 on the Figure 1 database is checked against both the
+polynomial algorithm and the brute-force oracle.
+"""
+
+from fractions import Fraction
+
+from repro.core.evaluation import holds
+from repro.core.hierarchy import is_hierarchical
+from repro.shapley.brute_force import shapley_all_brute_force
+from repro.shapley.exact import shapley_hierarchical
+from repro.workloads.running_example import (
+    EXAMPLE_2_3_SHAPLEY,
+    F_R1,
+    F_R2,
+    F_R3,
+    F_R4,
+    F_R5,
+    F_T1,
+    F_T2,
+    F_T3,
+    figure_1_database,
+    query_q1,
+    query_q2,
+    query_q3,
+    query_q4,
+)
+
+
+class TestFigure1:
+    def test_shape(self):
+        db = figure_1_database()
+        assert len(db.relation("Stud")) == 4
+        assert len(db.relation("TA")) == 3
+        assert len(db.relation("Course")) == 4
+        assert len(db.relation("Reg")) == 5
+        assert len(db.relation("Adv")) == 4
+        assert len(db.endogenous) == 8
+
+    def test_exogenous_split_of_example_2_3(self):
+        db = figure_1_database()
+        for name in ("Stud", "Course", "Adv"):
+            assert db.relation_is_exogenous(name)
+        for item in db.relation("TA") | db.relation("Reg"):
+            assert db.is_endogenous(item)
+
+    def test_dx_does_not_satisfy_q1(self):
+        db = figure_1_database()
+        assert not holds(query_q1(), list(db.exogenous))
+        assert holds(query_q1(), db)
+
+
+class TestExample23Values:
+    def test_paper_values_exact_by_brute_force(self):
+        db = figure_1_database()
+        values = shapley_all_brute_force(db, query_q1())
+        assert values == EXAMPLE_2_3_SHAPLEY
+
+    def test_paper_values_exact_by_polynomial_algorithm(self):
+        db = figure_1_database()
+        for f, expected in EXAMPLE_2_3_SHAPLEY.items():
+            assert shapley_hierarchical(db, query_q1(), f) == expected, f
+
+    def test_sum_is_one(self):
+        assert sum(EXAMPLE_2_3_SHAPLEY.values()) == 1
+
+    def test_adam_hurts_more_than_ben(self):
+        # |Shapley(f_t1)| > |Shapley(f_t2)|: Adam being a TA matters more.
+        assert abs(EXAMPLE_2_3_SHAPLEY[F_T1]) > abs(EXAMPLE_2_3_SHAPLEY[F_T2])
+
+    def test_david_is_null_player(self):
+        assert EXAMPLE_2_3_SHAPLEY[F_T3] == 0
+
+    def test_signs_by_polarity(self):
+        # Reg facts only help (≥ 0), TA facts only hurt (≤ 0).
+        for f, value in EXAMPLE_2_3_SHAPLEY.items():
+            if f.relation == "Reg":
+                assert value > 0
+            else:
+                assert value <= 0
+
+    def test_specific_fractions(self):
+        assert EXAMPLE_2_3_SHAPLEY[F_T1] == Fraction(-3, 28)
+        assert EXAMPLE_2_3_SHAPLEY[F_T2] == Fraction(-2, 35)
+        assert EXAMPLE_2_3_SHAPLEY[F_R1] == Fraction(37, 210)
+        assert EXAMPLE_2_3_SHAPLEY[F_R3] == Fraction(27, 140)
+
+
+class TestExample22Structure:
+    def test_hierarchy_claims(self):
+        assert is_hierarchical(query_q1())
+        assert not is_hierarchical(query_q2())
+
+    def test_self_join_claims(self):
+        assert query_q1().is_self_join_free
+        assert query_q2().is_self_join_free
+        assert query_q3().has_self_joins
+        assert query_q4().has_self_joins
+
+
+def _flip_subsets(db, query, target, positive):
+    """All E ⊆ Dn∖{f} where adding f flips the query (the paper's listings)."""
+    import itertools
+
+    from repro.core.evaluation import holds
+
+    others = sorted(db.endogenous - {target}, key=repr)
+    exogenous = list(db.exogenous)
+    found = []
+    for size in range(len(others) + 1):
+        for subset in itertools.combinations(others, size):
+            chosen = list(subset)
+            before = holds(query, exogenous + chosen)
+            after = holds(query, exogenous + chosen + [target])
+            if before != after and (after if positive else before):
+                found.append(frozenset(subset))
+    return found
+
+
+class TestExample23WitnessSubsets:
+    """The exact subset listings in Example 2.3's derivations."""
+
+    def test_f_t2_witness_subsets(self):
+        # The paper: f_t2 flips true→false after exactly {f_r3},
+        # {f_r3, f_t1}, {f_r3, f_r1, f_t1}, {f_r3, f_r2, f_t1},
+        # {f_r3, f_r2, f_r1, f_t1} — each optionally extended by f_t3.
+        db = figure_1_database()
+        base = [
+            frozenset({F_R3}),
+            frozenset({F_R3, F_T1}),
+            frozenset({F_R3, F_R1, F_T1}),
+            frozenset({F_R3, F_R2, F_T1}),
+            frozenset({F_R3, F_R2, F_R1, F_T1}),
+        ]
+        expected = {s for s in base} | {s | {F_T3} for s in base}
+        found = set(_flip_subsets(db, query_q1(), F_T2, positive=False))
+        assert found == expected
+
+    def test_f_t1_witness_subsets(self):
+        # Nine base subsets listed in the paper, doubled by f_t3.
+        db = figure_1_database()
+        base = [
+            frozenset({F_R1}),
+            frozenset({F_R2}),
+            frozenset({F_R1, F_R2}),
+            frozenset({F_R1, F_T2}),
+            frozenset({F_R2, F_T2}),
+            frozenset({F_R1, F_R2, F_T2}),
+            frozenset({F_R1, F_R3, F_T2}),
+            frozenset({F_R2, F_R3, F_T2}),
+            frozenset({F_R1, F_R2, F_R3, F_T2}),
+        ]
+        expected = {s for s in base} | {s | {F_T3} for s in base}
+        found = set(_flip_subsets(db, query_q1(), F_T1, positive=False))
+        assert found == expected
+
+    def test_f_r3_witness_subsets(self):
+        # Appendix A: ∅, {f_t1}, {f_r1, f_t1}, {f_r2, f_t1},
+        # {f_r1, f_r2, f_t1}, each optionally with f_t3 — ten subsets.
+        db = figure_1_database()
+        base = [
+            frozenset(),
+            frozenset({F_T1}),
+            frozenset({F_R1, F_T1}),
+            frozenset({F_R2, F_T1}),
+            frozenset({F_R1, F_R2, F_T1}),
+        ]
+        expected = {s for s in base} | {s | {F_T3} for s in base}
+        found = set(_flip_subsets(db, query_q1(), F_R3, positive=True))
+        assert found == expected
+
+    def test_f_r4_witness_count(self):
+        # Appendix A counts thirty subsets for f_r4.
+        db = figure_1_database()
+        found = _flip_subsets(db, query_q1(), F_R4, positive=True)
+        assert len(found) == 30
+
+    def test_f_t3_has_no_witnesses(self):
+        db = figure_1_database()
+        assert _flip_subsets(db, query_q1(), F_T3, positive=True) == []
+        assert _flip_subsets(db, query_q1(), F_T3, positive=False) == []

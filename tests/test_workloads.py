@@ -1,0 +1,99 @@
+"""Unit tests for workload generators and canonical queries."""
+
+import random
+
+from repro.core.hierarchy import is_hierarchical
+from repro.workloads.generators import (
+    export_database,
+    random_database_for_query,
+    random_hierarchical_query,
+    random_self_join_free_query,
+    star_join_database,
+)
+from repro.workloads.queries import (
+    example_4_2_q,
+    example_4_2_q_prime,
+    gap_query,
+    intro_export_query,
+    q_nr_s_nt,
+    q_r_ns_t,
+    q_rs_nt,
+    q_rst,
+    q_rst_nr,
+    q_sat,
+)
+
+
+class TestCanonicalQueries:
+    def test_rst_family_shapes(self):
+        assert [a.negated for a in q_rst().atoms] == [False, False, False]
+        assert [a.negated for a in q_nr_s_nt().atoms] == [True, False, True]
+        assert [a.negated for a in q_r_ns_t().atoms] == [False, True, False]
+        assert [a.negated for a in q_rs_nt().atoms] == [False, False, True]
+
+    def test_all_safe_and_boolean(self):
+        for q in (
+            q_rst(), q_nr_s_nt(), q_r_ns_t(), q_rs_nt(), gap_query(),
+            q_rst_nr(), intro_export_query(), example_4_2_q(),
+            example_4_2_q_prime(),
+        ):
+            assert q.is_boolean
+
+    def test_gap_query_self_join(self):
+        assert gap_query().has_self_joins
+
+    def test_q_sat_four_disjuncts(self):
+        assert len(q_sat().disjuncts) == 4
+
+
+class TestRandomDatabase:
+    def test_respects_exogenous_relations(self, rng):
+        q = q_rst()
+        db = random_database_for_query(
+            q, exogenous_relations=("S",), fill_probability=0.9, rng=rng
+        )
+        assert db.relation_is_exogenous("S")
+
+    def test_constants_enter_domain(self, rng):
+        from repro.core.parser import parse_query
+
+        q = parse_query("q() :- R(x, 'special')")
+        db = random_database_for_query(q, fill_probability=0.9, rng=rng)
+        assert any("special" in item.args for item in db.facts)
+
+    def test_schema_matches_query(self, rng):
+        q = example_4_2_q_prime()
+        db = random_database_for_query(q, fill_probability=0.8, rng=rng)
+        assert db.relation_names <= q.relation_names
+
+
+class TestRandomQueries:
+    def test_hierarchical_generator_properties(self):
+        rng = random.Random(5)
+        for _ in range(40):
+            q = random_hierarchical_query(rng=rng)
+            assert is_hierarchical(q)
+            assert q.is_self_join_free
+
+    def test_self_join_free_generator(self):
+        rng = random.Random(6)
+        for _ in range(40):
+            q = random_self_join_free_query(rng=rng)
+            assert q.is_self_join_free
+            assert q.positive_atoms  # safety needs positive atoms
+
+
+class TestScenarioDatabases:
+    def test_star_join_schema(self, rng):
+        db = star_join_database(4, 3, rng=rng)
+        assert db.relation_is_exogenous("Stud")
+        assert db.relation_is_exogenous("Course")
+        assert not db.relation_is_exogenous("Reg") or not db.relation("Reg")
+        assert len(db.relation("Stud")) == 4
+
+    def test_export_database_schema(self, rng):
+        db = export_database(2, 2, 2, rng=rng)
+        assert db.relation_is_exogenous("Grows")
+        assert len(db.relation("Farmer")) == 2
+        for item in db.relation("Export"):
+            assert db.is_endogenous(item)
