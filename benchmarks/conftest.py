@@ -12,6 +12,21 @@ from typing import Iterable, Sequence
 import pytest
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="run benchmarks on reduced instance sizes (CI smoke mode)",
+    )
+
+
+@pytest.fixture
+def quick(request: pytest.FixtureRequest) -> bool:
+    """True when the benchmark run should use reduced instance sizes."""
+    return bool(request.config.getoption("--quick"))
+
+
 @pytest.fixture
 def report(capsys):
     """Print a titled table outside pytest's capture."""

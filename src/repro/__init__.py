@@ -36,8 +36,10 @@ from repro.core import (
     parse_query,
     parse_ucq,
 )
+from repro.engine import BatchAttributionEngine, BatchResult, default_engine
 from repro.shapley import (
     approximate_shapley,
+    banzhaf_all_values,
     count_satisfying_subsets,
     exo_shapley,
     shapley_aggregate,
@@ -49,10 +51,12 @@ from repro.shapley import (
     shapley_value,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Atom",
+    "BatchAttributionEngine",
+    "BatchResult",
     "Classification",
     "Complexity",
     "ConjunctiveQuery",
@@ -62,8 +66,10 @@ __all__ = [
     "Variable",
     "__version__",
     "approximate_shapley",
+    "banzhaf_all_values",
     "classify",
     "count_satisfying_subsets",
+    "default_engine",
     "exo_shapley",
     "fact",
     "has_non_hierarchical_path",

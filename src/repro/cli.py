@@ -5,8 +5,17 @@ Usage (after ``pip install -e .``)::
     python -m repro classify  "q() :- R(x), S(x, y), T(y)" [--exogenous S]
     python -m repro shapley   db.json "q() :- Stud(x), not TA(x), Reg(x, y)"
     python -m repro shapley   db.json QUERY --fact 'TA' Adam
+    python -m repro batch     db.json QUERY [QUERY ...]
+    python -m repro batch     db.json QUERY --measure both --repeat 3 --stats
     python -m repro relevance db.json QUERY --fact 'TA' Adam
     python -m repro demo                         # the paper's running example
+
+``batch`` computes the values of *all* endogenous facts per query in one
+pass through the shared-work engine (:mod:`repro.engine`): one CntSat
+recursion — or one ExoShap rewrite — serves every fact, Shapley and
+Banzhaf values come from the same count vectors (``--measure``), and
+repeated or overlapping requests hit the engine's LRU caches
+(demonstrate with ``--repeat``, inspect with ``--stats``).
 
 The database file uses the JSON layout of :mod:`repro.io`.
 """
@@ -67,6 +76,38 @@ def _cmd_shapley(options: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(options: argparse.Namespace) -> int:
+    from repro.engine import default_engine
+
+    database = load_database(options.database)
+    exogenous = frozenset(options.exogenous) if options.exogenous else None
+    engine = default_engine()
+    repeats = max(1, options.repeat)
+    for text in options.queries:
+        query = parse_query(text)
+        result = engine.batch(database, query, exogenous)
+        for _ in range(repeats - 1):
+            result = engine.batch(database, query, exogenous)
+        provenance = result.method + (", cached" if result.from_cache else "")
+        print(f"query {query!r} [{provenance}], {result.player_count} players:")
+        show_shapley = options.measure in ("shapley", "both")
+        show_banzhaf = options.measure in ("banzhaf", "both")
+        for f in sorted(result.shapley, key=repr):
+            columns = []
+            if show_shapley:
+                columns.append(f"shapley={result.shapley[f]!s}")
+            if show_banzhaf:
+                columns.append(f"banzhaf={result.banzhaf[f]!s}")
+            print(f"  {f!r:32} {'  '.join(columns)}")
+        if show_shapley:
+            total = sum(result.shapley.values())
+            print(f"  {'(shapley sum)':32} {total!s}")
+    if options.stats:
+        for name, stats in engine.stats.items():
+            print(f"cache[{name}]: {stats!r}")
+    return 0
+
+
 def _cmd_relevance(options: argparse.Namespace) -> int:
     database = load_database(options.database)
     query = parse_query(options.query)
@@ -124,6 +165,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--exogenous", nargs="*", metavar="REL", help="exogenous relations (X)"
     )
     p_shapley.set_defaults(handler=_cmd_shapley)
+
+    p_batch = commands.add_parser(
+        "batch",
+        help="all-facts Shapley/Banzhaf values via the shared-work engine",
+    )
+    p_batch.add_argument("database", help="database JSON file")
+    p_batch.add_argument(
+        "queries", nargs="+", metavar="QUERY", help="datalog-style query text(s)"
+    )
+    p_batch.add_argument(
+        "--measure",
+        choices=("shapley", "banzhaf", "both"),
+        default="shapley",
+        help="attribution measure(s) to print (default: shapley)",
+    )
+    p_batch.add_argument(
+        "--exogenous", nargs="*", metavar="REL", help="exogenous relations (X)"
+    )
+    p_batch.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run each batch N times (repeats hit the result cache)",
+    )
+    p_batch.add_argument(
+        "--stats", action="store_true", help="print engine cache statistics"
+    )
+    p_batch.set_defaults(handler=_cmd_batch)
 
     p_relevance = commands.add_parser(
         "relevance", help="relevance of a fact (polarity-consistent queries)"

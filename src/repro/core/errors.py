@@ -40,8 +40,13 @@ class NotHierarchicalError(ReproError):
     """
 
 
-class IntractableQueryError(ReproError):
-    """Exact evaluation was requested for a provably intractable query without a fallback."""
+class IntractableQueryError(ReproError, ValueError):
+    """Exact evaluation was requested for a provably intractable query without a fallback.
+
+    Also a :class:`ValueError`: the brute-force size guards historically
+    raised ``ValueError``, so callers catching that keep working while
+    new code can catch the precise type.
+    """
 
 
 class SchemaError(ReproError):

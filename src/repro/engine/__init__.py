@@ -1,0 +1,77 @@
+"""repro.engine — shared-work batch attribution.
+
+The seed pipeline answered "what is the Shapley value of *every* fact?"
+with ``m`` independent runs of the Lemma 3.2 counts reduction — two full
+CntSat recursions per fact.  This package answers it with **one** shared
+recursion plus closed-form convolution algebra.
+
+The component-convolution trick
+-------------------------------
+For a self-join-free query, the variable-connected components of the
+Gaifman graph touch disjoint relations and therefore own disjoint sets of
+database facts.  The query is the conjunction of its components, so the
+count vector ``c[k] = |Sat(D, q, k)|`` factorizes as the convolution
+(polynomial product) of per-component count vectors.  Perturbing one fact
+``f`` — moving it to the exogenous side for ``Sat^{+f}`` or deleting it
+for ``Sat^{-f}`` — only changes the factor of the component that owns
+``f``; every other component contributes the *same closed-form
+convolution term* it contributed to the baseline.  Prefix/suffix products
+over the component vectors make the "everything but component j" factor
+an O(1)-convolution lookup, so all ``m`` fact perturbations reuse the
+same baseline factors instead of recomputing them.  The identical
+argument applies one level down, where CntSat slices a component by its
+root variable's value and UNSAT vectors convolve (disjunction): a fact
+perturbs only its own slice.  Applied recursively this turns ``2m`` full
+recursions into one traversal with O(1) extra convolutions per fact per
+level — the measured ≥5x (typically 10–50x) speedup of
+``benchmarks/bench_engine.py``.
+
+On top of the shared recursion the engine adds:
+
+* a bounded LRU cache of per-component count bundles keyed on a
+  canonical (component, facts) fingerprint, so overlapping requests and
+  repeated queries share sub-results (:mod:`repro.engine.cache`,
+  :mod:`repro.engine.fingerprint`);
+* a result cache over whole ``(database, query, X)`` requests;
+* dichotomy dispatch identical to the fact-at-a-time front door:
+  CntSat, then a single ExoShap rewrite, then bounded brute force
+  (:mod:`repro.engine.core`).
+
+Usage::
+
+    from repro.engine import default_engine
+
+    result = default_engine().batch(database, query)
+    result.shapley[some_fact]   # exact Fraction
+    result.banzhaf[some_fact]   # same vectors, different weights
+    default_engine().stats      # cache hit/miss accounting
+
+or, from the CLI::
+
+    python -m repro batch db.json "q() :- Stud(x), not TA(x), Reg(x, y)"
+"""
+
+from repro.engine.bundles import BatchVectors, CountBundle, batch_count_vectors
+from repro.engine.cache import CacheStats, LRUCache
+from repro.engine.core import BatchAttributionEngine, BatchResult, default_engine
+from repro.engine.fingerprint import (
+    fingerprint_component,
+    fingerprint_database,
+    fingerprint_query,
+    fingerprint_request,
+)
+
+__all__ = [
+    "BatchAttributionEngine",
+    "BatchResult",
+    "BatchVectors",
+    "CacheStats",
+    "CountBundle",
+    "LRUCache",
+    "batch_count_vectors",
+    "default_engine",
+    "fingerprint_component",
+    "fingerprint_database",
+    "fingerprint_query",
+    "fingerprint_request",
+]

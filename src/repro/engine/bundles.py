@@ -1,0 +1,370 @@
+"""One-pass per-fact count vectors for hierarchical self-join-free CQ¬s.
+
+The seed pipeline computes ``Shapley(D, q, f)`` fact-at-a-time: two full
+CntSat count vectors per endogenous fact, i.e. ``2m`` complete recursions
+for ``m`` facts.  This module computes the same information for *all*
+facts in a single traversal of the CntSat recursion tree by exploiting
+how the count vectors factorize:
+
+* **AND level** (variable-connected components of the Gaifman graph).
+  Components touch disjoint relations, hence disjoint fact sets, and
+  their count vectors combine by convolution.  Making a fact ``f``
+  exogenous or deleting it only changes the vector of *its* component;
+  every other component contributes the closed-form convolution term it
+  already contributed to the baseline.  With prefix/suffix convolution
+  products, the "everything except component j" factor costs O(1)
+  convolutions per component instead of a fresh recursion per fact.
+
+* **OR level** (slices of a component by its root variable's value).
+  UNSAT vectors of slices convolve; a fact only perturbs its own slice,
+  so the same prefix/suffix sharing applies to the UNSAT factors.
+
+* **Ground level.**  Base-case components are tiny (one atom, at most
+  one owned fact), so the two variants are recomputed directly.
+
+Facts that can never influence satisfaction — facts of relations the
+query does not mention, and facts that fail their atom's constant or
+repeated-variable pattern — are recognized up front and reported with a
+zero delta instead of being dragged through the recursion.
+
+Per-component results are memoized in a caller-supplied
+:class:`repro.engine.cache.LRUCache` keyed by
+:func:`repro.engine.fingerprint.fingerprint_component`, so overlapping
+and repeated requests share sub-results across engine calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.database import Database
+from repro.core.errors import NotHierarchicalError, SelfJoinError
+from repro.core.facts import Constant, Fact
+from repro.core.hierarchy import is_hierarchical
+from repro.core.query import Atom, ConjunctiveQuery, Variable
+from repro.engine.cache import LRUCache
+from repro.engine.fingerprint import fingerprint_component
+from repro.util.combinatorics import (
+    binomial_vector,
+    convolve,
+    subtract_vectors,
+)
+
+
+@dataclass(frozen=True)
+class _Scoped:
+    """An atom together with the facts still eligible to match it."""
+
+    atom: Atom
+    exogenous: frozenset[Fact]
+    endogenous: frozenset[Fact]
+
+
+@dataclass(frozen=True)
+class CountBundle:
+    """Count vectors of a subproblem, for the baseline and per owned fact.
+
+    ``sat`` has length ``owned + 1``; for every owned fact ``f``,
+    ``deltas[f] = (sat_exo, sat_del)`` are the vectors over the remaining
+    ``owned - 1`` facts with ``f`` moved to the exogenous side and with
+    ``f`` deleted, respectively.  Facts in ``zero`` provably have
+    ``sat_exo == sat_del`` (their Shapley and Banzhaf values vanish) and
+    carry no vectors.
+    """
+
+    owned: int
+    sat: tuple[int, ...]
+    deltas: dict[Fact, tuple[tuple[int, ...], tuple[int, ...]]]
+    zero: frozenset[Fact]
+
+
+@dataclass(frozen=True)
+class BatchVectors:
+    """Full-database count vectors for every endogenous fact.
+
+    ``baseline[k] == |Sat(D, q, k)|`` (length ``total_players + 1``), and
+    ``per_fact[f] == (Sat^{+f}, Sat^{-f})`` over ``Dn ∖ {f}`` (length
+    ``total_players``), exactly the two vectors the Lemma 3.2 reduction
+    consumes.  ``zero_facts`` hold the facts with identical vectors.
+    """
+
+    total_players: int
+    baseline: tuple[int, ...]
+    per_fact: dict[Fact, tuple[tuple[int, ...], tuple[int, ...]]]
+    zero_facts: frozenset[Fact]
+
+
+def _prefix_suffix(
+    vectors: Sequence[Sequence[int]],
+) -> tuple[list[list[int]], list[list[int]]]:
+    """Prefix and suffix convolution products of ``vectors``.
+
+    ``prefix[i]`` is the product of ``vectors[:i]`` and ``suffix[i]`` the
+    product of ``vectors[i:]``; ``convolve(prefix[i], suffix[i + 1])`` is
+    then the product of everything except ``vectors[i]``.
+    """
+    n = len(vectors)
+    prefix: list[list[int]] = [[1]]
+    for index in range(n):
+        prefix.append(convolve(prefix[index], vectors[index]))
+    suffix: list[list[int]] = [[1]] * (n + 1)
+    for index in range(n - 1, -1, -1):
+        suffix[index] = convolve(vectors[index], suffix[index + 1])
+    return prefix, suffix
+
+
+def _components(scope: Sequence[_Scoped]) -> list[list[_Scoped]]:
+    """Group scoped atoms into variable-connected components (union-find)."""
+    n = len(scope)
+    parent = list(range(n))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    owner: dict[Variable, int] = {}
+    for index, scoped in enumerate(scope):
+        for var in scoped.atom.variables:
+            if var in owner:
+                root_a, root_b = find(owner[var]), find(index)
+                if root_a != root_b:
+                    parent[root_b] = root_a
+            else:
+                owner[var] = index
+    groups: dict[int, list[_Scoped]] = {}
+    for index, scoped in enumerate(scope):
+        groups.setdefault(find(index), []).append(scoped)
+    return list(groups.values())
+
+
+def _bundle_scope(scope: Sequence[_Scoped], cache: LRUCache) -> CountBundle:
+    """AND level: restriction, component split, and convolution sharing."""
+    free_facts: set[Fact] = set()
+    restricted: list[_Scoped] = []
+    for scoped in scope:
+        matching_exo = frozenset(
+            item for item in scoped.exogenous if scoped.atom.matches(item)
+        )
+        matching_endo = frozenset(
+            item for item in scoped.endogenous if scoped.atom.matches(item)
+        )
+        free_facts |= scoped.endogenous - matching_endo
+        restricted.append(_Scoped(scoped.atom, matching_exo, matching_endo))
+
+    bundles = [
+        _bundle_component(component, cache) for component in _components(restricted)
+    ]
+    free = len(free_facts)
+    free_vector = binomial_vector(free)
+    prefix, suffix = _prefix_suffix([bundle.sat for bundle in bundles])
+    sat = tuple(convolve(prefix[len(bundles)], free_vector))
+    owned = sum(bundle.owned for bundle in bundles) + free
+
+    deltas: dict[Fact, tuple[tuple[int, ...], tuple[int, ...]]] = {}
+    zero = set(free_facts)
+    for j, bundle in enumerate(bundles):
+        zero |= bundle.zero
+        if not bundle.deltas:
+            continue
+        rest = convolve(convolve(prefix[j], suffix[j + 1]), free_vector)
+        for item, (sat_exo, sat_del) in bundle.deltas.items():
+            deltas[item] = (
+                tuple(convolve(sat_exo, rest)),
+                tuple(convolve(sat_del, rest)),
+            )
+    return CountBundle(owned, sat, deltas, frozenset(zero))
+
+
+def _bundle_component(component: list[_Scoped], cache: LRUCache) -> CountBundle:
+    """OR level, memoized: slice on the root variable and share UNSAT factors."""
+    if not any(scoped.atom.variables for scoped in component):
+        # Ground components are cheaper to recompute than to fingerprint.
+        return _bundle_ground(component)
+    key = fingerprint_component(
+        (scoped.atom for scoped in component),
+        (item for scoped in component for item in scoped.exogenous),
+        (item for scoped in component for item in scoped.endogenous),
+    )
+    return cache.get_or_compute(key, lambda: _bundle_component_fresh(component, cache))
+
+
+def _bundle_component_fresh(component: list[_Scoped], cache: LRUCache) -> CountBundle:
+    variables = frozenset(var for scoped in component for var in scoped.atom.variables)
+    if not variables:
+        return _bundle_ground(component)
+
+    roots = None
+    for scoped in component:
+        atom_vars = scoped.atom.variables
+        roots = atom_vars if roots is None else roots & atom_vars
+    if not roots:
+        raise NotHierarchicalError(
+            "connected subquery without a root variable: "
+            + ", ".join(repr(scoped.atom) for scoped in component)
+        )
+    root = min(roots, key=lambda var: var.name)
+
+    positions = [scoped.atom.terms.index(root) for scoped in component]
+    candidates: set[Constant] = set()
+    for index, scoped in enumerate(component):
+        for item in scoped.exogenous | scoped.endogenous:
+            candidates.add(item.args[positions[index]])
+
+    total = sum(len(scoped.endogenous) for scoped in component)
+    slice_bundles: list[CountBundle] = []
+    for value in sorted(candidates, key=repr):
+        slice_scope = []
+        for index, scoped in enumerate(component):
+            at = positions[index]
+            slice_scope.append(
+                _Scoped(
+                    scoped.atom.substitute({root: value}),
+                    frozenset(
+                        item for item in scoped.exogenous if item.args[at] == value
+                    ),
+                    frozenset(
+                        item for item in scoped.endogenous if item.args[at] == value
+                    ),
+                )
+            )
+        slice_bundles.append(_bundle_scope(slice_scope, cache))
+
+    unsat_vectors = [
+        subtract_vectors(binomial_vector(bundle.owned), bundle.sat)
+        for bundle in slice_bundles
+    ]
+    prefix, suffix = _prefix_suffix(unsat_vectors)
+    all_unsat = prefix[len(unsat_vectors)]
+    sat = tuple(subtract_vectors(binomial_vector(total), all_unsat))
+
+    deltas: dict[Fact, tuple[tuple[int, ...], tuple[int, ...]]] = {}
+    zero: set[Fact] = set()
+    remaining = binomial_vector(total - 1) if total else []
+    for b, bundle in enumerate(slice_bundles):
+        zero |= bundle.zero
+        if not bundle.deltas:
+            continue
+        rest = convolve(prefix[b], suffix[b + 1])
+        slice_players = binomial_vector(bundle.owned - 1)
+        for item, (sat_exo, sat_del) in bundle.deltas.items():
+            unsat_exo = subtract_vectors(slice_players, sat_exo)
+            unsat_del = subtract_vectors(slice_players, sat_del)
+            deltas[item] = (
+                tuple(subtract_vectors(remaining, convolve(unsat_exo, rest))),
+                tuple(subtract_vectors(remaining, convolve(unsat_del, rest))),
+            )
+    return CountBundle(total, sat, deltas, frozenset(zero))
+
+
+def _ground_vector(component: list[_Scoped]) -> tuple[int, ...]:
+    """Base case of Lemma 3.2: every atom in the component is ground."""
+    owned = sum(len(scoped.endogenous) for scoped in component)
+    needed = 0
+    satisfiable = True
+    for scoped in component:
+        ground = scoped.atom.to_fact()
+        in_exogenous = ground in scoped.exogenous
+        in_endogenous = ground in scoped.endogenous
+        if not scoped.atom.negated:
+            if in_exogenous:
+                continue
+            if in_endogenous:
+                needed += 1
+            else:
+                satisfiable = False
+        elif in_exogenous:
+            satisfiable = False
+        # An endogenous fact of a ground negated atom must stay out of E:
+        # it is owned but never selected.
+    vector = [0] * (owned + 1)
+    if satisfiable:
+        vector[needed] = 1
+    return tuple(vector)
+
+
+def _bundle_ground(component: list[_Scoped]) -> CountBundle:
+    """Ground level: recompute the two variants per owned fact directly."""
+    sat = _ground_vector(component)
+    deltas: dict[Fact, tuple[tuple[int, ...], tuple[int, ...]]] = {}
+    for index, scoped in enumerate(component):
+        for item in scoped.endogenous:
+            exo_variant = list(component)
+            exo_variant[index] = _Scoped(
+                scoped.atom,
+                scoped.exogenous | {item},
+                scoped.endogenous - {item},
+            )
+            del_variant = list(component)
+            del_variant[index] = _Scoped(
+                scoped.atom,
+                scoped.exogenous,
+                scoped.endogenous - {item},
+            )
+            deltas[item] = (
+                _ground_vector(exo_variant),
+                _ground_vector(del_variant),
+            )
+    owned = sum(len(scoped.endogenous) for scoped in component)
+    return CountBundle(owned, sat, deltas, frozenset())
+
+
+def batch_count_vectors(
+    database: Database,
+    query: ConjunctiveQuery,
+    cache: LRUCache | None = None,
+) -> BatchVectors:
+    """All Lemma 3.2 count vectors of ``(D, q)`` in one shared recursion.
+
+    Raises :class:`SelfJoinError` / :class:`NotHierarchicalError` outside
+    the tractable class of Theorem 3.1, exactly like
+    :func:`repro.shapley.cntsat.count_satisfying_subsets`.
+    """
+    query = query.as_boolean()
+    if not query.is_self_join_free:
+        raise SelfJoinError(
+            f"the batch engine requires a self-join-free query, got {query!r}"
+        )
+    if not is_hierarchical(query):
+        raise NotHierarchicalError(
+            f"the batch engine requires a hierarchical query, got {query!r}"
+        )
+    if cache is None:
+        cache = LRUCache(0)
+
+    scope = [
+        _Scoped(
+            atom,
+            frozenset(
+                item
+                for item in database.relation(atom.relation)
+                if database.is_exogenous(item)
+            ),
+            frozenset(
+                item
+                for item in database.relation(atom.relation)
+                if database.is_endogenous(item)
+            ),
+        )
+        for atom in query.atoms
+    ]
+    bundle = _bundle_scope(scope, cache)
+
+    query_relations = query.relation_names
+    unused = frozenset(
+        item for item in database.endogenous if item.relation not in query_relations
+    )
+    outside = binomial_vector(len(unused))
+    total = len(database.endogenous)
+    baseline = tuple(convolve(bundle.sat, outside))
+    assert len(baseline) == total + 1, (len(baseline), total + 1)
+
+    per_fact = {
+        item: (tuple(convolve(sat_exo, outside)), tuple(convolve(sat_del, outside)))
+        for item, (sat_exo, sat_del) in bundle.deltas.items()
+    }
+    zero_facts = bundle.zero | unused
+    assert len(per_fact) + len(zero_facts) == total
+    return BatchVectors(total, baseline, per_fact, zero_facts)

@@ -1,0 +1,100 @@
+"""Bounded LRU caches with hit/miss accounting.
+
+The batch engine memoizes expensive intermediate results (per-component
+count bundles, whole batch results, residual #SAT component counts) so
+that repeated and overlapping requests share work.  Both the engine and
+:mod:`repro.logic.counting` use this cache, so it lives in its own
+dependency-free module.
+
+Exact rational results make caching semantically safe: a hit returns a
+value that is *equal*, not merely approximately equal, to what a fresh
+computation would produce.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Generic, Hashable, TypeVar
+
+Value = TypeVar("Value")
+
+
+@dataclass
+class CacheStats:
+    """Mutable hit/miss/eviction counters for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(self.hits, self.misses, self.evictions)
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses},"
+            f" evictions={self.evictions}, hit_rate={self.hit_rate:.2%})"
+        )
+
+
+class LRUCache(Generic[Value]):
+    """A bounded mapping with least-recently-used eviction.
+
+    ``maxsize <= 0`` disables storage entirely (every lookup misses),
+    which keeps call sites free of ``if cache is not None`` branches.
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        self.maxsize = maxsize
+        self.stats = CacheStats()
+        self._entries: OrderedDict[Hashable, Value] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable) -> Value | None:
+        """The cached value, or None; counts a hit or a miss."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return self._entries[key]
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: Hashable, value: Value) -> None:
+        if self.maxsize <= 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Value]) -> Value:
+        """Cached value for ``key``, computing and storing it on a miss."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return self._entries[key]
+        self.stats.misses += 1
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        """Drop all entries (the statistics counters are kept)."""
+        self._entries.clear()

@@ -1,0 +1,228 @@
+"""The batch attribution engine: dispatch, caching, and value assembly.
+
+:class:`BatchAttributionEngine` is the front door for all-facts
+attribution.  It mirrors the dichotomy dispatch of
+:func:`repro.shapley.exact.shapley_value` but computes every endogenous
+fact's value in one pass:
+
+1. hierarchical self-join-free CQ¬ → the shared CntSat recursion of
+   :mod:`repro.engine.bundles` (Theorem 3.1);
+2. self-join-free CQ¬ without a non-hierarchical path w.r.t. the
+   exogenous relations → *one* ExoShap rewrite (the seed pipeline
+   re-ran the rewrite for every fact) followed by the shared recursion
+   (Theorem 4.3);
+3. otherwise → coalition enumeration, validated once up front against
+   ``MAX_BRUTE_FORCE_PLAYERS``.
+
+Shapley and Banzhaf values fall out of the same per-fact count vectors,
+so the engine always materializes both.  Results and per-component
+bundles are memoized in bounded LRU caches; ``stats`` exposes hit/miss
+accounting for observability and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from fractions import Fraction
+from typing import AbstractSet, Mapping
+
+from repro.core.database import Database
+from repro.core.errors import IntractableQueryError
+from repro.core.facts import Fact
+from repro.core.gaifman import infer_exogenous_relations
+from repro.core.hierarchy import is_hierarchical
+from repro.core.paths import has_non_hierarchical_path
+from repro.core.query import BooleanQuery, ConjunctiveQuery
+from repro.engine.bundles import BatchVectors, batch_count_vectors
+from repro.engine.cache import CacheStats, LRUCache
+from repro.engine.fingerprint import fingerprint_request
+from repro.shapley.brute_force import MAX_BRUTE_FORCE_PLAYERS
+from repro.util.combinatorics import shapley_coefficient
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """All-facts attribution values plus provenance of the computation."""
+
+    shapley: Mapping[Fact, Fraction]
+    banzhaf: Mapping[Fact, Fraction]
+    method: str
+    player_count: int
+    from_cache: bool = False
+
+
+class BatchAttributionEngine:
+    """Computes Shapley/Banzhaf values for all endogenous facts at once.
+
+    Instances hold two bounded LRU caches: a *result* cache keyed on the
+    whole ``(database, query, X)`` request, and a *component* cache keyed
+    on ``(component fingerprint, scoped facts)`` that lets overlapping
+    requests share per-component count bundles.  Engines are cheap to
+    construct; share one instance (see :func:`default_engine`) to share
+    the caches.
+    """
+
+    def __init__(
+        self,
+        component_cache_size: int = 512,
+        result_cache_size: int = 128,
+    ) -> None:
+        self.component_cache: LRUCache = LRUCache(component_cache_size)
+        self.result_cache: LRUCache = LRUCache(result_cache_size)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def batch(
+        self,
+        database: Database,
+        query: BooleanQuery,
+        exogenous_relations: AbstractSet[str] | None = None,
+        allow_brute_force: bool = True,
+    ) -> BatchResult:
+        """Shapley and Banzhaf values of every endogenous fact of ``D``."""
+        key = fingerprint_request(database, query, exogenous_relations)
+        cached = self.result_cache.get(key)
+        if cached is not None:
+            if not allow_brute_force and cached.method == "brute-force":
+                # A warm cache must not bypass the caller's polynomial-only
+                # contract: honor the flag exactly as a cold call would.
+                raise IntractableQueryError(
+                    f"no polynomial batch algorithm applies to {query!r} and"
+                    f" brute force over {cached.player_count} endogenous"
+                    " facts is disabled"
+                )
+            return self._public(cached, from_cache=True)
+        result = self._compute(database, query, exogenous_relations, allow_brute_force)
+        self.result_cache.put(key, result)
+        return self._public(result, from_cache=False)
+
+    @staticmethod
+    def _public(result: BatchResult, from_cache: bool) -> BatchResult:
+        """A caller-facing copy: mutating it must not corrupt the cache."""
+        return replace(
+            result,
+            shapley=dict(result.shapley),
+            banzhaf=dict(result.banzhaf),
+            from_cache=from_cache,
+        )
+
+    def shapley_all(
+        self,
+        database: Database,
+        query: BooleanQuery,
+        exogenous_relations: AbstractSet[str] | None = None,
+        allow_brute_force: bool = True,
+    ) -> dict[Fact, Fraction]:
+        return dict(
+            self.batch(database, query, exogenous_relations, allow_brute_force).shapley
+        )
+
+    def banzhaf_all(
+        self,
+        database: Database,
+        query: BooleanQuery,
+        exogenous_relations: AbstractSet[str] | None = None,
+        allow_brute_force: bool = True,
+    ) -> dict[Fact, Fraction]:
+        return dict(
+            self.batch(database, query, exogenous_relations, allow_brute_force).banzhaf
+        )
+
+    @property
+    def stats(self) -> dict[str, CacheStats]:
+        """Snapshot of per-cache hit/miss/eviction counters."""
+        return {
+            "components": self.component_cache.stats.snapshot(),
+            "results": self.result_cache.stats.snapshot(),
+        }
+
+    def clear(self) -> None:
+        """Drop all cached entries (statistics are kept)."""
+        self.component_cache.clear()
+        self.result_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _compute(
+        self,
+        database: Database,
+        query: BooleanQuery,
+        exogenous_relations: AbstractSet[str] | None,
+        allow_brute_force: bool,
+    ) -> BatchResult:
+        players = len(database.endogenous)
+        if players == 0:
+            return BatchResult({}, {}, "empty", 0)
+        if isinstance(query, ConjunctiveQuery):
+            boolean = query.as_boolean()
+            if exogenous_relations is None:
+                exogenous_relations = infer_exogenous_relations(boolean, database)
+            if boolean.is_self_join_free:
+                if is_hierarchical(boolean):
+                    vectors = batch_count_vectors(
+                        database, boolean, self.component_cache
+                    )
+                    return self._from_vectors(vectors, "cntsat")
+                if not has_non_hierarchical_path(boolean, exogenous_relations):
+                    from repro.shapley.exoshap import rewrite_to_hierarchical
+
+                    rewrite = rewrite_to_hierarchical(
+                        database, boolean, exogenous_relations
+                    )
+                    vectors = batch_count_vectors(
+                        rewrite.database, rewrite.query, self.component_cache
+                    )
+                    return self._from_vectors(vectors, "exoshap")
+        if not allow_brute_force:
+            raise IntractableQueryError(
+                f"no polynomial batch algorithm applies to {query!r} and brute"
+                f" force over {players} endogenous facts is disabled"
+            )
+        if players > MAX_BRUTE_FORCE_PLAYERS:
+            raise IntractableQueryError(
+                f"no polynomial batch algorithm applies to {query!r} and brute"
+                f" force over {players} endogenous facts would enumerate"
+                f" 2^{players} coalitions (limit: {MAX_BRUTE_FORCE_PLAYERS})"
+            )
+        from repro.shapley.banzhaf import banzhaf_all_brute_force
+        from repro.shapley.brute_force import shapley_all_brute_force
+
+        return BatchResult(
+            shapley_all_brute_force(database, query),
+            banzhaf_all_brute_force(database, query),
+            "brute-force",
+            players,
+        )
+
+    def _from_vectors(self, vectors: BatchVectors, method: str) -> BatchResult:
+        """Lemma 3.2 assembly: weighted sums of the per-fact vector deltas."""
+        players = vectors.total_players
+        shapley: dict[Fact, Fraction] = {
+            item: Fraction(0) for item in vectors.zero_facts
+        }
+        banzhaf = dict(shapley)
+        denominator = 2 ** (players - 1)
+        for item, (sat_exo, sat_del) in vectors.per_fact.items():
+            value = Fraction(0)
+            difference_total = 0
+            for k in range(players):
+                difference = sat_exo[k] - sat_del[k]
+                if difference:
+                    value += shapley_coefficient(players, k) * difference
+                    difference_total += difference
+            shapley[item] = value
+            banzhaf[item] = Fraction(difference_total, denominator)
+        return BatchResult(shapley, banzhaf, method, players)
+
+
+_default: BatchAttributionEngine | None = None
+
+
+def default_engine() -> BatchAttributionEngine:
+    """The process-wide shared engine (shared caches across call sites)."""
+    global _default
+    if _default is None:
+        _default = BatchAttributionEngine()
+    return _default

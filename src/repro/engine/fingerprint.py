@@ -1,0 +1,138 @@
+"""Canonical fingerprints for cache keys.
+
+Two batch requests share work exactly when they agree on the *semantics*
+of a subproblem, not on its syntax: variable names are irrelevant, and so
+is the order in which atoms or facts are listed.  The fingerprints here
+canonicalize both:
+
+* variables are renamed to positional markers in first-occurrence order
+  over the canonically sorted atom list (alpha-equivalent subqueries
+  collide, as they should);
+* fact sets are sorted, so insertion order never splits cache entries.
+
+Every fingerprint is a hashable tuple tree, usable directly as an
+:class:`repro.engine.cache.LRUCache` key.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.database import Database
+from repro.core.facts import Fact
+from repro.core.query import Atom, BooleanQuery, UnionQuery, Variable
+
+
+def _atom_skeleton(atom: Atom) -> tuple:
+    """Atom shape with variables replaced by a per-atom occurrence pattern.
+
+    Constants keep their repr here (the skeleton is only a *sort key*);
+    the rendered fingerprint below keeps the constants themselves so that
+    distinct constants with equal reprs can never collide.
+    """
+    local: dict[Variable, int] = {}
+    terms = []
+    for term in atom.terms:
+        if isinstance(term, Variable):
+            terms.append(("var", str(local.setdefault(term, len(local)))))
+        else:
+            terms.append(("const", repr(term)))
+    return (atom.relation, atom.negated, tuple(terms))
+
+
+def fingerprint_atoms(atoms: Iterable[Atom]) -> tuple:
+    """Order- and alpha-invariant fingerprint of a set of atoms.
+
+    Atoms are sorted by their local skeleton, then variables are numbered
+    globally in first-occurrence order over the sorted list.
+    """
+    ordered = sorted(atoms, key=_atom_skeleton)
+    names: dict[Variable, int] = {}
+    rendered = []
+    for atom in ordered:
+        terms = []
+        for term in atom.terms:
+            if isinstance(term, Variable):
+                terms.append(("var", names.setdefault(term, len(names))))
+            else:
+                terms.append(("const", term))
+        rendered.append((atom.relation, atom.negated, tuple(terms)))
+    return tuple(rendered)
+
+
+def fingerprint_facts(facts: Iterable[Fact]) -> tuple:
+    """Order-invariant fingerprint of a set of facts.
+
+    The facts themselves are the key material (they are hashable), sorted
+    by repr only to erase iteration order.
+    """
+    return tuple(sorted(facts, key=repr))
+
+
+def fingerprint_query(query: BooleanQuery) -> tuple:
+    """Fingerprint of a Boolean query (CQ¬ or UCQ¬)."""
+    if isinstance(query, UnionQuery):
+        return (
+            "ucq",
+            tuple(
+                sorted(
+                    (fingerprint_atoms(disjunct.atoms) for disjunct in query.disjuncts),
+                    key=repr,
+                )
+            ),
+        )
+    return ("cq", fingerprint_atoms(query.atoms))
+
+
+def fingerprint_database(database: Database) -> tuple:
+    """Fingerprint of a database's endogenous/exogenous split."""
+    return (
+        fingerprint_facts(database.endogenous),
+        fingerprint_facts(database.exogenous),
+    )
+
+
+def fingerprint_component(
+    atoms: Iterable[Atom],
+    exogenous: Iterable[Fact],
+    endogenous: Iterable[Fact],
+) -> tuple:
+    """Cache key for one variable-connected component with its scoped facts.
+
+    This is the "(component fingerprint, query fingerprint)" key of the
+    engine: the atom fingerprint pins down the component's sub-query up to
+    renaming, and the fact fingerprints pin down the data slice it owns.
+    """
+    return (
+        fingerprint_atoms(atoms),
+        fingerprint_facts(exogenous),
+        fingerprint_facts(endogenous),
+    )
+
+
+def fingerprint_request(
+    database: Database,
+    query: BooleanQuery,
+    exogenous_relations: Iterable[str] | None,
+) -> tuple:
+    """Cache key for a whole batch request."""
+    relations = (
+        None
+        if exogenous_relations is None
+        else tuple(sorted(exogenous_relations))
+    )
+    return (
+        fingerprint_database(database),
+        fingerprint_query(query),
+        relations,
+    )
+
+
+__all__ = [
+    "fingerprint_atoms",
+    "fingerprint_component",
+    "fingerprint_database",
+    "fingerprint_facts",
+    "fingerprint_query",
+    "fingerprint_request",
+]

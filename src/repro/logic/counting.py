@@ -1,15 +1,49 @@
-"""Model counting (#SAT) by exhaustive DPLL with early termination.
+"""Model counting (#SAT) by DPLL with decomposition and component caching.
 
 Used to cross-check the independent-set counting substrate and for small
-ablation studies; exponential, but careful splitting keeps small instances
-fast.
+ablation studies; exponential in the worst case, but three standard
+improvements keep realistic instances fast:
+
+* **iterative unit propagation** — unit clauses are applied to a
+  fixpoint in a scan loop instead of one recursion per unit literal
+  (each propagated variable is forced, so it never doubles the count);
+* **connected-component decomposition** — clause sets sharing no
+  variables are counted independently and the counts multiply, with
+  unconstrained variables contributing a power of two;
+* **component caching** — residual components are memoized in a bounded
+  LRU cache (:mod:`repro.engine.cache`) keyed on their canonical clause
+  list, so identical subproblems across branches — and across separate
+  ``count_models`` calls — are counted once.
+
+Branching prefers a *pure* literal when one exists: its true branch
+deletes every clause containing it outright (no residue to rewrite),
+which tends to disconnect the remainder and feed the component cache.
+Unlike in SAT solving, a pure literal cannot simply be assigned — both
+polarities may admit models — so it steers the split rather than
+replacing it.
 """
 
 from __future__ import annotations
 
 import itertools
+from collections import Counter
 
+from repro.engine.cache import CacheStats, LRUCache
 from repro.logic.cnf import CnfFormula
+
+Clauses = tuple[tuple[int, ...], ...]
+
+_component_cache: LRUCache[int] = LRUCache(maxsize=4096)
+
+
+def counting_cache_stats() -> CacheStats:
+    """Snapshot of the shared component-cache counters."""
+    return _component_cache.stats.snapshot()
+
+
+def clear_counting_cache() -> None:
+    """Drop all memoized component counts (statistics are kept)."""
+    _component_cache.clear()
 
 
 def count_models_naive(formula: CnfFormula) -> int:
@@ -23,43 +57,132 @@ def count_models_naive(formula: CnfFormula) -> int:
     return count
 
 
-def count_models(formula: CnfFormula) -> int:
-    """#SAT by DPLL-style recursion with free-variable multiplication."""
-    variables = sorted(formula.variables)
-    return _count(
-        [list(clause.literals) for clause in formula.clauses], set(variables)
-    )
+def count_models(formula: CnfFormula, use_cache: bool = True) -> int:
+    """#SAT by DPLL with propagation, decomposition, and component caching."""
+    clauses = []
+    for clause in formula.clauses:
+        literals = frozenset(clause.literals)
+        if any(-literal in literals for literal in literals):
+            continue  # tautological clause: satisfied by every assignment
+        clauses.append(tuple(sorted(literals)))
+    cache = _component_cache if use_cache else LRUCache(0)
+    return _count(tuple(clauses), frozenset(formula.variables), cache)
 
 
-def _count(clauses: list[list[int]], free: set[int]) -> int:
-    simplified: list[list[int]] = []
-    for clause in clauses:
-        if not clause:
+def _propagate(clauses: Clauses) -> tuple[Clauses, int] | None:
+    """Apply unit clauses to a fixpoint.
+
+    Returns the residual clause list and the number of variables the
+    propagation fixed (each is forced — no doubling), or None on
+    conflict.
+    """
+    assignment: dict[int, bool] = {}
+    changed = True
+    current = clauses
+    while changed:
+        changed = False
+        residual: list[tuple[int, ...]] = []
+        for clause in current:
+            satisfied = False
+            remaining: list[int] = []
+            for literal in clause:
+                value = assignment.get(abs(literal))
+                if value is None:
+                    remaining.append(literal)
+                elif value == (literal > 0):
+                    satisfied = True
+                    break
+            if satisfied:
+                continue
+            if not remaining:
+                return None
+            if len(remaining) == 1:
+                literal = remaining[0]
+                assignment[abs(literal)] = literal > 0
+                changed = True
+            else:
+                residual.append(tuple(remaining))
+        current = tuple(residual)
+    return current, len(assignment)
+
+
+def _components(clauses: Clauses) -> list[Clauses]:
+    """Partition clauses into variable-connected components (union-find)."""
+    parent = list(range(len(clauses)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    owner: dict[int, int] = {}
+    for index, clause in enumerate(clauses):
+        for literal in clause:
+            variable = abs(literal)
+            if variable in owner:
+                root_a, root_b = find(owner[variable]), find(index)
+                if root_a != root_b:
+                    parent[root_b] = root_a
+            else:
+                owner[variable] = index
+    groups: dict[int, list[tuple[int, ...]]] = {}
+    for index, clause in enumerate(clauses):
+        groups.setdefault(find(index), []).append(clause)
+    return [tuple(group) for group in groups.values()]
+
+
+def _count(clauses: Clauses, free: frozenset[int], cache: LRUCache[int]) -> int:
+    propagated = _propagate(clauses)
+    if propagated is None:
+        return 0
+    residual, fixed = propagated
+    unbound = len(free) - fixed
+    if not residual:
+        return 2**unbound
+    total = 1
+    constrained = 0
+    for component in _components(residual):
+        variables = frozenset(
+            abs(literal) for clause in component for literal in clause
+        )
+        constrained += len(variables)
+        key = tuple(sorted(component))
+        count = cache.get_or_compute(
+            key, lambda: _count_component(component, variables, cache)
+        )
+        if count == 0:
             return 0
-        simplified.append(clause)
-    if not simplified:
-        return 2 ** len(free)
-    # Unit propagation (a unit clause fixes one variable, no doubling).
-    for clause in simplified:
-        if len(clause) == 1:
-            literal = clause[0]
-            return _count(
-                _assign(simplified, literal), free - {abs(literal)}
-            )
-    branch_literal = simplified[0][0]
-    variable = abs(branch_literal)
-    remaining = free - {variable}
+        total *= count
+    return total * 2 ** (unbound - constrained)
+
+
+def _count_component(
+    clauses: Clauses, variables: frozenset[int], cache: LRUCache[int]
+) -> int:
+    """Count one variable-connected component by branching on a literal."""
+    polarity: Counter[int] = Counter()
+    for clause in clauses:
+        polarity.update(clause)
+    pure = [literal for literal in polarity if -literal not in polarity]
+    if pure:
+        # True branch drops whole clauses; often disconnects the rest.
+        literal = max(pure, key=lambda candidate: polarity[candidate])
+    else:
+        literal = max(polarity, key=lambda candidate: polarity[candidate])
+    variable = abs(literal)
+    remaining = variables - {variable}
     total = 0
-    for choice in (branch_literal, -branch_literal):
-        total += _count(_assign(simplified, choice), set(remaining))
+    for choice in (literal, -literal):
+        total += _count(_assign(clauses, choice), remaining, cache)
     return total
 
 
-def _assign(clauses: list[list[int]], literal: int) -> list[list[int]]:
+def _assign(clauses: Clauses, literal: int) -> Clauses:
     """Residual clause list under ``literal := true``."""
     result = []
     for clause in clauses:
         if literal in clause:
             continue
-        result.append([other for other in clause if other != -literal])
-    return result
+        result.append(tuple(other for other in clause if other != -literal))
+    return tuple(result)

@@ -15,12 +15,15 @@ from repro.shapley.aggregates import (
 from repro.shapley.approximate import (
     ShapleyEstimate,
     approximate_shapley,
+    approximate_shapley_all,
     gap_property_floor,
     hoeffding_sample_count,
     multiplicative_sample_lower_bound,
     sample_marginal_contributions,
 )
 from repro.shapley.banzhaf import (
+    banzhaf_all_brute_force,
+    banzhaf_all_values,
     banzhaf_brute_force,
     banzhaf_from_counts,
 )
@@ -35,6 +38,7 @@ from repro.shapley.brute_force import (
 from repro.shapley.cntsat import count_satisfying_subsets
 from repro.shapley.exact import (
     shapley_all_values,
+    shapley_all_values_per_fact,
     shapley_from_counts,
     shapley_hierarchical,
     shapley_value,
@@ -61,6 +65,9 @@ __all__ = [
     "StratifiedEstimate",
     "answer_attribution",
     "approximate_shapley",
+    "approximate_shapley_all",
+    "banzhaf_all_brute_force",
+    "banzhaf_all_values",
     "banzhaf_brute_force",
     "estimator_variance_comparison",
     "stratified_shapley_estimate",
@@ -87,6 +94,7 @@ __all__ = [
     "shapley_all",
     "shapley_all_brute_force",
     "shapley_all_values",
+    "shapley_all_values_per_fact",
     "shapley_brute_force",
     "shapley_by_permutations",
     "shapley_by_subsets",

@@ -104,6 +104,50 @@ def approximate_shapley(
     return ShapleyEstimate(Fraction(total, count), count, epsilon, delta)
 
 
+def approximate_shapley_all(
+    database: Database,
+    query: BooleanQuery,
+    epsilon: float = 0.1,
+    delta: float = 0.05,
+    rng: random.Random | None = None,
+    samples: int | None = None,
+) -> dict[Fact, ShapleyEstimate]:
+    """Additive estimates for *all* endogenous facts from shared permutations.
+
+    The fact-at-a-time estimator costs two query evaluations per sample
+    per fact.  Here each sampled permutation of ``Dn`` is swept once,
+    evaluating the query on its ``m + 1`` prefixes; the difference at
+    position ``i`` is a valid marginal-contribution sample for the fact
+    at that position — one permutation yields one sample for *every*
+    fact.  Total cost per round drops from ``2m`` evaluations per fact to
+    ``m + 1`` evaluations shared by all facts.
+
+    Each fact's estimate carries the usual per-fact additive
+    ``(epsilon, delta)`` guarantee; the samples of different facts are
+    correlated (they come from the same permutations), which does not
+    affect the per-fact Hoeffding bound.
+    """
+    count = samples if samples is not None else hoeffding_sample_count(epsilon, delta)
+    rng = rng or random.Random()
+    players = sorted(database.endogenous, key=repr)
+    exogenous = list(database.exogenous)
+    totals: dict[Fact, int] = {player: 0 for player in players}
+    for _ in range(count):
+        permutation = players[:]
+        rng.shuffle(permutation)
+        previous = 1 if holds(query, exogenous) else 0
+        prefix: list[Fact] = []
+        for player in permutation:
+            prefix.append(player)
+            current = 1 if holds(query, exogenous + prefix) else 0
+            totals[player] += current - previous
+            previous = current
+    return {
+        player: ShapleyEstimate(Fraction(totals[player], count), count, epsilon, delta)
+        for player in players
+    }
+
+
 def multiplicative_sample_lower_bound(shapley_magnitude: Fraction) -> int:
     """Samples the additive estimator needs to *resolve* a value this small.
 

@@ -54,21 +54,69 @@ def banzhaf_brute_force(
     """Banzhaf value by coalition enumeration (oracle for tests)."""
     import itertools
 
+    from repro.shapley.brute_force import validate_brute_force_bound
+
     if not database.is_endogenous(target):
         raise ValueError(f"{target!r} is not an endogenous fact of the database")
+    validate_brute_force_bound(database)
     players, value = query_game(database, query)
     others = [player for player in players if player != target]
-    if len(others) > MAX_BRUTE_FORCE_PLAYERS:
-        raise ValueError(
-            f"brute force over {len(others)} facts would enumerate"
-            f" 2^{len(others)} subsets"
-        )
     total = 0
     for size in range(len(others) + 1):
         for subset in itertools.combinations(others, size):
             coalition = frozenset(subset)
             total += value(coalition | {target}) - value(coalition)
     return Fraction(total, 2 ** len(others))
+
+
+def banzhaf_all_brute_force(
+    database: Database, query: BooleanQuery
+) -> dict[Fact, Fraction]:
+    """Banzhaf values of every endogenous fact, sharing coalition evaluations.
+
+    Like :func:`repro.shapley.brute_force.shapley_all_brute_force`, the
+    size bound is validated once up front (raising
+    :class:`IntractableQueryError` with the player count) and every
+    coalition's satisfaction is evaluated exactly once for all facts.
+    """
+    import itertools
+
+    from repro.shapley.brute_force import validate_brute_force_bound
+
+    validate_brute_force_bound(database)
+    players, value = query_game(database, query)
+    n = len(players)
+    if n == 0:
+        return {}
+    totals: dict[Fact, int] = {player: 0 for player in players}
+    for size in range(n):
+        for subset in itertools.combinations(players, size):
+            coalition = frozenset(subset)
+            base = value(coalition)
+            for player in players:
+                if player in coalition:
+                    continue
+                totals[player] += value(coalition | {player}) - base
+    denominator = 2 ** (n - 1)
+    return {player: Fraction(totals[player], denominator) for player in players}
+
+
+def banzhaf_all_values(
+    database: Database,
+    query: BooleanQuery,
+    exogenous_relations: AbstractSet[str] | None = None,
+    allow_brute_force: bool = True,
+) -> dict[Fact, Fraction]:
+    """Exact Banzhaf values of every endogenous fact, via the batch engine.
+
+    The engine derives Banzhaf and Shapley values from the same per-fact
+    count vectors, so asking for both costs one shared recursion total.
+    """
+    from repro.engine import default_engine
+
+    return default_engine().banzhaf_all(
+        database, query, exogenous_relations, allow_brute_force
+    )
 
 
 def banzhaf_value(

@@ -18,6 +18,7 @@ from fractions import Fraction
 from typing import Callable
 
 from repro.core.database import Database
+from repro.core.errors import IntractableQueryError
 from repro.core.evaluation import holds
 from repro.core.facts import Fact
 from repro.core.query import BooleanQuery
@@ -49,13 +50,22 @@ def query_game(
     return players, value
 
 
-def _check_size(database: Database) -> None:
+def validate_brute_force_bound(database: Database) -> int:
+    """Validate ``|Dn| <= MAX_BRUTE_FORCE_PLAYERS`` once, up front.
+
+    Enumeration must fail before any per-coalition work happens, with an
+    error naming the player count; returns ``|Dn|`` on success.  The
+    error is an :class:`IntractableQueryError` (which is also a
+    ``ValueError`` for backwards compatibility).
+    """
     size = len(database.endogenous)
     if size > MAX_BRUTE_FORCE_PLAYERS:
-        raise ValueError(
-            f"brute force over {size} endogenous facts would enumerate 2^{size}"
-            " subsets; use the polynomial algorithms or sampling instead"
+        raise IntractableQueryError(
+            f"brute force over {size} endogenous facts would enumerate"
+            f" 2^{size} coalitions (limit: {MAX_BRUTE_FORCE_PLAYERS});"
+            " use the polynomial algorithms or sampling instead"
         )
+    return size
 
 
 def shapley_brute_force(
@@ -64,7 +74,7 @@ def shapley_brute_force(
     """Exact ``Shapley(D, q, f)`` by coalition enumeration."""
     if not database.is_endogenous(target):
         raise ValueError(f"{target!r} is not an endogenous fact of the database")
-    _check_size(database)
+    validate_brute_force_bound(database)
     players, value = query_game(database, query)
     others = [player for player in players if player != target]
     n = len(players)
@@ -82,8 +92,13 @@ def shapley_brute_force(
 def shapley_all_brute_force(
     database: Database, query: BooleanQuery
 ) -> dict[Fact, Fraction]:
-    """Exact Shapley values of every endogenous fact, sharing evaluations."""
-    _check_size(database)
+    """Exact Shapley values of every endogenous fact, sharing evaluations.
+
+    The ``MAX_BRUTE_FORCE_PLAYERS`` bound is checked once up front and
+    violations raise :class:`IntractableQueryError` naming the player
+    count, so oversized batch requests fail fast instead of per fact.
+    """
+    validate_brute_force_bound(database)
     players, value = query_game(database, query)
     n = len(players)
     result: dict[Fact, Fraction] = {player: Fraction(0) for player in players}
@@ -107,7 +122,7 @@ def satisfying_subset_counts(
     database: Database, query: BooleanQuery
 ) -> list[int]:
     """Brute-force ``|Sat(D, q, k)|`` for every ``k`` (oracle for CntSat tests)."""
-    _check_size(database)
+    validate_brute_force_bound(database)
     players = sorted(database.endogenous, key=repr)
     exogenous = list(database.exogenous)
     counts = [0] * (len(players) + 1)

@@ -133,7 +133,34 @@ def shapley_all_values(
     exogenous_relations: AbstractSet[str] | None = None,
     allow_brute_force: bool = True,
 ) -> dict[Fact, Fraction]:
-    """Exact Shapley values of every endogenous fact."""
+    """Exact Shapley values of every endogenous fact.
+
+    Delegates to the shared-work batch engine
+    (:class:`repro.engine.BatchAttributionEngine`): one CntSat-style
+    recursion (or one ExoShap rewrite) serves all facts instead of two
+    count-vector computations per fact, per-component results are
+    memoized across calls, and intractable requests fail once up front
+    with an :class:`IntractableQueryError` naming the player count.
+    """
+    from repro.engine import default_engine
+
+    return default_engine().shapley_all(
+        database, query, exogenous_relations, allow_brute_force
+    )
+
+
+def shapley_all_values_per_fact(
+    database: Database,
+    query: BooleanQuery,
+    exogenous_relations: AbstractSet[str] | None = None,
+    allow_brute_force: bool = True,
+) -> dict[Fact, Fraction]:
+    """The seed fact-at-a-time loop: one full dispatch per endogenous fact.
+
+    Kept as the reference implementation the batch engine is validated
+    and benchmarked against (``benchmarks/bench_engine.py``); prefer
+    :func:`shapley_all_values` everywhere else.
+    """
     if isinstance(query, ConjunctiveQuery):
         boolean = query.as_boolean()
         if exogenous_relations is None:

@@ -1,6 +1,5 @@
 """Unit tests for the exact-Shapley dispatcher and the counts reduction."""
 
-import random
 from fractions import Fraction
 
 import pytest

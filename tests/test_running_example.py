@@ -17,7 +17,6 @@ from repro.workloads.running_example import (
     F_R2,
     F_R3,
     F_R4,
-    F_R5,
     F_T1,
     F_T2,
     F_T3,
