@@ -36,8 +36,17 @@ from repro.core import (
     parse_query,
     parse_ucq,
 )
-from repro.engine import BatchAttributionEngine, BatchResult, default_engine
+from repro.engine import (
+    AnswerBatchResult,
+    BatchAttributionEngine,
+    BatchResult,
+    PersistentResultCache,
+    default_engine,
+)
 from repro.shapley import (
+    aggregate_attribution,
+    answer_attribution,
+    answers_attribution,
     approximate_shapley,
     banzhaf_all_values,
     count_satisfying_subsets,
@@ -46,6 +55,7 @@ from repro.shapley import (
     shapley_all_values,
     shapley_brute_force,
     shapley_count,
+    shapley_for_answer,
     shapley_hierarchical,
     shapley_sum,
     shapley_value,
@@ -54,6 +64,7 @@ from repro.shapley import (
 __version__ = "1.1.0"
 
 __all__ = [
+    "AnswerBatchResult",
     "Atom",
     "BatchAttributionEngine",
     "BatchResult",
@@ -62,9 +73,13 @@ __all__ = [
     "ConjunctiveQuery",
     "Database",
     "Fact",
+    "PersistentResultCache",
     "UnionQuery",
     "Variable",
     "__version__",
+    "aggregate_attribution",
+    "answer_attribution",
+    "answers_attribution",
     "approximate_shapley",
     "banzhaf_all_values",
     "classify",
@@ -81,6 +96,7 @@ __all__ = [
     "shapley_all_values",
     "shapley_brute_force",
     "shapley_count",
+    "shapley_for_answer",
     "shapley_hierarchical",
     "shapley_sum",
     "shapley_value",

@@ -7,6 +7,10 @@ Usage (after ``pip install -e .``)::
     python -m repro shapley   db.json QUERY --fact 'TA' Adam
     python -m repro batch     db.json QUERY [QUERY ...]
     python -m repro batch     db.json QUERY --measure both --repeat 3 --stats
+    python -m repro batch     db.json QUERY --cache-dir cache/
+    python -m repro answers   db.json "ans(x) :- Stud(x), not TA(x), Reg(x, y)"
+    python -m repro answers   db.json QUERY --answer Caroline --measure both
+    python -m repro answers   db.json QUERY --aggregate count --stats
     python -m repro relevance db.json QUERY --fact 'TA' Adam
     python -m repro demo                         # the paper's running example
 
@@ -17,6 +21,19 @@ Banzhaf values come from the same count vectors (``--measure``), and
 repeated or overlapping requests hit the engine's LRU caches
 (demonstrate with ``--repeat``, inspect with ``--stats``).
 
+``answers`` attributes *per answer tuple* of a non-Boolean query: each
+answer ``t`` is one engine batch for the grounded Boolean query ``q_t``,
+all groundings share component bundles through the engine's
+cross-grounding pool, and ``--aggregate count`` / ``--aggregate sum
+--value-index K`` print the linearity-derived aggregate attribution of
+every fact.  ``--answer`` restricts to specific tuples (repeatable);
+without it every candidate answer is attributed.
+
+``--cache-dir`` (on ``batch`` and ``answers``) turns on the persistent
+on-disk result cache (:mod:`repro.engine.persistent`): results are
+written as versioned JSON keyed by request fingerprints, so a later
+*process* serves the same requests warm without recomputing.
+
 The database file uses the JSON layout of :mod:`repro.io`.
 """
 
@@ -24,6 +41,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from fractions import Fraction
 from typing import Sequence
 
 from repro.core.classify import classify
@@ -37,15 +55,39 @@ from repro.relevance.algorithms import (
 from repro.shapley.exact import shapley_all_values, shapley_value
 
 
-def _parse_fact(relation: str, args: Sequence[str]) -> Fact:
-    """Build a fact from CLI tokens, converting numeric-looking arguments."""
+def _convert_tokens(args: Sequence[str]) -> tuple:
+    """CLI tokens as constants, converting numeric-looking arguments."""
     converted: list = []
     for token in args:
         try:
             converted.append(int(token))
         except ValueError:
             converted.append(token)
-    return Fact(relation, tuple(converted))
+    return tuple(converted)
+
+
+def _parse_fact(relation: str, args: Sequence[str]) -> Fact:
+    """Build a fact from CLI tokens, converting numeric-looking arguments."""
+    return Fact(relation, _convert_tokens(args))
+
+
+def _make_engine(options: argparse.Namespace):
+    """The shared engine, with the persistent cache attached when asked."""
+    from repro.engine import BatchAttributionEngine, default_engine
+
+    cache_dir = getattr(options, "cache_dir", None)
+    if cache_dir is None:
+        return default_engine()
+    from repro.engine.persistent import PersistentResultCache
+
+    # A dedicated instance: the process-wide default engine must not keep
+    # a handle on this invocation's cache directory.
+    return BatchAttributionEngine(persistent=PersistentResultCache(cache_dir))
+
+
+def _print_stats(engine) -> None:
+    for name, stats in engine.stats.items():
+        print(f"cache[{name}]: {stats!r}")
 
 
 def _cmd_classify(options: argparse.Namespace) -> int:
@@ -77,11 +119,9 @@ def _cmd_shapley(options: argparse.Namespace) -> int:
 
 
 def _cmd_batch(options: argparse.Namespace) -> int:
-    from repro.engine import default_engine
-
     database = load_database(options.database)
     exogenous = frozenset(options.exogenous) if options.exogenous else None
-    engine = default_engine()
+    engine = _make_engine(options)
     repeats = max(1, options.repeat)
     for text in options.queries:
         query = parse_query(text)
@@ -103,8 +143,94 @@ def _cmd_batch(options: argparse.Namespace) -> int:
             total = sum(result.shapley.values())
             print(f"  {'(shapley sum)':32} {total!s}")
     if options.stats:
-        for name, stats in engine.stats.items():
-            print(f"cache[{name}]: {stats!r}")
+        _print_stats(engine)
+    return 0
+
+
+def _cmd_answers(options: argparse.Namespace) -> int:
+    database = load_database(options.database)
+    query = parse_query(options.query)
+    if query.is_boolean:
+        print("error: the answers command needs a query with head variables",
+              file=sys.stderr)
+        return 2
+    arity = len(query.head)
+    if options.aggregate == "sum":
+        if options.value_index is None:
+            print("error: --aggregate sum requires --value-index",
+                  file=sys.stderr)
+            return 2
+        if not 0 <= options.value_index < arity:
+            print(
+                f"error: --value-index {options.value_index} out of range for"
+                f" head of size {arity}",
+                file=sys.stderr,
+            )
+            return 2
+    exogenous = frozenset(options.exogenous) if options.exogenous else None
+    engine = _make_engine(options)
+    requested = (
+        None
+        if not options.answer
+        else [_convert_tokens(tokens) for tokens in options.answer]
+    )
+    for tokens in requested or ():
+        if len(tokens) != arity:
+            print(
+                f"error: answer {tokens!r} has arity {len(tokens)}, but the"
+                f" query head has arity {arity}",
+                file=sys.stderr,
+            )
+            return 2
+    batch = engine.batch_answers(database, query, requested, exogenous)
+    show_shapley = options.measure in ("shapley", "both")
+    show_banzhaf = options.measure in ("banzhaf", "both")
+
+    def print_values(result, indent: str = "  ") -> None:
+        for f in sorted(result.shapley, key=repr):
+            if not result.shapley[f] and not result.banzhaf[f]:
+                continue
+            columns = []
+            if show_shapley:
+                columns.append(f"shapley={result.shapley[f]!s}")
+            if show_banzhaf:
+                columns.append(f"banzhaf={result.banzhaf[f]!s}")
+            print(f"{indent}{f!r:32} {'  '.join(columns)}")
+
+    for answer, result in batch.per_answer.items():
+        provenance = result.method + (", cached" if result.from_cache else "")
+        print(f"answer {answer!r} [{provenance}]:")
+        print_values(result)
+        if show_shapley:
+            total = sum(result.shapley.values())
+            print(f"  {'(shapley sum)':32} {total!s}")
+
+    if options.aggregate:
+        if options.aggregate == "sum":
+            index = options.value_index
+            weight = lambda row: Fraction(row[index])  # noqa: E731
+            label = f"sum(t[{index}])"
+        else:
+            weight = lambda row: 1  # noqa: E731
+            label = "count"
+        try:
+            totals = batch.aggregate(weight)
+        except (TypeError, ValueError) as error:
+            print(
+                f"error: head position {options.value_index} is not numeric"
+                f" on every answer ({error})",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"aggregate [{label}] attribution:")
+        for f in sorted(totals, key=repr):
+            if totals[f]:
+                print(f"  {f!r:32} shapley={totals[f]!s}")
+        print(f"  {'(sum)':32} {sum(totals.values(), Fraction(0))!s}")
+
+    if options.stats:
+        _print_stats(engine)
+        print(f"pool: {batch.pool_stats!r}")
     return 0
 
 
@@ -193,7 +319,56 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument(
         "--stats", action="store_true", help="print engine cache statistics"
     )
+    p_batch.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persistent on-disk result cache (warm across processes)",
+    )
     p_batch.set_defaults(handler=_cmd_batch)
+
+    p_answers = commands.add_parser(
+        "answers",
+        help="per-answer attribution of a non-Boolean query (engine-backed)",
+    )
+    p_answers.add_argument("database", help="database JSON file")
+    p_answers.add_argument("query", help="datalog-style query with head variables")
+    p_answers.add_argument(
+        "--answer",
+        nargs="+",
+        action="append",
+        metavar="VAL",
+        help="attribute only this answer tuple (repeatable);"
+        " default: every candidate answer",
+    )
+    p_answers.add_argument(
+        "--measure",
+        choices=("shapley", "banzhaf", "both"),
+        default="shapley",
+        help="attribution measure(s) to print (default: shapley)",
+    )
+    p_answers.add_argument(
+        "--aggregate",
+        choices=("count", "sum"),
+        help="also print the aggregate attribution over all answers",
+    )
+    p_answers.add_argument(
+        "--value-index",
+        type=int,
+        metavar="K",
+        help="head position to sum for --aggregate sum",
+    )
+    p_answers.add_argument(
+        "--exogenous", nargs="*", metavar="REL", help="exogenous relations (X)"
+    )
+    p_answers.add_argument(
+        "--stats", action="store_true", help="print engine cache statistics"
+    )
+    p_answers.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persistent on-disk result cache (warm across processes)",
+    )
+    p_answers.set_defaults(handler=_cmd_answers)
 
     p_relevance = commands.add_parser(
         "relevance", help="relevance of a fact (polarity-consistent queries)"

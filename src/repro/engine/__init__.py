@@ -28,11 +28,26 @@ level — the measured ≥5x (typically 10–50x) speedup of
 
 On top of the shared recursion the engine adds:
 
+* **with/without sharing**: only the deletion vector ``Sat^{-f}`` is
+  threaded through the recursion; the ``Sat^{+f}`` variant is derived
+  from the baseline via ``Sat(k+1) = Sat^{+f}(k) + Sat^{-f}(k+1)``,
+  halving the per-fact convolution work;
 * a bounded LRU cache of per-component count bundles keyed on a
   canonical (component, facts) fingerprint, so overlapping requests and
   repeated queries share sub-results (:mod:`repro.engine.cache`,
   :mod:`repro.engine.fingerprint`);
-* a result cache over whole ``(database, query, X)`` requests;
+* a result cache over whole ``(database, query, X, grounding)``
+  requests — the grounding component keeps distinct answers ``q_t``,
+  ``q_t'`` of a non-Boolean query from ever colliding;
+* **answer batches** (:meth:`BatchAttributionEngine.batch_answers`):
+  the groundings of one non-Boolean query share Gaifman-component
+  bundles across answers through a call-scoped :class:`BundlePool` —
+  the backbone of engine-backed ``answer_attribution`` and
+  ``shapley_aggregate``;
+* an optional **persistent on-disk result cache**
+  (:mod:`repro.engine.persistent`): versioned JSON entries keyed by
+  fingerprint digests, atomic writes, so warm results survive across
+  processes (``--cache-dir`` on the CLI);
 * dichotomy dispatch identical to the fact-at-a-time front door:
   CntSat, then a single ExoShap rewrite, then bounded brute force
   (:mod:`repro.engine.core`).
@@ -51,27 +66,45 @@ or, from the CLI::
     python -m repro batch db.json "q() :- Stud(x), not TA(x), Reg(x, y)"
 """
 
-from repro.engine.bundles import BatchVectors, CountBundle, batch_count_vectors
-from repro.engine.cache import CacheStats, LRUCache
-from repro.engine.core import BatchAttributionEngine, BatchResult, default_engine
+from repro.engine.bundles import (
+    BatchVectors,
+    CountBundle,
+    batch_count_vectors,
+    derive_with_vector,
+)
+from repro.engine.cache import BundlePool, CacheStats, LRUCache
+from repro.engine.core import (
+    AnswerBatchResult,
+    BatchAttributionEngine,
+    BatchResult,
+    default_engine,
+)
 from repro.engine.fingerprint import (
     fingerprint_component,
     fingerprint_database,
+    fingerprint_grounding,
     fingerprint_query,
     fingerprint_request,
 )
+from repro.engine.persistent import PersistentResultCache, digest_key
 
 __all__ = [
+    "AnswerBatchResult",
     "BatchAttributionEngine",
     "BatchResult",
     "BatchVectors",
+    "BundlePool",
     "CacheStats",
     "CountBundle",
     "LRUCache",
+    "PersistentResultCache",
     "batch_count_vectors",
     "default_engine",
+    "derive_with_vector",
+    "digest_key",
     "fingerprint_component",
     "fingerprint_database",
+    "fingerprint_grounding",
     "fingerprint_query",
     "fingerprint_request",
 ]

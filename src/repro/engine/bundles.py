@@ -20,7 +20,19 @@ how the count vectors factorize:
   so the same prefix/suffix sharing applies to the UNSAT factors.
 
 * **Ground level.**  Base-case components are tiny (one atom, at most
-  one owned fact), so the two variants are recomputed directly.
+  one owned fact), so the deletion variant is recomputed directly.
+
+* **With/without sharing.**  The two variants the Lemma 3.2 reduction
+  needs per fact — ``f`` moved to the exogenous side (``Sat^{+f}``) and
+  ``f`` deleted (``Sat^{-f}``) — satisfy the partition identity
+
+      ``Sat(k + 1) = Sat^{+f}(k) + Sat^{-f}(k + 1)``
+
+  (a ``(k+1)``-subset either contains ``f`` or it does not), so only the
+  *deletion* vector is threaded through the recursion and the *with*
+  vector is derived from the baseline at the end
+  (:func:`derive_with_vector`).  This halves the per-fact convolution
+  work at every level of the recursion.
 
 Facts that can never influence satisfaction — facts of relations the
 query does not mention, and facts that fail their atom's constant or
@@ -43,13 +55,17 @@ from repro.core.errors import NotHierarchicalError, SelfJoinError
 from repro.core.facts import Constant, Fact
 from repro.core.hierarchy import is_hierarchical
 from repro.core.query import Atom, ConjunctiveQuery, Variable
-from repro.engine.cache import LRUCache
+from repro.engine.cache import BundlePool, LRUCache
 from repro.engine.fingerprint import fingerprint_component
 from repro.util.combinatorics import (
     binomial_vector,
     convolve,
     subtract_vectors,
 )
+
+# Anything with get_or_compute(key, thunk): an engine LRU or a call-scoped
+# pool layered on top of one (cross-grounding sharing in batch_answers).
+BundleCache = LRUCache | BundlePool
 
 
 @dataclass(frozen=True)
@@ -66,17 +82,37 @@ class CountBundle:
     """Count vectors of a subproblem, for the baseline and per owned fact.
 
     ``sat`` has length ``owned + 1``; for every owned fact ``f``,
-    ``deltas[f] = (sat_exo, sat_del)`` are the vectors over the remaining
-    ``owned - 1`` facts with ``f`` moved to the exogenous side and with
-    ``f`` deleted, respectively.  Facts in ``zero`` provably have
+    ``deltas[f]`` is the *deletion* vector ``Sat^{-f}`` over the remaining
+    ``owned - 1`` facts (``f`` removed from the database).  The *with*
+    vector ``Sat^{+f}`` is never materialized below the top level: it
+    follows from ``sat`` and ``deltas[f]`` via the partition identity of
+    :func:`derive_with_vector`.  Facts in ``zero`` provably have
     ``sat_exo == sat_del`` (their Shapley and Banzhaf values vanish) and
     carry no vectors.
     """
 
     owned: int
     sat: tuple[int, ...]
-    deltas: dict[Fact, tuple[tuple[int, ...], tuple[int, ...]]]
+    deltas: dict[Fact, tuple[int, ...]]
     zero: frozenset[Fact]
+
+
+def derive_with_vector(
+    baseline: Sequence[int], without: Sequence[int]
+) -> tuple[int, ...]:
+    """``Sat^{+f}`` from the baseline and ``Sat^{-f}`` vectors.
+
+    A ``(k+1)``-subset of the ``n`` facts either contains ``f`` — then its
+    other ``k`` elements satisfy the query with ``f`` exogenous — or it
+    does not, so ``Sat(k+1) = Sat^{+f}(k) + Sat^{-f}(k+1)``.  ``baseline``
+    has length ``n + 1`` and ``without`` length ``n``; the result has
+    length ``n`` (one entry per size ``0 .. n-1`` over ``n - 1`` facts).
+    """
+    length = len(baseline) - 1
+    return tuple(
+        baseline[k + 1] - (without[k + 1] if k + 1 < len(without) else 0)
+        for k in range(length)
+    )
 
 
 @dataclass(frozen=True)
@@ -140,7 +176,7 @@ def _components(scope: Sequence[_Scoped]) -> list[list[_Scoped]]:
     return list(groups.values())
 
 
-def _bundle_scope(scope: Sequence[_Scoped], cache: LRUCache) -> CountBundle:
+def _bundle_scope(scope: Sequence[_Scoped], cache: BundleCache) -> CountBundle:
     """AND level: restriction, component split, and convolution sharing."""
     free_facts: set[Fact] = set()
     restricted: list[_Scoped] = []
@@ -163,22 +199,19 @@ def _bundle_scope(scope: Sequence[_Scoped], cache: LRUCache) -> CountBundle:
     sat = tuple(convolve(prefix[len(bundles)], free_vector))
     owned = sum(bundle.owned for bundle in bundles) + free
 
-    deltas: dict[Fact, tuple[tuple[int, ...], tuple[int, ...]]] = {}
+    deltas: dict[Fact, tuple[int, ...]] = {}
     zero = set(free_facts)
     for j, bundle in enumerate(bundles):
         zero |= bundle.zero
         if not bundle.deltas:
             continue
         rest = convolve(convolve(prefix[j], suffix[j + 1]), free_vector)
-        for item, (sat_exo, sat_del) in bundle.deltas.items():
-            deltas[item] = (
-                tuple(convolve(sat_exo, rest)),
-                tuple(convolve(sat_del, rest)),
-            )
+        for item, sat_del in bundle.deltas.items():
+            deltas[item] = tuple(convolve(sat_del, rest))
     return CountBundle(owned, sat, deltas, frozenset(zero))
 
 
-def _bundle_component(component: list[_Scoped], cache: LRUCache) -> CountBundle:
+def _bundle_component(component: list[_Scoped], cache: BundleCache) -> CountBundle:
     """OR level, memoized: slice on the root variable and share UNSAT factors."""
     if not any(scoped.atom.variables for scoped in component):
         # Ground components are cheaper to recompute than to fingerprint.
@@ -191,7 +224,7 @@ def _bundle_component(component: list[_Scoped], cache: LRUCache) -> CountBundle:
     return cache.get_or_compute(key, lambda: _bundle_component_fresh(component, cache))
 
 
-def _bundle_component_fresh(component: list[_Scoped], cache: LRUCache) -> CountBundle:
+def _bundle_component_fresh(component: list[_Scoped], cache: BundleCache) -> CountBundle:
     variables = frozenset(var for scoped in component for var in scoped.atom.variables)
     if not variables:
         return _bundle_ground(component)
@@ -240,7 +273,7 @@ def _bundle_component_fresh(component: list[_Scoped], cache: LRUCache) -> CountB
     all_unsat = prefix[len(unsat_vectors)]
     sat = tuple(subtract_vectors(binomial_vector(total), all_unsat))
 
-    deltas: dict[Fact, tuple[tuple[int, ...], tuple[int, ...]]] = {}
+    deltas: dict[Fact, tuple[int, ...]] = {}
     zero: set[Fact] = set()
     remaining = binomial_vector(total - 1) if total else []
     for b, bundle in enumerate(slice_bundles):
@@ -249,12 +282,10 @@ def _bundle_component_fresh(component: list[_Scoped], cache: LRUCache) -> CountB
             continue
         rest = convolve(prefix[b], suffix[b + 1])
         slice_players = binomial_vector(bundle.owned - 1)
-        for item, (sat_exo, sat_del) in bundle.deltas.items():
-            unsat_exo = subtract_vectors(slice_players, sat_exo)
+        for item, sat_del in bundle.deltas.items():
             unsat_del = subtract_vectors(slice_players, sat_del)
-            deltas[item] = (
-                tuple(subtract_vectors(remaining, convolve(unsat_exo, rest))),
-                tuple(subtract_vectors(remaining, convolve(unsat_del, rest))),
+            deltas[item] = tuple(
+                subtract_vectors(remaining, convolve(unsat_del, rest))
             )
     return CountBundle(total, sat, deltas, frozenset(zero))
 
@@ -286,27 +317,18 @@ def _ground_vector(component: list[_Scoped]) -> tuple[int, ...]:
 
 
 def _bundle_ground(component: list[_Scoped]) -> CountBundle:
-    """Ground level: recompute the two variants per owned fact directly."""
+    """Ground level: recompute the deletion variant per owned fact directly."""
     sat = _ground_vector(component)
-    deltas: dict[Fact, tuple[tuple[int, ...], tuple[int, ...]]] = {}
+    deltas: dict[Fact, tuple[int, ...]] = {}
     for index, scoped in enumerate(component):
         for item in scoped.endogenous:
-            exo_variant = list(component)
-            exo_variant[index] = _Scoped(
-                scoped.atom,
-                scoped.exogenous | {item},
-                scoped.endogenous - {item},
-            )
             del_variant = list(component)
             del_variant[index] = _Scoped(
                 scoped.atom,
                 scoped.exogenous,
                 scoped.endogenous - {item},
             )
-            deltas[item] = (
-                _ground_vector(exo_variant),
-                _ground_vector(del_variant),
-            )
+            deltas[item] = _ground_vector(del_variant)
     owned = sum(len(scoped.endogenous) for scoped in component)
     return CountBundle(owned, sat, deltas, frozenset())
 
@@ -314,7 +336,7 @@ def _bundle_ground(component: list[_Scoped]) -> CountBundle:
 def batch_count_vectors(
     database: Database,
     query: ConjunctiveQuery,
-    cache: LRUCache | None = None,
+    cache: BundleCache | None = None,
 ) -> BatchVectors:
     """All Lemma 3.2 count vectors of ``(D, q)`` in one shared recursion.
 
@@ -361,10 +383,10 @@ def batch_count_vectors(
     baseline = tuple(convolve(bundle.sat, outside))
     assert len(baseline) == total + 1, (len(baseline), total + 1)
 
-    per_fact = {
-        item: (tuple(convolve(sat_exo, outside)), tuple(convolve(sat_del, outside)))
-        for item, (sat_exo, sat_del) in bundle.deltas.items()
-    }
+    per_fact = {}
+    for item, sat_del in bundle.deltas.items():
+        without = tuple(convolve(sat_del, outside))
+        per_fact[item] = (derive_with_vector(baseline, without), without)
     zero_facts = bundle.zero | unused
     assert len(per_fact) + len(zero_facts) == total
     return BatchVectors(total, baseline, per_fact, zero_facts)

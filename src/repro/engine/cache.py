@@ -98,3 +98,43 @@ class LRUCache(Generic[Value]):
     def clear(self) -> None:
         """Drop all entries (the statistics counters are kept)."""
         self._entries.clear()
+
+
+class BundlePool:
+    """A call-scoped, unbounded overlay on top of a backing :class:`LRUCache`.
+
+    The groundings of one non-Boolean query differ only in their head
+    constants, so most of their Gaifman components are *identical* across
+    answers.  A pool pins every component bundle computed during one
+    answer-batch call in an unbounded local dict — immune to LRU eviction
+    mid-run — while still reading from and writing through to the backing
+    engine cache so the work outlives the call.
+
+    The pool quacks like an :class:`LRUCache` for the single method the
+    bundle recursion uses (:meth:`get_or_compute`); ``stats`` counts
+    pool-level hits (local *or* backing) and misses.
+    """
+
+    def __init__(self, backing: LRUCache) -> None:
+        self.backing = backing
+        self.stats = CacheStats()
+        self._local: dict[Hashable, Value] = {}
+
+    def __len__(self) -> int:
+        return len(self._local)
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Value]) -> Value:
+        """Local dict first, then the backing cache, then ``compute``."""
+        if key in self._local:
+            self.stats.hits += 1
+            return self._local[key]
+        value = self.backing.get(key)
+        if value is not None:
+            self.stats.hits += 1
+            self._local[key] = value
+            return value
+        self.stats.misses += 1
+        value = compute()
+        self._local[key] = value
+        self.backing.put(key, value)
+        return value

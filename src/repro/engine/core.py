@@ -22,33 +22,73 @@ accounting for observability and tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from fractions import Fraction
-from typing import AbstractSet, Mapping
+from typing import TYPE_CHECKING, AbstractSet, Callable, Iterable, Mapping
 
 from repro.core.database import Database
 from repro.core.errors import IntractableQueryError
-from repro.core.facts import Fact
+from repro.core.facts import Constant, Fact
 from repro.core.gaifman import infer_exogenous_relations
 from repro.core.hierarchy import is_hierarchical
 from repro.core.paths import has_non_hierarchical_path
 from repro.core.query import BooleanQuery, ConjunctiveQuery
 from repro.engine.bundles import BatchVectors, batch_count_vectors
-from repro.engine.cache import CacheStats, LRUCache
+from repro.engine.cache import BundlePool, CacheStats, LRUCache
 from repro.engine.fingerprint import fingerprint_request
 from repro.shapley.brute_force import MAX_BRUTE_FORCE_PLAYERS
 from repro.util.combinatorics import shapley_coefficient
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.engine.persistent import PersistentResultCache
+
 
 @dataclass(frozen=True)
 class BatchResult:
-    """All-facts attribution values plus provenance of the computation."""
+    """All-facts attribution values plus provenance of the computation.
+
+    The ``shapley`` and ``banzhaf`` mappings iterate their facts in the
+    library's canonical order — sorted by ``repr`` — so callers observe
+    one deterministic, documented ordering regardless of which algorithm
+    or cache produced the result.
+    """
 
     shapley: Mapping[Fact, Fraction]
     banzhaf: Mapping[Fact, Fraction]
     method: str
     player_count: int
     from_cache: bool = False
+
+
+@dataclass(frozen=True)
+class AnswerBatchResult:
+    """Per-answer batch results for the groundings of one non-Boolean query.
+
+    ``per_answer`` maps each answer tuple to the :class:`BatchResult` of
+    its grounded Boolean query ``q_t``; answers iterate sorted by
+    ``repr``.  ``pool_stats`` reports how often the cross-grounding
+    bundle pool shared component work between answers.
+    """
+
+    per_answer: Mapping[tuple[Constant, ...], BatchResult]
+    pool_stats: CacheStats = field(default_factory=CacheStats)
+
+    def aggregate(
+        self,
+        value_of: Callable[[tuple[Constant, ...]], Fraction | int],
+        measure: str = "shapley",
+    ) -> dict[Fact, Fraction]:
+        """Linearity: ``Σ_t value_of(t) · measure(D, q_t, f)`` per fact."""
+        if measure not in ("shapley", "banzhaf"):
+            raise ValueError(f"unknown measure {measure!r}")
+        totals: dict[Fact, Fraction] = {}
+        for answer, result in self.per_answer.items():
+            weight = Fraction(value_of(answer))
+            if not weight:
+                continue
+            for item, value in getattr(result, measure).items():
+                totals[item] = totals.get(item, Fraction(0)) + weight * value
+        return {item: totals[item] for item in sorted(totals, key=repr)}
 
 
 class BatchAttributionEngine:
@@ -66,9 +106,11 @@ class BatchAttributionEngine:
         self,
         component_cache_size: int = 512,
         result_cache_size: int = 128,
+        persistent: "PersistentResultCache | None" = None,
     ) -> None:
         self.component_cache: LRUCache = LRUCache(component_cache_size)
         self.result_cache: LRUCache = LRUCache(result_cache_size)
+        self.persistent = persistent
 
     # ------------------------------------------------------------------
     # Public API
@@ -79,10 +121,25 @@ class BatchAttributionEngine:
         query: BooleanQuery,
         exogenous_relations: AbstractSet[str] | None = None,
         allow_brute_force: bool = True,
+        grounding: tuple[Constant, ...] | None = None,
+        pool: BundlePool | None = None,
     ) -> BatchResult:
-        """Shapley and Banzhaf values of every endogenous fact of ``D``."""
-        key = fingerprint_request(database, query, exogenous_relations)
+        """Shapley and Banzhaf values of every endogenous fact of ``D``.
+
+        ``grounding`` carries the head constants when ``query`` is the
+        grounding ``q_t`` of a non-Boolean query at answer ``t``; it is
+        part of the cache key, so distinct answers can never collide even
+        when their grounded atom sets coincide.  ``pool`` lets an answer
+        batch share component bundles across groundings
+        (see :meth:`batch_answers`).
+        """
+        key = fingerprint_request(database, query, exogenous_relations, grounding)
         cached = self.result_cache.get(key)
+        if cached is None and self.persistent is not None:
+            cached = self.persistent.get(key)
+            if cached is not None:
+                # Promote the disk hit so repeats stay in memory.
+                self.result_cache.put(key, cached)
         if cached is not None:
             if not allow_brute_force and cached.method == "brute-force":
                 # A warm cache must not bypass the caller's polynomial-only
@@ -93,17 +150,82 @@ class BatchAttributionEngine:
                     " facts is disabled"
                 )
             return self._public(cached, from_cache=True)
-        result = self._compute(database, query, exogenous_relations, allow_brute_force)
+        result = self._compute(
+            database, query, exogenous_relations, allow_brute_force, pool
+        )
         self.result_cache.put(key, result)
+        if self.persistent is not None:
+            self.persistent.put(key, result)
         return self._public(result, from_cache=False)
+
+    def batch_answers(
+        self,
+        database: Database,
+        query: ConjunctiveQuery,
+        answers: Iterable[tuple[Constant, ...]] | None = None,
+        exogenous_relations: AbstractSet[str] | None = None,
+        allow_brute_force: bool = True,
+    ) -> AnswerBatchResult:
+        """One batch per grounding ``q_t`` of a non-Boolean query.
+
+        ``answers`` defaults to every candidate answer of ``query``
+        (tuples reachable under *some* endogenous subset).  All
+        groundings share one cross-grounding :class:`BundlePool`: their
+        Gaifman components differ only where the head constants appear,
+        so the untouched components are computed once and reused by every
+        answer — on top of the with/without sharing inside each batch.
+        """
+        from repro.shapley.aggregates import candidate_answers
+        from repro.shapley.answers import ground_at_answer, head_assignment
+
+        if query.is_boolean:
+            raise ValueError("batch_answers needs a query with head variables")
+        if answers is None:
+            answers = candidate_answers(database, query)
+        pool = BundlePool(self.component_cache)
+        per_answer: dict[tuple[Constant, ...], BatchResult] = {}
+        for answer in sorted(answers, key=repr):
+            answer = tuple(answer)
+            if head_assignment(query, answer) is None:
+                # A tuple conflicting with a repeated head variable is
+                # never an answer: q_t is identically false and every
+                # fact's value vanishes.
+                zeros = {
+                    item: Fraction(0)
+                    for item in sorted(database.endogenous, key=repr)
+                }
+                per_answer[answer] = BatchResult(
+                    zeros, dict(zeros), "inconsistent", len(zeros)
+                )
+                continue
+            per_answer[answer] = self.batch(
+                database,
+                ground_at_answer(query, answer),
+                exogenous_relations,
+                allow_brute_force,
+                grounding=answer,
+                pool=pool,
+            )
+        return AnswerBatchResult(per_answer, pool.stats.snapshot())
 
     @staticmethod
     def _public(result: BatchResult, from_cache: bool) -> BatchResult:
-        """A caller-facing copy: mutating it must not corrupt the cache."""
+        """A caller-facing copy: mutating it must not corrupt the cache.
+
+        The copy also normalizes both mappings to the canonical fact
+        ordering (sorted by ``repr``), so every path out of the engine —
+        fresh, memory-cached, or disk-cached — iterates identically.
+        """
         return replace(
             result,
-            shapley=dict(result.shapley),
-            banzhaf=dict(result.banzhaf),
+            shapley={
+                item: result.shapley[item]
+                for item in sorted(result.shapley, key=repr)
+            },
+            banzhaf={
+                item: result.banzhaf[item]
+                for item in sorted(result.banzhaf, key=repr)
+            },
             from_cache=from_cache,
         )
 
@@ -132,10 +254,13 @@ class BatchAttributionEngine:
     @property
     def stats(self) -> dict[str, CacheStats]:
         """Snapshot of per-cache hit/miss/eviction counters."""
-        return {
+        counters = {
             "components": self.component_cache.stats.snapshot(),
             "results": self.result_cache.stats.snapshot(),
         }
+        if self.persistent is not None:
+            counters["persistent"] = self.persistent.stats.snapshot()
+        return counters
 
     def clear(self) -> None:
         """Drop all cached entries (statistics are kept)."""
@@ -151,8 +276,10 @@ class BatchAttributionEngine:
         query: BooleanQuery,
         exogenous_relations: AbstractSet[str] | None,
         allow_brute_force: bool,
+        pool: BundlePool | None = None,
     ) -> BatchResult:
         players = len(database.endogenous)
+        bundle_cache = self.component_cache if pool is None else pool
         if players == 0:
             return BatchResult({}, {}, "empty", 0)
         if isinstance(query, ConjunctiveQuery):
@@ -161,9 +288,7 @@ class BatchAttributionEngine:
                 exogenous_relations = infer_exogenous_relations(boolean, database)
             if boolean.is_self_join_free:
                 if is_hierarchical(boolean):
-                    vectors = batch_count_vectors(
-                        database, boolean, self.component_cache
-                    )
+                    vectors = batch_count_vectors(database, boolean, bundle_cache)
                     return self._from_vectors(vectors, "cntsat")
                 if not has_non_hierarchical_path(boolean, exogenous_relations):
                     from repro.shapley.exoshap import rewrite_to_hierarchical
@@ -172,7 +297,7 @@ class BatchAttributionEngine:
                         database, boolean, exogenous_relations
                     )
                     vectors = batch_count_vectors(
-                        rewrite.database, rewrite.query, self.component_cache
+                        rewrite.database, rewrite.query, bundle_cache
                     )
                     return self._from_vectors(vectors, "exoshap")
         if not allow_brute_force:

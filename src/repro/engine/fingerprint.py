@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.core.database import Database
-from repro.core.facts import Fact
+from repro.core.facts import Constant, Fact
 from repro.core.query import Atom, BooleanQuery, UnionQuery, Variable
 
 
@@ -110,12 +110,35 @@ def fingerprint_component(
     )
 
 
+def fingerprint_grounding(answer: tuple[Constant, ...]) -> tuple:
+    """Type-tagged fingerprint of the head constants of a grounded query.
+
+    Two groundings ``q_t`` and ``q_t'`` of the same non-Boolean query can
+    substitute into *identical* atom sets (e.g. a repeated head variable,
+    or constants that compare equal across Python types such as ``1`` and
+    ``True``) while asking about different answer tuples.  The grounding
+    fingerprint keeps the answer itself — with each constant tagged by its
+    concrete type — so such requests can never collide in the result or
+    persistent caches.
+    """
+    return tuple(
+        ("ground", type(value).__name__, value) for value in answer
+    )
+
+
 def fingerprint_request(
     database: Database,
     query: BooleanQuery,
     exogenous_relations: Iterable[str] | None,
+    grounding: tuple[Constant, ...] | None = None,
 ) -> tuple:
-    """Cache key for a whole batch request."""
+    """Cache key for a whole batch request.
+
+    ``grounding`` carries the head constants when ``query`` was obtained
+    by grounding a non-Boolean query at an answer tuple (see
+    :func:`fingerprint_grounding`); ``None`` marks a plain Boolean
+    request.
+    """
     relations = (
         None
         if exogenous_relations is None
@@ -125,6 +148,7 @@ def fingerprint_request(
         fingerprint_database(database),
         fingerprint_query(query),
         relations,
+        None if grounding is None else fingerprint_grounding(grounding),
     )
 
 
@@ -133,6 +157,7 @@ __all__ = [
     "fingerprint_component",
     "fingerprint_database",
     "fingerprint_facts",
+    "fingerprint_grounding",
     "fingerprint_query",
     "fingerprint_request",
 ]

@@ -1,0 +1,200 @@
+"""Persistent on-disk result cache: warm attribution across processes.
+
+The engine's in-memory LRU caches die with the process, which makes every
+new worker pay the full recursion cost for requests the fleet has already
+answered.  This module stores whole :class:`~repro.engine.core.BatchResult`
+values on disk, keyed by a SHA-256 digest of the canonical request
+fingerprint (:mod:`repro.engine.fingerprint`), so a process can serve warm
+results computed by another process — the multi-process serving step of
+the ROADMAP north star.
+
+Design points:
+
+* **Keys** are the same fingerprint tuples the in-memory result cache
+  uses (including the grounding component for answer requests), encoded
+  canonically with per-value type tags and hashed; alpha-equivalent
+  requests share an entry, type-punned constants (``1`` vs ``True``)
+  never do.
+* **Values** are versioned JSON documents; a version bump invalidates old
+  entries by changing the directory name, so formats never mix.
+* **Writes are atomic**: each entry is written to a temporary file in the
+  same directory and ``os.replace``-d into place, so concurrent readers
+  and writers only ever observe complete documents.
+* **Best effort**: corrupt, unreadable, or mismatched entries count as
+  misses; facts whose constants do not round-trip through JSON scalars
+  are simply not persisted.  The cache never changes a result, only its
+  cost.
+
+Usage::
+
+    from repro.engine import BatchAttributionEngine, PersistentResultCache
+
+    engine = BatchAttributionEngine(persistent=PersistentResultCache("cache/"))
+    engine.batch(db, q)      # cold: computes, writes cache/v1/<digest>.json
+    # ... a different process, same cache dir:
+    engine.batch(db, q)      # warm: served from disk, zero recursions
+
+or from the CLI: ``python -m repro batch db.json QUERY --cache-dir cache/``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from fractions import Fraction
+from pathlib import Path
+from typing import Any
+
+from repro.core.facts import Fact
+from repro.engine.cache import CacheStats
+from repro.engine.core import BatchResult
+from repro.io import fact_from_row, fact_is_json_safe, fact_to_row
+
+FORMAT_VERSION = 1
+
+
+def _encode(obj: Any) -> Any:
+    """Canonical JSON-able encoding of a fingerprint tuple tree.
+
+    Every value carries a type tag so that Python values that compare
+    equal across types (``1 == True == 1.0``) produce distinct digests.
+    """
+    if isinstance(obj, tuple):
+        return ["tuple", [_encode(item) for item in obj]]
+    if isinstance(obj, Fact):
+        return ["fact", obj.relation, [_encode(arg) for arg in obj.args]]
+    if isinstance(obj, bool):
+        return ["bool", obj]
+    if isinstance(obj, int):
+        return ["int", str(obj)]
+    if isinstance(obj, float):
+        return ["float", repr(obj)]
+    if isinstance(obj, str):
+        return ["str", obj]
+    if obj is None:
+        return ["none"]
+    # Exotic hashable constants: fall back to their type and repr.
+    return ["repr", type(obj).__name__, repr(obj)]
+
+
+def digest_key(key: tuple) -> str:
+    """Stable SHA-256 hex digest of a request fingerprint tuple."""
+    rendered = json.dumps(_encode(key), separators=(",", ":"), sort_keys=False)
+    return hashlib.sha256(rendered.encode("utf-8")).hexdigest()
+
+
+def _values_to_rows(values: dict[Fact, Fraction]) -> list[list[Any]] | None:
+    """``[[relation, args, numerator, denominator], ...]`` or None.
+
+    Returns None when some constant is not a JSON scalar (such facts
+    would not round-trip; the entry is then simply not persisted).
+    Numerators and denominators are serialized as strings: exact
+    ``Fraction`` arithmetic routinely produces integers beyond every
+    fixed-width range.
+    """
+    rows = []
+    for item in sorted(values, key=repr):
+        if not fact_is_json_safe(item):
+            return None
+        value = values[item]
+        rows.append(
+            fact_to_row(item) + [str(value.numerator), str(value.denominator)]
+        )
+    return rows
+
+
+def _rows_to_values(rows: list[list[Any]]) -> dict[Fact, Fraction]:
+    values: dict[Fact, Fraction] = {}
+    for relation, args, numerator, denominator in rows:
+        values[fact_from_row([relation, args])] = Fraction(
+            int(numerator), int(denominator)
+        )
+    return values
+
+
+class PersistentResultCache:
+    """An on-disk cache of :class:`BatchResult` values, safe across processes.
+
+    Entries live under ``directory/v{FORMAT_VERSION}/<digest>.json``; the
+    versioned subdirectory means a format change can never misparse old
+    entries.  ``stats`` counts hits and misses exactly like the in-memory
+    caches (corrupt or unreadable entries are misses).
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.root = Path(directory)
+        self.directory = self.root / f"v{FORMAT_VERSION}"
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    def _path(self, key: tuple) -> Path:
+        return self.directory / f"{digest_key(key)}.json"
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def get(self, key: tuple) -> BatchResult | None:
+        """The cached result for ``key``, or None (counts a hit or a miss)."""
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.stats.misses += 1
+            return None
+        if not isinstance(payload, dict) or payload.get("version") != FORMAT_VERSION:
+            self.stats.misses += 1
+            return None
+        try:
+            result = BatchResult(
+                shapley=_rows_to_values(payload["shapley"]),
+                banzhaf=_rows_to_values(payload["banzhaf"]),
+                method=payload["method"],
+                player_count=payload["player_count"],
+            )
+        except (KeyError, TypeError, ValueError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, key: tuple, result: BatchResult) -> bool:
+        """Persist ``result`` under ``key`` atomically; False if skipped."""
+        shapley = _values_to_rows(dict(result.shapley))
+        banzhaf = _values_to_rows(dict(result.banzhaf))
+        if shapley is None or banzhaf is None:
+            return False
+        payload = {
+            "version": FORMAT_VERSION,
+            "method": result.method,
+            "player_count": result.player_count,
+            "shapley": shapley,
+            "banzhaf": banzhaf,
+        }
+        path = self._path(key)
+        descriptor, temp_name = tempfile.mkstemp(
+            prefix=f".{path.stem}.", suffix=".tmp", dir=self.directory
+        )
+        try:
+            with os.fdopen(descriptor, "w") as handle:
+                json.dump(payload, handle, separators=(",", ":"))
+            os.replace(temp_name, path)
+        except OSError:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            return False
+        return True
+
+    def clear(self) -> None:
+        """Remove every entry of the current format version."""
+        for path in self.directory.glob("*.json"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+
+__all__ = ["FORMAT_VERSION", "PersistentResultCache", "digest_key"]

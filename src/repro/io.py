@@ -24,13 +24,40 @@ from repro.logic.cnf import Clause, CnfFormula
 
 
 # ----------------------------------------------------------------------
+# Facts <-> JSON rows
+# ----------------------------------------------------------------------
+JSON_SCALARS = (str, int, float, bool, type(None))
+
+
+def fact_to_row(item: Fact) -> list[Any]:
+    """The ``[relation, [args...]]`` row of one fact.
+
+    Shared by the database layout below and the engine's persistent
+    result cache (:mod:`repro.engine.persistent`), so both speak the same
+    on-disk dialect.
+    """
+    return [item.relation, list(item.args)]
+
+
+def fact_from_row(row: list[Any]) -> Fact:
+    """Rebuild a fact from :func:`fact_to_row` output."""
+    relation, args = row
+    return Fact(relation, tuple(args))
+
+
+def fact_is_json_safe(item: Fact) -> bool:
+    """Do all constants of ``item`` round-trip through JSON scalars?"""
+    return all(isinstance(arg, JSON_SCALARS) for arg in item.args)
+
+
+# ----------------------------------------------------------------------
 # Databases <-> JSON
 # ----------------------------------------------------------------------
 def database_to_dict(database: Database) -> dict[str, Any]:
     """A JSON-ready dictionary of the database."""
 
     def rows(facts) -> list[list[Any]]:
-        return [[item.relation, list(item.args)] for item in sorted(facts, key=repr)]
+        return [fact_to_row(item) for item in sorted(facts, key=repr)]
 
     return {
         "endogenous": rows(database.endogenous),
@@ -43,8 +70,7 @@ def database_from_dict(payload: dict[str, Any]) -> Database:
     db = Database()
     for key, endogenous in (("exogenous", False), ("endogenous", True)):
         for entry in payload.get(key, []):
-            relation, args = entry
-            db.add(Fact(relation, tuple(args)), endogenous=endogenous)
+            db.add(fact_from_row(entry), endogenous=endogenous)
     return db
 
 

@@ -2,11 +2,14 @@
 
 from repro.shapley.answers import (
     answer_attribution,
+    answers_attribution,
     ground_at_answer,
+    head_assignment,
     shapley_for_answer,
 )
 from repro.shapley.model_counting import model_count, satisfaction_probability
 from repro.shapley.aggregates import (
+    aggregate_attribution,
     candidate_answers,
     shapley_aggregate,
     shapley_count,
@@ -63,7 +66,9 @@ __all__ = [
     "ExoShapRewrite",
     "ShapleyEstimate",
     "StratifiedEstimate",
+    "aggregate_attribution",
     "answer_attribution",
+    "answers_attribution",
     "approximate_shapley",
     "approximate_shapley_all",
     "banzhaf_all_brute_force",
@@ -80,6 +85,7 @@ __all__ = [
     "exo_shapley",
     "gap_property_floor",
     "ground_at_answer",
+    "head_assignment",
     "hoeffding_sample_count",
     "model_count",
     "multiplicative_sample_lower_bound",

@@ -13,6 +13,12 @@ variables with the constants of ``t``.
 Candidate tuples must be enumerated over the *positive part* of the query:
 with negation, a tuple can be an answer under a subset ``E`` without being
 an answer on the full database.
+
+All aggregate operators are engine-backed (:mod:`repro.engine`): the
+groundings ``q_t`` run as one answer batch that shares Gaifman-component
+bundles across answers, each grounding costs a single shared recursion
+for *all* facts, and :func:`aggregate_attribution` exposes the all-facts
+aggregate values that fall out of the same pass.
 """
 
 from __future__ import annotations
@@ -24,7 +30,6 @@ from repro.core.database import Database
 from repro.core.evaluation import answers
 from repro.core.facts import Constant, Fact
 from repro.core.query import ConjunctiveQuery
-from repro.shapley.exact import shapley_value
 
 TupleValue = Callable[[tuple[Constant, ...]], Fraction | int]
 
@@ -47,6 +52,60 @@ def candidate_answers(
     return answers(positive_part, database.facts)
 
 
+def _weighted_answers(
+    database: Database, query: ConjunctiveQuery, value_of: TupleValue
+) -> list[tuple[tuple[Constant, ...], Fraction]]:
+    """Candidate answers with nonzero weight, sorted by ``repr``."""
+    weighted = []
+    for row in sorted(candidate_answers(database, query), key=repr):
+        weight = Fraction(value_of(row))
+        if weight:
+            weighted.append((row, weight))
+    return weighted
+
+
+def _attribution_from_weighted(
+    database: Database,
+    query: ConjunctiveQuery,
+    weighted: list[tuple[tuple[Constant, ...], Fraction]],
+    exogenous_relations: AbstractSet[str] | None,
+) -> dict[Fact, Fraction]:
+    """Linearity over precomputed ``(answer, weight)`` pairs."""
+    from repro.engine import default_engine
+
+    totals = {item: Fraction(0) for item in sorted(database.endogenous, key=repr)}
+    if not weighted:
+        return totals
+    batch = default_engine().batch_answers(
+        database, query, [row for row, _ in weighted], exogenous_relations
+    )
+    weights = dict(weighted)
+    for answer, result in batch.per_answer.items():
+        weight = weights[answer]
+        for item, value in result.shapley.items():
+            totals[item] += weight * value
+    return totals
+
+
+def aggregate_attribution(
+    database: Database,
+    query: ConjunctiveQuery,
+    value_of: TupleValue,
+    exogenous_relations: AbstractSet[str] | None = None,
+) -> dict[Fact, Fraction]:
+    """Aggregate Shapley values of *every* endogenous fact in one pass.
+
+    One engine answer batch covers all weighted candidate answers; by
+    linearity each fact's aggregate value is the weighted sum of its
+    per-answer values.  The mapping iterates facts sorted by ``repr``
+    and contains every endogenous fact (zeros included).
+    """
+    weighted = _weighted_answers(database, query, value_of)
+    return _attribution_from_weighted(
+        database, query, weighted, exogenous_relations
+    )
+
+
 def shapley_aggregate(
     database: Database,
     query: ConjunctiveQuery,
@@ -54,21 +113,20 @@ def shapley_aggregate(
     value_of: TupleValue,
     exogenous_relations: AbstractSet[str] | None = None,
 ) -> Fraction:
-    """Shapley value of ``target`` w.r.t. ``Σ_t value_of(t)`` over answers."""
-    total = Fraction(0)
-    for row in sorted(candidate_answers(database, query), key=repr):
-        weight = Fraction(value_of(row))
-        if not weight:
-            continue
-        assignment = dict(zip(query.head, row))
-        grounded = ConjunctiveQuery(
-            tuple(atom.substitute(assignment) for atom in query.atoms),
-            name=f"{query.name}_{'_'.join(map(str, row))}",
-        )
-        total += weight * shapley_value(
-            database, grounded, target, exogenous_relations
-        )
-    return total
+    """Shapley value of ``target`` w.r.t. ``Σ_t value_of(t)`` over answers.
+
+    Engine-backed: one batch per grounded query ``q_t`` (shared across
+    facts and across answers via the engine caches), then the weighted
+    sum of ``target``'s entries.
+    """
+    weighted = _weighted_answers(database, query, value_of)
+    if not weighted:
+        return Fraction(0)
+    if not database.is_endogenous(target):
+        raise ValueError(f"{target!r} is not an endogenous fact of the database")
+    return _attribution_from_weighted(
+        database, query, weighted, exogenous_relations
+    )[target]
 
 
 def shapley_count(

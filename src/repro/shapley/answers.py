@@ -3,32 +3,67 @@
 For a non-Boolean query, "why is ``t`` an answer?" is the Boolean
 question ``q_t`` obtained by grounding the head at ``t`` (Livshits et
 al.'s view, restated in Section 2 of the paper).  These helpers ground
-the query and delegate to the Boolean machinery, so every tractability
-result transfers verbatim.
+the query and delegate to the shared-work batch engine
+(:mod:`repro.engine`), so every tractability result transfers verbatim
+*and* one engine batch serves all facts of an answer: each grounding
+``q_t`` costs one CntSat-style recursion (or one ExoShap rewrite)
+instead of two per fact, and the groundings of one query share
+Gaifman-component bundles through the engine's cross-grounding pool.
+
+Orderings are deterministic and documented: every mapping returned here
+iterates facts sorted by ``repr`` (the engine's canonical order), and
+per-answer mappings iterate answers sorted by ``repr``.
 """
 
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import AbstractSet
+from typing import AbstractSet, Iterable
 
 from repro.core.database import Database
 from repro.core.facts import Constant, Fact
 from repro.core.query import ConjunctiveQuery
-from repro.shapley.exact import shapley_value
 
 
-def ground_at_answer(
+def head_assignment(
     query: ConjunctiveQuery, answer: tuple[Constant, ...]
-) -> ConjunctiveQuery:
-    """The Boolean query asking whether ``answer`` is in the result."""
+) -> dict | None:
+    """The variable assignment grounding ``query``'s head at ``answer``.
+
+    Returns None when the tuple conflicts with a *repeated* head variable
+    (e.g. head ``(x, x)`` with answer ``(a, b)``, ``a != b``): such a
+    tuple can never be an answer, so the grounded query is identically
+    false and every fact's attribution vanishes.
+    """
     if query.is_boolean:
         raise ValueError("the query must have head variables")
     if len(answer) != len(query.head):
         raise ValueError(
             f"answer arity {len(answer)} does not match head arity {len(query.head)}"
         )
-    assignment = dict(zip(query.head, answer))
+    assignment: dict = {}
+    for var, value in zip(query.head, answer):
+        if assignment.setdefault(var, value) != value:
+            return None
+    return assignment
+
+
+def ground_at_answer(
+    query: ConjunctiveQuery, answer: tuple[Constant, ...]
+) -> ConjunctiveQuery:
+    """The Boolean query asking whether ``answer`` is in the result.
+
+    Raises :class:`ValueError` when ``answer`` assigns conflicting
+    constants to a repeated head variable — such a tuple is never an
+    answer and has no meaningful grounding.  (The seed version silently
+    kept the *last* constant, conflating ``q@(a,b)`` with ``q@(b,b)``.)
+    """
+    assignment = head_assignment(query, answer)
+    if assignment is None:
+        raise ValueError(
+            f"answer {answer!r} assigns conflicting constants to a repeated"
+            f" head variable of {query!r}"
+        )
     return ConjunctiveQuery(
         tuple(atom.substitute(assignment) for atom in query.atoms),
         name=f"{query.name}@{','.join(map(str, answer))}",
@@ -42,10 +77,25 @@ def shapley_for_answer(
     target: Fact,
     exogenous_relations: AbstractSet[str] | None = None,
 ) -> Fraction:
-    """``Shapley(D, q_t, f)``: the contribution of ``f`` to answer ``t``."""
-    return shapley_value(
-        database, ground_at_answer(query, answer), target, exogenous_relations
+    """``Shapley(D, q_t, f)``: the contribution of ``f`` to answer ``t``.
+
+    Engine-backed: the batch for ``q_t`` is computed (or served from the
+    engine's caches) once, and this returns the single requested entry —
+    asking about several facts of the same answer costs one recursion.
+    """
+    from repro.engine import default_engine
+
+    if not database.is_endogenous(target):
+        raise ValueError(f"{target!r} is not an endogenous fact of the database")
+    if head_assignment(query, answer) is None:
+        return Fraction(0)
+    result = default_engine().batch(
+        database,
+        ground_at_answer(query, answer),
+        exogenous_relations,
+        grounding=tuple(answer),
     )
+    return result.shapley[target]
 
 
 def answer_attribution(
@@ -54,9 +104,55 @@ def answer_attribution(
     answer: tuple[Constant, ...],
     exogenous_relations: AbstractSet[str] | None = None,
 ) -> dict[Fact, Fraction]:
-    """Shapley values of every endogenous fact for one answer tuple."""
-    grounded = ground_at_answer(query, answer)
+    """Shapley values of every endogenous fact for one answer tuple.
+
+    One engine batch for the grounding ``q_t`` serves all facts; the
+    returned mapping iterates facts sorted by ``repr``.
+    """
+    from repro.engine import default_engine
+
+    if head_assignment(query, answer) is None:
+        return {
+            item: Fraction(0) for item in sorted(database.endogenous, key=repr)
+        }
+    result = default_engine().batch(
+        database,
+        ground_at_answer(query, answer),
+        exogenous_relations,
+        grounding=tuple(answer),
+    )
+    return dict(result.shapley)
+
+
+def answers_attribution(
+    database: Database,
+    query: ConjunctiveQuery,
+    answers: Iterable[tuple[Constant, ...]] | None = None,
+    exogenous_relations: AbstractSet[str] | None = None,
+) -> dict[tuple[Constant, ...], dict[Fact, Fraction]]:
+    """Shapley values of every fact for every answer, sharing work.
+
+    ``answers`` defaults to all candidate answers (tuples reachable under
+    some endogenous subset).  All groundings run in one engine answer
+    batch, so components untouched by the head constants are computed
+    once and reused across answers.  Answers iterate sorted by ``repr``;
+    each inner mapping iterates facts sorted by ``repr``.
+    """
+    from repro.engine import default_engine
+
+    batch = default_engine().batch_answers(
+        database, query, answers, exogenous_relations
+    )
     return {
-        f: shapley_value(database, grounded, f, exogenous_relations)
-        for f in sorted(database.endogenous, key=repr)
+        answer: dict(result.shapley)
+        for answer, result in batch.per_answer.items()
     }
+
+
+__all__ = [
+    "answer_attribution",
+    "answers_attribution",
+    "ground_at_answer",
+    "head_assignment",
+    "shapley_for_answer",
+]

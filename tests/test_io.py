@@ -140,3 +140,131 @@ class TestCli:
         )
         assert code == 0
         assert "zero" in capsys.readouterr().out
+
+    def test_batch_with_cache_dir(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "db.json"
+        save_database(figure_1_database(), path)
+        args = [
+            "batch", str(path),
+            "q() :- Stud(x), not TA(x), Reg(x, y)",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--stats",
+        ]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "cache[persistent]" in cold
+        # Same invocation again: the persistent cache must serve it warm.
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "cached" in warm and "hits=1" in warm
+
+    def test_answers_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "db.json"
+        save_database(figure_1_database(), path)
+        code = main(
+            [
+                "answers", str(path),
+                "ans(x) :- Stud(x), not TA(x), Reg(x, y)",
+                "--aggregate", "count",
+                "--stats",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "answer ('Caroline',)" in out
+        assert "aggregate [count] attribution:" in out
+        assert "pool:" in out
+
+    def test_answers_single_answer_both_measures(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "db.json"
+        save_database(figure_1_database(), path)
+        code = main(
+            [
+                "answers", str(path),
+                "ans(x) :- Stud(x), not TA(x), Reg(x, y)",
+                "--answer", "Caroline",
+                "--measure", "both",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "answer ('Caroline',)" in out
+        assert "shapley=1/2" in out and "banzhaf=1/2" in out
+        assert "('Adam',)" not in out
+
+    def test_answers_rejects_boolean_query(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "db.json"
+        save_database(figure_1_database(), path)
+        code = main(
+            ["answers", str(path), "q() :- Stud(x), not TA(x), Reg(x, y)"]
+        )
+        assert code == 2
+        assert "head variables" in capsys.readouterr().err
+
+    def test_answers_sum_requires_value_index(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "db.json"
+        save_database(figure_1_database(), path)
+        code = main(
+            [
+                "answers", str(path),
+                "ans(x) :- Stud(x), not TA(x), Reg(x, y)",
+                "--aggregate", "sum",
+            ]
+        )
+        assert code == 2
+        assert "--value-index" in capsys.readouterr().err
+
+    def test_answers_sum_rejects_out_of_range_index(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "db.json"
+        save_database(figure_1_database(), path)
+        code = main(
+            [
+                "answers", str(path),
+                "ans(x) :- Stud(x), not TA(x), Reg(x, y)",
+                "--aggregate", "sum", "--value-index", "5",
+            ]
+        )
+        assert code == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_answers_sum_rejects_non_numeric_head(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "db.json"
+        save_database(figure_1_database(), path)
+        code = main(
+            [
+                "answers", str(path),
+                "ans(x) :- Stud(x), not TA(x), Reg(x, y)",
+                "--aggregate", "sum", "--value-index", "0",
+            ]
+        )
+        assert code == 2
+        assert "not numeric" in capsys.readouterr().err
+
+    def test_answers_rejects_arity_mismatch(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "db.json"
+        save_database(figure_1_database(), path)
+        code = main(
+            [
+                "answers", str(path),
+                "ans(x) :- Stud(x), not TA(x), Reg(x, y)",
+                "--answer", "Adam", "Ben",
+            ]
+        )
+        assert code == 2
+        assert "arity" in capsys.readouterr().err

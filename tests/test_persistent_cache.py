@@ -1,0 +1,195 @@
+"""The persistent on-disk result cache: format, atomicity, cross-process.
+
+The headline requirement (ISSUE 2 acceptance): a process that finds a
+warm entry must serve it with *zero* engine recursions — process A
+populates the cache directory, process B answers from disk alone.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from fractions import Fraction
+from pathlib import Path
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.facts import fact
+from repro.core.parser import parse_query
+from repro.engine import BatchAttributionEngine, PersistentResultCache, digest_key
+from repro.engine.persistent import FORMAT_VERSION
+from repro.io import database_to_dict
+from repro.workloads.running_example import figure_1_database
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+@pytest.fixture
+def db() -> Database:
+    return figure_1_database()
+
+
+class TestRoundTrip:
+    def test_cold_then_warm_same_engine(self, tmp_path, db, q1):
+        engine = BatchAttributionEngine(
+            persistent=PersistentResultCache(tmp_path)
+        )
+        cold = engine.batch(db, q1)
+        assert not cold.from_cache
+        assert len(engine.persistent) == 1
+
+        fresh = BatchAttributionEngine(
+            persistent=PersistentResultCache(tmp_path)
+        )
+        warm = fresh.batch(db, q1)
+        assert warm.from_cache
+        assert dict(warm.shapley) == dict(cold.shapley)
+        assert dict(warm.banzhaf) == dict(cold.banzhaf)
+        assert warm.method == cold.method
+        assert fresh.persistent.stats.hits == 1
+
+    def test_values_are_exact_fractions(self, tmp_path, db, q1):
+        cache = PersistentResultCache(tmp_path)
+        BatchAttributionEngine(persistent=cache).batch(db, q1)
+        reloaded = BatchAttributionEngine(
+            persistent=PersistentResultCache(tmp_path)
+        ).batch(db, q1)
+        for value in reloaded.shapley.values():
+            assert isinstance(value, Fraction)
+
+    def test_distinct_requests_get_distinct_entries(self, tmp_path, db, q1):
+        cache = PersistentResultCache(tmp_path)
+        engine = BatchAttributionEngine(persistent=cache)
+        engine.batch(db, q1)
+        engine.batch(db, q1, exogenous_relations=frozenset({"Stud"}))
+        assert len(cache) == 2
+
+    def test_grounding_key_separates_answers_on_disk(self, tmp_path):
+        db = Database(endogenous=[fact("R", 1), fact("R", 2)])
+        grounded = parse_query("q() :- R(2)")
+        cache = PersistentResultCache(tmp_path)
+        engine = BatchAttributionEngine(persistent=cache)
+        engine.batch(db, grounded, grounding=(1, 2))
+        engine.batch(db, grounded, grounding=(2, 2))
+        assert len(cache) == 2
+
+
+class TestRobustness:
+    def test_corrupt_entry_is_a_miss(self, tmp_path, db, q1):
+        cache = PersistentResultCache(tmp_path)
+        engine = BatchAttributionEngine(persistent=cache)
+        engine.batch(db, q1)
+        entry = next(cache.directory.glob("*.json"))
+        entry.write_text("{ not json")
+        fresh = BatchAttributionEngine(
+            persistent=PersistentResultCache(tmp_path)
+        )
+        result = fresh.batch(db, q1)
+        assert not result.from_cache
+        assert fresh.persistent.stats.misses >= 1
+
+    def test_version_mismatch_is_a_miss(self, tmp_path, db, q1):
+        cache = PersistentResultCache(tmp_path)
+        BatchAttributionEngine(persistent=cache).batch(db, q1)
+        entry = next(cache.directory.glob("*.json"))
+        payload = json.loads(entry.read_text())
+        payload["version"] = FORMAT_VERSION + 1
+        entry.write_text(json.dumps(payload))
+        fresh = PersistentResultCache(tmp_path)
+        assert fresh.get(("unrelated",)) is None  # plain miss path
+        result = BatchAttributionEngine(persistent=fresh).batch(db, q1)
+        assert not result.from_cache
+
+    def test_no_temp_files_left_behind(self, tmp_path, db, q1):
+        cache = PersistentResultCache(tmp_path)
+        BatchAttributionEngine(persistent=cache).batch(db, q1)
+        assert not list(cache.directory.glob("*.tmp"))
+
+    def test_non_json_safe_constants_skipped(self, tmp_path):
+        cache = PersistentResultCache(tmp_path)
+        db = Database(endogenous=[fact("R", (1, 2))])  # tuple constant
+        engine = BatchAttributionEngine(persistent=cache)
+        engine.batch(db, parse_query("q() :- R(x)"))
+        assert len(cache) == 0  # not persisted, not crashed
+
+    def test_clear_removes_entries(self, tmp_path, db, q1):
+        cache = PersistentResultCache(tmp_path)
+        BatchAttributionEngine(persistent=cache).batch(db, q1)
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_digest_is_stable_and_hex(self):
+        key = (("a", 1), fact("R", 1, "x"), None, True)
+        first, second = digest_key(key), digest_key(key)
+        assert first == second
+        assert len(first) == 64
+        int(first, 16)
+        assert digest_key(((1,),)) != digest_key(((True,),))
+
+
+CROSS_PROCESS_SCRIPT = r"""
+import json, sys
+from repro.engine import BatchAttributionEngine, PersistentResultCache
+from repro.io import database_from_dict
+from repro.core.parser import parse_query
+
+mode, cache_dir, db_json, query_text = sys.argv[1:5]
+database = database_from_dict(json.loads(db_json))
+query = parse_query(query_text)
+
+if mode == "warm":
+    # Zero-recursion contract: any attempt to compute (shared recursion
+    # OR brute force) must blow up loudly.
+    import repro.engine.core as engine_core
+    import repro.shapley.brute_force as brute
+
+    def _refuse(*args, **kwargs):
+        raise RuntimeError("warm path must not recurse")
+
+    engine_core.batch_count_vectors = _refuse
+    brute.shapley_all_brute_force = _refuse
+
+engine = BatchAttributionEngine(persistent=PersistentResultCache(cache_dir))
+result = engine.batch(database, query)
+print(json.dumps({
+    "from_cache": result.from_cache,
+    "method": result.method,
+    "shapley": sorted(
+        [repr(f), str(v)] for f, v in result.shapley.items()
+    ),
+}))
+"""
+
+
+class TestCrossProcess:
+    def test_process_b_serves_warm_with_zero_recursions(self, tmp_path, db, q1):
+        """Process A populates the cache; process B must answer from disk."""
+
+        def run(mode: str) -> dict:
+            completed = subprocess.run(
+                [
+                    sys.executable,
+                    "-c",
+                    CROSS_PROCESS_SCRIPT,
+                    mode,
+                    str(tmp_path),
+                    json.dumps(database_to_dict(db)),
+                    "q1() :- Stud(x), not TA(x), Reg(x, y)",
+                ],
+                capture_output=True,
+                text=True,
+                env={**os.environ, "PYTHONPATH": SRC},
+            )
+            assert completed.returncode == 0, completed.stderr
+            return json.loads(completed.stdout)
+
+        cold = run("cold")
+        assert not cold["from_cache"]
+        warm = run("warm")
+        assert warm["from_cache"]
+        assert warm["method"] == cold["method"]
+        assert warm["shapley"] == cold["shapley"]
