@@ -41,7 +41,10 @@ from repro.engine import (
     BatchAttributionEngine,
     BatchResult,
     PersistentResultCache,
+    SerialExecutor,
+    ShardedExecutor,
     default_engine,
+    reset_default_engine,
 )
 from repro.shapley import (
     aggregate_attribution,
@@ -74,6 +77,8 @@ __all__ = [
     "Database",
     "Fact",
     "PersistentResultCache",
+    "SerialExecutor",
+    "ShardedExecutor",
     "UnionQuery",
     "Variable",
     "__version__",
@@ -92,6 +97,7 @@ __all__ = [
     "is_hierarchical",
     "parse_query",
     "parse_ucq",
+    "reset_default_engine",
     "shapley_aggregate",
     "shapley_all_values",
     "shapley_brute_force",

@@ -34,6 +34,14 @@ on-disk result cache (:mod:`repro.engine.persistent`): results are
 written as versioned JSON keyed by request fingerprints, so a later
 *process* serves the same requests warm without recomputing.
 
+``--jobs N`` (on ``batch`` and ``answers``) switches the engine to the
+sharded executor (:mod:`repro.engine.executors`): the planner's
+independent grounding and component tasks are distributed over ``N``
+worker processes and their count vectors merged back — results are
+bit-identical to serial execution.  ``--stats`` reports the per-layer
+accounting of the plan/execute pipeline: cache counters (historical
+keys), planner prunes, store hits, and executor task placement.
+
 The database file uses the JSON layout of :mod:`repro.io`.
 """
 
@@ -72,22 +80,30 @@ def _parse_fact(relation: str, args: Sequence[str]) -> Fact:
 
 
 def _make_engine(options: argparse.Namespace):
-    """The shared engine, with the persistent cache attached when asked."""
+    """The shared engine, or a dedicated one for --cache-dir / --jobs."""
     from repro.engine import BatchAttributionEngine, default_engine
 
     cache_dir = getattr(options, "cache_dir", None)
-    if cache_dir is None:
+    jobs = getattr(options, "jobs", None)
+    if cache_dir is None and jobs is None:
         return default_engine()
-    from repro.engine.persistent import PersistentResultCache
+    persistent = None
+    if cache_dir is not None:
+        from repro.engine.persistent import PersistentResultCache
 
+        persistent = PersistentResultCache(cache_dir)
     # A dedicated instance: the process-wide default engine must not keep
-    # a handle on this invocation's cache directory.
-    return BatchAttributionEngine(persistent=PersistentResultCache(cache_dir))
+    # a handle on this invocation's cache directory or worker pool.
+    return BatchAttributionEngine(persistent=persistent, jobs=jobs)
 
 
 def _print_stats(engine) -> None:
+    """Per-layer accounting: caches first (historical format), then layers."""
+    from repro.engine import CacheStats
+
     for name, stats in engine.stats.items():
-        print(f"cache[{name}]: {stats!r}")
+        prefix = "cache" if isinstance(stats, CacheStats) else "layer"
+        print(f"{prefix}[{name}]: {stats!r}")
 
 
 def _cmd_classify(options: argparse.Namespace) -> int:
@@ -324,6 +340,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="persistent on-disk result cache (warm across processes)",
     )
+    p_batch.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard independent plan tasks across N worker processes"
+        " (default: in-process serial execution)",
+    )
     p_batch.set_defaults(handler=_cmd_batch)
 
     p_answers = commands.add_parser(
@@ -367,6 +391,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         metavar="DIR",
         help="persistent on-disk result cache (warm across processes)",
+    )
+    p_answers.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard independent grounding/component tasks across N worker"
+        " processes (default: in-process serial execution)",
     )
     p_answers.set_defaults(handler=_cmd_answers)
 

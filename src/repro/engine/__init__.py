@@ -1,9 +1,42 @@
-"""repro.engine — shared-work batch attribution.
+"""repro.engine — shared-work batch attribution, split into plan / execute / store.
 
 The seed pipeline answered "what is the Shapley value of *every* fact?"
 with ``m`` independent runs of the Lemma 3.2 counts reduction — two full
 CntSat recursions per fact.  This package answers it with **one** shared
-recursion plus closed-form convolution algebra.
+recursion plus closed-form convolution algebra, organized as three
+pluggable layers behind one engine front door.
+
+Architecture (plan/execute engine, PR 3)
+----------------------------------------
+::
+
+    request ──► planner ──► Plan (DAG) ──► executor ──► results ──► store
+                 │                           │                        │
+                 │ method dispatch           │ SerialExecutor         │ MemoryResultStore (LRU)
+                 │ fingerprint node ids      │ ShardedExecutor        │ PersistentResultCache
+                 │ store pruning             │   (ProcessPool,        │ TieredResultStore
+                 │ up-front validation       │    BundlePool merge)   │   (promotion)
+
+* The **planner** (:mod:`repro.engine.plan`) turns a ``(database, query,
+  groundings)`` request into an explicit DAG: one grounding task per
+  answer (method dispatch — CntSat, one ExoShap rewrite, validated brute
+  force — happens here) over per-component bundle tasks that are
+  deduplicated across groundings by canonical fingerprint.  Nodes whose
+  request key the result store already holds are pruned before any
+  execution; intractable requests fail at plan time.
+* **Executors** (:mod:`repro.engine.executors`) run the plan.
+  :class:`SerialExecutor` (default) keeps today's in-process semantics;
+  :class:`ShardedExecutor` ships independent bundle and brute-force
+  nodes to a ``ProcessPoolExecutor`` (``--jobs N`` on the CLI,
+  ``REPRO_JOBS``/``REPRO_START_METHOD`` in the environment) and merges
+  the count vectors back through the :class:`BundlePool` — exact integer
+  arithmetic makes sharded results bit-identical to serial ones.
+* **Result stores** (:mod:`repro.engine.stores`) decide whether a node
+  needed computing at all: the in-memory LRU and the on-disk
+  :class:`PersistentResultCache` (optionally bounded via
+  ``max_entries``/``max_bytes`` LRU eviction) are interchangeable behind
+  :class:`ResultStore`, and compose into a :class:`TieredResultStore`
+  with read-through promotion.
 
 The component-convolution trick
 -------------------------------
@@ -24,60 +57,68 @@ root variable's value and UNSAT vectors convolve (disjunction): a fact
 perturbs only its own slice.  Applied recursively this turns ``2m`` full
 recursions into one traversal with O(1) extra convolutions per fact per
 level — the measured ≥5x (typically 10–50x) speedup of
-``benchmarks/bench_engine.py``.
+``benchmarks/bench_engine.py``.  It is also what makes the DAG shard
+well: components are independent work units by construction
+(``benchmarks/bench_parallel.py`` measures the scaling).
 
-On top of the shared recursion the engine adds:
-
-* **with/without sharing**: only the deletion vector ``Sat^{-f}`` is
-  threaded through the recursion; the ``Sat^{+f}`` variant is derived
-  from the baseline via ``Sat(k+1) = Sat^{+f}(k) + Sat^{-f}(k+1)``,
-  halving the per-fact convolution work;
-* a bounded LRU cache of per-component count bundles keyed on a
-  canonical (component, facts) fingerprint, so overlapping requests and
-  repeated queries share sub-results (:mod:`repro.engine.cache`,
-  :mod:`repro.engine.fingerprint`);
-* a result cache over whole ``(database, query, X, grounding)``
-  requests — the grounding component keeps distinct answers ``q_t``,
-  ``q_t'`` of a non-Boolean query from ever colliding;
-* **answer batches** (:meth:`BatchAttributionEngine.batch_answers`):
-  the groundings of one non-Boolean query share Gaifman-component
-  bundles across answers through a call-scoped :class:`BundlePool` —
-  the backbone of engine-backed ``answer_attribution`` and
-  ``shapley_aggregate``;
-* an optional **persistent on-disk result cache**
-  (:mod:`repro.engine.persistent`): versioned JSON entries keyed by
-  fingerprint digests, atomic writes, so warm results survive across
-  processes (``--cache-dir`` on the CLI);
-* dichotomy dispatch identical to the fact-at-a-time front door:
-  CntSat, then a single ExoShap rewrite, then bounded brute force
-  (:mod:`repro.engine.core`).
+On top of the shared recursion the engine keeps: **with/without
+sharing** (only the deletion vector ``Sat^{-f}`` is threaded through the
+recursion; ``Sat^{+f}`` is derived from the baseline via ``Sat(k+1) =
+Sat^{+f}(k) + Sat^{-f}(k+1)``); the bounded LRU **component-bundle
+cache** keyed on canonical fingerprints (:mod:`repro.engine.cache`,
+:mod:`repro.engine.fingerprint`); **answer batches**
+(:meth:`BatchAttributionEngine.batch_answers`) whose groundings share
+Gaifman-component bundles through a call-scoped :class:`BundlePool`; and
+grounding-aware request fingerprints so distinct answers ``q_t``,
+``q_t'`` never collide in any store.
 
 Usage::
 
-    from repro.engine import default_engine
+    from repro.engine import default_engine, ShardedExecutor
+    from repro.engine import BatchAttributionEngine
 
     result = default_engine().batch(database, query)
     result.shapley[some_fact]   # exact Fraction
     result.banzhaf[some_fact]   # same vectors, different weights
-    default_engine().stats      # cache hit/miss accounting
+
+    engine = BatchAttributionEngine(jobs=4)          # sharded backend
+    engine.batch_answers(database, non_boolean_query)
+    engine.stats                # per-layer accounting:
+    #   components/results/persistent (caches, historical keys),
+    #   planner (pruned vs planned), store (any-tier hits),
+    #   executor (tasks, shipped, fallbacks)
 
 or, from the CLI::
 
     python -m repro batch db.json "q() :- Stud(x), not TA(x), Reg(x, y)"
+    python -m repro answers db.json "ans(x) :- Stud(x), Reg(x, y)" --jobs 4
+
+Fork/spawn safety: worker and daemon children must not inherit the
+parent's default engine — :func:`reset_default_engine` is registered as
+an ``os.register_at_fork`` hook, so forked children lazily rebuild a
+fresh engine with empty caches and zeroed stats.
 """
 
 from repro.engine.bundles import (
     BatchVectors,
     CountBundle,
     batch_count_vectors,
+    bundle_for_component,
     derive_with_vector,
+    top_level_components,
 )
 from repro.engine.cache import BundlePool, CacheStats, LRUCache
 from repro.engine.core import (
-    AnswerBatchResult,
     BatchAttributionEngine,
-    BatchResult,
     default_engine,
+    reset_default_engine,
+)
+from repro.engine.executors import (
+    Executor,
+    ExecutorStats,
+    SerialExecutor,
+    ShardedExecutor,
+    execute_grounding_task,
 )
 from repro.engine.fingerprint import (
     fingerprint_component,
@@ -87,6 +128,24 @@ from repro.engine.fingerprint import (
     fingerprint_request,
 )
 from repro.engine.persistent import PersistentResultCache, digest_key
+from repro.engine.plan import (
+    BundleTask,
+    GroundingTask,
+    Plan,
+    PlanRequest,
+    PlanStats,
+    build_plan,
+)
+from repro.engine.results import (
+    AnswerBatchResult,
+    BatchResult,
+    result_from_vectors,
+)
+from repro.engine.stores import (
+    MemoryResultStore,
+    ResultStore,
+    TieredResultStore,
+)
 
 __all__ = [
     "AnswerBatchResult",
@@ -94,17 +153,35 @@ __all__ = [
     "BatchResult",
     "BatchVectors",
     "BundlePool",
+    "BundleTask",
     "CacheStats",
     "CountBundle",
+    "Executor",
+    "ExecutorStats",
+    "GroundingTask",
     "LRUCache",
+    "MemoryResultStore",
     "PersistentResultCache",
+    "Plan",
+    "PlanRequest",
+    "PlanStats",
+    "ResultStore",
+    "SerialExecutor",
+    "ShardedExecutor",
+    "TieredResultStore",
     "batch_count_vectors",
+    "build_plan",
+    "bundle_for_component",
     "default_engine",
     "derive_with_vector",
     "digest_key",
+    "execute_grounding_task",
     "fingerprint_component",
     "fingerprint_database",
     "fingerprint_grounding",
     "fingerprint_query",
     "fingerprint_request",
+    "reset_default_engine",
+    "result_from_vectors",
+    "top_level_components",
 ]

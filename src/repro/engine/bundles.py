@@ -176,8 +176,19 @@ def _components(scope: Sequence[_Scoped]) -> list[list[_Scoped]]:
     return list(groups.values())
 
 
-def _bundle_scope(scope: Sequence[_Scoped], cache: BundleCache) -> CountBundle:
-    """AND level: restriction, component split, and convolution sharing."""
+def _restricted_components(
+    scope: Sequence[_Scoped],
+) -> tuple[list[list[_Scoped]], set[Fact]]:
+    """Atom-level restriction, then the variable-connected component split.
+
+    Returns the components of the restricted scope together with the
+    *free* facts — endogenous facts that fail their atom's constant or
+    repeated-variable pattern and can therefore never influence
+    satisfaction.  Both the recursion (:func:`_bundle_scope`) and the
+    planner (:func:`top_level_components`) go through this helper, so
+    the component boundaries — and hence the fingerprint cache keys —
+    are identical in both layers by construction.
+    """
     free_facts: set[Fact] = set()
     restricted: list[_Scoped] = []
     for scoped in scope:
@@ -189,10 +200,13 @@ def _bundle_scope(scope: Sequence[_Scoped], cache: BundleCache) -> CountBundle:
         )
         free_facts |= scoped.endogenous - matching_endo
         restricted.append(_Scoped(scoped.atom, matching_exo, matching_endo))
+    return _components(restricted), free_facts
 
-    bundles = [
-        _bundle_component(component, cache) for component in _components(restricted)
-    ]
+
+def _bundle_scope(scope: Sequence[_Scoped], cache: BundleCache) -> CountBundle:
+    """AND level: restriction, component split, and convolution sharing."""
+    components, free_facts = _restricted_components(scope)
+    bundles = [_bundle_component(component, cache) for component in components]
     free = len(free_facts)
     free_vector = binomial_vector(free)
     prefix, suffix = _prefix_suffix([bundle.sat for bundle in bundles])
@@ -333,6 +347,70 @@ def _bundle_ground(component: list[_Scoped]) -> CountBundle:
     return CountBundle(owned, sat, deltas, frozenset())
 
 
+def _initial_scope(database: Database, query: ConjunctiveQuery) -> list[_Scoped]:
+    """The top-level scope: every query atom with its relation's facts."""
+    return [
+        _Scoped(
+            atom,
+            frozenset(
+                item
+                for item in database.relation(atom.relation)
+                if database.is_exogenous(item)
+            ),
+            frozenset(
+                item
+                for item in database.relation(atom.relation)
+                if database.is_endogenous(item)
+            ),
+        )
+        for atom in query.atoms
+    ]
+
+
+def top_level_components(
+    database: Database, query: ConjunctiveQuery
+) -> list[tuple[tuple, tuple[_Scoped, ...]]]:
+    """The memoizable top-level component tasks of ``(D, q)``.
+
+    Returns ``(fingerprint, scoped component)`` pairs for every non-ground
+    variable-connected component of the restricted top-level scope — the
+    exact subproblems :func:`batch_count_vectors` will look up in its
+    bundle cache, under the exact keys it will use (both sides go through
+    :func:`_restricted_components` and
+    :func:`repro.engine.fingerprint.fingerprint_component`).  The planner
+    turns each pair into one bundle node of the work DAG; ground
+    components are omitted because the recursion recomputes them inline
+    instead of fingerprinting them.
+    """
+    query = query.as_boolean()
+    components, _ = _restricted_components(_initial_scope(database, query))
+    tasks: list[tuple[tuple, tuple[_Scoped, ...]]] = []
+    for component in components:
+        if not any(scoped.atom.variables for scoped in component):
+            continue
+        key = fingerprint_component(
+            (scoped.atom for scoped in component),
+            (item for scoped in component for item in scoped.exogenous),
+            (item for scoped in component for item in scoped.endogenous),
+        )
+        tasks.append((key, tuple(component)))
+    return tasks
+
+
+def bundle_for_component(
+    component: Sequence[_Scoped], cache: BundleCache | None = None
+) -> CountBundle:
+    """Compute one component's :class:`CountBundle` (a bundle plan node).
+
+    This is the executable payload of a bundle task: worker processes
+    call it with a fresh local cache (sub-slices still share within the
+    component), the serial path hits it implicitly through the recursion.
+    """
+    if cache is None:
+        cache = LRUCache(128)
+    return _bundle_component(list(component), cache)
+
+
 def batch_count_vectors(
     database: Database,
     query: ConjunctiveQuery,
@@ -356,23 +434,7 @@ def batch_count_vectors(
     if cache is None:
         cache = LRUCache(0)
 
-    scope = [
-        _Scoped(
-            atom,
-            frozenset(
-                item
-                for item in database.relation(atom.relation)
-                if database.is_exogenous(item)
-            ),
-            frozenset(
-                item
-                for item in database.relation(atom.relation)
-                if database.is_endogenous(item)
-            ),
-        )
-        for atom in query.atoms
-    ]
-    bundle = _bundle_scope(scope, cache)
+    bundle = _bundle_scope(_initial_scope(database, query), cache)
 
     query_relations = query.relation_names
     unused = frozenset(

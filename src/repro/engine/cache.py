@@ -74,6 +74,24 @@ class LRUCache(Generic[Value]):
         self.stats.misses += 1
         return None
 
+    def peek(self, key: Hashable) -> Value | None:
+        """The cached value without touching recency or the counters.
+
+        Executors use this to decide which plan nodes still need work;
+        a peek must not perturb the hit/miss accounting that the actual
+        execution will produce.
+        """
+        return self._entries.get(key)
+
+    def seed(self, key: Hashable, value: Value) -> None:
+        """Insert a value computed elsewhere (a worker process), silently.
+
+        Same storage semantics as :meth:`put`; the name marks merge
+        points where the value was *not* produced by this process's
+        lookup flow, so no hit or miss is recorded.
+        """
+        self.put(key, value)
+
     def put(self, key: Hashable, value: Value) -> None:
         if self.maxsize <= 0:
             return
@@ -122,6 +140,23 @@ class BundlePool:
 
     def __len__(self) -> int:
         return len(self._local)
+
+    def peek(self, key: Hashable) -> Value | None:
+        """Local or backing value without touching recency or counters."""
+        if key in self._local:
+            return self._local[key]
+        return self.backing.peek(key)
+
+    def seed(self, key: Hashable, value: Value) -> None:
+        """Merge a worker-computed bundle: pin locally, write through.
+
+        Like :meth:`get_or_compute`'s miss path but without counting a
+        hit or a miss — the sharded executor seeds bundles it shipped to
+        worker processes, and only the recursion's own lookups should
+        show up in the pool statistics.
+        """
+        self._local[key] = value
+        self.backing.put(key, value)
 
     def get_or_compute(self, key: Hashable, compute: Callable[[], Value]) -> Value:
         """Local dict first, then the backing cache, then ``compute``."""

@@ -1,105 +1,102 @@
-"""The batch attribution engine: dispatch, caching, and value assembly.
+"""The batch attribution engine: plan, execute, store.
 
 :class:`BatchAttributionEngine` is the front door for all-facts
-attribution.  It mirrors the dichotomy dispatch of
-:func:`repro.shapley.exact.shapley_value` but computes every endogenous
-fact's value in one pass:
+attribution.  Since the plan/execute split it is a thin orchestrator over
+three interchangeable layers:
 
-1. hierarchical self-join-free CQ¬ → the shared CntSat recursion of
-   :mod:`repro.engine.bundles` (Theorem 3.1);
-2. self-join-free CQ¬ without a non-hierarchical path w.r.t. the
-   exogenous relations → *one* ExoShap rewrite (the seed pipeline
-   re-ran the rewrite for every fact) followed by the shared recursion
-   (Theorem 4.3);
-3. otherwise → coalition enumeration, validated once up front against
-   ``MAX_BRUTE_FORCE_PLAYERS``.
+1. the **planner** (:mod:`repro.engine.plan`) turns a request into an
+   explicit DAG of fingerprint-keyed work units — method dispatch
+   (CntSat / ExoShap / brute force, Theorems 3.1 and 4.3) happens at
+   plan time, as does pruning of nodes the result store already holds
+   and up-front validation of intractable requests;
+2. an **executor** (:mod:`repro.engine.executors`) runs the plan's
+   nodes — :class:`repro.engine.executors.SerialExecutor` in-process
+   (the default, today's semantics) or
+   :class:`repro.engine.executors.ShardedExecutor` across worker
+   processes, merging count vectors back through the bundle pool;
+3. a **result store** (:mod:`repro.engine.stores`) keeps finished
+   results — the in-memory LRU and the optional persistent on-disk cache
+   compose into one :class:`repro.engine.stores.TieredResultStore` with
+   read-through promotion.
 
 Shapley and Banzhaf values fall out of the same per-fact count vectors,
-so the engine always materializes both.  Results and per-component
-bundles are memoized in bounded LRU caches; ``stats`` exposes hit/miss
-accounting for observability and tests.
+so the engine always materializes both.  ``stats`` exposes per-layer
+accounting (planner prunes, store hits, executor tasks) alongside the
+historical per-cache counters.
+
+Engines are cheap to construct; share one instance (see
+:func:`default_engine`) to share the caches.  The environment variables
+``REPRO_JOBS`` and ``REPRO_START_METHOD`` select the default executor
+backend when none is passed explicitly (``REPRO_JOBS=2`` makes every
+engine shard across two worker processes), which is how the CI matrix
+runs the whole engine suite under a sharded backend.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from fractions import Fraction
-from typing import TYPE_CHECKING, AbstractSet, Callable, Iterable, Mapping
+import os
+from dataclasses import replace
+from typing import TYPE_CHECKING, AbstractSet, Iterable
 
 from repro.core.database import Database
-from repro.core.errors import IntractableQueryError
 from repro.core.facts import Constant, Fact
-from repro.core.gaifman import infer_exogenous_relations
-from repro.core.hierarchy import is_hierarchical
-from repro.core.paths import has_non_hierarchical_path
 from repro.core.query import BooleanQuery, ConjunctiveQuery
-from repro.engine.bundles import BatchVectors, batch_count_vectors
 from repro.engine.cache import BundlePool, CacheStats, LRUCache
-from repro.engine.fingerprint import fingerprint_request
-from repro.shapley.brute_force import MAX_BRUTE_FORCE_PLAYERS
-from repro.util.combinatorics import shapley_coefficient
+from repro.engine.executors import (
+    Executor,
+    ExecutorStats,
+    SerialExecutor,
+    ShardedExecutor,
+)
+from repro.engine.plan import Plan, PlanRequest, PlanStats, build_plan
+from repro.engine.results import AnswerBatchResult, BatchResult
+from repro.engine.stores import MemoryResultStore, ResultStore, TieredResultStore
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from fractions import Fraction
+
     from repro.engine.persistent import PersistentResultCache
 
 
-@dataclass(frozen=True)
-class BatchResult:
-    """All-facts attribution values plus provenance of the computation.
+def _executor_from_environment() -> Executor:
+    """The executor selected by ``REPRO_JOBS`` / ``REPRO_START_METHOD``.
 
-    The ``shapley`` and ``banzhaf`` mappings iterate their facts in the
-    library's canonical order — sorted by ``repr`` — so callers observe
-    one deterministic, documented ordering regardless of which algorithm
-    or cache produced the result.
+    Unset, unparsable, or ``<= 1`` job counts mean the serial backend —
+    the environment can only ever *add* parallelism, never break an
+    engine construction.
     """
-
-    shapley: Mapping[Fact, Fraction]
-    banzhaf: Mapping[Fact, Fraction]
-    method: str
-    player_count: int
-    from_cache: bool = False
-
-
-@dataclass(frozen=True)
-class AnswerBatchResult:
-    """Per-answer batch results for the groundings of one non-Boolean query.
-
-    ``per_answer`` maps each answer tuple to the :class:`BatchResult` of
-    its grounded Boolean query ``q_t``; answers iterate sorted by
-    ``repr``.  ``pool_stats`` reports how often the cross-grounding
-    bundle pool shared component work between answers.
-    """
-
-    per_answer: Mapping[tuple[Constant, ...], BatchResult]
-    pool_stats: CacheStats = field(default_factory=CacheStats)
-
-    def aggregate(
-        self,
-        value_of: Callable[[tuple[Constant, ...]], Fraction | int],
-        measure: str = "shapley",
-    ) -> dict[Fact, Fraction]:
-        """Linearity: ``Σ_t value_of(t) · measure(D, q_t, f)`` per fact."""
-        if measure not in ("shapley", "banzhaf"):
-            raise ValueError(f"unknown measure {measure!r}")
-        totals: dict[Fact, Fraction] = {}
-        for answer, result in self.per_answer.items():
-            weight = Fraction(value_of(answer))
-            if not weight:
-                continue
-            for item, value in getattr(result, measure).items():
-                totals[item] = totals.get(item, Fraction(0)) + weight * value
-        return {item: totals[item] for item in sorted(totals, key=repr)}
+    try:
+        jobs = int(os.environ.get("REPRO_JOBS", ""))
+    except ValueError:
+        jobs = 0
+    if jobs > 1:
+        try:
+            return ShardedExecutor(
+                jobs=jobs,
+                start_method=os.environ.get("REPRO_START_METHOD") or None,
+            )
+        except ValueError:
+            # A typo'd REPRO_START_METHOD must not break engine
+            # construction — it just loses the parallelism it asked for.
+            return SerialExecutor()
+    return SerialExecutor()
 
 
 class BatchAttributionEngine:
     """Computes Shapley/Banzhaf values for all endogenous facts at once.
 
     Instances hold two bounded LRU caches: a *result* cache keyed on the
-    whole ``(database, query, X)`` request, and a *component* cache keyed
-    on ``(component fingerprint, scoped facts)`` that lets overlapping
-    requests share per-component count bundles.  Engines are cheap to
-    construct; share one instance (see :func:`default_engine`) to share
-    the caches.
+    whole ``(database, query, X, grounding)`` request — wrapped, together
+    with the optional persistent cache, into the engine's result store —
+    and a *component* cache keyed on ``(component fingerprint, scoped
+    facts)`` that lets overlapping requests share per-component count
+    bundles.
+
+    ``executor`` picks the backend (default: serial, or whatever
+    ``REPRO_JOBS`` says); ``jobs`` is a convenience shortcut for
+    ``executor=ShardedExecutor(jobs=...)``.  ``store`` replaces the whole
+    result layer; when omitted it is built from the LRU and
+    ``persistent``.
     """
 
     def __init__(
@@ -107,10 +104,35 @@ class BatchAttributionEngine:
         component_cache_size: int = 512,
         result_cache_size: int = 128,
         persistent: "PersistentResultCache | None" = None,
+        executor: Executor | None = None,
+        store: ResultStore | None = None,
+        jobs: int | None = None,
+        start_method: str | None = None,
     ) -> None:
         self.component_cache: LRUCache = LRUCache(component_cache_size)
         self.result_cache: LRUCache = LRUCache(result_cache_size)
         self.persistent = persistent
+        if store is None:
+            store = TieredResultStore(MemoryResultStore(self.result_cache), persistent)
+        self.store = store
+        if jobs is not None and jobs < 1:
+            # Same contract as ShardedExecutor: reject broken job counts
+            # loudly instead of silently degrading to serial.
+            raise ValueError(f"jobs must be positive, got {jobs}")
+        if executor is None:
+            if jobs is not None:
+                # An explicit job count always wins over the environment:
+                # jobs=1 must mean serial even under REPRO_JOBS=2.
+                executor = (
+                    ShardedExecutor(jobs=jobs, start_method=start_method)
+                    if jobs > 1
+                    else SerialExecutor()
+                )
+            else:
+                executor = _executor_from_environment()
+        self.executor = executor
+        self.planner_stats = PlanStats()
+        self.executor_stats = ExecutorStats(processes=self.executor.jobs)
 
     # ------------------------------------------------------------------
     # Public API
@@ -126,37 +148,30 @@ class BatchAttributionEngine:
     ) -> BatchResult:
         """Shapley and Banzhaf values of every endogenous fact of ``D``.
 
-        ``grounding`` carries the head constants when ``query`` is the
-        grounding ``q_t`` of a non-Boolean query at answer ``t``; it is
-        part of the cache key, so distinct answers can never collide even
-        when their grounded atom sets coincide.  ``pool`` lets an answer
-        batch share component bundles across groundings
-        (see :meth:`batch_answers`).
+        One plan with a single grounding request: the planner consults
+        the result store (a satisfied plan executes nothing), the
+        executor runs whatever remains, and the fresh result is written
+        back through the store.  ``grounding`` carries the head constants
+        when ``query`` is the grounding ``q_t`` of a non-Boolean query at
+        answer ``t``; it is part of the request fingerprint, so distinct
+        answers can never collide even when their grounded atom sets
+        coincide.  ``pool`` lets an answer batch share component bundles
+        across groundings (see :meth:`batch_answers`).
         """
-        key = fingerprint_request(database, query, exogenous_relations, grounding)
-        cached = self.result_cache.get(key)
-        if cached is None and self.persistent is not None:
-            cached = self.persistent.get(key)
-            if cached is not None:
-                # Promote the disk hit so repeats stay in memory.
-                self.result_cache.put(key, cached)
-        if cached is not None:
-            if not allow_brute_force and cached.method == "brute-force":
-                # A warm cache must not bypass the caller's polynomial-only
-                # contract: honor the flag exactly as a cold call would.
-                raise IntractableQueryError(
-                    f"no polynomial batch algorithm applies to {query!r} and"
-                    f" brute force over {cached.player_count} endogenous"
-                    " facts is disabled"
-                )
-            return self._public(cached, from_cache=True)
-        result = self._compute(
-            database, query, exogenous_relations, allow_brute_force, pool
+        plan = build_plan(
+            database,
+            [PlanRequest(query, grounding)],
+            exogenous_relations=exogenous_relations,
+            allow_brute_force=allow_brute_force,
+            store=self.store,
+            include_bundles=self.executor.jobs > 1,
         )
-        self.result_cache.put(key, result)
-        if self.persistent is not None:
-            self.persistent.put(key, result)
-        return self._public(result, from_cache=False)
+        self.planner_stats.merge(plan.stats)
+        planned = plan.requests[0]
+        if planned.node_id is None:
+            return self._public(plan.satisfied[planned.key], from_cache=True)
+        results = self._execute(plan, pool)
+        return self._public(results[planned.node_id], from_cache=False)
 
     def batch_answers(
         self,
@@ -166,14 +181,16 @@ class BatchAttributionEngine:
         exogenous_relations: AbstractSet[str] | None = None,
         allow_brute_force: bool = True,
     ) -> AnswerBatchResult:
-        """One batch per grounding ``q_t`` of a non-Boolean query.
+        """One plan covering every grounding ``q_t`` of a non-Boolean query.
 
         ``answers`` defaults to every candidate answer of ``query``
-        (tuples reachable under *some* endogenous subset).  All
-        groundings share one cross-grounding :class:`BundlePool`: their
-        Gaifman components differ only where the head constants appear,
-        so the untouched components are computed once and reused by every
-        answer — on top of the with/without sharing inside each batch.
+        (tuples reachable under *some* endogenous subset).  The planner
+        emits one grounding task per answer and deduplicates their
+        top-level component nodes — the DAG form of "untouched components
+        are computed once and reused by every answer" — and all
+        groundings share one cross-grounding :class:`BundlePool` at
+        execution time, on top of the with/without sharing inside each
+        batch.
         """
         from repro.shapley.aggregates import candidate_answers
         from repro.shapley.answers import ground_at_answer, head_assignment
@@ -182,39 +199,56 @@ class BatchAttributionEngine:
             raise ValueError("batch_answers needs a query with head variables")
         if answers is None:
             answers = candidate_answers(database, query)
-        pool = BundlePool(self.component_cache)
-        per_answer: dict[tuple[Constant, ...], BatchResult] = {}
+        requests = []
         for answer in sorted(answers, key=repr):
             answer = tuple(answer)
             if head_assignment(query, answer) is None:
                 # A tuple conflicting with a repeated head variable is
                 # never an answer: q_t is identically false and every
                 # fact's value vanishes.
-                zeros = {
-                    item: Fraction(0)
-                    for item in sorted(database.endogenous, key=repr)
-                }
-                per_answer[answer] = BatchResult(
-                    zeros, dict(zeros), "inconsistent", len(zeros)
-                )
-                continue
-            per_answer[answer] = self.batch(
-                database,
-                ground_at_answer(query, answer),
-                exogenous_relations,
-                allow_brute_force,
-                grounding=answer,
-                pool=pool,
+                requests.append(PlanRequest(None, answer, inconsistent=True))
+            else:
+                requests.append(PlanRequest(ground_at_answer(query, answer), answer))
+        plan = build_plan(
+            database,
+            requests,
+            exogenous_relations=exogenous_relations,
+            allow_brute_force=allow_brute_force,
+            store=self.store,
+            include_bundles=self.executor.jobs > 1,
+        )
+        self.planner_stats.merge(plan.stats)
+        pool = BundlePool(self.component_cache)
+        results = self._execute(plan, pool)
+        per_answer: dict[tuple[Constant, ...], BatchResult] = {}
+        for planned in plan.requests:
+            if planned.node_id is None:
+                result, cached = plan.satisfied[planned.key], True
+            else:
+                result, cached = results[planned.node_id], False
+            per_answer[planned.request.grounding] = self._public(
+                result, from_cache=cached
             )
         return AnswerBatchResult(per_answer, pool.stats.snapshot())
 
+    def _execute(self, plan: Plan, pool: BundlePool | None) -> dict[tuple, BatchResult]:
+        """Run a plan's tasks and write fresh results back to the store."""
+        cache = pool if pool is not None else self.component_cache
+        results, stats = self.executor.execute(plan, cache)
+        self.executor_stats.merge(stats)
+        for task in plan.tasks:
+            if task.key is not None:
+                self.store.put(task.key, results[task.node_id])
+        return results
+
     @staticmethod
     def _public(result: BatchResult, from_cache: bool) -> BatchResult:
-        """A caller-facing copy: mutating it must not corrupt the cache.
+        """A caller-facing copy: mutating it must not corrupt the store.
 
         The copy also normalizes both mappings to the canonical fact
         ordering (sorted by ``repr``), so every path out of the engine —
-        fresh, memory-cached, or disk-cached — iterates identically.
+        fresh, memory-cached, or disk-cached, serial or sharded —
+        iterates identically.
         """
         return replace(
             result,
@@ -235,7 +269,7 @@ class BatchAttributionEngine:
         query: BooleanQuery,
         exogenous_relations: AbstractSet[str] | None = None,
         allow_brute_force: bool = True,
-    ) -> dict[Fact, Fraction]:
+    ) -> dict[Fact, "Fraction"]:
         return dict(
             self.batch(database, query, exogenous_relations, allow_brute_force).shapley
         )
@@ -246,100 +280,48 @@ class BatchAttributionEngine:
         query: BooleanQuery,
         exogenous_relations: AbstractSet[str] | None = None,
         allow_brute_force: bool = True,
-    ) -> dict[Fact, Fraction]:
+    ) -> dict[Fact, "Fraction"]:
         return dict(
             self.batch(database, query, exogenous_relations, allow_brute_force).banzhaf
         )
 
     @property
-    def stats(self) -> dict[str, CacheStats]:
-        """Snapshot of per-cache hit/miss/eviction counters."""
-        counters = {
+    def stats(self) -> dict[str, object]:
+        """Per-layer accounting snapshot.
+
+        The historical per-cache keys (``components``, ``results``,
+        ``persistent``) are kept as aliases; ``planner``, ``store`` and
+        ``executor`` report the plan/execute layers: how many plan nodes
+        were pruned against how many planned, whether *any* store tier
+        held a result, and where the executed tasks actually ran.
+        """
+        counters: dict[str, object] = {
             "components": self.component_cache.stats.snapshot(),
             "results": self.result_cache.stats.snapshot(),
         }
         if self.persistent is not None:
             counters["persistent"] = self.persistent.stats.snapshot()
+        if isinstance(getattr(self.store, "stats", None), CacheStats):
+            counters["store"] = self.store.stats.snapshot()
+        counters["planner"] = self.planner_stats.snapshot()
+        counters["executor"] = self.executor_stats.snapshot()
         return counters
 
     def clear(self) -> None:
-        """Drop all cached entries (statistics are kept)."""
+        """Drop all cached entries (statistics are kept).
+
+        Clears the component cache, the result LRU, and — when a custom
+        ``store`` exposing ``clear()`` was supplied — that store too.
+        The default tiered store intentionally has no ``clear``: its
+        memory tier *is* the result LRU cleared above, and the
+        persistent tier survives (as it always has) so other processes
+        keep their warm entries.
+        """
         self.component_cache.clear()
         self.result_cache.clear()
-
-    # ------------------------------------------------------------------
-    # Dispatch
-    # ------------------------------------------------------------------
-    def _compute(
-        self,
-        database: Database,
-        query: BooleanQuery,
-        exogenous_relations: AbstractSet[str] | None,
-        allow_brute_force: bool,
-        pool: BundlePool | None = None,
-    ) -> BatchResult:
-        players = len(database.endogenous)
-        bundle_cache = self.component_cache if pool is None else pool
-        if players == 0:
-            return BatchResult({}, {}, "empty", 0)
-        if isinstance(query, ConjunctiveQuery):
-            boolean = query.as_boolean()
-            if exogenous_relations is None:
-                exogenous_relations = infer_exogenous_relations(boolean, database)
-            if boolean.is_self_join_free:
-                if is_hierarchical(boolean):
-                    vectors = batch_count_vectors(database, boolean, bundle_cache)
-                    return self._from_vectors(vectors, "cntsat")
-                if not has_non_hierarchical_path(boolean, exogenous_relations):
-                    from repro.shapley.exoshap import rewrite_to_hierarchical
-
-                    rewrite = rewrite_to_hierarchical(
-                        database, boolean, exogenous_relations
-                    )
-                    vectors = batch_count_vectors(
-                        rewrite.database, rewrite.query, bundle_cache
-                    )
-                    return self._from_vectors(vectors, "exoshap")
-        if not allow_brute_force:
-            raise IntractableQueryError(
-                f"no polynomial batch algorithm applies to {query!r} and brute"
-                f" force over {players} endogenous facts is disabled"
-            )
-        if players > MAX_BRUTE_FORCE_PLAYERS:
-            raise IntractableQueryError(
-                f"no polynomial batch algorithm applies to {query!r} and brute"
-                f" force over {players} endogenous facts would enumerate"
-                f" 2^{players} coalitions (limit: {MAX_BRUTE_FORCE_PLAYERS})"
-            )
-        from repro.shapley.banzhaf import banzhaf_all_brute_force
-        from repro.shapley.brute_force import shapley_all_brute_force
-
-        return BatchResult(
-            shapley_all_brute_force(database, query),
-            banzhaf_all_brute_force(database, query),
-            "brute-force",
-            players,
-        )
-
-    def _from_vectors(self, vectors: BatchVectors, method: str) -> BatchResult:
-        """Lemma 3.2 assembly: weighted sums of the per-fact vector deltas."""
-        players = vectors.total_players
-        shapley: dict[Fact, Fraction] = {
-            item: Fraction(0) for item in vectors.zero_facts
-        }
-        banzhaf = dict(shapley)
-        denominator = 2 ** (players - 1)
-        for item, (sat_exo, sat_del) in vectors.per_fact.items():
-            value = Fraction(0)
-            difference_total = 0
-            for k in range(players):
-                difference = sat_exo[k] - sat_del[k]
-                if difference:
-                    value += shapley_coefficient(players, k) * difference
-                    difference_total += difference
-            shapley[item] = value
-            banzhaf[item] = Fraction(difference_total, denominator)
-        return BatchResult(shapley, banzhaf, method, players)
+        store_clear = getattr(self.store, "clear", None)
+        if callable(store_clear):
+            store_clear()
 
 
 _default: BatchAttributionEngine | None = None
@@ -351,3 +333,20 @@ def default_engine() -> BatchAttributionEngine:
     if _default is None:
         _default = BatchAttributionEngine()
     return _default
+
+
+def reset_default_engine() -> None:
+    """Forget the process-wide engine; the next call builds a fresh one.
+
+    Registered as an ``os.register_at_fork`` child hook, so a forked
+    process — a ``multiprocessing`` worker, a daemonized server child —
+    starts with empty per-process caches and zeroed stats instead of
+    mutating (and double-counting) the engine state inherited from its
+    parent.  ``spawn`` children get this for free by re-importing.
+    """
+    global _default
+    _default = None
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX everywhere we run
+    os.register_at_fork(after_in_child=reset_default_engine)

@@ -1,0 +1,423 @@
+"""The executor layer: run a plan's nodes, serially or across processes.
+
+An executor consumes a :class:`repro.engine.plan.Plan` and a bundle cache
+and produces one :class:`repro.engine.results.BatchResult` per grounding
+task.  Two backends implement the protocol:
+
+* :class:`SerialExecutor` — today's semantics, and the default: every
+  node runs in-process; bundle nodes are satisfied *lazily* through the
+  cache as each grounding task's recursion reaches them, so cache
+  accounting is byte-for-byte what the pre-split engine produced.
+* :class:`ShardedExecutor` — a ``concurrent.futures``
+  ``ProcessPoolExecutor`` backend: independent bundle nodes (per-component
+  count vectors) and self-contained brute-force grounding nodes are
+  shipped to worker processes; finished ``CountBundle``s are merged back
+  into the caller's :class:`repro.engine.cache.BundlePool` (``seed``),
+  after which the remaining convolution/assembly tasks run in-process and
+  hit the pool instead of recursing.  Exact integer count vectors make
+  the merge lossless: sharded and serial execution return bit-identical
+  ``Fraction`` values.
+
+Worker processes never share state with the parent: each task runs with
+a fresh local cache, the pool initializer resets the process-wide default
+engine (see :func:`repro.engine.core.reset_default_engine`), and under
+the ``spawn`` start method the workers re-import :mod:`repro` from
+scratch (the executor pins the package's location into ``PYTHONPATH`` so
+spawned children can).  Worker pools are shared per ``(jobs,
+start_method)`` across executors and shut down at interpreter exit.
+
+If a pool cannot be created or dies mid-flight (sandboxed environments,
+killed workers), the sharded executor degrades to in-process execution —
+a correctness-preserving fallback counted in
+:attr:`ExecutorStats.fallbacks`.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Protocol, runtime_checkable
+
+from repro.engine.bundles import batch_count_vectors, bundle_for_component
+from repro.engine.cache import BundlePool, LRUCache
+from repro.engine.plan import BundleTask, GroundingTask, Plan
+from repro.engine.results import BatchResult, result_from_vectors
+
+#: Bundle caches executors work against: the engine's component LRU or a
+#: call-scoped pool layered on top of it.
+BundleCache = LRUCache | BundlePool
+
+
+@dataclass
+class ExecutorStats:
+    """Executor accounting: where the plan's nodes actually ran."""
+
+    tasks: int = 0
+    bundle_tasks: int = 0
+    shipped: int = 0
+    fallbacks: int = 0
+    processes: int = 1
+
+    def merge(self, other: "ExecutorStats") -> None:
+        self.tasks += other.tasks
+        self.bundle_tasks += other.bundle_tasks
+        self.shipped += other.shipped
+        self.fallbacks += other.fallbacks
+        self.processes = max(self.processes, other.processes)
+
+    def snapshot(self) -> "ExecutorStats":
+        return ExecutorStats(
+            self.tasks,
+            self.bundle_tasks,
+            self.shipped,
+            self.fallbacks,
+            self.processes,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutorStats(tasks={self.tasks},"
+            f" bundle_tasks={self.bundle_tasks}, shipped={self.shipped},"
+            f" fallbacks={self.fallbacks}, processes={self.processes})"
+        )
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """Anything that can run a plan against a bundle cache."""
+
+    jobs: int
+
+    def execute(
+        self, plan: Plan, cache: BundleCache
+    ) -> tuple[dict[tuple, BatchResult], ExecutorStats]: ...
+
+
+def execute_grounding_task(task: GroundingTask, cache: BundleCache) -> BatchResult:
+    """Run one grounding node: count vectors plus Lemma 3.2 assembly.
+
+    The method was fixed at plan time; this function only executes it.
+    For ``cntsat``/``exoshap`` the recursion satisfies the task's bundle
+    dependencies through ``cache`` — hitting entries an executor seeded,
+    computing (and memoizing) whatever is missing.
+    """
+    if task.method == "empty":
+        return BatchResult({}, {}, "empty", 0)
+    if task.method == "inconsistent":
+        zeros = {
+            item: Fraction(0)
+            for item in sorted(task.database.endogenous, key=repr)
+        }
+        return BatchResult(zeros, dict(zeros), "inconsistent", len(zeros))
+    if task.method == "brute-force":
+        from repro.shapley.banzhaf import banzhaf_all_brute_force
+        from repro.shapley.brute_force import shapley_all_brute_force
+
+        return BatchResult(
+            shapley_all_brute_force(task.database, task.query),
+            banzhaf_all_brute_force(task.database, task.query),
+            "brute-force",
+            len(task.database.endogenous),
+        )
+    vectors = batch_count_vectors(task.database, task.query, cache)
+    return result_from_vectors(vectors, task.method)
+
+
+class SerialExecutor:
+    """Run every plan node in-process — the default backend.
+
+    Grounding tasks execute in plan order; bundle nodes are not
+    pre-materialized but satisfied lazily by each task's recursion
+    through the shared cache, which reproduces the pre-split engine's
+    behavior (and its cache hit/miss accounting) exactly.
+    """
+
+    jobs = 1
+
+    def execute(
+        self, plan: Plan, cache: BundleCache
+    ) -> tuple[dict[tuple, BatchResult], ExecutorStats]:
+        stats = ExecutorStats(processes=1)
+        results: dict[tuple, BatchResult] = {}
+        for task in plan.tasks:
+            results[task.node_id] = execute_grounding_task(task, cache)
+            stats.tasks += 1
+        return results, stats
+
+    def __repr__(self) -> str:
+        return "SerialExecutor()"
+
+
+# ----------------------------------------------------------------------
+# Worker-process side
+# ----------------------------------------------------------------------
+def _worker_init() -> None:
+    """Start every worker with a clean slate.
+
+    Workers must never reuse (or mutate) an engine inherited from the
+    parent: under ``fork`` the process image carries the parent's default
+    engine, caches and stats included.  Resetting the singleton makes the
+    per-process caches empty and the counters zero, so parent accounting
+    is never double-counted.
+    """
+    from repro.engine.core import reset_default_engine
+
+    reset_default_engine()
+
+
+def _run_bundle_chunk(tasks: list[BundleTask]) -> list[tuple[tuple, object]]:
+    """Worker payload: a chunk of component bundles, one shared local cache."""
+    cache: LRUCache = LRUCache(128)
+    return [(task.node_id, bundle_for_component(task.scope, cache)) for task in tasks]
+
+
+def _run_grounding_chunk(
+    tasks: list[GroundingTask],
+) -> list[tuple[tuple, BatchResult]]:
+    """Worker payload: a chunk of self-contained grounding nodes.
+
+    Chunking matters for more than dispatch overhead: the tasks of one
+    answer batch share the same ``Database`` object, and pickling a chunk
+    in a single submission serializes that database once (pickle's memo)
+    instead of once per grounding.
+    """
+    cache: LRUCache = LRUCache(64)
+    return [(task.node_id, execute_grounding_task(task, cache)) for task in tasks]
+
+
+def _chunked(items: list, jobs: int) -> list[list]:
+    """Split work into at most ``4 * jobs`` chunks (load-balance headroom)."""
+    if not items:
+        return []
+    size = max(1, -(-len(items) // (jobs * 4)))
+    return [items[index : index + size] for index in range(0, len(items), size)]
+
+
+# ----------------------------------------------------------------------
+# Shared worker pools
+# ----------------------------------------------------------------------
+_WORKER_POOLS: dict[tuple[int, str | None], ProcessPoolExecutor] = {}
+_FINALIZER_REGISTERED = False
+
+
+def _ensure_child_importable() -> None:
+    """Pin :mod:`repro`'s location into ``PYTHONPATH`` for spawned workers.
+
+    ``spawn`` children re-import everything from scratch; when the parent
+    found :mod:`repro` through an in-process ``sys.path`` edit (pytest's
+    ``pythonpath`` setting, a REPL ``sys.path.insert``), the children
+    would not.  Environment variables do survive the spawn, so the
+    package's source root is appended there.
+    """
+    import repro
+
+    source_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    existing = os.environ.get("PYTHONPATH")
+    parts = existing.split(os.pathsep) if existing else []
+    if source_root not in parts:
+        os.environ["PYTHONPATH"] = os.pathsep.join([source_root, *parts])
+
+
+def _worker_pool(jobs: int, start_method: str | None) -> ProcessPoolExecutor:
+    """The shared pool for ``(jobs, start_method)``, created on first use.
+
+    Sharing pools across executors (and across the engines holding them)
+    bounds the number of worker processes per configuration and amortizes
+    the start-method cost — ``spawn`` workers in particular are expensive
+    to boot.  Pools are torn down at interpreter exit.
+    """
+    import multiprocessing
+    import multiprocessing.util
+
+    global _FINALIZER_REGISTERED
+    key = (jobs, start_method)
+    pool = _WORKER_POOLS.get(key)
+    if pool is None:
+        context = multiprocessing.get_context(start_method)
+        if context.get_start_method() != "fork":
+            # fork children inherit sys.path by memory image; only the
+            # re-importing start methods need the environment pin.
+            _ensure_child_importable()
+        if not _FINALIZER_REGISTERED:
+            # A ``multiprocessing.Process`` child joins its *non-daemon*
+            # children (our pool workers) in ``util._exit_function``
+            # BEFORE interpreter atexit runs — an atexit-only shutdown
+            # would deadlock such a child, its workers blocked on the
+            # call queue forever.  A multiprocessing finalizer runs ahead
+            # of that join loop.  It must be registered per process and
+            # per fork: ``util._after_fork`` clears the registry.
+            multiprocessing.util.Finalize(None, shutdown_worker_pools, exitpriority=100)
+            _FINALIZER_REGISTERED = True
+        pool = ProcessPoolExecutor(
+            max_workers=jobs, mp_context=context, initializer=_worker_init
+        )
+        _WORKER_POOLS[key] = pool
+    return pool
+
+
+def shutdown_worker_pools() -> None:
+    """Shut down every shared worker pool (idempotent; used at exit).
+
+    ``wait=True`` lets the workers consume their exit sentinels before
+    anything tries to join them; pending-but-unstarted work is cancelled.
+    """
+    for pool in list(_WORKER_POOLS.values()):
+        pool.shutdown(wait=True, cancel_futures=True)
+    _WORKER_POOLS.clear()
+
+
+def _forget_worker_pools() -> None:
+    """Drop pool references in a forked child WITHOUT shutting down.
+
+    The executor objects a child inherits manage threads and processes
+    that only exist in the *parent*; using them would hang, shutting them
+    down would tear down the parent's workers.  Forgetting them makes the
+    child's first sharded execute create its own pool (and re-register
+    the per-process exit finalizer above).
+    """
+    global _FINALIZER_REGISTERED
+    _WORKER_POOLS.clear()
+    _FINALIZER_REGISTERED = False
+
+
+atexit.register(shutdown_worker_pools)
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX everywhere we run
+    os.register_at_fork(after_in_child=_forget_worker_pools)
+
+
+class ShardedExecutor:
+    """Shard independent plan nodes across a pool of worker processes.
+
+    Two node families are independent by construction and worth a
+    process hop: bundle nodes (per-component count vectors, deduplicated
+    across groundings by the planner) and brute-force grounding nodes
+    (self-contained coalition enumerations).  Everything else — the
+    per-grounding convolution and assembly — runs in the parent against
+    the merged pool, where it is a cache-hit-driven epilogue.
+
+    ``jobs`` defaults to the machine's CPU count; ``start_method``
+    selects the ``multiprocessing`` context (``None`` = platform
+    default, ``"fork"``/``"spawn"``/``"forkserver"`` explicit).  Plans
+    with fewer than ``min_shard_tasks`` shardable nodes run serially —
+    shipping one task buys no wall-clock and costs a pickle round trip.
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        start_method: str | None = None,
+        min_shard_tasks: int = 2,
+    ) -> None:
+        import multiprocessing
+
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be positive, got {self.jobs}")
+        if start_method is not None:
+            available = multiprocessing.get_all_start_methods()
+            if start_method not in available:
+                # Fail at construction, not deep inside the first _ship.
+                raise ValueError(
+                    f"unknown start method {start_method!r}"
+                    f" (available: {', '.join(available)})"
+                )
+        self.start_method = start_method
+        self.min_shard_tasks = min_shard_tasks
+
+    def __repr__(self) -> str:
+        method = self.start_method or "default"
+        return f"ShardedExecutor(jobs={self.jobs}, start_method={method!r})"
+
+    def execute(
+        self, plan: Plan, cache: BundleCache
+    ) -> tuple[dict[tuple, BatchResult], ExecutorStats]:
+        stats = ExecutorStats(processes=self.jobs)
+        results: dict[tuple, BatchResult] = {}
+        pending_bundles: list[BundleTask] = []
+        remote_tasks: list[GroundingTask] = []
+        if self.jobs > 1:
+            pending_bundles = [
+                bundle
+                for bundle in plan.bundles.values()
+                if cache.peek(bundle.fingerprint) is None
+            ]
+            remote_tasks = [task for task in plan.tasks if task.method == "brute-force"]
+            if len(pending_bundles) + len(remote_tasks) < self.min_shard_tasks:
+                pending_bundles, remote_tasks = [], []
+        if pending_bundles or remote_tasks:
+            try:
+                self._ship(pending_bundles, remote_tasks, cache, results, stats)
+            except (BrokenProcessPool, OSError, pickle.PicklingError):
+                # Correctness first: whatever did not come back from the
+                # workers is recomputed in-process below.  The pool is
+                # shut down, not just forgotten — on a non-fatal error
+                # (e.g. an unpicklable payload) its workers are still
+                # alive and would otherwise leak until interpreter exit.
+                failed = _WORKER_POOLS.pop((self.jobs, self.start_method), None)
+                if failed is not None:
+                    failed.shutdown(wait=False, cancel_futures=True)
+                stats.fallbacks += 1
+        for task in plan.tasks:
+            if task.node_id in results:
+                continue
+            results[task.node_id] = execute_grounding_task(task, cache)
+            stats.tasks += 1
+        return results, stats
+
+    def _ship(
+        self,
+        bundles: list[BundleTask],
+        tasks: list[GroundingTask],
+        cache: BundleCache,
+        results: dict[tuple, BatchResult],
+        stats: ExecutorStats,
+    ) -> None:
+        """Submit shardable nodes, merge what comes back.
+
+        Bundle results merge into the caller's cache (``seed`` — no
+        hit/miss noise), grounding results go straight into the result
+        map.  Completion order is irrelevant: nodes are keyed by
+        fingerprint ids and the exact integer/Fraction arithmetic makes
+        merged results identical to in-process ones.
+        """
+        pool = _worker_pool(self.jobs, self.start_method)
+        futures = {
+            pool.submit(_run_bundle_chunk, chunk): "bundle"
+            for chunk in _chunked(bundles, self.jobs)
+        }
+        futures.update(
+            {
+                pool.submit(_run_grounding_chunk, chunk): "task"
+                for chunk in _chunked(tasks, self.jobs)
+            }
+        )
+        done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+        try:
+            for future in done:
+                for node_id, value in future.result():
+                    if futures[future] == "bundle":
+                        cache.seed(node_id[1], value)
+                        stats.bundle_tasks += 1
+                    else:
+                        results[node_id] = value
+                        stats.tasks += 1
+                    stats.shipped += 1
+        finally:
+            for future in not_done:
+                future.cancel()
+
+
+__all__ = [
+    "BundleCache",
+    "Executor",
+    "ExecutorStats",
+    "SerialExecutor",
+    "ShardedExecutor",
+    "execute_grounding_task",
+    "shutdown_worker_pools",
+]

@@ -24,6 +24,11 @@ Design points:
   misses; facts whose constants do not round-trip through JSON scalars
   are simply not persisted.  The cache never changes a result, only its
   cost.
+* **Bounded (optionally)**: ``max_entries`` / ``max_bytes`` cap the
+  directory size with least-recently-used eviction.  Each hit bumps the
+  entry's access stamp (its mtime), each write enforces the caps by
+  unlinking the stalest entries; both are best effort and never break a
+  concurrent reader, which at worst misses and recomputes.
 
 Usage::
 
@@ -42,15 +47,14 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 from fractions import Fraction
 from pathlib import Path
 from typing import Any
 
 from repro.core.facts import Fact
 from repro.engine.cache import CacheStats
-from repro.engine.core import BatchResult
-from repro.io import fact_from_row, fact_is_json_safe, fact_to_row
+from repro.engine.results import BatchResult
+from repro.io import fact_from_row, fact_is_json_safe, fact_to_row, write_json_atomic
 
 FORMAT_VERSION = 1
 
@@ -120,14 +124,32 @@ class PersistentResultCache:
     Entries live under ``directory/v{FORMAT_VERSION}/<digest>.json``; the
     versioned subdirectory means a format change can never misparse old
     entries.  ``stats`` counts hits and misses exactly like the in-memory
-    caches (corrupt or unreadable entries are misses).
+    caches (corrupt or unreadable entries are misses, evictions count as
+    evictions).
+
+    ``max_entries`` / ``max_bytes`` bound the cache (``None`` = unbounded,
+    the historical default): after every write the least-recently-used
+    entries — by access stamp, i.e. file mtime, which :meth:`get` bumps
+    on every hit — are evicted until both caps hold again.
     """
 
-    def __init__(self, directory: str | Path) -> None:
+    def __init__(
+        self,
+        directory: str | Path,
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
+    ) -> None:
         self.root = Path(directory)
         self.directory = self.root / f"v{FORMAT_VERSION}"
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
         self.stats = CacheStats()
+        # Approximate occupancy, maintained incrementally so a bounded
+        # cache does not pay a full directory scan on every write; a real
+        # scan re-syncs them whenever a cap is (apparently) crossed.
+        self._approx_entries: int | None = None
+        self._approx_bytes = 0
 
     def _path(self, key: tuple) -> Path:
         return self.directory / f"{digest_key(key)}.json"
@@ -157,6 +179,11 @@ class PersistentResultCache:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
+        try:
+            # Bump the access stamp so LRU eviction spares warm entries.
+            os.utime(path)
+        except OSError:
+            pass
         return result
 
     def put(self, key: tuple, result: BatchResult) -> bool:
@@ -173,20 +200,80 @@ class PersistentResultCache:
             "banzhaf": banzhaf,
         }
         path = self._path(key)
-        descriptor, temp_name = tempfile.mkstemp(
-            prefix=f".{path.stem}.", suffix=".tmp", dir=self.directory
-        )
-        try:
-            with os.fdopen(descriptor, "w") as handle:
-                json.dump(payload, handle, separators=(",", ":"))
-            os.replace(temp_name, path)
-        except OSError:
-            try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
+        if not write_json_atomic(path, payload):
             return False
+        self._note_put(path)
         return True
+
+    def _note_put(self, path: Path) -> None:
+        """Update the occupancy estimate; rescan only when a cap is crossed.
+
+        One ``stat`` of the just-written entry per put instead of a full
+        directory sweep; overwrites and concurrent evictions only ever
+        push the estimate *up*, which at worst triggers an early re-sync.
+        """
+        if self.max_entries is None and self.max_bytes is None:
+            return
+        if self._approx_entries is None:
+            # First bounded write in this process: establish the baseline.
+            self._enforce_limits()
+            return
+        try:
+            size = path.stat().st_size
+        except OSError:
+            size = 0
+        self._approx_entries += 1
+        self._approx_bytes += size
+        if (
+            self.max_entries is not None and self._approx_entries > self.max_entries
+        ) or (self.max_bytes is not None and self._approx_bytes > self.max_bytes):
+            self._enforce_limits()
+
+    def _enforce_limits(self) -> None:
+        """Evict least-recently-accessed entries until both caps hold.
+
+        Large caps drain to a low-water mark (7/8 of the cap) so the
+        scan cost amortizes over many writes; small caps — where a scan
+        is cheap anyway — are enforced exactly.  Best effort by design:
+        stat/unlink races with concurrent processes (an entry
+        disappearing mid-scan) are skipped, never raised — losing an
+        eviction round costs disk, not correctness.
+        """
+        if self.max_entries is None and self.max_bytes is None:
+            return
+        entries = []
+        total_bytes = 0
+        for path in self.directory.glob("*.json"):
+            try:
+                status = path.stat()
+            except OSError:
+                continue
+            entries.append((status.st_mtime, path.name, status.st_size, path))
+            total_bytes += status.st_size
+        entries.sort()
+        target_entries = self.max_entries
+        if target_entries is not None and target_entries >= 16:
+            target_entries -= target_entries // 8
+        target_bytes = self.max_bytes
+        if target_bytes is not None and target_bytes >= 4096:
+            target_bytes -= target_bytes // 8
+        # Per-dimension gates: only a cap that was actually crossed drains
+        # (to its low-water mark); the other dimension keeps its entries.
+        entries_over = self.max_entries is not None and len(entries) > self.max_entries
+        bytes_over = self.max_bytes is not None and total_bytes > self.max_bytes
+        while entries and (
+            (entries_over and len(entries) > target_entries)
+            or (bytes_over and total_bytes > target_bytes)
+        ):
+            _, _, size, path = entries.pop(0)
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total_bytes -= size
+            self.stats.evictions += 1
+        self._approx_entries = len(entries)
+        self._approx_bytes = total_bytes
 
     def clear(self) -> None:
         """Remove every entry of the current format version."""

@@ -1,0 +1,301 @@
+"""The planner: one request in, one explicit DAG of work units out.
+
+:func:`build_plan` turns a ``(database, query, groundings)`` request into
+a :class:`Plan` — the static half of the engine's plan/execute split.
+Planning does everything that must happen *before* any count vector is
+computed, and nothing that computes one:
+
+1. **Method dispatch** (the dichotomy of Theorems 3.1/4.3): each
+   grounding is classified as ``cntsat``, ``exoshap`` (the rewrite runs
+   at plan time, once), ``brute-force`` (validated once, up front,
+   against ``MAX_BRUTE_FORCE_PLAYERS``), ``empty``, or ``inconsistent``.
+   Intractable requests therefore fail at plan time, before a single
+   worker is spawned.
+2. **Node construction**: one :class:`GroundingTask` per distinct
+   request (the per-grounding convolution/assembly task) plus one
+   :class:`BundleTask` per distinct top-level Gaifman component
+   (the per-component count-vector task).  Node ids are canonical
+   fingerprints (:mod:`repro.engine.fingerprint`), so groundings that
+   share a component share the *same* bundle node — the DAG encodes the
+   cross-grounding sharing that :class:`repro.engine.cache.BundlePool`
+   realizes at execution time.
+3. **Store pruning**: plan nodes whose request key is already satisfied
+   by the engine's :class:`repro.engine.stores.ResultStore` are pruned
+   from the executable plan and recorded in :attr:`Plan.satisfied`;
+   executors never see them.
+
+Executors (:mod:`repro.engine.executors`) consume the plan; they are
+free to run independent nodes in any order — or in different processes —
+because the planner has already made every dependency explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, AbstractSet, Sequence
+
+from repro.core.database import Database
+from repro.core.errors import IntractableQueryError
+from repro.core.facts import Constant
+from repro.core.gaifman import infer_exogenous_relations
+from repro.core.hierarchy import is_hierarchical
+from repro.core.paths import has_non_hierarchical_path
+from repro.core.query import BooleanQuery, ConjunctiveQuery
+from repro.engine.bundles import top_level_components
+from repro.engine.fingerprint import fingerprint_request
+from repro.engine.results import BatchResult
+from repro.shapley.brute_force import MAX_BRUTE_FORCE_PLAYERS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.engine.stores import ResultStore
+
+#: Node-id tag for per-component bundle tasks.
+BUNDLE = "bundle"
+#: Node-id tag for per-grounding convolution/assembly tasks.
+RESULT = "result"
+
+
+@dataclass(frozen=True)
+class PlanRequest:
+    """One grounding of a batch request, before planning.
+
+    ``query`` is the (grounded) Boolean query; ``grounding`` carries the
+    answer tuple when the query was obtained by grounding a non-Boolean
+    head, and ``inconsistent`` marks tuples that conflict with a repeated
+    head variable (``query`` is then ``None`` — the result is identically
+    zero and never touches the stores).
+    """
+
+    query: BooleanQuery | None
+    grounding: tuple[Constant, ...] | None = None
+    inconsistent: bool = False
+
+
+@dataclass(frozen=True)
+class BundleTask:
+    """A per-component count-vector node: compute one CountBundle."""
+
+    node_id: tuple
+    fingerprint: tuple
+    scope: tuple
+
+
+@dataclass(frozen=True)
+class GroundingTask:
+    """A per-grounding node: count vectors + Lemma 3.2 assembly.
+
+    ``database``/``query`` are the pair the method actually runs on —
+    for ``exoshap`` they are the *rewritten* database and query produced
+    at plan time.  ``dependencies`` lists the bundle node ids this task's
+    recursion will consume; executors may satisfy them in any order (or
+    lazily, through the bundle cache) before or while running the task.
+    """
+
+    node_id: tuple
+    key: tuple | None
+    method: str
+    database: Database | None
+    query: BooleanQuery | None
+    dependencies: tuple[tuple, ...] = ()
+
+
+@dataclass(frozen=True)
+class PlannedRequest:
+    """A request after planning: where its result will come from.
+
+    ``node_id`` names the grounding task that produces the result, or is
+    ``None`` when the store already held it (then ``Plan.satisfied[key]``
+    has the value).
+    """
+
+    request: PlanRequest
+    key: tuple | None
+    node_id: tuple | None
+
+
+@dataclass
+class PlanStats:
+    """Planner accounting: how much work the plan avoided up front."""
+
+    requested: int = 0
+    planned: int = 0
+    pruned: int = 0
+    bundles: int = 0
+
+    def merge(self, other: "PlanStats") -> None:
+        self.requested += other.requested
+        self.planned += other.planned
+        self.pruned += other.pruned
+        self.bundles += other.bundles
+
+    def snapshot(self) -> "PlanStats":
+        return PlanStats(self.requested, self.planned, self.pruned, self.bundles)
+
+    def __repr__(self) -> str:
+        return (
+            f"PlanStats(requested={self.requested}, planned={self.planned},"
+            f" pruned={self.pruned}, bundles={self.bundles})"
+        )
+
+
+@dataclass
+class Plan:
+    """An executable DAG: grounding tasks over shared bundle nodes.
+
+    ``tasks`` lists the grounding tasks in request order (node ids are
+    unique — duplicate requests collapse onto one node); ``bundles`` maps
+    bundle node ids to their tasks, deduplicated across groundings;
+    ``satisfied`` holds the store-pruned results keyed by request
+    fingerprint; ``requests`` records, per input request, where its
+    result will come from.
+    """
+
+    requests: list[PlannedRequest] = field(default_factory=list)
+    tasks: list[GroundingTask] = field(default_factory=list)
+    bundles: dict[tuple, BundleTask] = field(default_factory=dict)
+    satisfied: dict[tuple, BatchResult] = field(default_factory=dict)
+    stats: PlanStats = field(default_factory=PlanStats)
+
+
+def _dispatch(
+    database: Database,
+    query: BooleanQuery,
+    exogenous_relations: AbstractSet[str] | None,
+    allow_brute_force: bool,
+) -> tuple[str, Database, BooleanQuery]:
+    """The dichotomy dispatch, with up-front validation.
+
+    Returns ``(method, database, query)`` where the database/query pair
+    is the one the method runs on (rewritten for ``exoshap``).  Raises
+    :class:`IntractableQueryError` — at plan time — when no polynomial
+    algorithm applies and brute force is disallowed or oversized.
+    """
+    players = len(database.endogenous)
+    if players == 0:
+        return "empty", database, query
+    if isinstance(query, ConjunctiveQuery):
+        boolean = query.as_boolean()
+        if exogenous_relations is None:
+            exogenous_relations = infer_exogenous_relations(boolean, database)
+        if boolean.is_self_join_free:
+            if is_hierarchical(boolean):
+                return "cntsat", database, boolean
+            if not has_non_hierarchical_path(boolean, exogenous_relations):
+                from repro.shapley.exoshap import rewrite_to_hierarchical
+
+                rewrite = rewrite_to_hierarchical(
+                    database, boolean, exogenous_relations
+                )
+                return "exoshap", rewrite.database, rewrite.query
+    if not allow_brute_force:
+        raise IntractableQueryError(
+            f"no polynomial batch algorithm applies to {query!r} and brute"
+            f" force over {players} endogenous facts is disabled"
+        )
+    if players > MAX_BRUTE_FORCE_PLAYERS:
+        raise IntractableQueryError(
+            f"no polynomial batch algorithm applies to {query!r} and brute"
+            f" force over {players} endogenous facts would enumerate"
+            f" 2^{players} coalitions (limit: {MAX_BRUTE_FORCE_PLAYERS})"
+        )
+    return "brute-force", database, query
+
+
+def build_plan(
+    database: Database,
+    requests: Sequence[PlanRequest],
+    *,
+    exogenous_relations: AbstractSet[str] | None = None,
+    allow_brute_force: bool = True,
+    store: "ResultStore | None" = None,
+    include_bundles: bool = True,
+) -> Plan:
+    """Plan a batch request: dispatch, node construction, store pruning.
+
+    All validation errors (intractable queries, disabled brute force —
+    including store-served results whose *cached* method was brute force)
+    surface here, before any execution; a returned plan only contains
+    work the dichotomy sanctioned.
+
+    ``include_bundles=False`` skips materializing the per-component
+    bundle nodes.  Only a sharding executor consumes them (the serial
+    recursion re-derives the same components and keys internally), so
+    the engine disables them for single-process backends rather than pay
+    the top-level restriction/fingerprint pass twice per grounding.
+    """
+    plan = Plan()
+    plan.stats.requested = len(requests)
+    seen: set[tuple] = set()
+    for request in requests:
+        if request.inconsistent:
+            node_id = (RESULT, "inconsistent")
+            if node_id not in seen:
+                seen.add(node_id)
+                plan.tasks.append(
+                    GroundingTask(node_id, None, "inconsistent", database, None)
+                )
+                plan.stats.planned += 1
+            plan.requests.append(PlannedRequest(request, None, node_id))
+            continue
+        key = fingerprint_request(
+            database, request.query, exogenous_relations, request.grounding
+        )
+        if key in plan.satisfied:
+            plan.requests.append(PlannedRequest(request, key, None))
+            continue
+        node_id = (RESULT, key)
+        if node_id in seen:
+            plan.requests.append(PlannedRequest(request, key, node_id))
+            continue
+        cached = store.get(key) if store is not None else None
+        if cached is not None:
+            if not allow_brute_force and cached.method == "brute-force":
+                # A warm store must not bypass the caller's polynomial-only
+                # contract: honor the flag exactly as a cold plan would.
+                raise IntractableQueryError(
+                    f"no polynomial batch algorithm applies to {request.query!r}"
+                    f" and brute force over {cached.player_count} endogenous"
+                    " facts is disabled"
+                )
+            plan.satisfied[key] = cached
+            plan.stats.pruned += 1
+            plan.requests.append(PlannedRequest(request, key, None))
+            continue
+        method, count_database, count_query = _dispatch(
+            database, request.query, exogenous_relations, allow_brute_force
+        )
+        dependencies = []
+        if include_bundles and method in ("cntsat", "exoshap"):
+            for fingerprint, scope in top_level_components(count_database, count_query):
+                bundle_id = (BUNDLE, fingerprint)
+                if bundle_id not in plan.bundles:
+                    plan.bundles[bundle_id] = BundleTask(bundle_id, fingerprint, scope)
+                dependencies.append(bundle_id)
+        seen.add(node_id)
+        plan.tasks.append(
+            GroundingTask(
+                node_id,
+                key,
+                method,
+                count_database,
+                count_query,
+                tuple(dependencies),
+            )
+        )
+        plan.stats.planned += 1
+        plan.requests.append(PlannedRequest(request, key, node_id))
+    plan.stats.bundles = len(plan.bundles)
+    return plan
+
+
+__all__ = [
+    "BUNDLE",
+    "RESULT",
+    "BundleTask",
+    "GroundingTask",
+    "Plan",
+    "PlanRequest",
+    "PlanStats",
+    "PlannedRequest",
+    "build_plan",
+]

@@ -1,0 +1,102 @@
+"""The result layer: attribution values and their assembly from count vectors.
+
+This module owns the *outputs* of the plan/execute pipeline:
+
+* :class:`BatchResult` — all-facts Shapley/Banzhaf values of one Boolean
+  request, plus provenance (method, player count, cache origin);
+* :class:`AnswerBatchResult` — the per-answer results of a non-Boolean
+  request, with the linearity-based :meth:`AnswerBatchResult.aggregate`;
+* :func:`result_from_vectors` — the Lemma 3.2 assembly turning the
+  engine's per-fact count vectors into both measures at once.
+
+Result objects are what the result stores (:mod:`repro.engine.stores`,
+:mod:`repro.engine.persistent`) persist and what executors
+(:mod:`repro.engine.executors`) return for each plan node, so the layer
+sits below both and imports neither.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Callable, Mapping
+
+from repro.core.facts import Constant, Fact
+from repro.engine.bundles import BatchVectors
+from repro.engine.cache import CacheStats
+from repro.util.combinatorics import shapley_coefficient
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """All-facts attribution values plus provenance of the computation.
+
+    The ``shapley`` and ``banzhaf`` mappings iterate their facts in the
+    library's canonical order — sorted by ``repr`` — so callers observe
+    one deterministic, documented ordering regardless of which algorithm
+    or cache produced the result.
+    """
+
+    shapley: Mapping[Fact, Fraction]
+    banzhaf: Mapping[Fact, Fraction]
+    method: str
+    player_count: int
+    from_cache: bool = False
+
+
+@dataclass(frozen=True)
+class AnswerBatchResult:
+    """Per-answer batch results for the groundings of one non-Boolean query.
+
+    ``per_answer`` maps each answer tuple to the :class:`BatchResult` of
+    its grounded Boolean query ``q_t``; answers iterate sorted by
+    ``repr``.  ``pool_stats`` reports how often the cross-grounding
+    bundle pool shared component work between answers.
+    """
+
+    per_answer: Mapping[tuple[Constant, ...], BatchResult]
+    pool_stats: CacheStats = field(default_factory=CacheStats)
+
+    def aggregate(
+        self,
+        value_of: Callable[[tuple[Constant, ...]], Fraction | int],
+        measure: str = "shapley",
+    ) -> dict[Fact, Fraction]:
+        """Linearity: ``Σ_t value_of(t) · measure(D, q_t, f)`` per fact."""
+        if measure not in ("shapley", "banzhaf"):
+            raise ValueError(f"unknown measure {measure!r}")
+        totals: dict[Fact, Fraction] = {}
+        for answer, result in self.per_answer.items():
+            weight = Fraction(value_of(answer))
+            if not weight:
+                continue
+            for item, value in getattr(result, measure).items():
+                totals[item] = totals.get(item, Fraction(0)) + weight * value
+        return {item: totals[item] for item in sorted(totals, key=repr)}
+
+
+def result_from_vectors(vectors: BatchVectors, method: str) -> BatchResult:
+    """Lemma 3.2 assembly: weighted sums of the per-fact vector deltas.
+
+    Shapley and Banzhaf values fall out of the same ``(Sat^{+f},
+    Sat^{-f})`` vectors — only the weights differ — so the convolution
+    task of every plan always materializes both measures.
+    """
+    players = vectors.total_players
+    shapley: dict[Fact, Fraction] = {item: Fraction(0) for item in vectors.zero_facts}
+    banzhaf = dict(shapley)
+    denominator = 2 ** (players - 1)
+    for item, (sat_exo, sat_del) in vectors.per_fact.items():
+        value = Fraction(0)
+        difference_total = 0
+        for k in range(players):
+            difference = sat_exo[k] - sat_del[k]
+            if difference:
+                value += shapley_coefficient(players, k) * difference
+                difference_total += difference
+        shapley[item] = value
+        banzhaf[item] = Fraction(difference_total, denominator)
+    return BatchResult(shapley, banzhaf, method, players)
+
+
+__all__ = ["AnswerBatchResult", "BatchResult", "result_from_vectors"]

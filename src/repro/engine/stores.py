@@ -1,0 +1,114 @@
+"""The result-store layer: interchangeable homes for finished results.
+
+The planner consults exactly one object — a :class:`ResultStore` — to
+decide which plan nodes can be pruned before execution; the engine writes
+every freshly executed result back through the same object.  Stores are
+therefore the third layer of the plan/execute split: planning decides
+*what* to compute, executors decide *where*, stores decide *whether it
+was already computed at all*.
+
+Two concrete stores plus one combinator cover the engine's needs:
+
+* :class:`MemoryResultStore` — the in-process LRU
+  (:class:`repro.engine.cache.LRUCache`) behind the store interface;
+* :class:`repro.engine.persistent.PersistentResultCache` — the on-disk
+  cache (already a conforming store: ``get``/``put``/``stats``);
+* :class:`TieredResultStore` — an ordered chain (fastest first) with
+  read-through promotion: a hit in a slower tier is copied into every
+  faster tier, so a disk-warm entry becomes memory-warm on first use.
+
+All stores share the contract that a hit returns a value *equal* to what
+a fresh computation would produce — exact ``Fraction`` results make that
+safe — and expose :class:`repro.engine.cache.CacheStats` accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.engine.cache import CacheStats, LRUCache
+from repro.engine.results import BatchResult
+
+
+@runtime_checkable
+class ResultStore(Protocol):
+    """Anything that can answer "was this request already computed?".
+
+    Keys are the canonical request fingerprints of
+    :func:`repro.engine.fingerprint.fingerprint_request`; values are
+    :class:`repro.engine.results.BatchResult` objects.  ``get`` counts a
+    hit or a miss on ``stats``; ``put`` is best effort (a store may
+    decline an entry, e.g. non-JSON-safe constants on disk).
+    """
+
+    stats: CacheStats
+
+    def get(self, key: tuple) -> BatchResult | None: ...
+
+    def put(self, key: tuple, result: BatchResult) -> object: ...
+
+
+class MemoryResultStore:
+    """The in-process result store: an LRU cache behind the store API.
+
+    Wraps a caller-supplied :class:`LRUCache` (the engine passes its
+    ``result_cache`` so the historical ``stats["results"]`` counters keep
+    ticking) or owns a fresh one.
+    """
+
+    def __init__(self, cache: LRUCache | None = None, maxsize: int = 128) -> None:
+        self.cache = cache if cache is not None else LRUCache(maxsize)
+
+    @property
+    def stats(self) -> CacheStats:
+        return self.cache.stats
+
+    def __len__(self) -> int:
+        return len(self.cache)
+
+    def get(self, key: tuple) -> BatchResult | None:
+        return self.cache.get(key)
+
+    def put(self, key: tuple, result: BatchResult) -> bool:
+        self.cache.put(key, result)
+        return True
+
+    def clear(self) -> None:
+        self.cache.clear()
+
+
+class TieredResultStore:
+    """An ordered chain of stores with read-through promotion.
+
+    ``get`` consults the tiers fastest-first and copies a slow hit into
+    every faster tier (a disk-warm entry is served from memory next
+    time); ``put`` writes through to all tiers.  ``stats`` counts
+    chain-level hits and misses — "did *any* tier have it" — which is the
+    number the planner's pruning decisions are based on; per-tier
+    counters remain available on the tiers themselves.
+    """
+
+    def __init__(self, *tiers: ResultStore | None) -> None:
+        self.tiers: list[ResultStore] = [tier for tier in tiers if tier is not None]
+        self.stats = CacheStats()
+
+    def get(self, key: tuple) -> BatchResult | None:
+        for position, tier in enumerate(self.tiers):
+            value = tier.get(key)
+            if value is not None:
+                for faster in self.tiers[:position]:
+                    faster.put(key, value)
+                self.stats.hits += 1
+                return value
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: tuple, result: BatchResult) -> bool:
+        stored = False
+        for tier in self.tiers:
+            if tier.put(key, result) is not False:
+                stored = True
+        return stored
+
+
+__all__ = ["MemoryResultStore", "ResultStore", "TieredResultStore"]

@@ -15,12 +15,45 @@ be exchanged with external SAT tooling.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Any
 
 from repro.core.database import Database
 from repro.core.facts import Fact
 from repro.logic.cnf import Clause, CnfFormula
+
+
+def write_json_atomic(path: Path, payload: Any) -> bool:
+    """Write ``payload`` as compact JSON to ``path`` atomically.
+
+    The document is written to a temporary file in the same directory and
+    ``os.replace``-d into place, so concurrent readers and writers only
+    ever observe complete documents.  Returns False (after cleaning up
+    the temporary file) instead of raising on I/O errors — callers such
+    as the engine's persistent result cache treat a failed write as a
+    skipped cache entry, never as a failed computation.
+    """
+    try:
+        descriptor, temp_name = tempfile.mkstemp(
+            prefix=f".{path.stem}.", suffix=".tmp", dir=path.parent
+        )
+    except OSError:
+        # The directory itself is gone or unwritable — same contract as a
+        # failed write: report a skipped entry, never raise.
+        return False
+    try:
+        with os.fdopen(descriptor, "w") as handle:
+            json.dump(payload, handle, separators=(",", ":"))
+        os.replace(temp_name, path)
+    except OSError:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        return False
+    return True
 
 
 # ----------------------------------------------------------------------

@@ -15,10 +15,13 @@ with negation, a tuple can be an answer under a subset ``E`` without being
 an answer on the full database.
 
 All aggregate operators are engine-backed (:mod:`repro.engine`): the
-groundings ``q_t`` run as one answer batch that shares Gaifman-component
-bundles across answers, each grounding costs a single shared recursion
-for *all* facts, and :func:`aggregate_attribution` exposes the all-facts
-aggregate values that fall out of the same pass.
+groundings ``q_t`` run as one answer batch — one *plan* since the
+plan/execute split, whose independent grounding/component nodes shard
+across worker processes under the engine's sharded executor — that
+shares Gaifman-component bundles across answers, each grounding costs a
+single shared recursion for *all* facts, and
+:func:`aggregate_attribution` exposes the all-facts aggregate values
+that fall out of the same pass.
 """
 
 from __future__ import annotations

@@ -9,6 +9,11 @@ the query and delegate to the shared-work batch engine
 ``q_t`` costs one CntSat-style recursion (or one ExoShap rewrite)
 instead of two per fact, and the groundings of one query share
 Gaifman-component bundles through the engine's cross-grounding pool.
+Since the plan/execute split the whole answer set is one *plan* —
+grounding tasks over deduplicated component nodes — so the engine's
+executor backend applies transparently here: with a sharded backend
+(``--jobs``/``REPRO_JOBS``) independent groundings and components run
+across worker processes with bit-identical results.
 
 Orderings are deterministic and documented: every mapping returned here
 iterates facts sorted by ``repr`` (the engine's canonical order), and

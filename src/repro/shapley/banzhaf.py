@@ -110,7 +110,9 @@ def banzhaf_all_values(
     """Exact Banzhaf values of every endogenous fact, via the batch engine.
 
     The engine derives Banzhaf and Shapley values from the same per-fact
-    count vectors, so asking for both costs one shared recursion total.
+    count vectors, so asking for both costs one shared recursion total —
+    one plan/execute pass, under whichever executor backend the default
+    engine is configured with.
     """
     from repro.engine import default_engine
 

@@ -136,11 +136,14 @@ def shapley_all_values(
     """Exact Shapley values of every endogenous fact.
 
     Delegates to the shared-work batch engine
-    (:class:`repro.engine.BatchAttributionEngine`): one CntSat-style
-    recursion (or one ExoShap rewrite) serves all facts instead of two
-    count-vector computations per fact, per-component results are
-    memoized across calls, and intractable requests fail once up front
-    with an :class:`IntractableQueryError` naming the player count.
+    (:class:`repro.engine.BatchAttributionEngine`), i.e. routes through
+    the plan/execute pipeline: the planner dispatches the method and
+    prunes store-satisfied work, the configured executor (serial by
+    default, sharded under ``REPRO_JOBS``) runs one CntSat-style
+    recursion — or one ExoShap rewrite — for all facts instead of two
+    count-vector computations per fact, and intractable requests fail
+    once, at plan time, with an :class:`IntractableQueryError` naming
+    the player count.
     """
     from repro.engine import default_engine
 

@@ -171,6 +171,38 @@ def star_join_database(
     return db
 
 
+def hard_answers_database(
+    num_answers: int,
+    core_size: int = 4,
+    link_probability: float = 0.6,
+    rng: random.Random | None = None,
+) -> Database:
+    """A multi-answer instance whose groundings are brute-force games.
+
+    ``W`` holds the candidate answers of
+    :func:`repro.workloads.queries.audit_query`; ``R``/``S``/``T`` form
+    the classic non-hierarchical qRST core (``S`` exogenous, which does
+    *not* rescue tractability — the non-hierarchical path between the
+    endogenous ``R`` and ``T`` remains), so the engine's dichotomy sends
+    every grounding to coalition enumeration over all
+    ``num_answers + 2 * core_size`` endogenous facts.  The groundings are
+    independent and CPU-bound — the scaling workload of
+    ``benchmarks/bench_parallel.py``.
+    """
+    rng = rng or random.Random()
+    db = Database()
+    for index in range(num_answers):
+        db.add_endogenous(Fact("W", (f"w{index}",)))
+    for index in range(core_size):
+        db.add_endogenous(Fact("R", (index,)))
+        db.add_endogenous(Fact("T", (index,)))
+    for left in range(core_size):
+        for right in range(core_size):
+            if rng.random() < link_probability:
+                db.add_exogenous(Fact("S", (left, right)))
+    return db
+
+
 def export_database(
     num_farmers: int,
     num_products: int,

@@ -101,3 +101,15 @@ def q_sat() -> UnionQuery:
 def intro_export_query() -> ConjunctiveQuery:
     """The introduction's query (1): Farmer(m), Export(m,p,c), ¬Grows(c,p)."""
     return parse_query("q() :- Farmer(m), Export(m, p, c), not Grows(c, p)")
+
+
+def audit_query() -> ConjunctiveQuery:
+    """audit(w) :- W(w), R(x), S(x, y), T(y) — qRST behind a head variable.
+
+    Every grounding ``q_t`` embeds the classic hard core, so the
+    dichotomy sends each answer to coalition enumeration: independent,
+    CPU-bound grounding tasks.  This is the workload family of
+    ``benchmarks/bench_parallel.py`` (pair with
+    :func:`repro.workloads.generators.hard_answers_database`).
+    """
+    return parse_query("audit(w) :- W(w), R(x), S(x, y), T(y)")

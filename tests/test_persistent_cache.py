@@ -131,6 +131,87 @@ class TestRobustness:
         assert digest_key(((1,),)) != digest_key(((True,),))
 
 
+class TestEviction:
+    """Size-bounded LRU eviction by entry access stamp."""
+
+    @staticmethod
+    def _result(index: int):
+        from repro.engine import BatchResult
+
+        value = Fraction(1, index + 1)
+        return BatchResult({fact("R", index): value}, {fact("R", index): value},
+                           "cntsat", 1)
+
+    @staticmethod
+    def _stamp(cache: PersistentResultCache, key: tuple, when: float) -> None:
+        os.utime(cache._path(key), (when, when))
+
+    def test_max_entries_evicts_least_recently_used(self, tmp_path):
+        cache = PersistentResultCache(tmp_path, max_entries=2)
+        cache.put(("key", 0), self._result(0))
+        cache.put(("key", 1), self._result(1))
+        self._stamp(cache, ("key", 0), 1_000_000.0)  # stalest
+        self._stamp(cache, ("key", 1), 1_000_001.0)
+        # Writing a third entry must evict the stalest-accessed one.
+        cache.put(("key", 2), self._result(2))
+        assert len(cache) == 2
+        assert cache.get(("key", 0)) is None
+        assert cache.get(("key", 1)) is not None
+        assert cache.get(("key", 2)) is not None
+        assert cache.stats.evictions == 1
+
+    def test_access_refreshes_stamp(self, tmp_path):
+        cache = PersistentResultCache(tmp_path, max_entries=2)
+        cache.put(("a",), self._result(0))
+        cache.put(("b",), self._result(1))
+        self._stamp(cache, ("a",), 1_000_000.0)
+        self._stamp(cache, ("b",), 1_000_001.0)
+        assert cache.get(("a",)) is not None  # bumps ("a",)'s stamp to now
+        cache.put(("c",), self._result(2))  # must evict ("b",), not ("a",)
+        assert cache.get(("a",)) is not None
+        assert cache.get(("b",)) is None
+
+    def test_max_bytes_evicts_until_under_cap(self, tmp_path):
+        cache = PersistentResultCache(tmp_path)
+        cache.put(("probe",), self._result(0))
+        entry_bytes = next(cache.directory.glob("*.json")).stat().st_size
+        cache.clear()
+
+        bounded = PersistentResultCache(tmp_path, max_bytes=2 * entry_bytes)
+        for index in range(4):
+            bounded.put(("key", index), self._result(index))
+            self._stamp(bounded, ("key", index), 1_000_000.0 + index)
+        bounded.put(("key", 4), self._result(4))
+        total = sum(p.stat().st_size for p in bounded.directory.glob("*.json"))
+        assert total <= 2 * entry_bytes
+        assert bounded.stats.evictions >= 3
+
+    def test_large_caps_drain_to_low_water(self, tmp_path):
+        # Caps >= 16 entries drain to 7/8 when crossed, so the directory
+        # scan amortizes over many writes instead of running per put.
+        cache = PersistentResultCache(tmp_path, max_entries=16)
+        for index in range(17):
+            cache.put(("key", index), self._result(index))
+        assert len(cache) == 14  # 16 - 16 // 8
+        assert cache.stats.evictions == 3
+
+    def test_unbounded_by_default(self, tmp_path):
+        cache = PersistentResultCache(tmp_path)
+        for index in range(5):
+            cache.put(("key", index), self._result(index))
+        assert len(cache) == 5
+        assert cache.stats.evictions == 0
+
+    def test_bounded_cache_still_round_trips_through_engine(self, tmp_path, db, q1):
+        bounded = PersistentResultCache(tmp_path, max_entries=8)
+        cold = BatchAttributionEngine(persistent=bounded).batch(db, q1)
+        warm = BatchAttributionEngine(
+            persistent=PersistentResultCache(tmp_path, max_entries=8)
+        ).batch(db, q1)
+        assert warm.from_cache
+        assert dict(warm.shapley) == dict(cold.shapley)
+
+
 CROSS_PROCESS_SCRIPT = r"""
 import json, sys
 from repro.engine import BatchAttributionEngine, PersistentResultCache
@@ -143,14 +224,15 @@ query = parse_query(query_text)
 
 if mode == "warm":
     # Zero-recursion contract: any attempt to compute (shared recursion
-    # OR brute force) must blow up loudly.
-    import repro.engine.core as engine_core
+    # OR brute force) must blow up loudly.  The compute paths live in the
+    # executor layer since the plan/execute split.
+    import repro.engine.executors as executors
     import repro.shapley.brute_force as brute
 
     def _refuse(*args, **kwargs):
         raise RuntimeError("warm path must not recurse")
 
-    engine_core.batch_count_vectors = _refuse
+    executors.batch_count_vectors = _refuse
     brute.shapley_all_brute_force = _refuse
 
 engine = BatchAttributionEngine(persistent=PersistentResultCache(cache_dir))
