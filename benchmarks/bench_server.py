@@ -1,0 +1,220 @@
+"""E-SERVER — the warm attribution daemon vs cold per-process invocation.
+
+The serving claims of ISSUE 4 made executable:
+
+* **warm latency** — a request served by a long-lived daemon (warm
+  engine, loaded database, hot result store) is far cheaper than a cold
+  ``python -m repro batch`` process that pays interpreter startup,
+  imports, database parsing, and a cold recursion every time.  The
+  ``-m slow`` run asserts the ≥ 5x floor; the smoke run reports the
+  numbers and asserts exact agreement of the values themselves;
+* **multi-client throughput** — several clients replaying a
+  repetition-heavy traffic stream (:mod:`repro.workloads.traffic`)
+  against one daemon: repeats hit the warm store, concurrent duplicates
+  coalesce onto one computation, and every response stays bit-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.io import fraction_from_pair, save_database
+from repro.server import AttributionClient, AttributionDaemon
+from repro.workloads.traffic import star_traffic
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+SPEEDUP_FLOOR = 5.0
+QUERY = "q() :- Stud(x), not TA(x), Reg(x, y)"
+
+
+def _cold_invocation(db_path: Path, query: str) -> tuple[float, dict]:
+    """One full cold process: startup + imports + parse + compute."""
+    start = time.perf_counter()
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", "batch", str(db_path), query, "--json"],
+        capture_output=True,
+        text=True,
+        env={**os.environ, "PYTHONPATH": SRC},
+    )
+    seconds = time.perf_counter() - start
+    assert completed.returncode == 0, completed.stderr
+    return seconds, json.loads(completed.stdout)["queries"][0]
+
+
+def _values(entry: dict) -> dict:
+    return {
+        (row[0], tuple(row[1])): fraction_from_pair(row[2:])
+        for row in entry["shapley"]
+    }
+
+
+def _measure_warm_vs_cold(tmp_path, report, cold_runs: int, warm_runs: int, size):
+    database, _ = star_traffic(0, *size, rng=random.Random(23))
+    db_path = tmp_path / "db.json"
+    save_database(database, db_path)
+
+    cold_times, cold_entry = [], None
+    for _ in range(cold_runs):
+        seconds, entry = _cold_invocation(db_path, QUERY)
+        cold_times.append(seconds)
+        cold_entry = entry
+
+    daemon = AttributionDaemon(str(tmp_path / "bench.sock"))
+    thread = threading.Thread(target=daemon.serve_forever, daemon=True)
+    thread.start()
+    try:
+        with AttributionClient(daemon.address) as client:
+            handle = client.load_database(database)
+            client.batch(handle, QUERY)  # prime the warm store
+            warm_times = []
+            warm_result = None
+            for _ in range(warm_runs):
+                start = time.perf_counter()
+                warm_result = client.batch(handle, QUERY)
+                warm_times.append(time.perf_counter() - start)
+            assert warm_result.from_cache
+    finally:
+        daemon.shutdown()
+        thread.join(timeout=10)
+        daemon.close()
+
+    # The daemon serves the exact same Fractions the cold process printed.
+    warm_values = {
+        (item.relation, item.args): value
+        for item, value in warm_result.shapley.items()
+    }
+    assert warm_values == _values(cold_entry)
+
+    cold = min(cold_times)
+    warm = min(warm_times)
+    report(
+        "warm daemon vs cold process (one batch request)",
+        ["path", "best", "mean", "runs"],
+        [
+            (
+                "cold process",
+                f"{cold * 1000:.1f} ms",
+                f"{sum(cold_times) / len(cold_times) * 1000:.1f} ms",
+                cold_runs,
+            ),
+            (
+                "warm daemon",
+                f"{warm * 1000:.2f} ms",
+                f"{sum(warm_times) / len(warm_times) * 1000:.2f} ms",
+                warm_runs,
+            ),
+            ("speedup", f"{cold / warm:.1f}x", "", ""),
+        ],
+    )
+    return cold, warm
+
+
+def test_warm_daemon_latency_smoke(tmp_path, report, quick):
+    """Smoke: exact agreement + the numbers, no timing assertion."""
+    cold, warm = _measure_warm_vs_cold(
+        tmp_path, report, cold_runs=1, warm_runs=5, size=(6, 3) if quick else (10, 4)
+    )
+    assert warm > 0 and cold > 0
+
+
+@pytest.mark.slow
+def test_warm_daemon_at_least_5x_over_cold_process(tmp_path, report):
+    """A warm request must beat a cold process by the asserted floor."""
+    cold, warm = _measure_warm_vs_cold(
+        tmp_path, report, cold_runs=3, warm_runs=20, size=(14, 5)
+    )
+    assert cold >= SPEEDUP_FLOOR * warm, (
+        f"warm daemon only {cold / warm:.1f}x over cold process"
+        f" (floor: {SPEEDUP_FLOOR}x)"
+    )
+
+
+def test_multi_client_traffic_throughput(tmp_path, report, quick):
+    """Clients replaying a repetition-heavy stream against one daemon.
+
+    Correctness bar: every response for the same query is bit-identical
+    across clients and repetitions.  The table reports throughput plus
+    where the work went (store hits, coalesced duplicates).
+    """
+    num_requests = 24 if quick else 80
+    num_clients = 4
+    database, stream = star_traffic(
+        num_requests, *(6, 3) if quick else (10, 4), rng=random.Random(5)
+    )
+    daemon = AttributionDaemon(str(tmp_path / "traffic.sock"))
+    thread = threading.Thread(target=daemon.serve_forever, daemon=True)
+    thread.start()
+    observed: dict[str, dict] = {}
+    observed_lock = threading.Lock()
+    failures: list[BaseException] = []
+
+    def replay(slice_index: int) -> None:
+        try:
+            with AttributionClient(daemon.address) as client:
+                handle = client.load_database(database)
+                for request_ in stream[slice_index::num_clients]:
+                    if request_.op == "batch":
+                        result = client.batch(handle, request_.query)
+                        values = dict(result.shapley)
+                    else:
+                        batch = client.answers(handle, request_.query)
+                        values = {
+                            answer: dict(result.shapley)
+                            for answer, result in batch.per_answer.items()
+                        }
+                    with observed_lock:
+                        seen = observed.setdefault(request_.query, values)
+                        assert seen == values, f"divergent values for {request_.query}"
+        except BaseException as error:  # noqa: BLE001 - surfaced below
+            failures.append(error)
+
+    start = time.perf_counter()
+    threads = [
+        threading.Thread(target=replay, args=(index,))
+        for index in range(num_clients)
+    ]
+    for worker in threads:
+        worker.start()
+    for worker in threads:
+        worker.join(timeout=120)
+    elapsed = time.perf_counter() - start
+    counters = daemon.engine.counters()
+    stats = {
+        "coalesced": daemon.coalescer.stats.followers,
+        "executed_tasks": counters["executor.tasks"],
+        "store_hits": counters["store.hits"],
+        "requests": daemon.requests,
+    }
+    daemon.shutdown()
+    thread.join(timeout=10)
+    daemon.close()
+    assert not failures, failures
+    report(
+        "multi-client traffic against one warm daemon",
+        ["clients", "requests", "wall", "req/s", "executed", "store hits", "coalesced"],
+        [
+            (
+                num_clients,
+                num_requests,
+                f"{elapsed * 1000:.0f} ms",
+                f"{num_requests / elapsed:.0f}",
+                stats["executed_tasks"],
+                stats["store_hits"],
+                stats["coalesced"],
+            )
+        ],
+    )
+    # The whole point of the daemon: the engine executes work for the
+    # *distinct* queries only; the repetition-heavy remainder is served
+    # warm (store hits) or coalesced, never recomputed.
+    assert stats["executed_tasks"] < num_requests
+    assert stats["store_hits"] > 0

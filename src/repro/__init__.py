@@ -46,6 +46,7 @@ from repro.engine import (
     default_engine,
     reset_default_engine,
 )
+from repro.server import AttributionClient, AttributionDaemon
 from repro.shapley import (
     aggregate_attribution,
     answer_attribution,
@@ -69,6 +70,8 @@ __version__ = "1.1.0"
 __all__ = [
     "AnswerBatchResult",
     "Atom",
+    "AttributionClient",
+    "AttributionDaemon",
     "BatchAttributionEngine",
     "BatchResult",
     "Classification",

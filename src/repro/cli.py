@@ -11,6 +11,8 @@ Usage (after ``pip install -e .``)::
     python -m repro answers   db.json "ans(x) :- Stud(x), not TA(x), Reg(x, y)"
     python -m repro answers   db.json QUERY --answer Caroline --measure both
     python -m repro answers   db.json QUERY --aggregate count --stats
+    python -m repro serve     --socket /tmp/repro.sock --cache-dir cache/
+    python -m repro batch     db.json QUERY --connect /tmp/repro.sock --json
     python -m repro relevance db.json QUERY --fact 'TA' Adam
     python -m repro demo                         # the paper's running example
 
@@ -42,20 +44,41 @@ bit-identical to serial execution.  ``--stats`` reports the per-layer
 accounting of the plan/execute pipeline: cache counters (historical
 keys), planner prunes, store hits, and executor task placement.
 
+``serve`` starts the attribution daemon (:mod:`repro.server`): one warm
+engine behind a Unix-domain socket (``--socket PATH``) or TCP endpoint
+(``--tcp HOST:PORT``), optionally with a persistent store
+(``--cache-dir``) and sharded executor (``--jobs``).  ``--connect ADDR``
+(on ``batch`` and ``answers``) routes the command through a running
+daemon instead of computing in-process: the database uploads once per
+invocation (content-addressed, so re-uploads are cheap), results come
+back as exact ``Fraction`` values, and repeated queries are served from
+the daemon's warm stores::
+
+    python -m repro serve --socket /tmp/repro.sock --cache-dir cache/ &
+    python -m repro batch db.json QUERY --connect /tmp/repro.sock
+
+``--json`` (on ``batch`` and ``answers``) prints one machine-readable
+JSON document instead of the text report: values as exact
+numerator/denominator string pairs (the shared dialect of
+:mod:`repro.io`, identical to the wire protocol's) plus the per-layer
+``stats`` block.
+
 The database file uses the JSON layout of :mod:`repro.io`.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from fractions import Fraction
 from typing import Sequence
 
 from repro.core.classify import classify
+from repro.core.errors import ReproError
 from repro.core.facts import Fact
 from repro.core.parser import parse_query
-from repro.io import load_database
+from repro.io import batch_result_to_dict, load_database
 from repro.relevance.algorithms import (
     is_negatively_relevant,
     is_positively_relevant,
@@ -134,16 +157,67 @@ def _cmd_shapley(options: argparse.Namespace) -> int:
     return 0
 
 
+def _print_remote_stats(stats: dict) -> None:
+    """Per-layer daemon accounting, one line per section."""
+    for section in sorted(stats):
+        print(f"server[{section}]: {json.dumps(stats[section], sort_keys=True)}")
+
+
+def _reject_engine_flags_with_connect(options: argparse.Namespace) -> bool:
+    """--jobs/--cache-dir configure an in-process engine; a daemon has its own."""
+    if options.connect and (options.cache_dir is not None or options.jobs is not None):
+        print(
+            "error: --connect routes through a daemon, so --jobs/--cache-dir"
+            " have no effect here; set them on `python -m repro serve` instead",
+            file=sys.stderr,
+        )
+        return True
+    return False
+
+
 def _cmd_batch(options: argparse.Namespace) -> int:
+    if _reject_engine_flags_with_connect(options):
+        return 2
     database = load_database(options.database)
     exogenous = frozenset(options.exogenous) if options.exogenous else None
-    engine = _make_engine(options)
+    queries = [(text, parse_query(text)) for text in options.queries]
     repeats = max(1, options.repeat)
-    for text in options.queries:
-        query = parse_query(text)
-        result = engine.batch(database, query, exogenous)
-        for _ in range(repeats - 1):
+    results = []
+    stats: dict | None = None
+    engine = None
+    if options.connect:
+        from repro.server.client import AttributionClient
+
+        with AttributionClient(options.connect, timeout=options.timeout) as client:
+            handle = client.load_database(database)
+            for text, query in queries:
+                result = client.batch(handle, text, exogenous)
+                for _ in range(repeats - 1):
+                    result = client.batch(handle, text, exogenous)
+                results.append((text, query, result))
+            if options.stats or options.json:
+                stats = client.stats()
+    else:
+        engine = _make_engine(options)
+        for text, query in queries:
             result = engine.batch(database, query, exogenous)
+            for _ in range(repeats - 1):
+                result = engine.batch(database, query, exogenous)
+            results.append((text, query, result))
+        if options.json:
+            stats = {"engine": engine.counters()}
+    if options.json:
+        document = {
+            "database": options.database,
+            "queries": [
+                {"query": text, **batch_result_to_dict(result)}
+                for text, _, result in results
+            ],
+            "stats": stats,
+        }
+        print(json.dumps(document, indent=2))
+        return 0
+    for text, query, result in results:
         provenance = result.method + (", cached" if result.from_cache else "")
         print(f"query {query!r} [{provenance}], {result.player_count} players:")
         show_shapley = options.measure in ("shapley", "both")
@@ -159,11 +233,16 @@ def _cmd_batch(options: argparse.Namespace) -> int:
             total = sum(result.shapley.values())
             print(f"  {'(shapley sum)':32} {total!s}")
     if options.stats:
-        _print_stats(engine)
+        if engine is not None:
+            _print_stats(engine)
+        elif stats is not None:
+            _print_remote_stats(stats)
     return 0
 
 
 def _cmd_answers(options: argparse.Namespace) -> int:
+    if _reject_engine_flags_with_connect(options):
+        return 2
     database = load_database(options.database)
     query = parse_query(options.query)
     if query.is_boolean:
@@ -171,20 +250,25 @@ def _cmd_answers(options: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     arity = len(query.head)
-    if options.aggregate == "sum":
-        if options.value_index is None:
-            print("error: --aggregate sum requires --value-index",
-                  file=sys.stderr)
-            return 2
-        if not 0 <= options.value_index < arity:
-            print(
-                f"error: --value-index {options.value_index} out of range for"
-                f" head of size {arity}",
-                file=sys.stderr,
-            )
+    if options.answer and options.aggregate:
+        print(
+            "error: --aggregate sums over every candidate answer and"
+            " conflicts with --answer; drop one of the two flags",
+            file=sys.stderr,
+        )
+        return 2
+    aggregate = None
+    if options.aggregate:
+        from repro.engine.results import aggregate_spec
+
+        try:
+            # One validator shared with the daemon's aggregate operation,
+            # checked before any attribution work runs.
+            aggregate = aggregate_spec(options.aggregate, options.value_index, arity)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
             return 2
     exogenous = frozenset(options.exogenous) if options.exogenous else None
-    engine = _make_engine(options)
     requested = (
         None
         if not options.answer
@@ -198,9 +282,59 @@ def _cmd_answers(options: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-    batch = engine.batch_answers(database, query, requested, exogenous)
+    stats: dict | None = None
+    engine = None
+    if options.connect:
+        from repro.server.client import AttributionClient
+
+        with AttributionClient(options.connect, timeout=options.timeout) as client:
+            batch = client.answers(database, options.query, requested, exogenous)
+            if options.stats or options.json:
+                stats = client.stats()
+    else:
+        engine = _make_engine(options)
+        batch = engine.batch_answers(database, query, requested, exogenous)
+        if options.json:
+            stats = {"engine": engine.counters()}
     show_shapley = options.measure in ("shapley", "both")
     show_banzhaf = options.measure in ("banzhaf", "both")
+
+    totals = label = None
+    if aggregate is not None:
+        weight, label = aggregate
+        try:
+            totals = batch.aggregate(weight)
+        except (TypeError, ValueError) as error:
+            print(
+                f"error: head position {options.value_index} is not numeric"
+                f" on every answer ({error})",
+                file=sys.stderr,
+            )
+            return 2
+
+    if options.json:
+        from repro.io import attribution_to_rows
+
+        document = {
+            "database": options.database,
+            "query": options.query,
+            "answers": [
+                {"answer": list(answer), **batch_result_to_dict(result)}
+                for answer, result in batch.per_answer.items()
+            ],
+            "pool": {
+                "hits": batch.pool_stats.hits,
+                "misses": batch.pool_stats.misses,
+            },
+            "stats": stats,
+        }
+        if totals is not None:
+            document["aggregate"] = {
+                "label": label,
+                "values": attribution_to_rows(totals),
+            }
+        print(json.dumps(document, indent=2))
+        return 0
 
     def print_values(result, indent: str = "  ") -> None:
         for f in sorted(result.shapley, key=repr):
@@ -221,23 +355,7 @@ def _cmd_answers(options: argparse.Namespace) -> int:
             total = sum(result.shapley.values())
             print(f"  {'(shapley sum)':32} {total!s}")
 
-    if options.aggregate:
-        if options.aggregate == "sum":
-            index = options.value_index
-            weight = lambda row: Fraction(row[index])  # noqa: E731
-            label = f"sum(t[{index}])"
-        else:
-            weight = lambda row: 1  # noqa: E731
-            label = "count"
-        try:
-            totals = batch.aggregate(weight)
-        except (TypeError, ValueError) as error:
-            print(
-                f"error: head position {options.value_index} is not numeric"
-                f" on every answer ({error})",
-                file=sys.stderr,
-            )
-            return 2
+    if totals is not None:
         print(f"aggregate [{label}] attribution:")
         for f in sorted(totals, key=repr):
             if totals[f]:
@@ -245,8 +363,38 @@ def _cmd_answers(options: argparse.Namespace) -> int:
         print(f"  {'(sum)':32} {sum(totals.values(), Fraction(0))!s}")
 
     if options.stats:
-        _print_stats(engine)
+        if engine is not None:
+            _print_stats(engine)
+        elif stats is not None:
+            _print_remote_stats(stats)
         print(f"pool: {batch.pool_stats!r}")
+    return 0
+
+
+def _cmd_serve(options: argparse.Namespace) -> int:
+    import os
+    import signal
+
+    from repro.server.daemon import AttributionDaemon
+
+    engine = _make_engine(options)
+    address = options.socket if options.socket else options.tcp
+    daemon = AttributionDaemon(address, engine=engine)
+
+    def _stop(signum: int, frame: object) -> None:
+        raise SystemExit(0)
+
+    signal.signal(signal.SIGTERM, _stop)
+    signal.signal(signal.SIGINT, _stop)
+    print(
+        f"repro attribution daemon listening on {daemon.address}"
+        f" (pid {os.getpid()})",
+        flush=True,
+    )
+    try:
+        daemon.serve_forever()
+    finally:
+        daemon.close()
     return 0
 
 
@@ -348,6 +496,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard independent plan tasks across N worker processes"
         " (default: in-process serial execution)",
     )
+    p_batch.add_argument(
+        "--connect",
+        metavar="ADDR",
+        help="route through a running attribution daemon (socket path or"
+        " HOST:PORT) instead of computing in-process",
+    )
+    p_batch.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request socket timeout with --connect (default: wait as"
+        " long as the computation needs, like in-process execution)",
+    )
+    p_batch.add_argument(
+        "--json",
+        action="store_true",
+        help="print one machine-readable JSON document (exact"
+        " numerator/denominator pairs plus the per-layer stats block)",
+    )
     p_batch.set_defaults(handler=_cmd_batch)
 
     p_answers = commands.add_parser(
@@ -400,7 +568,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard independent grounding/component tasks across N worker"
         " processes (default: in-process serial execution)",
     )
+    p_answers.add_argument(
+        "--connect",
+        metavar="ADDR",
+        help="route through a running attribution daemon (socket path or"
+        " HOST:PORT) instead of computing in-process",
+    )
+    p_answers.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request socket timeout with --connect (default: wait as"
+        " long as the computation needs, like in-process execution)",
+    )
+    p_answers.add_argument(
+        "--json",
+        action="store_true",
+        help="print one machine-readable JSON document (exact"
+        " numerator/denominator pairs plus the per-layer stats block)",
+    )
     p_answers.set_defaults(handler=_cmd_answers)
+
+    p_serve = commands.add_parser(
+        "serve",
+        help="run the attribution daemon: one warm engine behind a socket",
+    )
+    serve_address = p_serve.add_mutually_exclusive_group(required=True)
+    serve_address.add_argument(
+        "--socket", metavar="PATH", help="listen on a Unix-domain socket"
+    )
+    serve_address.add_argument(
+        "--tcp", metavar="HOST:PORT", help="listen on a TCP endpoint"
+    )
+    p_serve.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persistent on-disk result store for the daemon's engine",
+    )
+    p_serve.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard the daemon's engine across N worker processes",
+    )
+    p_serve.set_defaults(handler=_cmd_serve)
 
     p_relevance = commands.add_parser(
         "relevance", help="relevance of a fact (polarity-consistent queries)"
@@ -421,7 +634,33 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     options = parser.parse_args(argv)
-    return options.handler(options)
+    from repro.engine.core import environment_problems
+
+    problems = environment_problems()
+    if problems:
+        # One clear line per problem instead of a traceback three stack
+        # frames deep inside engine construction.
+        for problem in problems:
+            print(f"error: {problem}", file=sys.stderr)
+        return 2
+    try:
+        return options.handler(options)
+    except ConnectionError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except ReproError as error:
+        # Covers parse errors (QuerySyntaxError), plan-time rejections
+        # (IntractableQueryError), protocol/handle errors from a daemon.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        # Unreadable database files, unbindable sockets, and kin.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        # Includes malformed database JSON (json.JSONDecodeError).
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

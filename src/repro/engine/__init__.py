@@ -111,6 +111,7 @@ from repro.engine.cache import BundlePool, CacheStats, LRUCache
 from repro.engine.core import (
     BatchAttributionEngine,
     default_engine,
+    environment_problems,
     reset_default_engine,
 )
 from repro.engine.executors import (
@@ -175,6 +176,7 @@ __all__ = [
     "default_engine",
     "derive_with_vector",
     "digest_key",
+    "environment_problems",
     "execute_grounding_task",
     "fingerprint_component",
     "fingerprint_database",

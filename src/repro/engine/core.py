@@ -58,6 +58,44 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.engine.persistent import PersistentResultCache
 
 
+def environment_problems() -> list[str]:
+    """Human-readable problems with the engine's environment variables.
+
+    The engine itself stays lenient (:func:`_executor_from_environment`
+    silently degrades to the serial backend, so library imports never
+    break), but front ends that a human drives — the CLI, the daemon —
+    call this first and turn each problem into a clear one-line error
+    instead of silently losing the parallelism the user asked for.
+    """
+    problems: list[str] = []
+    raw_jobs = os.environ.get("REPRO_JOBS")
+    if raw_jobs:
+        try:
+            jobs = int(raw_jobs)
+        except ValueError:
+            problems.append(
+                f"REPRO_JOBS={raw_jobs!r} is not an integer"
+                " (expected a worker count, e.g. REPRO_JOBS=2)"
+            )
+        else:
+            if jobs < 1:
+                problems.append(
+                    f"REPRO_JOBS={raw_jobs!r} must be a positive integer"
+                    " (1 means serial execution)"
+                )
+    raw_method = os.environ.get("REPRO_START_METHOD")
+    if raw_method:
+        import multiprocessing
+
+        known = multiprocessing.get_all_start_methods()
+        if raw_method not in known:
+            problems.append(
+                f"REPRO_START_METHOD={raw_method!r} is not a multiprocessing"
+                f" start method (expected one of: {', '.join(known)})"
+            )
+    return problems
+
+
 def _executor_from_environment() -> Executor:
     """The executor selected by ``REPRO_JOBS`` / ``REPRO_START_METHOD``.
 
@@ -284,6 +322,91 @@ class BatchAttributionEngine:
         return dict(
             self.batch(database, query, exogenous_relations, allow_brute_force).banzhaf
         )
+
+    # ------------------------------------------------------------------
+    # Fingerprint hooks (the serving layer keys coalescing on these)
+    # ------------------------------------------------------------------
+    def fingerprint(
+        self,
+        database: Database,
+        query: BooleanQuery,
+        exogenous_relations: AbstractSet[str] | None = None,
+        grounding: tuple[Constant, ...] | None = None,
+    ) -> tuple:
+        """The canonical plan fingerprint of one :meth:`batch` request.
+
+        Exactly the key the planner uses for its result nodes, so two
+        requests share a fingerprint if and only if the engine would
+        serve them from the same store entry — which is what makes it
+        the right key for in-flight request coalescing in
+        :mod:`repro.server.registry`.
+        """
+        from repro.engine.fingerprint import fingerprint_request
+
+        return fingerprint_request(database, query, exogenous_relations, grounding)
+
+    def fingerprint_answers(
+        self,
+        database: Database,
+        query: ConjunctiveQuery,
+        answers: Iterable[tuple[Constant, ...]] | None = None,
+        exogenous_relations: AbstractSet[str] | None = None,
+    ) -> tuple:
+        """The canonical fingerprint of one :meth:`batch_answers` request.
+
+        The per-grounding request fingerprints ignore the head (they key
+        grounded *Boolean* queries), so this whole-request key adds a
+        pseudo head atom to the body fingerprint — head variables are
+        then canonicalized consistently with the body, and queries that
+        differ only in their heads never collide.
+        """
+        from repro.core.query import Atom
+        from repro.engine.fingerprint import (
+            fingerprint_atoms,
+            fingerprint_database,
+            fingerprint_grounding,
+        )
+
+        shape = fingerprint_atoms(
+            tuple(query.atoms) + (Atom("__head__", tuple(query.head)),)
+        )
+        relations = (
+            None
+            if exogenous_relations is None
+            else tuple(sorted(exogenous_relations))
+        )
+        groundings = (
+            None
+            if answers is None
+            else tuple(
+                sorted(
+                    (fingerprint_grounding(tuple(answer)) for answer in answers),
+                    key=repr,
+                )
+            )
+        )
+        return (
+            "answers",
+            fingerprint_database(database),
+            shape,
+            relations,
+            groundings,
+        )
+
+    def counters(self) -> dict[str, int]:
+        """A flat, JSON-ready snapshot of every stats counter.
+
+        Keys are ``layer.field`` (``store.hits``, ``planner.pruned``,
+        ``executor.shipped``, ...).  Serving layers subtract two
+        snapshots to report per-request accounting — e.g. "this request
+        executed zero new tasks" — without reaching into the dataclasses.
+        """
+        flat: dict[str, int] = {}
+        for layer, snapshot in self.stats.items():
+            for name, value in vars(snapshot).items():
+                if isinstance(value, int) and not isinstance(value, bool):
+                    flat[f"{layer}.{name}"] = value
+        return flat
 
     @property
     def stats(self) -> dict[str, object]:

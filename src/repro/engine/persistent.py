@@ -47,14 +47,13 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from fractions import Fraction
 from pathlib import Path
 from typing import Any
 
 from repro.core.facts import Fact
 from repro.engine.cache import CacheStats
 from repro.engine.results import BatchResult
-from repro.io import fact_from_row, fact_is_json_safe, fact_to_row, write_json_atomic
+from repro.io import attribution_from_rows, attribution_to_rows, write_json_atomic
 
 FORMAT_VERSION = 1
 
@@ -87,35 +86,6 @@ def digest_key(key: tuple) -> str:
     """Stable SHA-256 hex digest of a request fingerprint tuple."""
     rendered = json.dumps(_encode(key), separators=(",", ":"), sort_keys=False)
     return hashlib.sha256(rendered.encode("utf-8")).hexdigest()
-
-
-def _values_to_rows(values: dict[Fact, Fraction]) -> list[list[Any]] | None:
-    """``[[relation, args, numerator, denominator], ...]`` or None.
-
-    Returns None when some constant is not a JSON scalar (such facts
-    would not round-trip; the entry is then simply not persisted).
-    Numerators and denominators are serialized as strings: exact
-    ``Fraction`` arithmetic routinely produces integers beyond every
-    fixed-width range.
-    """
-    rows = []
-    for item in sorted(values, key=repr):
-        if not fact_is_json_safe(item):
-            return None
-        value = values[item]
-        rows.append(
-            fact_to_row(item) + [str(value.numerator), str(value.denominator)]
-        )
-    return rows
-
-
-def _rows_to_values(rows: list[list[Any]]) -> dict[Fact, Fraction]:
-    values: dict[Fact, Fraction] = {}
-    for relation, args, numerator, denominator in rows:
-        values[fact_from_row([relation, args])] = Fraction(
-            int(numerator), int(denominator)
-        )
-    return values
 
 
 class PersistentResultCache:
@@ -170,8 +140,8 @@ class PersistentResultCache:
             return None
         try:
             result = BatchResult(
-                shapley=_rows_to_values(payload["shapley"]),
-                banzhaf=_rows_to_values(payload["banzhaf"]),
+                shapley=attribution_from_rows(payload["shapley"]),
+                banzhaf=attribution_from_rows(payload["banzhaf"]),
                 method=payload["method"],
                 player_count=payload["player_count"],
             )
@@ -187,9 +157,14 @@ class PersistentResultCache:
         return result
 
     def put(self, key: tuple, result: BatchResult) -> bool:
-        """Persist ``result`` under ``key`` atomically; False if skipped."""
-        shapley = _values_to_rows(dict(result.shapley))
-        banzhaf = _values_to_rows(dict(result.banzhaf))
+        """Persist ``result`` under ``key`` atomically; False if skipped.
+
+        Row encoding is the shared dialect of
+        :func:`repro.io.attribution_to_rows`: None (a non-JSON-safe
+        constant somewhere) means the entry is simply not persisted.
+        """
+        shapley = attribution_to_rows(result.shapley)
+        banzhaf = attribution_to_rows(result.banzhaf)
         if shapley is None or banzhaf is None:
             return False
         payload = {

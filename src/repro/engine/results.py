@@ -75,6 +75,32 @@ class AnswerBatchResult:
         return {item: totals[item] for item in sorted(totals, key=repr)}
 
 
+def aggregate_spec(
+    kind: str, value_index: int | None, head_arity: int
+) -> tuple[Callable[[tuple[Constant, ...]], Fraction | int], str]:
+    """The ``(weight, label)`` of a ``count``/``sum`` aggregate request.
+
+    One validator for every front end — the CLI's ``--aggregate`` and the
+    attribution service's ``aggregate`` operation — so the in-process and
+    wire paths can never drift.  Raises :class:`ValueError` with a
+    message phrased in the CLI's flag vocabulary (the wire protocol's
+    parameters mirror the flags, so the text reads correctly on both).
+    """
+    if kind == "sum":
+        if value_index is None:
+            raise ValueError("--aggregate sum requires --value-index")
+        index = int(value_index)
+        if not 0 <= index < head_arity:
+            raise ValueError(
+                f"--value-index {index} out of range for head of size"
+                f" {head_arity}"
+            )
+        return (lambda row: Fraction(row[index])), f"sum(t[{index}])"
+    if kind == "count":
+        return (lambda row: 1), "count"
+    raise ValueError(f"aggregate must be 'count' or 'sum', got {kind!r}")
+
+
 def result_from_vectors(vectors: BatchVectors, method: str) -> BatchResult:
     """Lemma 3.2 assembly: weighted sums of the per-fact vector deltas.
 
@@ -99,4 +125,9 @@ def result_from_vectors(vectors: BatchVectors, method: str) -> BatchResult:
     return BatchResult(shapley, banzhaf, method, players)
 
 
-__all__ = ["AnswerBatchResult", "BatchResult", "result_from_vectors"]
+__all__ = [
+    "AnswerBatchResult",
+    "BatchResult",
+    "aggregate_spec",
+    "result_from_vectors",
+]

@@ -1,4 +1,4 @@
-"""Serialization: databases to/from JSON, CNF to/from DIMACS.
+"""Serialization: databases to/from JSON, CNF to/from DIMACS, results to/from JSON.
 
 The JSON layout is deliberately simple::
 
@@ -10,6 +10,15 @@ The JSON layout is deliberately simple::
 Constants round-trip as JSON scalars (strings, ints, floats, bools).
 DIMACS follows the standard ``p cnf`` header convention, so formulas can
 be exchanged with external SAT tooling.
+
+Attribution results serialize as rows of ``[relation, [args...],
+numerator, denominator]`` with the numerator/denominator as *strings* —
+exact ``Fraction`` arithmetic routinely produces integers beyond every
+fixed-width range, so nothing here ever goes through a float.  These
+helpers are the one dialect shared by the engine's persistent result
+cache (:mod:`repro.engine.persistent`), the attribution service's wire
+protocol (:mod:`repro.server.protocol`), and the CLI's ``--json`` output,
+so a document produced by any of them is readable by all of them.
 """
 
 from __future__ import annotations
@@ -17,12 +26,17 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+from fractions import Fraction
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any, Mapping
 
 from repro.core.database import Database
 from repro.core.facts import Fact
+from repro.core.query import ConjunctiveQuery, Variable
 from repro.logic.cnf import Clause, CnfFormula
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.engine.results import BatchResult
 
 
 def write_json_atomic(path: Path, payload: Any) -> bool:
@@ -81,6 +95,119 @@ def fact_from_row(row: list[Any]) -> Fact:
 def fact_is_json_safe(item: Fact) -> bool:
     """Do all constants of ``item`` round-trip through JSON scalars?"""
     return all(isinstance(arg, JSON_SCALARS) for arg in item.args)
+
+
+# ----------------------------------------------------------------------
+# Attribution values <-> JSON rows
+# ----------------------------------------------------------------------
+def fraction_to_pair(value: Fraction) -> list[str]:
+    """``[numerator, denominator]`` as decimal strings — exact at any size."""
+    return [str(value.numerator), str(value.denominator)]
+
+
+def fraction_from_pair(pair: list) -> Fraction:
+    """Rebuild a :class:`Fraction` from :func:`fraction_to_pair` output."""
+    numerator, denominator = pair
+    return Fraction(int(numerator), int(denominator))
+
+
+def attribution_to_rows(values: Mapping[Fact, Fraction]) -> list[list[Any]] | None:
+    """``[[relation, [args...], numerator, denominator], ...]`` or None.
+
+    Rows iterate facts in the canonical sorted-by-``repr`` order.  Returns
+    None when some constant is not a JSON scalar (such facts would not
+    round-trip); callers decide whether that means "skip the cache entry"
+    (the persistent store) or "reject the request" (the wire protocol).
+    """
+    rows = []
+    for item in sorted(values, key=repr):
+        if not fact_is_json_safe(item):
+            return None
+        rows.append(fact_to_row(item) + fraction_to_pair(values[item]))
+    return rows
+
+
+def attribution_from_rows(rows: list[list[Any]]) -> dict[Fact, Fraction]:
+    """Rebuild a fact-to-value mapping from :func:`attribution_to_rows`."""
+    values: dict[Fact, Fraction] = {}
+    for relation, args, numerator, denominator in rows:
+        values[fact_from_row([relation, args])] = fraction_from_pair(
+            [numerator, denominator]
+        )
+    return values
+
+
+def batch_result_to_dict(result: "BatchResult") -> dict[str, Any]:
+    """A JSON-ready document of one batch result (both measures, exact).
+
+    Raises :class:`ValueError` when some fact's constants do not
+    round-trip through JSON scalars — the wire protocol and ``--json``
+    must fail loudly rather than drop values silently.
+    """
+    shapley = attribution_to_rows(result.shapley)
+    banzhaf = attribution_to_rows(result.banzhaf)
+    if shapley is None or banzhaf is None:
+        raise ValueError(
+            "attribution values contain constants that do not round-trip"
+            " through JSON scalars"
+        )
+    return {
+        "method": result.method,
+        "player_count": result.player_count,
+        "from_cache": result.from_cache,
+        "shapley": shapley,
+        "banzhaf": banzhaf,
+    }
+
+
+def batch_result_from_dict(payload: Mapping[str, Any]) -> "BatchResult":
+    """Rebuild a :class:`BatchResult` from :func:`batch_result_to_dict`."""
+    from repro.engine.results import BatchResult
+
+    return BatchResult(
+        shapley=attribution_from_rows(payload["shapley"]),
+        banzhaf=attribution_from_rows(payload["banzhaf"]),
+        method=payload["method"],
+        player_count=payload["player_count"],
+        from_cache=bool(payload.get("from_cache", False)),
+    )
+
+
+# ----------------------------------------------------------------------
+# Queries -> parser-compatible text
+# ----------------------------------------------------------------------
+def _term_to_text(term: Any) -> str:
+    """One term in the grammar of :mod:`repro.core.parser`."""
+    if isinstance(term, Variable):
+        return term.name
+    if isinstance(term, bool) or not isinstance(term, (int, str)):
+        raise ValueError(
+            f"constant {term!r} has no textual form in the query grammar"
+        )
+    if isinstance(term, int):
+        return str(term)
+    if "'" in term:
+        if '"' in term:
+            raise ValueError(f"constant {term!r} mixes both quote characters")
+        return f'"{term}"'
+    return f"'{term}'"
+
+
+def query_to_text(query: ConjunctiveQuery) -> str:
+    """Render a CQ¬ in the datalog dialect :func:`repro.core.parser.parse_query`
+    accepts, such that parsing the text rebuilds an equal query.
+
+    This is how query objects travel over the attribution service's wire
+    protocol: the daemon re-parses the text, and equality of the dataclass
+    (atoms, head, name) guarantees fingerprint equality on both sides.
+    """
+    head = ", ".join(var.name for var in query.head)
+    atoms = []
+    for atom in query.atoms:
+        terms = ", ".join(_term_to_text(term) for term in atom.terms)
+        prefix = "not " if atom.negated else ""
+        atoms.append(f"{prefix}{atom.relation}({terms})")
+    return f"{query.name}({head}) :- {', '.join(atoms)}"
 
 
 # ----------------------------------------------------------------------

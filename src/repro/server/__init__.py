@@ -1,0 +1,63 @@
+"""repro.server — the attribution service: warm engine, wire protocol, clients.
+
+The engine made all-facts attribution cheap *per request*; this package
+makes it cheap *per fleet*.  A long-lived daemon keeps one warm
+:class:`~repro.engine.core.BatchAttributionEngine` — tiered in-memory +
+persistent result store, serial or sharded executor — behind a
+Unix-domain or TCP socket, so clients skip Python startup, cold caches,
+and database re-parsing on every request (the ROADMAP's "heavy traffic"
+serving step).
+
+Layers::
+
+    client ──frames──► daemon ──handles──► registry ──keys──► engine
+    AttributionClient   AttributionDaemon   DatabaseRegistry   (warm stores,
+    retries, Fraction   thread per conn,    content-addressed  coalesced by
+    round-trip          error frames        InFlightCoalescer  plan fingerprint)
+
+* :mod:`repro.server.protocol` — length-prefixed JSON frames, versioned
+  request/response envelopes, structured error frames that round-trip
+  :class:`~repro.core.errors.IntractableQueryError` and parse errors.
+* :mod:`repro.server.registry` — upload a database once (``db_load`` →
+  content-addressed handle), then query the handle; concurrent identical
+  requests coalesce onto one computation, keyed by the engine's
+  canonical plan fingerprints.
+* :mod:`repro.server.daemon` — the serving loop; survives malformed
+  frames and mid-request disconnects, stops cleanly on ``shutdown`` or
+  SIGTERM.
+* :mod:`repro.server.client` — :class:`AttributionClient`, returning the
+  same exact-``Fraction`` result objects as an in-process engine.
+
+From the CLI: ``python -m repro serve --socket /run/repro.sock`` and
+``python -m repro batch db.json QUERY --connect /run/repro.sock``.
+"""
+
+from repro.server.client import AttributionClient
+from repro.server.daemon import AttributionDaemon
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    ServerError,
+    UnknownHandleError,
+    parse_address,
+)
+from repro.server.registry import (
+    CoalescerStats,
+    DatabaseRegistry,
+    InFlightCoalescer,
+)
+
+__all__ = [
+    "AttributionClient",
+    "AttributionDaemon",
+    "CoalescerStats",
+    "DatabaseRegistry",
+    "InFlightCoalescer",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServerError",
+    "UnknownHandleError",
+    "parse_address",
+]

@@ -1,0 +1,378 @@
+"""The client library: warm attribution from any process.
+
+:class:`AttributionClient` is a context manager speaking the framed
+protocol of :mod:`repro.server.protocol` to a running
+:class:`~repro.server.daemon.AttributionDaemon`:
+
+* **connection retries** — a daemon that is still booting (the socket
+  file not yet bound, the TCP port still closed) is retried with a short
+  interval before the client gives up, so "start the daemon, then the
+  client" needs no sleep choreography;
+* **one automatic reconnect** per call — a connection that died between
+  requests (daemon restarted, idle timeout on a proxy) is re-dialed and
+  the request resent; ``shutdown`` is never retried, everything else the
+  daemon serves idempotently (warm results are exact);
+* **exact round-tripping** — values come back as the same ``Fraction``
+  objects an in-process engine would produce (numerator/denominator
+  string pairs on the wire, never floats), and daemon-side exceptions
+  re-raise as their local types
+  (:class:`~repro.core.errors.IntractableQueryError`, parse errors, ...);
+* **handle caching** — :meth:`batch`/:meth:`answers` accept a
+  :class:`~repro.core.database.Database` directly and upload it at most
+  once per client (handles are content-addressed server-side, so even
+  that upload deduplicates across clients).
+
+Usage::
+
+    from repro.server import AttributionClient
+
+    with AttributionClient("/run/repro.sock") as client:
+        result = client.batch(database, "q() :- Stud(x), not TA(x), Reg(x, y)")
+        result.shapley[some_fact]        # exact Fraction, bit-identical
+        client.last_response["coalesced"]  # wire-level provenance
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import time
+from collections import OrderedDict
+from fractions import Fraction
+from typing import Any, Iterable, Mapping
+
+from repro.core.database import Database
+from repro.core.facts import Constant, Fact
+from repro.core.query import ConjunctiveQuery
+from repro.io import (
+    attribution_from_rows,
+    batch_result_from_dict,
+    database_to_dict,
+    query_to_text,
+)
+from repro.server.protocol import (
+    ProtocolError,
+    UnknownHandleError,
+    error_from_payload,
+    format_address,
+    parse_address,
+    read_frame,
+    request,
+    write_frame,
+)
+
+
+class AttributionClient:
+    """A connection to an attribution daemon; see the module docstring.
+
+    ``connect_retries`` x ``retry_interval`` bounds how long the client
+    waits for a daemon that is still starting; ``timeout`` bounds each
+    socket operation once connected (``None`` waits as long as the
+    computation needs — the right choice when requests may legitimately
+    run for minutes, e.g. cold brute-force batches).
+    """
+
+    #: Databases remembered per client before the oldest handle is
+    #: forgotten (forgetting only costs a cheap, content-addressed
+    #: re-upload) — bounds client memory the way the daemon's registry
+    #: bounds its own.
+    MAX_CACHED_HANDLES = 32
+
+    def __init__(
+        self,
+        address: str,
+        timeout: float | None = 30.0,
+        connect_retries: int = 40,
+        retry_interval: float = 0.05,
+    ) -> None:
+        self.kind, self.location = parse_address(address)
+        self.timeout = timeout
+        self.connect_retries = connect_retries
+        self.retry_interval = retry_interval
+        self.last_response: dict[str, Any] | None = None
+        self._socket: socket.socket | None = None
+        self._stream = None
+        self._ids = itertools.count(1)
+        # id(db) -> (db, handle), LRU-bounded.  The database object is
+        # pinned so a garbage-collected database can never hand its id —
+        # and thereby a stale handle — to a different database allocated
+        # later; the bound keeps a long-lived client from pinning every
+        # database it ever uploaded.
+        self._handles: OrderedDict[int, tuple[Database, str]] = OrderedDict()
+
+    @property
+    def address(self) -> str:
+        return format_address(self.kind, self.location)
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "AttributionClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _dial(self) -> socket.socket:
+        if self.kind == "unix":
+            sock = socket.socket(socket.AF_UNIX)
+            target: Any = self.location
+        else:
+            sock = socket.socket(socket.AF_INET)
+            target = tuple(self.location)
+        sock.settimeout(self.timeout)
+        try:
+            sock.connect(target)
+        except OSError:
+            sock.close()
+            raise
+        return sock
+
+    def connect(self) -> None:
+        """Dial the daemon, retrying while it is still starting up."""
+        if self._socket is not None:
+            return
+        last_error: OSError | None = None
+        for attempt in range(max(1, self.connect_retries)):
+            try:
+                self._socket = self._dial()
+                self._stream = self._socket.makefile("rwb")
+                return
+            except OSError as error:
+                # Covers the daemon-still-booting cases: the socket file
+                # not yet bound (FileNotFoundError) and the port not yet
+                # listening (ConnectionRefusedError).
+                last_error = error
+                if attempt + 1 < max(1, self.connect_retries):
+                    time.sleep(self.retry_interval)
+        raise ConnectionError(
+            f"no attribution daemon reachable at {self.address}"
+            f" after {max(1, self.connect_retries)} attempts: {last_error}"
+        )
+
+    def close(self) -> None:
+        self._handles.clear()
+        if self._stream is not None:
+            try:
+                self._stream.close()
+            except OSError:
+                pass
+            self._stream = None
+        if self._socket is not None:
+            try:
+                self._socket.close()
+            except OSError:
+                pass
+            self._socket = None
+
+    def _reset(self) -> None:
+        # Drops the handle cache too: after a transport failure the
+        # daemon may have restarted, so cheap re-uploads beat stale
+        # handles (the server deduplicates by content anyway).
+        self.close()
+
+    # ------------------------------------------------------------------
+    # The request/response round trip
+    # ------------------------------------------------------------------
+    def call(self, op: str, **params: Any) -> dict[str, Any]:
+        """One request/response round trip; returns the ``result`` payload.
+
+        Raises the daemon's exception (rebuilt locally) on an error
+        frame.  A connection that proves dead is re-dialed once and the
+        request resent — except for ``shutdown``, whose duplicate
+        delivery is not idempotent.
+        """
+        retries = 0 if op == "shutdown" else 1
+        attempt = 0
+        while True:
+            try:
+                return self._call_once(op, params)
+            except OSError:
+                # Transport-level failure (ConnectionError is an OSError):
+                # the connection is dead, not the request.  Daemon-side
+                # errors arrive as structured frames and never land here.
+                self._reset()
+                if attempt >= retries:
+                    raise
+                attempt += 1
+
+    def _call_once(self, op: str, params: dict[str, Any]) -> dict[str, Any]:
+        self.connect()
+        assert self._stream is not None
+        request_id = next(self._ids)
+        write_frame(self._stream, request(op, request_id, **params))
+        try:
+            response = read_frame(self._stream)
+        except ProtocolError as error:
+            # A stream that dies or degenerates mid-frame is a transport
+            # failure; surface it as such so `call` may retry it.
+            raise ConnectionError(
+                f"broken response stream from {self.address}: {error}"
+            ) from error
+        if response is None:
+            raise ConnectionError(
+                f"the daemon at {self.address} closed the connection"
+                " before responding"
+            )
+        if response.get("id") != request_id:
+            raise ProtocolError(
+                f"response id {response.get('id')!r} does not match request"
+                f" id {request_id!r}"
+            )
+        if not response.get("ok"):
+            error = response.get("error")
+            raise error_from_payload(error if isinstance(error, dict) else {})
+        result = response.get("result")
+        if not isinstance(result, dict):
+            raise ProtocolError("ok response carries no result object")
+        self.last_response = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def ping(self) -> dict[str, Any]:
+        return self.call("ping")
+
+    def stats(self) -> dict[str, Any]:
+        """The daemon's per-layer counters (engine, registry, coalescer)."""
+        return self.call("stats")
+
+    def shutdown(self) -> dict[str, Any]:
+        """Ask the daemon to stop; the connection is closed afterwards."""
+        result = self.call("shutdown")
+        self.close()
+        return result
+
+    def load_database(self, database: Database) -> str:
+        """Upload ``database`` (at most once per client) and return its handle."""
+        cached = self._handles.get(id(database))
+        if cached is not None and cached[0] is database:
+            self._handles.move_to_end(id(database))
+            return cached[1]
+        result = self.call("db_load", database=database_to_dict(database))
+        handle = str(result["handle"])
+        self._handles[id(database)] = (database, handle)
+        while len(self._handles) > self.MAX_CACHED_HANDLES:
+            self._handles.popitem(last=False)
+        return handle
+
+    def _handle_for(self, database: Database | str) -> str:
+        if isinstance(database, str):
+            return database
+        return self.load_database(database)
+
+    def _with_handle(self, database: Database | str, call: Any) -> dict[str, Any]:
+        """Run ``call(handle)``; recover once from a stale cached handle.
+
+        A daemon restart or registry eviction invalidates handles the
+        client cached; when the caller gave us the database itself we
+        can transparently re-upload and retry.  An explicit handle
+        string has nothing to re-upload, so the error propagates.
+        """
+        try:
+            return call(self._handle_for(database))
+        except UnknownHandleError:
+            if isinstance(database, str):
+                raise
+            self._handles.pop(id(database), None)
+            return call(self._handle_for(database))
+
+    @staticmethod
+    def _query_text(query: str | ConjunctiveQuery) -> str:
+        return query if isinstance(query, str) else query_to_text(query)
+
+    @staticmethod
+    def _exogenous_param(exogenous: Iterable[str] | None) -> list[str] | None:
+        return None if exogenous is None else sorted(exogenous)
+
+    def batch(
+        self,
+        database: Database | str,
+        query: str | ConjunctiveQuery,
+        exogenous: Iterable[str] | None = None,
+        allow_brute_force: bool = True,
+    ):
+        """All-facts attribution of one Boolean query, served warm.
+
+        Returns a :class:`~repro.engine.results.BatchResult` bit-identical
+        to what an in-process engine would produce; the raw wire payload
+        (per-request stats delta, ``coalesced`` flag) stays available on
+        :attr:`last_response`.
+        """
+        result = self._with_handle(
+            database,
+            lambda handle: self.call(
+                "batch",
+                db=handle,
+                query=self._query_text(query),
+                exogenous=self._exogenous_param(exogenous),
+                allow_brute_force=allow_brute_force,
+            ),
+        )
+        return batch_result_from_dict(result["result"])
+
+    def answers(
+        self,
+        database: Database | str,
+        query: str | ConjunctiveQuery,
+        answers: Iterable[tuple[Constant, ...]] | None = None,
+        exogenous: Iterable[str] | None = None,
+        allow_brute_force: bool = True,
+    ):
+        """Per-answer attribution of a non-Boolean query, served warm.
+
+        Returns an :class:`~repro.engine.results.AnswerBatchResult`
+        (aggregate via its :meth:`aggregate`, exactly as in-process).
+        """
+        from repro.engine.cache import CacheStats
+        from repro.engine.results import AnswerBatchResult
+
+        result = self._with_handle(
+            database,
+            lambda handle: self.call(
+                "answers",
+                db=handle,
+                query=self._query_text(query),
+                answers=None if answers is None else [list(a) for a in answers],
+                exogenous=self._exogenous_param(exogenous),
+                allow_brute_force=allow_brute_force,
+            ),
+        )
+        per_answer = {
+            tuple(entry["answer"]): batch_result_from_dict(entry["result"])
+            for entry in result["answers"]
+        }
+        pool = result.get("pool", {})
+        return AnswerBatchResult(
+            per_answer,
+            CacheStats(
+                hits=int(pool.get("hits", 0)), misses=int(pool.get("misses", 0))
+            ),
+        )
+
+    def aggregate(
+        self,
+        database: Database | str,
+        query: str | ConjunctiveQuery,
+        aggregate: str = "count",
+        value_index: int | None = None,
+        exogenous: Iterable[str] | None = None,
+    ) -> Mapping[Fact, Fraction]:
+        """Aggregate attribution over all candidate answers (count/sum)."""
+        result = self._with_handle(
+            database,
+            lambda handle: self.call(
+                "aggregate",
+                db=handle,
+                query=self._query_text(query),
+                aggregate=aggregate,
+                value_index=value_index,
+                exogenous=self._exogenous_param(exogenous),
+            ),
+        )
+        return attribution_from_rows(result["values"])
+
+
+__all__ = ["AttributionClient"]

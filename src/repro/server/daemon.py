@@ -1,0 +1,451 @@
+"""The attribution daemon: one warm engine behind a socket.
+
+Every CLI invocation pays Python startup, cold caches, and a database
+re-parse before the first count vector exists.  The daemon pays those
+costs **once**: it owns a single long-lived
+:class:`~repro.engine.core.BatchAttributionEngine` (tiered in-memory +
+optional persistent store, serial or sharded executor) and serves
+attribution requests over a Unix-domain or TCP socket using the framed
+protocol of :mod:`repro.server.protocol`.  A request that the warm store
+already holds is answered without executing a single plan node; a request
+identical to one *currently running* joins it through the in-flight
+coalescer instead of recomputing.
+
+Concurrency model: one thread per connection (``socketserver.ThreadingMixIn``),
+one shared engine.  The engine's caches are plain ``OrderedDict`` LRUs —
+not thread-safe — so the daemon serializes *engine entry* with a single
+lock; parallelism comes from the engine's own sharded executor
+(``--jobs``), from the warm stores (hits barely hold the lock), and from
+the coalescer (duplicate requests never queue for the lock at all).
+
+Failure containment: a malformed frame ends only its own connection
+(best-effort error frame first); an exception inside a request — plan-time
+:class:`~repro.core.errors.IntractableQueryError`, parse errors, unknown
+handles — becomes a structured error frame and the connection lives on; a
+client that disconnects mid-request costs nothing but the computed result
+(the engine and every other connection are untouched, and the result is
+warm in the store for whoever asks next).
+
+Lifecycle: ``shutdown`` (the protocol op) and SIGTERM (installed by
+``python -m repro serve``) both stop the accept loop cleanly;
+:meth:`AttributionDaemon.close` releases the socket and unlinks the
+Unix-socket path.
+"""
+
+from __future__ import annotations
+
+import os
+import socketserver
+import threading
+from typing import Any, Callable
+
+from repro.core.parser import parse_query
+from repro.engine.core import BatchAttributionEngine
+from repro.io import batch_result_to_dict, database_from_dict
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    error_response,
+    format_address,
+    ok_response,
+    parse_address,
+    read_frame,
+    validate_request,
+    write_frame,
+)
+from repro.server.registry import DatabaseRegistry, InFlightCoalescer
+
+
+class _QuietServerMixin:
+    """Connection-level failures are contained, not printed as tracebacks.
+
+    ``socketserver`` dumps a traceback to stderr whenever a handler
+    raises; for a daemon whose handlers only ever raise on *transport*
+    failures (a peer resetting mid-frame), that is noise — the
+    per-connection thread dies, the daemon carries on, and the event is
+    counted on the daemon's ``errors`` counter instead.
+    """
+
+    def handle_error(self, request: object, client_address: object) -> None:
+        daemon = getattr(self, "attribution_daemon", None)
+        if daemon is not None:
+            daemon.count("errors")
+
+
+class _ThreadingTCPServer(
+    _QuietServerMixin, socketserver.ThreadingMixIn, socketserver.TCPServer
+):
+    daemon_threads = True
+    allow_reuse_address = True
+    block_on_close = False
+
+
+if hasattr(socketserver, "UnixStreamServer"):  # pragma: no branch - POSIX only
+
+    class _ThreadingUnixServer(
+        _QuietServerMixin, socketserver.ThreadingMixIn, socketserver.UnixStreamServer
+    ):
+        daemon_threads = True
+        block_on_close = False
+
+
+class _ConnectionHandler(socketserver.StreamRequestHandler):
+    """One client connection: a loop of request frames until EOF."""
+
+    def handle(self) -> None:
+        daemon: AttributionDaemon = self.server.attribution_daemon
+        daemon.count("connections")
+        while True:
+            try:
+                payload = read_frame(self.rfile)
+            except ProtocolError as error:
+                # The stream is no longer trustworthy: report once, hang up.
+                self._try_write(error_response(None, error))
+                break
+            except OSError:
+                # The peer reset the connection mid-read; nothing to tell it.
+                break
+            if payload is None:
+                break
+            response, stop = daemon.dispatch(payload)
+            if not self._try_write(response):
+                # The client vanished mid-request.  The work is done and
+                # warm in the store; the daemon and every other
+                # connection carry on.
+                break
+            if stop:
+                daemon.request_shutdown()
+                break
+
+    def _try_write(self, response: dict[str, Any]) -> bool:
+        try:
+            write_frame(self.wfile, response)
+            return True
+        except ProtocolError as error:
+            # The *response* violates the protocol (a result frame above
+            # the size cap): replace it with a structured error frame so
+            # the client learns why instead of watching a dead socket.
+            try:
+                write_frame(self.wfile, error_response(response.get("id"), error))
+                return True
+            except (OSError, ValueError):
+                return False
+        except (OSError, ValueError):
+            return False
+
+
+def _counters_delta(
+    before: dict[str, int], after: dict[str, int]
+) -> dict[str, int]:
+    """Per-request accounting: what this request added to each counter."""
+    return {key: after[key] - before.get(key, 0) for key in after}
+
+
+class AttributionDaemon:
+    """A warm :class:`BatchAttributionEngine` served over a socket.
+
+    ``address`` is an address spec (Unix-socket path, ``HOST:PORT``, or
+    an explicit ``unix:``/``tcp:`` prefix — see
+    :func:`repro.server.protocol.parse_address`).  The daemon binds
+    immediately; call :meth:`serve` (blocking) or run
+    :meth:`serve_forever` in a thread, then :meth:`shutdown` +
+    :meth:`close` from anywhere.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        engine: BatchAttributionEngine | None = None,
+        registry: DatabaseRegistry | None = None,
+        max_databases: int = 64,
+    ) -> None:
+        self.kind, self.location = parse_address(address)
+        self.engine = engine if engine is not None else BatchAttributionEngine()
+        self.registry = (
+            registry if registry is not None else DatabaseRegistry(max_databases)
+        )
+        self.coalescer = InFlightCoalescer()
+        self.requests = 0
+        self.errors = 0
+        self.connections = 0
+        self._engine_lock = threading.Lock()
+        self._counter_lock = threading.Lock()
+        if self.kind == "unix":
+            self._reclaim_stale_socket(self.location)
+            self._server: socketserver.BaseServer = _ThreadingUnixServer(
+                self.location, _ConnectionHandler
+            )
+        else:
+            self._server = _ThreadingTCPServer(self.location, _ConnectionHandler)
+            # An ephemeral port (port 0) resolves at bind time.
+            self.location = self._server.server_address[:2]
+        self._server.attribution_daemon = self
+
+    @staticmethod
+    def _reclaim_stale_socket(path: str) -> None:
+        """Unlink a leftover socket file nothing is listening on.
+
+        A daemon killed with SIGKILL leaves its socket file behind; the
+        next daemon must be able to bind there.  A *live* listener is
+        detected by connecting first, and keeps its address.
+        """
+        import socket as socket_module
+
+        if not os.path.exists(path):
+            return
+        probe = socket_module.socket(socket_module.AF_UNIX)
+        probe.settimeout(0.2)
+        try:
+            probe.connect(path)
+        except OSError:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        else:
+            raise OSError(f"address already in use: a daemon is live on {path}")
+        finally:
+            probe.close()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> str:
+        """The bound address in spec form (ephemeral TCP ports resolved)."""
+        return format_address(self.kind, self.location)
+
+    def serve(self) -> None:
+        """Serve until :meth:`shutdown`; then release the socket."""
+        try:
+            self.serve_forever()
+        finally:
+            self.close()
+
+    def serve_forever(self) -> None:
+        self._server.serve_forever(poll_interval=0.1)
+
+    def shutdown(self) -> None:
+        """Stop the accept loop (callable from any *other* thread)."""
+        self._server.shutdown()
+
+    def request_shutdown(self) -> None:
+        """Stop the accept loop from inside a handler thread.
+
+        ``BaseServer.shutdown`` blocks until ``serve_forever`` exits, so a
+        handler thread must hand it to a helper thread or deadlock the
+        daemon it is trying to stop.
+        """
+        threading.Thread(target=self._server.shutdown, daemon=True).start()
+
+    def close(self) -> None:
+        self._server.server_close()
+        if self.kind == "unix":
+            try:
+                os.unlink(self.location)
+            except OSError:
+                pass
+
+    def count(self, name: str) -> None:
+        """Increment a server counter; handler threads race on these."""
+        with self._counter_lock:
+            setattr(self, name, getattr(self, name) + 1)
+
+    # ------------------------------------------------------------------
+    # Request dispatch
+    # ------------------------------------------------------------------
+    def dispatch(self, payload: dict[str, Any]) -> tuple[dict[str, Any], bool]:
+        """One request envelope in, one response envelope out.
+
+        Never raises: every failure — protocol violations included —
+        becomes a structured error frame, so one bad request can never
+        take down the connection loop, let alone the daemon.  The second
+        element says whether the daemon should stop after responding.
+        """
+        request_id = payload.get("id")
+        self.count("requests")
+        try:
+            op = validate_request(payload)
+            if op == "shutdown":
+                return ok_response(request_id, {"stopping": True}), True
+            result = self._operations[op](self, payload)
+            return ok_response(request_id, result), False
+        except Exception as error:  # noqa: BLE001 - the frame is the boundary
+            self.count("errors")
+            return error_response(request_id, error), False
+
+    # -- individual operations -----------------------------------------
+    def _op_ping(self, payload: dict[str, Any]) -> dict[str, Any]:
+        return {"pong": True, "protocol": PROTOCOL_VERSION, "pid": os.getpid()}
+
+    def _op_stats(self, payload: dict[str, Any]) -> dict[str, Any]:
+        return {
+            "engine": self.engine.counters(),
+            "registry": self.registry.counters(),
+            "coalescer": {
+                "leaders": self.coalescer.stats.leaders,
+                "followers": self.coalescer.stats.followers,
+            },
+            "server": {
+                "requests": self.requests,
+                "errors": self.errors,
+                "connections": self.connections,
+            },
+        }
+
+    def _op_db_load(self, payload: dict[str, Any]) -> dict[str, Any]:
+        document = payload.get("database")
+        if not isinstance(document, dict):
+            raise ProtocolError("db_load needs a 'database' JSON object")
+        database = database_from_dict(document)
+        handle = self.registry.load(database)
+        return {
+            "handle": handle,
+            "endogenous": len(database.endogenous),
+            "exogenous": len(database.exogenous),
+        }
+
+    @staticmethod
+    def _exogenous(payload: dict[str, Any]) -> frozenset[str] | None:
+        relations = payload.get("exogenous")
+        return None if relations is None else frozenset(relations)
+
+    def _coalesced(
+        self, key: tuple, compute: Callable[[], dict[str, Any]]
+    ) -> dict[str, Any]:
+        """Run ``compute`` once per concurrent identical request.
+
+        The leader's payload dict is shared with every follower, so the
+        per-request view is a copy with its own ``coalesced`` flag.
+        """
+        shared, coalesced = self.coalescer.run(key, compute)
+        result = dict(shared)
+        result["coalesced"] = coalesced
+        return result
+
+    def _op_batch(self, payload: dict[str, Any]) -> dict[str, Any]:
+        database = self.registry.get(str(payload.get("db")))
+        query = parse_query(str(payload.get("query")))
+        if not query.is_boolean:
+            raise ValueError(
+                "batch needs a Boolean query; use the answers operation for"
+                " queries with head variables"
+            )
+        exogenous = self._exogenous(payload)
+        allow_brute_force = bool(payload.get("allow_brute_force", True))
+        # allow_brute_force is part of the key: a polynomial-only request
+        # must never share an outcome with a brute-force-permitting one.
+        key = (
+            "batch",
+            self.engine.fingerprint(database, query, exogenous),
+            allow_brute_force,
+        )
+
+        def compute() -> dict[str, Any]:
+            with self._engine_lock:
+                before = self.engine.counters()
+                result = self.engine.batch(
+                    database, query, exogenous, allow_brute_force
+                )
+                after = self.engine.counters()
+            return {
+                "result": batch_result_to_dict(result),
+                "stats": _counters_delta(before, after),
+            }
+
+        return self._coalesced(key, compute)
+
+    def _op_answers(self, payload: dict[str, Any]) -> dict[str, Any]:
+        database = self.registry.get(str(payload.get("db")))
+        query = parse_query(str(payload.get("query")))
+        if query.is_boolean:
+            raise ValueError("answers needs a query with head variables")
+        exogenous = self._exogenous(payload)
+        allow_brute_force = bool(payload.get("allow_brute_force", True))
+        requested = payload.get("answers")
+        answers = (
+            None
+            if requested is None
+            else [tuple(answer) for answer in requested]
+        )
+        key = (
+            "answers",
+            self.engine.fingerprint_answers(database, query, answers, exogenous),
+            allow_brute_force,
+        )
+
+        def compute() -> dict[str, Any]:
+            with self._engine_lock:
+                before = self.engine.counters()
+                batch = self.engine.batch_answers(
+                    database, query, answers, exogenous, allow_brute_force
+                )
+                after = self.engine.counters()
+            return {
+                "answers": [
+                    {"answer": list(answer), "result": batch_result_to_dict(result)}
+                    for answer, result in batch.per_answer.items()
+                ],
+                "pool": {
+                    "hits": batch.pool_stats.hits,
+                    "misses": batch.pool_stats.misses,
+                },
+                "stats": _counters_delta(before, after),
+            }
+
+        return self._coalesced(key, compute)
+
+    def _op_aggregate(self, payload: dict[str, Any]) -> dict[str, Any]:
+        from repro.engine.results import aggregate_spec
+        from repro.io import attribution_to_rows
+
+        database = self.registry.get(str(payload.get("db")))
+        query = parse_query(str(payload.get("query")))
+        if query.is_boolean:
+            raise ValueError("aggregate needs a query with head variables")
+        exogenous = self._exogenous(payload)
+        kind = str(payload.get("aggregate"))
+        index = payload.get("value_index")
+        weight, label = aggregate_spec(kind, index, len(query.head))
+        key = (
+            "aggregate",
+            self.engine.fingerprint_answers(database, query, None, exogenous),
+            label,
+        )
+
+        def compute() -> dict[str, Any]:
+            with self._engine_lock:
+                before = self.engine.counters()
+                batch = self.engine.batch_answers(database, query, None, exogenous)
+                after = self.engine.counters()
+            try:
+                totals = batch.aggregate(weight)
+            except TypeError as error:
+                # Mirror the CLI's contract: a non-numeric head position is
+                # a ValueError, which round-trips over the wire.
+                raise ValueError(str(error)) from error
+            rows = attribution_to_rows(totals)
+            if rows is None:
+                raise ValueError(
+                    "aggregate values contain constants that do not"
+                    " round-trip through JSON scalars"
+                )
+            return {
+                "label": label,
+                "values": rows,
+                "stats": _counters_delta(before, after),
+            }
+
+        return self._coalesced(key, compute)
+
+    _operations: dict[str, Callable[["AttributionDaemon", dict[str, Any]], dict]] = {
+        "ping": _op_ping,
+        "stats": _op_stats,
+        "db_load": _op_db_load,
+        "batch": _op_batch,
+        "answers": _op_answers,
+        "aggregate": _op_aggregate,
+    }
+
+
+__all__ = ["AttributionDaemon"]

@@ -1,0 +1,195 @@
+"""Session state of the attribution daemon: database handles, coalescing.
+
+Two pieces of shared state let many clients drive one warm engine:
+
+* :class:`DatabaseRegistry` — clients upload a database **once**
+  (``db_load``) and then issue many queries against the returned handle.
+  Handles are content-addressed (a digest of the engine's canonical
+  database fingerprint), so re-uploading the same endogenous/exogenous
+  split from any client yields the same handle and the daemon keeps one
+  copy; a bounded LRU keeps long-lived daemons from accumulating every
+  database they ever saw.
+* :class:`InFlightCoalescer` — concurrent *identical* requests (same
+  canonical plan fingerprint, see
+  :meth:`repro.engine.core.BatchAttributionEngine.fingerprint`) share one
+  computation: the first arrival becomes the leader and computes, later
+  arrivals park on an event and receive the leader's result (or its
+  exception) without touching the engine.  The warm result store only
+  helps *after* a computation finishes; the coalescer closes the window
+  while it is still running — exactly the thundering-herd moment when a
+  popular query goes out to a fleet of clients.
+
+Both structures are thread-safe; the daemon shares one of each across
+all connection handler threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, TypeVar
+
+from repro.core.database import Database
+from repro.engine.cache import CacheStats
+from repro.engine.fingerprint import fingerprint_database
+from repro.engine.persistent import digest_key
+from repro.server.protocol import UnknownHandleError
+
+Value = TypeVar("Value")
+
+#: Handles are prefixed so logs and error messages are self-describing.
+HANDLE_PREFIX = "db:"
+
+
+class DatabaseRegistry:
+    """Content-addressed, LRU-bounded store of uploaded databases.
+
+    ``load`` returns ``db:<digest>`` where the digest hashes the canonical
+    database fingerprint — the same canonicalization the engine's caches
+    use, so two uploads that differ only in fact order collapse onto one
+    handle.  ``get`` raises :class:`UnknownHandleError` for handles that
+    were never loaded or have been evicted; the client's remedy is simply
+    to ``db_load`` again.
+    """
+
+    def __init__(self, max_databases: int = 64) -> None:
+        if max_databases < 1:
+            raise ValueError(f"max_databases must be positive, got {max_databases}")
+        self.max_databases = max_databases
+        self.stats = CacheStats()
+        self.loads = 0
+        self._lock = threading.Lock()
+        self._databases: OrderedDict[str, Database] = OrderedDict()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._databases)
+
+    def load(self, database: Database) -> str:
+        """Store ``database`` (or refresh it) and return its handle."""
+        handle = HANDLE_PREFIX + digest_key(fingerprint_database(database))[:32]
+        with self._lock:
+            self.loads += 1
+            if handle in self._databases:
+                self._databases.move_to_end(handle)
+            else:
+                self._databases[handle] = database
+                while len(self._databases) > self.max_databases:
+                    self._databases.popitem(last=False)
+                    self.stats.evictions += 1
+        return handle
+
+    def get(self, handle: str) -> Database:
+        """The database behind ``handle``; raises :class:`UnknownHandleError`."""
+        with self._lock:
+            database = self._databases.get(handle)
+            if database is not None:
+                self._databases.move_to_end(handle)
+                self.stats.hits += 1
+                return database
+            self.stats.misses += 1
+        raise UnknownHandleError(
+            f"unknown database handle {handle!r}: load the database with"
+            " db_load first (the daemon may also have evicted it)"
+        )
+
+    def counters(self) -> dict[str, int]:
+        """Flat JSON-ready accounting for the daemon's ``stats`` op."""
+        with self._lock:
+            held = len(self._databases)
+        return {
+            "held": held,
+            "loads": self.loads,
+            "hits": self.stats.hits,
+            "misses": self.stats.misses,
+            "evictions": self.stats.evictions,
+        }
+
+
+@dataclass
+class CoalescerStats:
+    """How often in-flight sharing actually fired."""
+
+    leaders: int = 0
+    followers: int = 0
+
+    def snapshot(self) -> "CoalescerStats":
+        return CoalescerStats(self.leaders, self.followers)
+
+
+class _InFlight:
+    """One running computation: the leader's slot plus a completion event."""
+
+    __slots__ = ("event", "value", "error", "followers")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: Any = None
+        self.error: BaseException | None = None
+        self.followers = 0
+
+
+class InFlightCoalescer:
+    """Deduplicate concurrent identical computations by fingerprint key.
+
+    ``run(key, compute)`` returns ``(value, coalesced)``: the first
+    thread in for a key runs ``compute`` (``coalesced=False``); threads
+    arriving while it runs wait and share the outcome
+    (``coalesced=True``), including a raised exception — a request that
+    fails at plan time fails identically for every coalesced waiter.
+
+    The in-flight table holds *only running* computations: the moment a
+    leader finishes, its key is removed, and the next identical request
+    is the warm store's business, not the coalescer's.
+    """
+
+    def __init__(self) -> None:
+        self.stats = CoalescerStats()
+        self._lock = threading.Lock()
+        self._inflight: dict[Any, _InFlight] = {}
+
+    def waiting(self, key: Any) -> int:
+        """How many followers are parked on ``key`` right now (for tests)."""
+        with self._lock:
+            entry = self._inflight.get(key)
+            return entry.followers if entry is not None else 0
+
+    def run(
+        self, key: Any, compute: Callable[[], Value]
+    ) -> tuple[Value, bool]:
+        with self._lock:
+            entry = self._inflight.get(key)
+            if entry is None:
+                entry = _InFlight()
+                self._inflight[key] = entry
+                self.stats.leaders += 1
+                leader = True
+            else:
+                entry.followers += 1
+                self.stats.followers += 1
+                leader = False
+        if leader:
+            try:
+                entry.value = compute()
+            except BaseException as error:
+                entry.error = error
+                raise
+            finally:
+                with self._lock:
+                    del self._inflight[key]
+                entry.event.set()
+            return entry.value, False
+        entry.event.wait()
+        if entry.error is not None:
+            raise entry.error
+        return entry.value, True
+
+
+__all__ = [
+    "CoalescerStats",
+    "DatabaseRegistry",
+    "HANDLE_PREFIX",
+    "InFlightCoalescer",
+    "UnknownHandleError",
+]

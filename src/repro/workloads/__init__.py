@@ -1,6 +1,6 @@
-"""Workloads: the paper's running example, canonical queries, and generators."""
+"""Workloads: the running example, canonical queries, generators, and traffic."""
 
-from repro.workloads import generators, queries, running_example
+from repro.workloads import generators, queries, running_example, traffic
 from repro.workloads.generators import (
     export_database,
     random_database_for_query,
@@ -8,6 +8,7 @@ from repro.workloads.generators import (
     random_self_join_free_query,
     star_join_database,
 )
+from repro.workloads.traffic import TrafficRequest, request_stream, star_traffic
 from repro.workloads.running_example import (
     EXAMPLE_2_3_SHAPLEY,
     EXOGENOUS_RELATIONS,
@@ -29,9 +30,13 @@ __all__ = [
     "query_q2",
     "query_q3",
     "query_q4",
+    "TrafficRequest",
     "random_database_for_query",
     "random_hierarchical_query",
     "random_self_join_free_query",
+    "request_stream",
     "running_example",
     "star_join_database",
+    "star_traffic",
+    "traffic",
 ]

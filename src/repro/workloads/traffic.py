@@ -1,0 +1,134 @@
+"""Serve-oriented traffic: request streams for the attribution daemon.
+
+The daemon's value shows up under *traffic*, not single requests: warm
+stores absorb repeats, the coalescer absorbs concurrent duplicates, and
+the registry absorbs re-uploads.  This module generates request streams
+with a controlled repetition profile so benchmarks
+(:mod:`benchmarks.bench_server`) and load tests can dial how much of a
+workload is warm-servable.
+
+A stream is a list of :class:`TrafficRequest` descriptors — plain data,
+transport-agnostic: replay one against an
+:class:`~repro.server.client.AttributionClient`, an in-process engine, or
+subprocess CLI invocations, and compare.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.database import Database
+from repro.workloads.generators import star_join_database
+
+
+@dataclass(frozen=True)
+class TrafficRequest:
+    """One request of a serving workload.
+
+    ``op`` is ``"batch"`` (Boolean query, all facts) or ``"answers"``
+    (non-Boolean query, per-answer attribution) — mirroring the daemon's
+    wire operations and the CLI verbs.
+    """
+
+    op: str
+    query: str
+
+
+#: Boolean queries over the running example's star schema, cheapest first.
+STAR_BATCH_QUERIES = (
+    "q() :- Stud(x), not TA(x), Reg(x, y)",
+    "q() :- Stud(x), Reg(x, y)",
+    "q() :- TA(x), Reg(x, y)",
+    "q() :- Stud(x), not TA(x)",
+    "q() :- Reg(x, y), Course(y, z)",
+)
+
+#: Non-Boolean companions (one engine batch per answer).
+STAR_ANSWERS_QUERIES = (
+    "ans(x) :- Stud(x), not TA(x), Reg(x, y)",
+    "ans(x) :- Stud(x), Reg(x, y)",
+)
+
+
+def request_stream(
+    templates: Sequence[TrafficRequest],
+    num_requests: int,
+    repeat_probability: float = 0.6,
+    rng: random.Random | None = None,
+) -> list[TrafficRequest]:
+    """A stream over ``templates`` with a controlled warm fraction.
+
+    Each position repeats an already-issued request with
+    ``repeat_probability`` (popularity-weighted: a uniform draw over the
+    issued prefix, so early requests — like real hot queries — recur
+    more) and otherwise issues the next unseen template, cycling when
+    they run out.  ``repeat_probability=0`` replays the templates in
+    order; ``1.0`` hammers the first template — the pure-coalescing
+    stress case.
+    """
+    rng = rng or random.Random()
+    if not templates:
+        raise ValueError("request_stream needs at least one template")
+    if num_requests < 0:
+        raise ValueError(f"num_requests must be >= 0, got {num_requests}")
+    issued: list[TrafficRequest] = []
+    stream: list[TrafficRequest] = []
+    fresh = 0
+    for _ in range(num_requests):
+        if issued and rng.random() < repeat_probability:
+            stream.append(rng.choice(issued))
+        else:
+            template = templates[fresh % len(templates)]
+            fresh += 1
+            issued.append(template)
+            stream.append(template)
+    return stream
+
+
+def star_traffic(
+    num_requests: int,
+    num_students: int = 8,
+    num_courses: int = 3,
+    repeat_probability: float = 0.6,
+    answers_probability: float = 0.25,
+    rng: random.Random | None = None,
+) -> tuple[Database, list[TrafficRequest]]:
+    """A ready-to-serve workload on the running example's star schema.
+
+    Returns ``(database, stream)``: a
+    :func:`~repro.workloads.generators.star_join_database` instance plus
+    a :func:`request_stream` mixing Boolean batches with per-answer
+    requests (``answers_probability`` of the templates).  This is the
+    workload of the daemon benchmarks: enough repetition to exercise the
+    warm stores, enough distinct queries to keep the planner honest.
+    """
+    rng = rng or random.Random()
+    database = star_join_database(num_students, num_courses, rng=rng)
+    templates = [TrafficRequest("batch", text) for text in STAR_BATCH_QUERIES]
+    answer_templates = [
+        TrafficRequest("answers", text) for text in STAR_ANSWERS_QUERIES
+    ]
+    # Interleave answer templates at the requested density, keeping the
+    # cheap Boolean queries in front so short streams stay cheap.
+    mixed: list[TrafficRequest] = []
+    answer_index = 0
+    for template in templates:
+        mixed.append(template)
+        if answer_index < len(answer_templates) and rng.random() < (
+            answers_probability * len(templates) / max(1, len(answer_templates))
+        ):
+            mixed.append(answer_templates[answer_index])
+            answer_index += 1
+    mixed.extend(answer_templates[answer_index:])
+    return database, request_stream(mixed, num_requests, repeat_probability, rng)
+
+
+__all__ = [
+    "STAR_ANSWERS_QUERIES",
+    "STAR_BATCH_QUERIES",
+    "TrafficRequest",
+    "request_stream",
+    "star_traffic",
+]

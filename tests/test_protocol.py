@@ -1,0 +1,262 @@
+"""Wire protocol: framing, envelopes, error round-trips, serialization.
+
+The contracts under test (ISSUE 4):
+
+* frames are self-delimiting and bounded — clean EOF at a boundary is
+  None, EOF *inside* a frame or an oversized header is a loud
+  :class:`ProtocolError`;
+* error envelopes round-trip exception *types*:
+  ``IntractableQueryError`` and parse errors re-raise as themselves on
+  the client side;
+* attribution payloads round-trip exact ``Fraction`` values of any size
+  through the shared :mod:`repro.io` dialect;
+* :func:`repro.io.query_to_text` renders queries the parser rebuilds
+  *equal* — the property that makes text the wire form of a query.
+"""
+
+from __future__ import annotations
+
+import io
+import random
+import struct
+from fractions import Fraction
+
+import pytest
+
+from repro.core.errors import IntractableQueryError, QuerySyntaxError
+from repro.core.facts import fact
+from repro.core.parser import parse_query
+from repro.engine.results import BatchResult
+from repro.io import (
+    batch_result_from_dict,
+    batch_result_to_dict,
+    fraction_from_pair,
+    fraction_to_pair,
+    query_to_text,
+)
+from repro.server import protocol
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    ServerError,
+    UnknownHandleError,
+    error_from_payload,
+    error_response,
+    ok_response,
+    parse_address,
+    read_frame,
+    request,
+    validate_request,
+    write_frame,
+)
+from repro.workloads.generators import random_hierarchical_query
+
+
+def round_trip(payload: dict) -> dict:
+    stream = io.BytesIO()
+    write_frame(stream, payload)
+    stream.seek(0)
+    return read_frame(stream)
+
+
+class TestFraming:
+    def test_frame_round_trip(self):
+        payload = {"v": 1, "op": "ping", "nested": {"a": [1, "two", None]}}
+        assert round_trip(payload) == payload
+
+    def test_multiple_frames_on_one_stream(self):
+        stream = io.BytesIO()
+        write_frame(stream, {"id": 1})
+        write_frame(stream, {"id": 2})
+        stream.seek(0)
+        assert read_frame(stream) == {"id": 1}
+        assert read_frame(stream) == {"id": 2}
+        assert read_frame(stream) is None
+
+    def test_clean_eof_is_none(self):
+        assert read_frame(io.BytesIO()) is None
+
+    def test_eof_inside_header_raises(self):
+        with pytest.raises(ProtocolError, match="frame header"):
+            read_frame(io.BytesIO(b"\x00\x00"))
+
+    def test_eof_inside_body_raises(self):
+        stream = io.BytesIO(struct.pack(">I", 100) + b'{"trunc')
+        with pytest.raises(ProtocolError, match="frame body"):
+            read_frame(stream)
+
+    def test_oversized_header_rejected_without_allocation(self):
+        stream = io.BytesIO(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        with pytest.raises(ProtocolError, match="cap"):
+            read_frame(stream)
+
+    def test_non_json_body_raises(self):
+        body = b"\xff\xfenot json"
+        stream = io.BytesIO(struct.pack(">I", len(body)) + body)
+        with pytest.raises(ProtocolError, match="JSON"):
+            read_frame(stream)
+
+    def test_non_object_body_raises(self):
+        body = b"[1, 2, 3]"
+        stream = io.BytesIO(struct.pack(">I", len(body)) + body)
+        with pytest.raises(ProtocolError, match="object"):
+            read_frame(stream)
+
+
+class TestEnvelopes:
+    def test_request_envelope_carries_version_and_params(self):
+        envelope = request("batch", 7, db="db:abc", query="q() :- R(x)")
+        assert envelope["v"] == PROTOCOL_VERSION
+        assert envelope["id"] == 7
+        assert validate_request(envelope) == "batch"
+        assert envelope["db"] == "db:abc"
+
+    def test_version_mismatch_rejected(self):
+        envelope = request("ping", 1)
+        envelope["v"] = PROTOCOL_VERSION + 1
+        with pytest.raises(ProtocolError, match="version"):
+            validate_request(envelope)
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown operation"):
+            validate_request(request("frobnicate", 1))
+
+    def test_ok_response_shape(self):
+        response = ok_response(3, {"pong": True})
+        assert response["ok"] is True
+        assert response["id"] == 3
+        assert response["result"] == {"pong": True}
+
+
+class TestErrorRoundTrip:
+    @pytest.mark.parametrize(
+        "error",
+        [
+            IntractableQueryError("no polynomial batch algorithm applies"),
+            QuerySyntaxError("unexpected end of input"),
+            UnknownHandleError("unknown database handle 'db:zzz'"),
+            ProtocolError("unknown operation 'x'"),
+            ValueError("value_index 5 out of range"),
+        ],
+    )
+    def test_mapped_errors_round_trip_as_their_own_type(self, error):
+        response = error_response(9, error)
+        assert response["ok"] is False
+        rebuilt = error_from_payload(response["error"])
+        assert type(rebuilt) is type(error)
+        assert str(error) in str(rebuilt)
+
+    def test_unmapped_error_degrades_to_server_error(self):
+        response = error_response(9, KeyError("boom"))
+        rebuilt = error_from_payload(response["error"])
+        assert isinstance(rebuilt, ServerError)
+        assert "KeyError" in str(rebuilt)
+
+    def test_intractable_error_still_catchable_as_value_error(self):
+        # The historical contract of IntractableQueryError survives the wire.
+        rebuilt = error_from_payload(
+            error_response(1, IntractableQueryError("nope"))["error"]
+        )
+        with pytest.raises(ValueError):
+            raise rebuilt
+
+
+class TestResultSerialization:
+    def test_fraction_pairs_are_exact_at_any_size(self):
+        value = Fraction(2**200 + 1, 3**150)
+        assert fraction_from_pair(fraction_to_pair(value)) == value
+
+    def test_batch_result_round_trip(self):
+        result = BatchResult(
+            shapley={fact("R", 1): Fraction(1, 3), fact("S", "a"): Fraction(-7, 2)},
+            banzhaf={fact("R", 1): Fraction(1, 2), fact("S", "a"): Fraction(0)},
+            method="cntsat",
+            player_count=2,
+            from_cache=True,
+        )
+        rebuilt = batch_result_from_dict(batch_result_to_dict(result))
+        assert dict(rebuilt.shapley) == dict(result.shapley)
+        assert dict(rebuilt.banzhaf) == dict(result.banzhaf)
+        assert rebuilt.method == "cntsat"
+        assert rebuilt.player_count == 2
+        assert rebuilt.from_cache is True
+
+    def test_rows_survive_json_and_keep_canonical_order(self):
+        import json
+
+        result = BatchResult(
+            shapley={fact("B", 2): Fraction(1), fact("A", 1): Fraction(2)},
+            banzhaf={fact("B", 2): Fraction(1), fact("A", 1): Fraction(2)},
+            method="brute-force",
+            player_count=2,
+        )
+        document = json.loads(json.dumps(batch_result_to_dict(result)))
+        rebuilt = batch_result_from_dict(document)
+        assert list(rebuilt.shapley) == sorted(rebuilt.shapley, key=repr)
+
+    def test_non_json_safe_constants_rejected_loudly(self):
+        exotic = fact("R", (1, 2))  # a tuple constant has no JSON scalar form
+        result = BatchResult(
+            shapley={exotic: Fraction(1)},
+            banzhaf={exotic: Fraction(1)},
+            method="cntsat",
+            player_count=1,
+        )
+        with pytest.raises(ValueError, match="round-trip"):
+            batch_result_to_dict(result)
+
+
+class TestQueryToText:
+    def test_running_example_round_trips(self):
+        query = parse_query("q1() :- Stud(x), not TA(x), Reg(x, y)")
+        assert parse_query(query_to_text(query)) == query
+
+    def test_head_and_constants_round_trip(self):
+        query = parse_query("ans(x, y) :- R(x, 'lower c'), S(x, y, 3), not T(y, -1)")
+        assert parse_query(query_to_text(query)) == query
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_hierarchical_queries_round_trip(self, seed):
+        query = random_hierarchical_query(rng=random.Random(seed))
+        assert parse_query(query_to_text(query)) == query
+
+    def test_unrepresentable_constant_rejected(self):
+        from repro.core.query import Atom, ConjunctiveQuery
+
+        query = ConjunctiveQuery((Atom("R", (2.5,)),))
+        with pytest.raises(ValueError, match="textual form"):
+            query_to_text(query)
+
+
+class TestAddresses:
+    @pytest.mark.parametrize(
+        ("spec", "expected"),
+        [
+            ("/tmp/repro.sock", ("unix", "/tmp/repro.sock")),
+            ("unix:/tmp/x:1.sock", ("unix", "/tmp/x:1.sock")),
+            ("relative.sock", ("unix", "relative.sock")),
+            ("127.0.0.1:7777", ("tcp", ("127.0.0.1", 7777))),
+            ("localhost:0", ("tcp", ("localhost", 0))),
+            ("tcp:127.0.0.1:7777", ("tcp", ("127.0.0.1", 7777))),
+            ("/var/run/x:7777", ("unix", "/var/run/x:7777")),
+        ],
+    )
+    def test_parse_address(self, spec, expected):
+        assert parse_address(spec) == expected
+
+    def test_malformed_tcp_spec_rejected(self):
+        with pytest.raises(ValueError, match="HOST:PORT"):
+            parse_address("tcp:no-port")
+
+    def test_operations_list_matches_module(self):
+        # A new op must land in OPERATIONS or validate_request rejects it.
+        assert set(protocol.OPERATIONS) == {
+            "ping",
+            "stats",
+            "db_load",
+            "batch",
+            "answers",
+            "aggregate",
+            "shutdown",
+        }

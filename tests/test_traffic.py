@@ -1,0 +1,95 @@
+"""The serve-oriented traffic generator (:mod:`repro.workloads.traffic`)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.workloads.traffic import (
+    STAR_ANSWERS_QUERIES,
+    STAR_BATCH_QUERIES,
+    TrafficRequest,
+    request_stream,
+    star_traffic,
+)
+
+TEMPLATES = [TrafficRequest("batch", text) for text in STAR_BATCH_QUERIES]
+
+
+class TestRequestStream:
+    def test_zero_repeat_probability_replays_templates_in_order(self):
+        stream = request_stream(
+            TEMPLATES, 7, repeat_probability=0.0, rng=random.Random(1)
+        )
+        expected = [TEMPLATES[i % len(TEMPLATES)] for i in range(7)]
+        assert stream == expected
+
+    def test_full_repeat_probability_hammers_the_first_template(self):
+        stream = request_stream(
+            TEMPLATES, 10, repeat_probability=1.0, rng=random.Random(1)
+        )
+        assert stream == [TEMPLATES[0]] * 10
+
+    def test_repeats_only_reissue_already_issued_requests(self):
+        rng = random.Random(42)
+        stream = request_stream(TEMPLATES, 50, repeat_probability=0.7, rng=rng)
+        assert len(stream) == 50
+        seen: set[str] = set()
+        fresh = 0
+        for entry in stream:
+            if entry.query not in seen:
+                # A first occurrence must follow the template order.
+                assert entry == TEMPLATES[fresh % len(TEMPLATES)]
+                seen.add(entry.query)
+                fresh += 1
+        assert 0 < len(seen) <= len(TEMPLATES)
+
+    def test_streams_are_reproducible_by_seed(self):
+        first = request_stream(TEMPLATES, 30, rng=random.Random(7))
+        second = request_stream(TEMPLATES, 30, rng=random.Random(7))
+        assert first == second
+
+    def test_empty_templates_rejected(self):
+        with pytest.raises(ValueError, match="template"):
+            request_stream([], 5)
+
+    def test_negative_request_count_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            request_stream(TEMPLATES, -1)
+
+    def test_zero_requests_is_an_empty_stream(self):
+        assert request_stream(TEMPLATES, 0) == []
+
+
+class TestStarTraffic:
+    def test_returns_database_and_stream_of_requested_length(self):
+        database, stream = star_traffic(25, rng=random.Random(3))
+        assert len(stream) == 25
+        assert database.endogenous  # TA/Reg facts to attribute
+        assert database.exogenous  # Stud/Course context
+        assert {entry.op for entry in stream} <= {"batch", "answers"}
+
+    def test_all_queries_come_from_the_published_families(self):
+        _, stream = star_traffic(40, rng=random.Random(9))
+        known = set(STAR_BATCH_QUERIES) | set(STAR_ANSWERS_QUERIES)
+        assert {entry.query for entry in stream} <= known
+        for entry in stream:
+            expected = "answers" if entry.query in STAR_ANSWERS_QUERIES else "batch"
+            assert entry.op == expected
+
+    def test_queries_parse_and_run_against_the_database(self):
+        from repro.core.parser import parse_query
+        from repro.engine import BatchAttributionEngine, SerialExecutor
+
+        database, stream = star_traffic(
+            6, num_students=4, num_courses=2, rng=random.Random(11)
+        )
+        engine = BatchAttributionEngine(executor=SerialExecutor())
+        for entry in {e.query: e for e in stream}.values():
+            query = parse_query(entry.query)
+            if entry.op == "batch":
+                result = engine.batch(database, query)
+                assert result.player_count == len(database.endogenous)
+            else:
+                engine.batch_answers(database, query)
