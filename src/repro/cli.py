@@ -63,6 +63,24 @@ numerator/denominator string pairs (the shared dialect of
 :mod:`repro.io`, identical to the wire protocol's) plus the per-layer
 ``stats`` block.
 
+``--update delta.json`` (on ``batch`` and ``answers``) applies a
+fact-level delta before computing — the incremental-maintenance path of
+the delta-aware engine.  The file holds ``add_endogenous`` /
+``add_exogenous`` / ``remove`` fact rows (the dialect of
+:func:`repro.engine.delta.delta_to_dict`).  With ``--connect`` the base
+uploads once and the delta travels as a ``db_update`` operation, so the
+daemon's warm stores carry every result the delta did not touch; without
+it the delta is applied locally before the engine runs::
+
+    python -m repro answers db.json QUERY --connect /run/repro.sock \
+        --update delta.json
+
+``--auth-token TOKEN`` (or ``REPRO_AUTH_TOKEN``) guards a TCP daemon:
+``serve --tcp`` rejects frames without the token (constant-time compare,
+typed error frame), and the same flag/env authenticates ``--connect``
+clients.  Unix-domain sockets rely on filesystem permissions instead and
+ignore the token.
+
 The database file uses the JSON layout of :mod:`repro.io`.
 """
 
@@ -163,6 +181,18 @@ def _print_remote_stats(stats: dict) -> None:
         print(f"server[{section}]: {json.dumps(stats[section], sort_keys=True)}")
 
 
+def _load_delta(options: argparse.Namespace):
+    """The --update delta, or None; malformed files raise ValueError."""
+    update = getattr(options, "update", None)
+    if update is None:
+        return None
+    from pathlib import Path
+
+    from repro.engine.delta import delta_from_dict
+
+    return delta_from_dict(json.loads(Path(update).read_text()))
+
+
 def _reject_engine_flags_with_connect(options: argparse.Namespace) -> bool:
     """--jobs/--cache-dir configure an in-process engine; a daemon has its own."""
     if options.connect and (options.cache_dir is not None or options.jobs is not None):
@@ -179,6 +209,7 @@ def _cmd_batch(options: argparse.Namespace) -> int:
     if _reject_engine_flags_with_connect(options):
         return 2
     database = load_database(options.database)
+    delta = _load_delta(options)
     exogenous = frozenset(options.exogenous) if options.exogenous else None
     queries = [(text, parse_query(text)) for text in options.queries]
     repeats = max(1, options.repeat)
@@ -188,8 +219,17 @@ def _cmd_batch(options: argparse.Namespace) -> int:
     if options.connect:
         from repro.server.client import AttributionClient
 
-        with AttributionClient(options.connect, timeout=options.timeout) as client:
-            handle = client.load_database(database)
+        with AttributionClient(
+            options.connect,
+            timeout=options.timeout,
+            auth_token=options.auth_token,
+        ) as client:
+            if delta is not None:
+                # Upload the base once, ship only the delta: the daemon's
+                # warm stores carry everything the delta did not touch.
+                handle = client.update_database(database, delta=delta)
+            else:
+                handle = client.load_database(database)
             for text, query in queries:
                 result = client.batch(handle, text, exogenous)
                 for _ in range(repeats - 1):
@@ -198,6 +238,10 @@ def _cmd_batch(options: argparse.Namespace) -> int:
             if options.stats or options.json:
                 stats = client.stats()
     else:
+        if delta is not None:
+            from repro.engine.delta import apply_delta
+
+            database = apply_delta(database, delta)
         engine = _make_engine(options)
         for text, query in queries:
             result = engine.batch(database, query, exogenous)
@@ -282,16 +326,28 @@ def _cmd_answers(options: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+    delta = _load_delta(options)
     stats: dict | None = None
     engine = None
     if options.connect:
         from repro.server.client import AttributionClient
 
-        with AttributionClient(options.connect, timeout=options.timeout) as client:
-            batch = client.answers(database, options.query, requested, exogenous)
+        with AttributionClient(
+            options.connect,
+            timeout=options.timeout,
+            auth_token=options.auth_token,
+        ) as client:
+            target: object = database
+            if delta is not None:
+                target = client.update_database(database, delta=delta)
+            batch = client.answers(target, options.query, requested, exogenous)
             if options.stats or options.json:
                 stats = client.stats()
     else:
+        if delta is not None:
+            from repro.engine.delta import apply_delta
+
+            database = apply_delta(database, delta)
         engine = _make_engine(options)
         batch = engine.batch_answers(database, query, requested, exogenous)
         if options.json:
@@ -379,7 +435,8 @@ def _cmd_serve(options: argparse.Namespace) -> int:
 
     engine = _make_engine(options)
     address = options.socket if options.socket else options.tcp
-    daemon = AttributionDaemon(address, engine=engine)
+    auth_token = options.auth_token or os.environ.get("REPRO_AUTH_TOKEN") or None
+    daemon = AttributionDaemon(address, engine=engine, auth_token=auth_token)
 
     def _stop(signum: int, frame: object) -> None:
         raise SystemExit(0)
@@ -516,6 +573,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="print one machine-readable JSON document (exact"
         " numerator/denominator pairs plus the per-layer stats block)",
     )
+    p_batch.add_argument(
+        "--update",
+        metavar="DELTA.json",
+        help="apply a fact-level delta (add_endogenous/add_exogenous/remove"
+        " rows) before computing; with --connect the delta travels as one"
+        " db_update against the uploaded handle",
+    )
+    p_batch.add_argument(
+        "--auth-token",
+        metavar="TOKEN",
+        default=None,
+        help="auth token for a guarded TCP daemon with --connect"
+        " (default: REPRO_AUTH_TOKEN)",
+    )
     p_batch.set_defaults(handler=_cmd_batch)
 
     p_answers = commands.add_parser(
@@ -588,6 +659,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="print one machine-readable JSON document (exact"
         " numerator/denominator pairs plus the per-layer stats block)",
     )
+    p_answers.add_argument(
+        "--update",
+        metavar="DELTA.json",
+        help="apply a fact-level delta (add_endogenous/add_exogenous/remove"
+        " rows) before computing; with --connect the delta travels as one"
+        " db_update against the uploaded handle",
+    )
+    p_answers.add_argument(
+        "--auth-token",
+        metavar="TOKEN",
+        default=None,
+        help="auth token for a guarded TCP daemon with --connect"
+        " (default: REPRO_AUTH_TOKEN)",
+    )
     p_answers.set_defaults(handler=_cmd_answers)
 
     p_serve = commands.add_parser(
@@ -612,6 +697,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="shard the daemon's engine across N worker processes",
+    )
+    p_serve.add_argument(
+        "--auth-token",
+        metavar="TOKEN",
+        default=None,
+        help="require this token on every frame of a --tcp listener"
+        " (constant-time compare; default: REPRO_AUTH_TOKEN; Unix"
+        " sockets ignore it)",
     )
     p_serve.set_defaults(handler=_cmd_serve)
 

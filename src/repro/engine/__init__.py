@@ -37,6 +37,14 @@ Architecture (plan/execute engine, PR 3)
   ``max_entries``/``max_bytes`` LRU eviction) are interchangeable behind
   :class:`ResultStore`, and compose into a :class:`TieredResultStore`
   with read-through promotion.
+* The engine is **delta-aware** (:mod:`repro.engine.delta`,
+  PR 5): store keys cover only a request's query-relevant facts, so a
+  fact insertion/deletion/flip (:class:`DatabaseDelta`,
+  :func:`database_delta`/:func:`apply_delta`) invalidates exactly the
+  requests and Gaifman components it touches — everything else is
+  served across database versions, bit-identically, with the engine's
+  ``stats["delta"]`` reporting versions seen, null players zero-filled,
+  and components reused vs recomputed.
 
 The component-convolution trick
 -------------------------------
@@ -114,6 +122,16 @@ from repro.engine.core import (
     environment_problems,
     reset_default_engine,
 )
+from repro.engine.delta import (
+    DatabaseDelta,
+    DeltaStats,
+    apply_delta,
+    database_delta,
+    delta_from_dict,
+    delta_to_dict,
+    delta_touches_query,
+    dirty_components,
+)
 from repro.engine.executors import (
     Executor,
     ExecutorStats,
@@ -127,6 +145,7 @@ from repro.engine.fingerprint import (
     fingerprint_grounding,
     fingerprint_query,
     fingerprint_request,
+    relevant_facts,
 )
 from repro.engine.persistent import PersistentResultCache, digest_key
 from repro.engine.plan import (
@@ -140,6 +159,8 @@ from repro.engine.plan import (
 from repro.engine.results import (
     AnswerBatchResult,
     BatchResult,
+    inflate_result,
+    project_result,
     result_from_vectors,
 )
 from repro.engine.stores import (
@@ -157,6 +178,8 @@ __all__ = [
     "BundleTask",
     "CacheStats",
     "CountBundle",
+    "DatabaseDelta",
+    "DeltaStats",
     "Executor",
     "ExecutorStats",
     "GroundingTask",
@@ -170,12 +193,18 @@ __all__ = [
     "SerialExecutor",
     "ShardedExecutor",
     "TieredResultStore",
+    "apply_delta",
     "batch_count_vectors",
     "build_plan",
     "bundle_for_component",
+    "database_delta",
     "default_engine",
+    "delta_from_dict",
+    "delta_to_dict",
+    "delta_touches_query",
     "derive_with_vector",
     "digest_key",
+    "dirty_components",
     "environment_problems",
     "execute_grounding_task",
     "fingerprint_component",
@@ -183,6 +212,9 @@ __all__ = [
     "fingerprint_grounding",
     "fingerprint_query",
     "fingerprint_request",
+    "inflate_result",
+    "project_result",
+    "relevant_facts",
     "reset_default_engine",
     "result_from_vectors",
     "top_level_components",

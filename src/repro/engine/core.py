@@ -42,6 +42,7 @@ from repro.core.database import Database
 from repro.core.facts import Constant, Fact
 from repro.core.query import BooleanQuery, ConjunctiveQuery
 from repro.engine.cache import BundlePool, CacheStats, LRUCache
+from repro.engine.delta import DeltaStats
 from repro.engine.executors import (
     Executor,
     ExecutorStats,
@@ -49,7 +50,7 @@ from repro.engine.executors import (
     ShardedExecutor,
 )
 from repro.engine.plan import Plan, PlanRequest, PlanStats, build_plan
-from repro.engine.results import AnswerBatchResult, BatchResult
+from repro.engine.results import AnswerBatchResult, BatchResult, project_result
 from repro.engine.stores import MemoryResultStore, ResultStore, TieredResultStore
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
@@ -171,6 +172,12 @@ class BatchAttributionEngine:
         self.executor = executor
         self.planner_stats = PlanStats()
         self.executor_stats = ExecutorStats(processes=self.executor.jobs)
+        self.delta_stats = DeltaStats()
+        # Distinct database fingerprints served, for version accounting.
+        # Bounded: past the cap new versions stop being *counted* as new,
+        # which only ever under-reports versions_seen.
+        self._versions: set[tuple] = set()
+        self._versions_cap = 1024
 
     # ------------------------------------------------------------------
     # Public API
@@ -196,6 +203,7 @@ class BatchAttributionEngine:
         coincide.  ``pool`` lets an answer batch share component bundles
         across groundings (see :meth:`batch_answers`).
         """
+        version = self._note_version(database)
         plan = build_plan(
             database,
             [PlanRequest(query, grounding)],
@@ -203,12 +211,13 @@ class BatchAttributionEngine:
             allow_brute_force=allow_brute_force,
             store=self.store,
             include_bundles=self.executor.jobs > 1,
+            bundle_cache=pool if pool is not None else self.component_cache,
         )
-        self.planner_stats.merge(plan.stats)
+        self._note_plan(plan)
         planned = plan.requests[0]
         if planned.node_id is None:
             return self._public(plan.satisfied[planned.key], from_cache=True)
-        results = self._execute(plan, pool)
+        results = self._execute(plan, pool, version)
         return self._public(results[planned.node_id], from_cache=False)
 
     def batch_answers(
@@ -247,6 +256,7 @@ class BatchAttributionEngine:
                 requests.append(PlanRequest(None, answer, inconsistent=True))
             else:
                 requests.append(PlanRequest(ground_at_answer(query, answer), answer))
+        version = self._note_version(database)
         plan = build_plan(
             database,
             requests,
@@ -254,10 +264,11 @@ class BatchAttributionEngine:
             allow_brute_force=allow_brute_force,
             store=self.store,
             include_bundles=self.executor.jobs > 1,
+            bundle_cache=self.component_cache,
         )
-        self.planner_stats.merge(plan.stats)
+        self._note_plan(plan)
         pool = BundlePool(self.component_cache)
-        results = self._execute(plan, pool)
+        results = self._execute(plan, pool, version)
         per_answer: dict[tuple[Constant, ...], BatchResult] = {}
         for planned in plan.requests:
             if planned.node_id is None:
@@ -269,14 +280,56 @@ class BatchAttributionEngine:
             )
         return AnswerBatchResult(per_answer, pool.stats.snapshot())
 
-    def _execute(self, plan: Plan, pool: BundlePool | None) -> dict[tuple, BatchResult]:
-        """Run a plan's tasks and write fresh results back to the store."""
+    def _note_version(self, database: Database) -> tuple:
+        """Count distinct database fingerprints for the delta accounting.
+
+        Returns the version fingerprint so each public call computes it
+        exactly once (``_execute`` reuses it for the persistent store's
+        writer tag instead of re-sorting the whole fact set).
+        """
+        from repro.engine.fingerprint import fingerprint_database
+
+        version = fingerprint_database(database)
+        if version not in self._versions and len(self._versions) < self._versions_cap:
+            self._versions.add(version)
+            self.delta_stats.versions_seen += 1
+        return version
+
+    def _note_plan(self, plan: Plan) -> None:
+        """Fold one plan's accounting into the engine-level counters."""
+        self.planner_stats.merge(plan.stats)
+        self.delta_stats.facts_zero_filled += plan.zero_filled
+
+    def _execute(
+        self, plan: Plan, pool: BundlePool | None, version: tuple | None = None
+    ) -> dict[tuple, BatchResult]:
+        """Run a plan's tasks and write fresh results back to the store.
+
+        Fresh results are stored as their *projection* to the request's
+        relevant endogenous facts, under the relevance-scoped key — the
+        form every database version can inflate back from.  When a
+        persistent store is attached, entries are tagged with the
+        database ``version`` fingerprint that wrote them so superseded
+        versions can be retired (evicted first) later.
+        """
         cache = pool if pool is not None else self.component_cache
+        if self.persistent is not None and version is not None:
+            from repro.engine.persistent import digest_key
+
+            self.persistent.writer_version = digest_key(version)
+        reused_before = cache.stats.hits
+        dirty_before = cache.stats.misses
         results, stats = self.executor.execute(plan, cache)
         self.executor_stats.merge(stats)
+        self.delta_stats.components_reused += cache.stats.hits - reused_before
+        self.delta_stats.components_dirty += (
+            cache.stats.misses - dirty_before + stats.bundle_tasks
+        )
         for task in plan.tasks:
             if task.key is not None:
-                self.store.put(task.key, results[task.node_id])
+                self.store.put(
+                    task.key, project_result(results[task.node_id], task.relevant)
+                )
         return results
 
     @staticmethod
@@ -335,11 +388,13 @@ class BatchAttributionEngine:
     ) -> tuple:
         """The canonical plan fingerprint of one :meth:`batch` request.
 
-        Exactly the key the planner uses for its result nodes, so two
-        requests share a fingerprint if and only if the engine would
-        serve them from the same store entry — which is what makes it
-        the right key for in-flight request coalescing in
-        :mod:`repro.server.registry`.
+        Exactly the key the planner uses for its result nodes.  Since the
+        delta-aware refactor this key is *relevance-scoped*: two database
+        versions whose relevant slices coincide share it.  A coalescing
+        layer must therefore pin the version alongside it — the daemon
+        adds the content-addressed handle to every coalescing key — so
+        that a leader's response (which carries one version's full fact
+        set) is never shared across versions.
         """
         from repro.engine.fingerprint import fingerprint_request
 
@@ -428,7 +483,26 @@ class BatchAttributionEngine:
             counters["store"] = self.store.stats.snapshot()
         counters["planner"] = self.planner_stats.snapshot()
         counters["executor"] = self.executor_stats.snapshot()
+        counters["delta"] = self.delta_stats.snapshot()
         return counters
+
+    def retire_version(self, database: Database) -> int:
+        """Mark a superseded database version's persistent entries stale.
+
+        Called by the serving layer when ``database`` is replaced by a
+        successor (``db_update``): entries the version wrote are
+        back-dated so bounded-cache eviction takes them first.  Entries
+        still valid across the delta re-earn their stamp on their next
+        hit; live-version hot entries are never pushed out by stale
+        ones.  Returns the number of entries retired (0 without a
+        persistent store).
+        """
+        if self.persistent is None:
+            return 0
+        from repro.engine.fingerprint import fingerprint_database
+        from repro.engine.persistent import digest_key
+
+        return self.persistent.retire(digest_key(fingerprint_database(database)))
 
     def clear(self) -> None:
         """Drop all cached entries (statistics are kept).

@@ -10,6 +10,18 @@ canonicalize both:
   collide, as they should);
 * fact sets are sorted, so insertion order never splits cache entries.
 
+Since the delta-aware refactor (PR 5) the *request* fingerprint is also
+**relevance-scoped**: only facts that can match some atom of the query —
+same relation and arity, constants agreeing positionally, repeated
+variables satisfiable — are key material.  A fact outside that slice is a
+*null player* (it can never influence satisfaction under any endogenous
+subset, so its Shapley and Banzhaf values are zero and, by dummy
+invariance, it does not perturb any other fact's value).  Two database
+versions that differ only in irrelevant facts therefore share one store
+entry, which is what lets the engine follow a mutating database: a fact
+delta only invalidates the requests — and, one level down, the Gaifman
+components — it actually touches.
+
 Every fingerprint is a hashable tuple tree, usable directly as an
 :class:`repro.engine.cache.LRUCache` key.
 """
@@ -126,26 +138,77 @@ def fingerprint_grounding(answer: tuple[Constant, ...]) -> tuple:
     )
 
 
+def query_atoms(query: BooleanQuery) -> tuple[Atom, ...]:
+    """Every atom a query can map onto facts (all disjuncts for a UCQ)."""
+    if isinstance(query, UnionQuery):
+        return tuple(atom for disjunct in query.disjuncts for atom in disjunct.atoms)
+    return tuple(query.atoms)
+
+
+def relevant_facts(
+    database: Database, query: BooleanQuery
+) -> tuple[frozenset[Fact], frozenset[Fact]]:
+    """The ``(endogenous, exogenous)`` facts that can influence ``query``.
+
+    A fact is *relevant* when some atom of the query matches it
+    (:meth:`repro.core.query.Atom.matches`): same relation and arity,
+    constants agreeing positionally, repeated variables satisfiable.
+    Everything else is a null player — it can never witness or block an
+    atom under any assignment, so satisfaction (and hence every count
+    vector and attribution value) is a function of the relevant slice
+    alone.  The test is deliberately conservative under cross-type
+    equality (``1 == True``): a fact is only ever *included* spuriously,
+    which shrinks reuse but can never corrupt a result.
+    """
+    atoms_by_relation: dict[str, list[Atom]] = {}
+    for atom in query_atoms(query):
+        atoms_by_relation.setdefault(atom.relation, []).append(atom)
+
+    def matched(item: Fact) -> bool:
+        return any(
+            atom.matches(item) for atom in atoms_by_relation.get(item.relation, ())
+        )
+
+    return (
+        frozenset(item for item in database.endogenous if matched(item)),
+        frozenset(item for item in database.exogenous if matched(item)),
+    )
+
+
 def fingerprint_request(
     database: Database,
     query: BooleanQuery,
     exogenous_relations: Iterable[str] | None,
     grounding: tuple[Constant, ...] | None = None,
+    relevant: tuple[frozenset[Fact], frozenset[Fact]] | None = None,
 ) -> tuple:
-    """Cache key for a whole batch request.
+    """Cache key for a whole batch request, scoped to the relevant slice.
+
+    Only the facts of :func:`relevant_facts` are key material, so two
+    database *versions* that differ in irrelevant facts share one store
+    entry — the cross-version reuse at the heart of the delta-aware
+    engine.  Stored values are accordingly the *projection* of the result
+    to the relevant facts (see
+    :func:`repro.engine.results.project_result`); the planner zero-fills
+    the current version's irrelevant endogenous facts on every hit.
 
     ``grounding`` carries the head constants when ``query`` was obtained
     by grounding a non-Boolean query at an answer tuple (see
     :func:`fingerprint_grounding`); ``None`` marks a plain Boolean
-    request.
+    request.  ``relevant`` lets callers that already computed the
+    relevant slice (the planner) skip recomputing it.
     """
+    if relevant is None:
+        relevant = relevant_facts(database, query)
+    endogenous, exogenous = relevant
     relations = (
         None
         if exogenous_relations is None
         else tuple(sorted(exogenous_relations))
     )
     return (
-        fingerprint_database(database),
+        "relevant",
+        (fingerprint_facts(endogenous), fingerprint_facts(exogenous)),
         fingerprint_query(query),
         relations,
         None if grounding is None else fingerprint_grounding(grounding),
@@ -160,4 +223,6 @@ __all__ = [
     "fingerprint_grounding",
     "fingerprint_query",
     "fingerprint_request",
+    "query_atoms",
+    "relevant_facts",
 ]

@@ -29,6 +29,14 @@ Design points:
   entry's access stamp (its mtime), each write enforces the caps by
   unlinking the stalest entries; both are best effort and never break a
   concurrent reader, which at worst misses and recomputes.
+* **Version-aware**: entries record the database version (full-database
+  fingerprint digest) that wrote them; :meth:`PersistentResultCache.retire`
+  back-dates a superseded version's entries so they are evicted *first*
+  under ``max_entries``/``max_bytes`` pressure — live-version hot
+  entries are never pushed out by stale ones.  An entry that is still
+  valid across the update (the relevance-scoped keys of
+  :mod:`repro.engine.fingerprint` survive irrelevant deltas) re-earns
+  its stamp on its next hit.
 
 Usage::
 
@@ -55,7 +63,14 @@ from repro.engine.cache import CacheStats
 from repro.engine.results import BatchResult
 from repro.io import attribution_from_rows, attribution_to_rows, write_json_atomic
 
-FORMAT_VERSION = 1
+#: Bumped to 2 with the delta-aware engine: values are now the
+#: *projection* of a result to its query-relevant facts (inflated back
+#: per database version on read) and carry the writer's version digest.
+FORMAT_VERSION = 2
+
+#: Access stamp given to retired (superseded-version) entries: far in
+#: the past, so LRU eviction drains them before any live entry.
+RETIRED_STAMP = 1.0
 
 
 def _encode(obj: Any) -> Any:
@@ -115,6 +130,10 @@ class PersistentResultCache:
         self.max_entries = max_entries
         self.max_bytes = max_bytes
         self.stats = CacheStats()
+        # The database version (full-database fingerprint digest) whose
+        # results are currently being written; the engine sets this per
+        # execution so :meth:`retire` can target a superseded version.
+        self.writer_version: str | None = None
         # Approximate occupancy, maintained incrementally so a bounded
         # cache does not pay a full directory scan on every write; a real
         # scan re-syncs them whenever a cap is (apparently) crossed.
@@ -174,6 +193,8 @@ class PersistentResultCache:
             "shapley": shapley,
             "banzhaf": banzhaf,
         }
+        if self.writer_version is not None:
+            payload["writer"] = self.writer_version
         path = self._path(key)
         if not write_json_atomic(path, payload):
             return False
@@ -250,6 +271,30 @@ class PersistentResultCache:
         self._approx_entries = len(entries)
         self._approx_bytes = total_bytes
 
+    def retire(self, version: str) -> int:
+        """Back-date every entry written by ``version``; returns the count.
+
+        Retired entries keep serving hits (a hit re-bumps their stamp,
+        making them live again), but under ``max_entries``/``max_bytes``
+        pressure they are the first to go — superseded-version leftovers
+        can never push a live version's hot entries out.  Best effort:
+        unreadable entries and concurrent unlinks are skipped.
+        """
+        retired = 0
+        for path in self.directory.glob("*.json"):
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            if not isinstance(payload, dict) or payload.get("writer") != version:
+                continue
+            try:
+                os.utime(path, (RETIRED_STAMP, RETIRED_STAMP))
+            except OSError:
+                continue
+            retired += 1
+        return retired
+
     def clear(self) -> None:
         """Remove every entry of the current format version."""
         for path in self.directory.glob("*.json"):
@@ -259,4 +304,4 @@ class PersistentResultCache:
                 pass
 
 
-__all__ = ["FORMAT_VERSION", "PersistentResultCache", "digest_key"]
+__all__ = ["FORMAT_VERSION", "PersistentResultCache", "RETIRED_STAMP", "digest_key"]

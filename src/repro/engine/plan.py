@@ -19,10 +19,21 @@ computed, and nothing that computes one:
    share a component share the *same* bundle node — the DAG encodes the
    cross-grounding sharing that :class:`repro.engine.cache.BundlePool`
    realizes at execution time.
-3. **Store pruning**: plan nodes whose request key is already satisfied
-   by the engine's :class:`repro.engine.stores.ResultStore` are pruned
-   from the executable plan and recorded in :attr:`Plan.satisfied`;
-   executors never see them.
+3. **Store pruning, across versions**: plan nodes whose request key is
+   already satisfied by the engine's
+   :class:`repro.engine.stores.ResultStore` are pruned from the
+   executable plan and recorded in :attr:`Plan.satisfied`; executors
+   never see them.  Keys are *relevance-scoped*
+   (:func:`repro.engine.fingerprint.fingerprint_request`), so a request
+   whose relevant slice a database delta did not touch is pruned even
+   against a different database version — the stored core result is
+   inflated back to this version's endogenous fact set
+   (:func:`repro.engine.results.inflate_result`).
+4. **Bundle-reuse accounting**: when a ``bundle_cache`` is supplied,
+   bundle nodes whose component fingerprint is already warm are counted
+   as reused (``PlanStats.bundles_reused``) — the executor will satisfy
+   them from the cache instead of recomputing, which is how a delta's
+   *clean* components are skipped.
 
 Executors (:mod:`repro.engine.executors`) consume the plan; they are
 free to run independent nodes in any order — or in different processes —
@@ -42,11 +53,12 @@ from repro.core.hierarchy import is_hierarchical
 from repro.core.paths import has_non_hierarchical_path
 from repro.core.query import BooleanQuery, ConjunctiveQuery
 from repro.engine.bundles import top_level_components
-from repro.engine.fingerprint import fingerprint_request
-from repro.engine.results import BatchResult
+from repro.engine.fingerprint import fingerprint_request, relevant_facts
+from repro.engine.results import BatchResult, inflate_result
 from repro.shapley.brute_force import MAX_BRUTE_FORCE_PLAYERS
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.engine.executors import BundleCache
     from repro.engine.stores import ResultStore
 
 #: Node-id tag for per-component bundle tasks.
@@ -97,6 +109,9 @@ class GroundingTask:
     database: Database | None
     query: BooleanQuery | None
     dependencies: tuple[tuple, ...] = ()
+    #: The request's relevant endogenous facts — the projection the
+    #: engine stores under the (relevance-scoped) key after execution.
+    relevant: frozenset = frozenset()
 
 
 @dataclass(frozen=True)
@@ -121,20 +136,29 @@ class PlanStats:
     planned: int = 0
     pruned: int = 0
     bundles: int = 0
+    bundles_reused: int = 0
 
     def merge(self, other: "PlanStats") -> None:
         self.requested += other.requested
         self.planned += other.planned
         self.pruned += other.pruned
         self.bundles += other.bundles
+        self.bundles_reused += other.bundles_reused
 
     def snapshot(self) -> "PlanStats":
-        return PlanStats(self.requested, self.planned, self.pruned, self.bundles)
+        return PlanStats(
+            self.requested,
+            self.planned,
+            self.pruned,
+            self.bundles,
+            self.bundles_reused,
+        )
 
     def __repr__(self) -> str:
         return (
             f"PlanStats(requested={self.requested}, planned={self.planned},"
-            f" pruned={self.pruned}, bundles={self.bundles})"
+            f" pruned={self.pruned}, bundles={self.bundles},"
+            f" bundles_reused={self.bundles_reused})"
         )
 
 
@@ -155,6 +179,11 @@ class Plan:
     bundles: dict[tuple, BundleTask] = field(default_factory=dict)
     satisfied: dict[tuple, BatchResult] = field(default_factory=dict)
     stats: PlanStats = field(default_factory=PlanStats)
+    #: Endogenous null players zero-filled while inflating store hits.
+    #: Any relevance-scoped hit whose request has irrelevant endogenous
+    #: facts counts here — same-version or cross-version alike (the
+    #: engine folds this into its delta stats).
+    zero_filled: int = 0
 
 
 def _dispatch(
@@ -209,6 +238,7 @@ def build_plan(
     allow_brute_force: bool = True,
     store: "ResultStore | None" = None,
     include_bundles: bool = True,
+    bundle_cache: "BundleCache | None" = None,
 ) -> Plan:
     """Plan a batch request: dispatch, node construction, store pruning.
 
@@ -217,11 +247,21 @@ def build_plan(
     surface here, before any execution; a returned plan only contains
     work the dichotomy sanctioned.
 
+    Request keys are relevance-scoped, so store pruning works **across
+    database versions**: a delta that leaves a request's relevant slice
+    untouched leaves its key (and hence its store entry) intact, and the
+    stored core result is inflated back to this version's endogenous
+    fact set here, at plan time.
+
     ``include_bundles=False`` skips materializing the per-component
     bundle nodes.  Only a sharding executor consumes them (the serial
     recursion re-derives the same components and keys internally), so
     the engine disables them for single-process backends rather than pay
     the top-level restriction/fingerprint pass twice per grounding.
+    ``bundle_cache`` (when given alongside bundle nodes) is only
+    consulted — never mutated — to count how many bundle nodes are
+    already warm (``stats.bundles_reused``): the delta-scoped pruning
+    signal for clean components.
     """
     plan = Plan()
     plan.stats.requested = len(requests)
@@ -237,8 +277,13 @@ def build_plan(
                 plan.stats.planned += 1
             plan.requests.append(PlannedRequest(request, None, node_id))
             continue
+        relevant = relevant_facts(database, request.query)
         key = fingerprint_request(
-            database, request.query, exogenous_relations, request.grounding
+            database,
+            request.query,
+            exogenous_relations,
+            request.grounding,
+            relevant=relevant,
         )
         if key in plan.satisfied:
             plan.requests.append(PlannedRequest(request, key, None))
@@ -257,7 +302,9 @@ def build_plan(
                     f" and brute force over {cached.player_count} endogenous"
                     " facts is disabled"
                 )
-            plan.satisfied[key] = cached
+            inflated, filled = inflate_result(cached, database.endogenous)
+            plan.zero_filled += filled
+            plan.satisfied[key] = inflated
             plan.stats.pruned += 1
             plan.requests.append(PlannedRequest(request, key, None))
             continue
@@ -270,6 +317,11 @@ def build_plan(
                 bundle_id = (BUNDLE, fingerprint)
                 if bundle_id not in plan.bundles:
                     plan.bundles[bundle_id] = BundleTask(bundle_id, fingerprint, scope)
+                    if (
+                        bundle_cache is not None
+                        and bundle_cache.peek(fingerprint) is not None
+                    ):
+                        plan.stats.bundles_reused += 1
                 dependencies.append(bundle_id)
         seen.add(node_id)
         plan.tasks.append(
@@ -280,6 +332,7 @@ def build_plan(
                 count_database,
                 count_query,
                 tuple(dependencies),
+                relevant=relevant[0],
             )
         )
         plan.stats.planned += 1

@@ -101,6 +101,49 @@ def aggregate_spec(
     raise ValueError(f"aggregate must be 'count' or 'sum', got {kind!r}")
 
 
+def project_result(result: BatchResult, relevant: frozenset[Fact]) -> BatchResult:
+    """The restriction of a result to its query-relevant endogenous facts.
+
+    This is the *stored* form under the relevance-scoped request keys of
+    :func:`repro.engine.fingerprint.fingerprint_request`: facts outside
+    the relevant slice are null players with provably zero values, so
+    dropping them is lossless — :func:`inflate_result` zero-fills any
+    version's irrelevant facts back in on a hit.  ``player_count``
+    becomes the relevant-player count, the version-stable quantity.
+    """
+    shapley = {
+        item: value for item, value in result.shapley.items() if item in relevant
+    }
+    banzhaf = {
+        item: value for item, value in result.banzhaf.items() if item in relevant
+    }
+    return BatchResult(shapley, banzhaf, result.method, len(shapley))
+
+
+def inflate_result(
+    core: BatchResult, endogenous: frozenset[Fact]
+) -> tuple[BatchResult, int]:
+    """A stored core result widened to a concrete database version.
+
+    Every endogenous fact of the current version missing from the core
+    mapping is a null player for this request and gets an exact zero;
+    ``player_count`` becomes the version's total.  Returns the widened
+    result and how many facts were zero-filled (surfaced in
+    :class:`repro.engine.delta.DeltaStats` — any relevance-scoped hit
+    with irrelevant endogenous facts fills, same-version or cross).
+    Shapley and Banzhaf dummy invariance make the widened values
+    bit-identical to a cold recomputation on this version.
+    """
+    zero = Fraction(0)
+    shapley = {item: core.shapley.get(item, zero) for item in endogenous}
+    banzhaf = {item: core.banzhaf.get(item, zero) for item in endogenous}
+    filled = len(endogenous) - len(core.shapley)
+    return (
+        BatchResult(shapley, banzhaf, core.method, len(endogenous)),
+        max(0, filled),
+    )
+
+
 def result_from_vectors(vectors: BatchVectors, method: str) -> BatchResult:
     """Lemma 3.2 assembly: weighted sums of the per-fact vector deltas.
 
@@ -129,5 +172,7 @@ __all__ = [
     "AnswerBatchResult",
     "BatchResult",
     "aggregate_spec",
+    "inflate_result",
+    "project_result",
     "result_from_vectors",
 ]

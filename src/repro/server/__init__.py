@@ -19,12 +19,17 @@ Layers::
   request/response envelopes, structured error frames that round-trip
   :class:`~repro.core.errors.IntractableQueryError` and parse errors.
 * :mod:`repro.server.registry` — upload a database once (``db_load`` →
-  content-addressed handle), then query the handle; concurrent identical
-  requests coalesce onto one computation, keyed by the engine's
-  canonical plan fingerprints.
+  content-addressed handle), then query the handle — or evolve it with a
+  fact-level delta (``db_update`` → successor handle; the registry keeps
+  a bounded version chain per lineage); concurrent identical requests
+  coalesce onto one computation, keyed by the engine's canonical plan
+  fingerprints *plus the handle*, so coalescing never crosses database
+  versions.
 * :mod:`repro.server.daemon` — the serving loop; survives malformed
   frames and mid-request disconnects, stops cleanly on ``shutdown`` or
-  SIGTERM.
+  SIGTERM; TCP listeners optionally require an auth token
+  (``--auth-token`` / ``REPRO_AUTH_TOKEN``, constant-time compare —
+  Unix sockets are unaffected).
 * :mod:`repro.server.client` — :class:`AttributionClient`, returning the
   same exact-``Fraction`` result objects as an in-process engine.
 
@@ -37,6 +42,7 @@ from repro.server.daemon import AttributionDaemon
 from repro.server.protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
+    AuthenticationError,
     ProtocolError,
     ServerError,
     UnknownHandleError,
@@ -51,6 +57,7 @@ from repro.server.registry import (
 __all__ = [
     "AttributionClient",
     "AttributionDaemon",
+    "AuthenticationError",
     "CoalescerStats",
     "DatabaseRegistry",
     "InFlightCoalescer",

@@ -35,6 +35,7 @@ Usage::
 from __future__ import annotations
 
 import itertools
+import os
 import socket
 import time
 from collections import OrderedDict
@@ -44,6 +45,7 @@ from typing import Any, Iterable, Mapping
 from repro.core.database import Database
 from repro.core.facts import Constant, Fact
 from repro.core.query import ConjunctiveQuery
+from repro.engine.delta import DatabaseDelta, delta_to_dict
 from repro.io import (
     attribution_from_rows,
     batch_result_from_dict,
@@ -84,11 +86,20 @@ class AttributionClient:
         timeout: float | None = 30.0,
         connect_retries: int = 40,
         retry_interval: float = 0.05,
+        auth_token: str | None = None,
     ) -> None:
         self.kind, self.location = parse_address(address)
         self.timeout = timeout
         self.connect_retries = connect_retries
         self.retry_interval = retry_interval
+        # A token-guarded TCP daemon requires every frame to carry the
+        # token; REPRO_AUTH_TOKEN is the same env var the daemon reads,
+        # so one exported variable configures both ends.
+        self.auth_token = (
+            auth_token
+            if auth_token is not None
+            else os.environ.get("REPRO_AUTH_TOKEN") or None
+        )
         self.last_response: dict[str, Any] | None = None
         self._socket: socket.socket | None = None
         self._stream = None
@@ -201,6 +212,8 @@ class AttributionClient:
         self.connect()
         assert self._stream is not None
         request_id = next(self._ids)
+        if self.auth_token is not None:
+            params = {**params, "auth": self.auth_token}
         write_frame(self._stream, request(op, request_id, **params))
         try:
             response = read_frame(self._stream)
@@ -257,6 +270,40 @@ class AttributionClient:
         while len(self._handles) > self.MAX_CACHED_HANDLES:
             self._handles.popitem(last=False)
         return handle
+
+    def update_database(
+        self,
+        database: Database | str,
+        adds: Iterable[Fact] = (),
+        removes: Iterable[Fact] = (),
+        exogenous_adds: Iterable[Fact] = (),
+        delta: DatabaseDelta | None = None,
+    ) -> str:
+        """Apply a fact-level delta server-side; returns the successor handle.
+
+        ``database`` is a handle string or a database object (uploaded at
+        most once, with the usual transparent re-upload on a stale cached
+        handle).  Either pass a prebuilt
+        :class:`~repro.engine.delta.DatabaseDelta` via ``delta`` or spell
+        the edit out: ``adds`` become endogenous facts, ``exogenous_adds``
+        exogenous ones, ``removes`` are deleted outright (re-adding an
+        existing fact on the other side flips it).  The daemon keeps the
+        base version queryable in a bounded version chain; the returned
+        handle addresses the successor.
+        """
+        if delta is None:
+            delta = DatabaseDelta(
+                added_endogenous=frozenset(adds),
+                added_exogenous=frozenset(exogenous_adds),
+                removed=frozenset(removes),
+            )
+        result = self._with_handle(
+            database,
+            lambda handle: self.call(
+                "db_update", db=handle, delta=delta_to_dict(delta)
+            ),
+        )
+        return str(result["handle"])
 
     def _handle_for(self, database: Database | str) -> str:
         if isinstance(database, str):

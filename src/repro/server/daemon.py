@@ -26,6 +26,18 @@ client that disconnects mid-request costs nothing but the computed result
 (the engine and every other connection are untouched, and the result is
 warm in the store for whoever asks next).
 
+Live databases: ``db_update`` applies a fact-level delta against a
+loaded handle (bounded version chains in the registry, superseded
+persistent entries retired), and the delta-aware engine re-executes only
+the dirty slice — see :mod:`repro.engine.delta`.
+
+Hardening: a TCP listener may require an auth token (``--auth-token`` /
+``REPRO_AUTH_TOKEN``); every frame is checked with a constant-time
+compare and rejected frames get a typed
+:class:`~repro.server.protocol.AuthenticationError` error frame.
+Unix-domain sockets rely on filesystem permissions and never
+authenticate.
+
 Lifecycle: ``shutdown`` (the protocol op) and SIGTERM (installed by
 ``python -m repro serve``) both stop the accept loop cleanly;
 :meth:`AttributionDaemon.close` releases the socket and unlinks the
@@ -34,6 +46,7 @@ Unix-socket path.
 
 from __future__ import annotations
 
+import hmac
 import os
 import socketserver
 import threading
@@ -41,9 +54,11 @@ from typing import Any, Callable
 
 from repro.core.parser import parse_query
 from repro.engine.core import BatchAttributionEngine
+from repro.engine.delta import delta_from_dict
 from repro.io import batch_result_to_dict, database_from_dict
 from repro.server.protocol import (
     PROTOCOL_VERSION,
+    AuthenticationError,
     ProtocolError,
     error_response,
     format_address,
@@ -107,6 +122,21 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
                 break
             if payload is None:
                 break
+            if not daemon.authorized(payload):
+                # Unauthenticated TCP frames get a typed error frame and
+                # never reach dispatch — not even for ping or shutdown.
+                daemon.count("errors")
+                daemon.count("requests")
+                rejected = error_response(
+                    payload.get("id"),
+                    AuthenticationError(
+                        "this daemon requires an auth token: pass auth_token"
+                        " to AttributionClient (or set REPRO_AUTH_TOKEN)"
+                    ),
+                )
+                if not self._try_write(rejected):
+                    break
+                continue
             response, stop = daemon.dispatch(payload)
             if not self._try_write(response):
                 # The client vanished mid-request.  The work is done and
@@ -158,12 +188,17 @@ class AttributionDaemon:
         engine: BatchAttributionEngine | None = None,
         registry: DatabaseRegistry | None = None,
         max_databases: int = 64,
+        auth_token: str | None = None,
     ) -> None:
         self.kind, self.location = parse_address(address)
         self.engine = engine if engine is not None else BatchAttributionEngine()
         self.registry = (
             registry if registry is not None else DatabaseRegistry(max_databases)
         )
+        # Only the TCP listener authenticates: a Unix socket is already
+        # guarded by filesystem permissions, and requiring a token there
+        # would break every local workflow for zero security gain.
+        self.auth_token = auth_token if self.kind == "tcp" else None
         self.coalescer = InFlightCoalescer()
         self.requests = 0
         self.errors = 0
@@ -251,6 +286,23 @@ class AttributionDaemon:
         with self._counter_lock:
             setattr(self, name, getattr(self, name) + 1)
 
+    def authorized(self, payload: dict[str, Any]) -> bool:
+        """Does this request frame clear the listener's auth policy?
+
+        Unix sockets and token-less daemons accept everything; a TCP
+        daemon with a token requires every frame to carry a matching
+        ``auth`` field, compared constant-time so the check leaks no
+        prefix-length timing signal.
+        """
+        if self.auth_token is None:
+            return True
+        presented = payload.get("auth")
+        if not isinstance(presented, str):
+            return False
+        return hmac.compare_digest(
+            presented.encode("utf-8"), self.auth_token.encode("utf-8")
+        )
+
     # ------------------------------------------------------------------
     # Request dispatch
     # ------------------------------------------------------------------
@@ -305,6 +357,35 @@ class AttributionDaemon:
             "exogenous": len(database.exogenous),
         }
 
+    def _op_db_update(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Apply a fact-level delta against a loaded handle.
+
+        The base version stays queryable (other clients may hold its
+        handle, and the registry's version chain is what bounds how many
+        versions accumulate); its persistent store entries are retired so
+        bounded caches drain superseded results first.
+        """
+        handle = str(payload.get("db"))
+        document = payload.get("delta")
+        if not isinstance(document, dict):
+            raise ProtocolError("db_update needs a 'delta' JSON object")
+        delta = delta_from_dict(document)
+        successor_handle, base, successor = self.registry.update(handle, delta)
+        if successor_handle != handle:
+            # A no-op delta supersedes nothing — retiring would back-date
+            # the *live* version's own entries.  The retire scan is pure
+            # best-effort filesystem work (reads + utime), so it runs
+            # outside the engine lock: concurrent requests keep serving,
+            # and a racing write at worst re-earns its stamp on next hit.
+            self.engine.retire_version(base)
+        return {
+            "handle": successor_handle,
+            "base": handle,
+            "endogenous": len(successor.endogenous),
+            "exogenous": len(successor.exogenous),
+            **delta.accounting(base),
+        }
+
     @staticmethod
     def _exogenous(payload: dict[str, Any]) -> frozenset[str] | None:
         relations = payload.get("exogenous")
@@ -324,7 +405,8 @@ class AttributionDaemon:
         return result
 
     def _op_batch(self, payload: dict[str, Any]) -> dict[str, Any]:
-        database = self.registry.get(str(payload.get("db")))
+        handle = str(payload.get("db"))
+        database = self.registry.get(handle)
         query = parse_query(str(payload.get("query")))
         if not query.is_boolean:
             raise ValueError(
@@ -335,8 +417,12 @@ class AttributionDaemon:
         allow_brute_force = bool(payload.get("allow_brute_force", True))
         # allow_brute_force is part of the key: a polynomial-only request
         # must never share an outcome with a brute-force-permitting one.
+        # The handle pins the database *version*: the engine's store may
+        # share entries across versions, but a coalesced response carries
+        # one version's exact fact set and must never cross versions.
         key = (
             "batch",
+            handle,
             self.engine.fingerprint(database, query, exogenous),
             allow_brute_force,
         )
@@ -356,7 +442,8 @@ class AttributionDaemon:
         return self._coalesced(key, compute)
 
     def _op_answers(self, payload: dict[str, Any]) -> dict[str, Any]:
-        database = self.registry.get(str(payload.get("db")))
+        handle = str(payload.get("db"))
+        database = self.registry.get(handle)
         query = parse_query(str(payload.get("query")))
         if query.is_boolean:
             raise ValueError("answers needs a query with head variables")
@@ -370,6 +457,7 @@ class AttributionDaemon:
         )
         key = (
             "answers",
+            handle,
             self.engine.fingerprint_answers(database, query, answers, exogenous),
             allow_brute_force,
         )
@@ -399,7 +487,8 @@ class AttributionDaemon:
         from repro.engine.results import aggregate_spec
         from repro.io import attribution_to_rows
 
-        database = self.registry.get(str(payload.get("db")))
+        handle = str(payload.get("db"))
+        database = self.registry.get(handle)
         query = parse_query(str(payload.get("query")))
         if query.is_boolean:
             raise ValueError("aggregate needs a query with head variables")
@@ -409,6 +498,7 @@ class AttributionDaemon:
         weight, label = aggregate_spec(kind, index, len(query.head))
         key = (
             "aggregate",
+            handle,
             self.engine.fingerprint_answers(database, query, None, exogenous),
             label,
         )
@@ -442,6 +532,7 @@ class AttributionDaemon:
         "ping": _op_ping,
         "stats": _op_stats,
         "db_load": _op_db_load,
+        "db_update": _op_db_update,
         "batch": _op_batch,
         "answers": _op_answers,
         "aggregate": _op_aggregate,

@@ -70,6 +70,18 @@ class UnknownHandleError(ReproError):
     """
 
 
+class AuthenticationError(ReproError):
+    """The request lacked (or carried a wrong) daemon auth token.
+
+    Only raised on TCP listeners started with an auth token
+    (``--auth-token`` / ``REPRO_AUTH_TOKEN``); Unix-domain sockets rely
+    on filesystem permissions and never authenticate.  The daemon
+    answers unauthenticated frames with this typed error frame, so a
+    misconfigured client fails loudly with the real reason instead of a
+    dead socket.
+    """
+
+
 # ----------------------------------------------------------------------
 # Framing
 # ----------------------------------------------------------------------
@@ -140,6 +152,7 @@ OPERATIONS = (
     "ping",
     "stats",
     "db_load",
+    "db_update",
     "batch",
     "answers",
     "aggregate",
@@ -190,6 +203,7 @@ WIRE_ERRORS: dict[str, type[Exception]] = {
         QuerySyntaxError,
         UnsafeNegationError,
         UnknownHandleError,
+        AuthenticationError,
         ProtocolError,
         ValueError,
     )
@@ -243,6 +257,7 @@ def format_address(kind: str, location: Any) -> str:
 
 
 __all__ = [
+    "AuthenticationError",
     "MAX_FRAME_BYTES",
     "OPERATIONS",
     "PROTOCOL_VERSION",

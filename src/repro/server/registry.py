@@ -8,7 +8,13 @@ Two pieces of shared state let many clients drive one warm engine:
   database fingerprint), so re-uploading the same endogenous/exogenous
   split from any client yields the same handle and the daemon keeps one
   copy; a bounded LRU keeps long-lived daemons from accumulating every
-  database they ever saw.
+  database they ever saw.  Since the delta-aware engine (PR 5) a client
+  can also evolve a handle **in place**: ``db_update`` applies a
+  fact-level :class:`repro.engine.delta.DatabaseDelta` against an
+  existing handle and returns the successor's handle, and the registry
+  remembers a bounded *version chain* per lineage — updating past the
+  bound evicts the oldest versions (their handles go stale; the client
+  transparently re-uploads if it still needs them).
 * :class:`InFlightCoalescer` — concurrent *identical* requests (same
   canonical plan fingerprint, see
   :meth:`repro.engine.core.BatchAttributionEngine.fingerprint`) share one
@@ -32,6 +38,7 @@ from typing import Any, Callable, TypeVar
 
 from repro.core.database import Database
 from repro.engine.cache import CacheStats
+from repro.engine.delta import DatabaseDelta, apply_delta
 from repro.engine.fingerprint import fingerprint_database
 from repro.engine.persistent import digest_key
 from repro.server.protocol import UnknownHandleError
@@ -53,32 +60,92 @@ class DatabaseRegistry:
     to ``db_load`` again.
     """
 
-    def __init__(self, max_databases: int = 64) -> None:
+    def __init__(self, max_databases: int = 64, max_versions: int = 8) -> None:
         if max_databases < 1:
             raise ValueError(f"max_databases must be positive, got {max_databases}")
+        if max_versions < 1:
+            raise ValueError(f"max_versions must be positive, got {max_versions}")
         self.max_databases = max_databases
+        self.max_versions = max_versions
         self.stats = CacheStats()
         self.loads = 0
+        self.updates = 0
         self._lock = threading.Lock()
         self._databases: OrderedDict[str, Database] = OrderedDict()
+        # successor handle -> base handle: the version chains db_update
+        # builds.  Bounded two ways: links die with either endpoint's
+        # eviction, and each chain is trimmed to max_versions links.
+        self._parents: dict[str, str] = {}
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._databases)
+
+    def _evict_locked(self, handle: str) -> None:
+        """Drop one handle and every chain link that touches it."""
+        self._databases.pop(handle, None)
+        self._parents.pop(handle, None)
+        for successor, base in list(self._parents.items()):
+            if base == handle:
+                del self._parents[successor]
+        self.stats.evictions += 1
+
+    def _store_locked(self, database: Database, handle: str) -> None:
+        if handle in self._databases:
+            self._databases.move_to_end(handle)
+        else:
+            self._databases[handle] = database
+            while len(self._databases) > self.max_databases:
+                stalest = next(iter(self._databases))
+                self._evict_locked(stalest)
 
     def load(self, database: Database) -> str:
         """Store ``database`` (or refresh it) and return its handle."""
         handle = HANDLE_PREFIX + digest_key(fingerprint_database(database))[:32]
         with self._lock:
             self.loads += 1
-            if handle in self._databases:
-                self._databases.move_to_end(handle)
-            else:
-                self._databases[handle] = database
-                while len(self._databases) > self.max_databases:
-                    self._databases.popitem(last=False)
-                    self.stats.evictions += 1
+            self._store_locked(database, handle)
         return handle
+
+    def update(
+        self, handle: str, delta: DatabaseDelta
+    ) -> tuple[str, Database, Database]:
+        """Apply ``delta`` against ``handle``; returns the successor.
+
+        Returns ``(successor_handle, base, successor)``.  The base stays
+        loaded (other clients may still hold its handle) and a chain link
+        successor → base is recorded; chains longer than
+        ``max_versions`` links are trimmed from the old end — the evicted
+        ancestors' handles go stale, exactly like an LRU eviction, and a
+        client holding one simply re-uploads.  Raises
+        :class:`UnknownHandleError` for unknown/evicted handles and
+        :class:`ValueError` for deltas that do not apply.
+        """
+        base = self.get(handle)
+        successor = apply_delta(base, delta)
+        successor_handle = (
+            HANDLE_PREFIX + digest_key(fingerprint_database(successor))[:32]
+        )
+        with self._lock:
+            self.updates += 1
+            self._store_locked(successor, successor_handle)
+            if successor_handle != handle:
+                self._parents[successor_handle] = handle
+            # Trim this lineage to max_versions linked versions: walk the
+            # ancestry (guarding against content-addressing cycles) and
+            # evict everything past the bound.
+            ancestry = []
+            seen = {successor_handle}
+            cursor = successor_handle
+            while cursor in self._parents:
+                cursor = self._parents[cursor]
+                if cursor in seen or cursor not in self._databases:
+                    break
+                seen.add(cursor)
+                ancestry.append(cursor)
+            for stale in ancestry[self.max_versions - 1 :]:
+                self._evict_locked(stale)
+        return successor_handle, base, successor
 
     def get(self, handle: str) -> Database:
         """The database behind ``handle``; raises :class:`UnknownHandleError`."""
@@ -98,9 +165,12 @@ class DatabaseRegistry:
         """Flat JSON-ready accounting for the daemon's ``stats`` op."""
         with self._lock:
             held = len(self._databases)
+            versions = len(self._parents)
         return {
             "held": held,
+            "versions": versions,
             "loads": self.loads,
+            "updates": self.updates,
             "hits": self.stats.hits,
             "misses": self.stats.misses,
             "evictions": self.stats.evictions,

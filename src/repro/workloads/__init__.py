@@ -4,6 +4,7 @@ from repro.workloads import generators, queries, running_example, traffic
 from repro.workloads.generators import (
     export_database,
     random_database_for_query,
+    random_delta,
     random_hierarchical_query,
     random_self_join_free_query,
     star_join_database,
@@ -32,6 +33,7 @@ __all__ = [
     "query_q4",
     "TrafficRequest",
     "random_database_for_query",
+    "random_delta",
     "random_hierarchical_query",
     "random_self_join_free_query",
     "request_stream",

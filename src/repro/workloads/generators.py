@@ -203,6 +203,63 @@ def hard_answers_database(
     return db
 
 
+def random_delta(
+    database: Database,
+    rng: random.Random | None = None,
+    max_changes: int = 3,
+):
+    """A random fact-level delta against ``database``.
+
+    Mixes the three edit kinds the delta-aware engine must survive:
+    removals of existing facts, endogenous/exogenous *flips*, and
+    insertions of (possibly brand-new) facts over the database's own
+    schema and active domain.  Used by the incremental property tests
+    and benchmarks; always applicable via
+    :func:`repro.engine.delta.apply_delta`.
+    """
+    from repro.engine.delta import DatabaseDelta
+
+    rng = rng or random.Random()
+    existing = sorted(database.facts, key=repr)
+    relations = sorted(database.relation_names)
+    domain = sorted(database.active_domain(), key=repr) or [0]
+    removed: set[Fact] = set()
+    add_endogenous: set[Fact] = set()
+    add_exogenous: set[Fact] = set()
+    for _ in range(rng.randint(1, max_changes)):
+        choice = rng.random()
+        if choice < 0.35 and existing:
+            item = rng.choice(existing)
+            removed.add(item)
+            add_endogenous.discard(item)
+            add_exogenous.discard(item)
+        elif choice < 0.6 and existing:
+            item = rng.choice(existing)  # flip sides
+            removed.discard(item)
+            if database.is_endogenous(item):
+                add_exogenous.add(item)
+                add_endogenous.discard(item)
+            else:
+                add_endogenous.add(item)
+                add_exogenous.discard(item)
+        elif relations:
+            relation = rng.choice(relations)
+            arity = database.arity(relation)
+            item = Fact(relation, tuple(rng.choice(domain) for _ in range(arity)))
+            removed.discard(item)
+            if rng.random() < 0.7:
+                add_endogenous.add(item)
+                add_exogenous.discard(item)
+            else:
+                add_exogenous.add(item)
+                add_endogenous.discard(item)
+    return DatabaseDelta(
+        added_endogenous=frozenset(add_endogenous),
+        added_exogenous=frozenset(add_exogenous),
+        removed=frozenset(removed),
+    )
+
+
 def export_database(
     num_farmers: int,
     num_products: int,

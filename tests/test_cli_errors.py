@@ -164,6 +164,57 @@ class TestCliErrorPaths:
         assert "brute force" in err
 
 
+class TestUpdateFlag:
+    @pytest.fixture
+    def delta_path(self, tmp_path):
+        path = tmp_path / "delta.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "add_endogenous": [["Reg", ["Adam", "DB"]]],
+                    "remove": [["TA", ["Ben"]]],
+                }
+            )
+        )
+        return str(path)
+
+    def test_local_update_applies_before_computing(
+        self, capsys, db_path, delta_path
+    ):
+        assert main(["batch", db_path, Q1, "--update", delta_path, "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        (entry,) = document["queries"]
+        facts = {(row[0], tuple(row[1])) for row in entry["shapley"]}
+        assert ("Reg", ("Adam", "DB")) in facts
+        assert ("TA", ("Ben",)) not in facts
+
+    def test_local_update_on_answers(self, capsys, db_path, delta_path):
+        assert main(["answers", db_path, ANS, "--update", delta_path, "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        answers = [entry["answer"] for entry in document["answers"]]
+        assert ["Ben"] in answers  # no longer a TA after the delta
+
+    def test_missing_delta_file_is_one_clean_error(self, capsys, db_path, tmp_path):
+        missing = str(tmp_path / "nope-delta.json")
+        assert main(["batch", db_path, Q1, "--update", missing]) == 2
+        err = _one_clean_error(capsys)
+        assert "nope-delta.json" in err
+
+    def test_malformed_delta_is_one_clean_error(self, capsys, db_path, tmp_path):
+        path = tmp_path / "bad-delta.json"
+        path.write_text(json.dumps({"remove": "oops"}))
+        assert main(["batch", db_path, Q1, "--update", str(path)]) == 2
+        err = _one_clean_error(capsys)
+        assert "fact rows" in err
+
+    def test_inapplicable_delta_is_one_clean_error(self, capsys, db_path, tmp_path):
+        path = tmp_path / "gone-delta.json"
+        path.write_text(json.dumps({"remove": [["TA", ["Nobody"]]]}))
+        assert main(["batch", db_path, Q1, "--update", str(path)]) == 2
+        err = _one_clean_error(capsys)
+        assert "does not hold" in err
+
+
 class TestJsonOutput:
     def test_batch_json_is_exact_and_carries_stats(self, capsys, db_path):
         assert main(["batch", db_path, Q1, "--json"]) == 0

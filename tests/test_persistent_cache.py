@@ -212,6 +212,80 @@ class TestEviction:
         assert dict(warm.shapley) == dict(cold.shapley)
 
 
+class TestVersionRetirement:
+    """Superseded-version entries are evicted first under pressure."""
+
+    @staticmethod
+    def _result(index: int):
+        from repro.engine import BatchResult
+
+        value = Fraction(1, index + 1)
+        return BatchResult({fact("R", index): value}, {fact("R", index): value},
+                           "cntsat", 1)
+
+    def test_put_tags_entries_with_the_writer_version(self, tmp_path):
+        cache = PersistentResultCache(tmp_path)
+        cache.writer_version = "v1digest"
+        cache.put(("a",), self._result(0))
+        payload = json.loads(next(cache.directory.glob("*.json")).read_text())
+        assert payload["writer"] == "v1digest"
+        # Tagged entries read back exactly like untagged ones.
+        assert cache.get(("a",)) is not None
+
+    def test_retire_backdates_only_the_named_version(self, tmp_path):
+        from repro.engine.persistent import RETIRED_STAMP
+
+        cache = PersistentResultCache(tmp_path)
+        cache.writer_version = "v1"
+        cache.put(("a",), self._result(0))
+        cache.writer_version = "v2"
+        cache.put(("b",), self._result(1))
+        assert cache.retire("v1") == 1
+        stamps = {
+            path.name: path.stat().st_mtime
+            for path in cache.directory.glob("*.json")
+        }
+        assert min(stamps.values()) == pytest.approx(RETIRED_STAMP)
+        assert max(stamps.values()) > RETIRED_STAMP
+
+    def test_superseded_entries_evicted_before_live_hot_ones(self, tmp_path):
+        # The regression this fixes: stale entries with *recent* write
+        # stamps used to outlive older-but-live entries under pressure.
+        cache = PersistentResultCache(tmp_path, max_entries=3)
+        cache.writer_version = "v1"
+        cache.put(("old", 0), self._result(0))
+        cache.put(("old", 1), self._result(1))
+        cache.writer_version = "v2"
+        cache.put(("live", 0), self._result(2))
+        cache.retire("v1")
+        cache.put(("live", 1), self._result(3))  # crosses max_entries
+        assert cache.get(("live", 0)) is not None
+        assert cache.get(("live", 1)) is not None
+        # At least one superseded entry went first; no live entry did.
+        assert cache.get(("old", 0)) is None or cache.get(("old", 1)) is None
+
+    def test_hit_revives_a_retired_entry(self, tmp_path):
+        from repro.engine.persistent import RETIRED_STAMP
+
+        cache = PersistentResultCache(tmp_path)
+        cache.writer_version = "v1"
+        cache.put(("shared",), self._result(0))
+        cache.retire("v1")
+        assert cache.get(("shared",)) is not None  # still serves, and...
+        path = next(cache.directory.glob("*.json"))
+        assert path.stat().st_mtime > RETIRED_STAMP  # ...re-earns its stamp
+
+    def test_engine_tags_writes_with_the_database_version(self, tmp_path, db, q1):
+        from repro.engine import fingerprint_database
+
+        cache = PersistentResultCache(tmp_path)
+        engine = BatchAttributionEngine(persistent=cache)
+        engine.batch(db, q1)
+        payload = json.loads(next(cache.directory.glob("*.json")).read_text())
+        assert payload["writer"] == digest_key(fingerprint_database(db))
+        assert engine.retire_version(db) == 1
+
+
 CROSS_PROCESS_SCRIPT = r"""
 import json, sys
 from repro.engine import BatchAttributionEngine, PersistentResultCache

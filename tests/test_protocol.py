@@ -255,6 +255,7 @@ class TestAddresses:
             "ping",
             "stats",
             "db_load",
+            "db_update",
             "batch",
             "answers",
             "aggregate",
