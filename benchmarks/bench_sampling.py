@@ -5,19 +5,38 @@ Reproduces the approximation story:
 * Monte-Carlo error shrinks with the sample budget and stays inside the
   Hoeffding envelope (convergence series on the running example);
 * the same estimator cannot certify the gap-family value nonzero at any
-  polynomial budget (additive ≠ multiplicative once negation is present).
+  polynomial budget (additive ≠ multiplicative once negation is present);
+* the engine's ``sampled`` method (the approximation tier) traces its
+  accuracy-vs-time frontier on the intractable class, and anytime
+  refinement reaches a tight bound for the incremental price — resumed
+  rounds are never recomputed.
 """
 
 from __future__ import annotations
 
 import random
+import time
 from fractions import Fraction
 
+from repro.core.database import Database
 from repro.core.facts import fact
+from repro.core.parser import parse_query
+from repro.engine import BatchAttributionEngine, MethodPolicy
 from repro.reductions.gap import gap_instance
 from repro.shapley.approximate import approximate_shapley, hoeffding_sample_count
 from repro.shapley.exact import shapley_hierarchical
 from repro.workloads.running_example import figure_1_database, query_q1
+
+INTRACTABLE_Q = "q() :- R(x), S(x, y), T(y)"
+
+
+def _intractable_db(players: int) -> Database:
+    half = players // 2
+    return Database(
+        endogenous=[fact("R", i) for i in range(half)]
+        + [fact("T", i) for i in range(half)],
+        exogenous=[fact("S", i, i) for i in range(half)],
+    )
 
 
 def test_e7_convergence_series(benchmark, report):
@@ -159,3 +178,80 @@ def test_e7_stratification_ablation(benchmark, report):
             for name, plain, stratified in rows
         ],
     )
+
+
+def test_e7_engine_accuracy_time_frontier(benchmark, report, quick):
+    """The approximation tier's frontier on the intractable class.
+
+    The instance is small enough to brute force, so every point on the
+    frontier reports its *true* worst-case error next to the contracted
+    bound — the estimate must honor its epsilon, and tighter contracts
+    must cost proportionally more rounds (Hoeffding is quadratic in
+    ``1/epsilon``).
+    """
+    db = _intractable_db(12 if quick else 18)
+    q = parse_query(INTRACTABLE_Q)
+    exact = BatchAttributionEngine().batch(db, q, policy="brute-force").shapley
+    epsilons = (0.3, 0.2) if quick else (0.3, 0.2, 0.1, 0.05)
+
+    def frontier():
+        rows = []
+        for epsilon in epsilons:
+            engine = BatchAttributionEngine()
+            started = time.perf_counter()
+            result = engine.batch(
+                db, q, policy=MethodPolicy("sampled", epsilon=epsilon)
+            )
+            elapsed = time.perf_counter() - started
+            worst = max(
+                abs(float(result.shapley[player] - value))
+                for player, value in exact.items()
+            )
+            rows.append((epsilon, result.estimate.rounds, worst, elapsed))
+        return rows
+
+    rows = benchmark.pedantic(frontier, rounds=1, iterations=1)
+    report(
+        "E7: engine sampled-method frontier (error vs contract vs time)",
+        ("epsilon", "rounds", "worst |error|", "seconds"),
+        [
+            (eps, rounds, f"{worst:.4f}", f"{seconds:.3f}")
+            for eps, rounds, worst, seconds in rows
+        ],
+    )
+    for epsilon, _, worst, _ in rows:
+        assert worst <= epsilon
+    assert rows[-1][1] > rows[0][1]
+
+
+def test_e7_refinement_is_incremental(benchmark, report, quick):
+    """Refining reuses every stored round: no restarted permutations."""
+    db = _intractable_db(16 if quick else 30)
+    q = parse_query(INTRACTABLE_Q)
+    loose, tight = (0.3, 0.15) if quick else (0.2, 0.05)
+
+    def refine_chain():
+        engine = BatchAttributionEngine()
+        first = engine.batch(db, q, policy=MethodPolicy("sampled", epsilon=loose))
+        refined = engine.refine(db, q, epsilon=tight)
+        return first, refined, engine.counters()
+
+    first, refined, counters = benchmark.pedantic(
+        refine_chain, rounds=1, iterations=1
+    )
+    report(
+        "E7: anytime refinement on the intractable class",
+        ("stage", "epsilon <=", "rounds", "resumed", "restarts"),
+        [
+            ("first", f"{first.estimate.epsilon:.4f}", first.estimate.rounds, 0, 0),
+            (
+                "refined",
+                f"{refined.estimate.epsilon:.4f}",
+                refined.estimate.rounds,
+                refined.estimate.resumed_rounds,
+                counters["sampler.restarts"],
+            ),
+        ],
+    )
+    assert counters["sampler.restarts"] == 0
+    assert refined.estimate.resumed_rounds == first.estimate.rounds

@@ -38,13 +38,16 @@ from repro.core import (
 )
 from repro.engine import (
     AnswerBatchResult,
+    AttributionEstimate,
     BatchAttributionEngine,
     BatchResult,
+    MethodPolicy,
     PersistentResultCache,
     SerialExecutor,
     ShardedExecutor,
     default_engine,
     reset_default_engine,
+    resolve_policy,
 )
 from repro.server import AttributionClient, AttributionDaemon
 from repro.shapley import (
@@ -72,6 +75,7 @@ __all__ = [
     "Atom",
     "AttributionClient",
     "AttributionDaemon",
+    "AttributionEstimate",
     "BatchAttributionEngine",
     "BatchResult",
     "Classification",
@@ -79,6 +83,7 @@ __all__ = [
     "ConjunctiveQuery",
     "Database",
     "Fact",
+    "MethodPolicy",
     "PersistentResultCache",
     "SerialExecutor",
     "ShardedExecutor",
@@ -101,6 +106,7 @@ __all__ = [
     "parse_query",
     "parse_ucq",
     "reset_default_engine",
+    "resolve_policy",
     "shapley_aggregate",
     "shapley_all_values",
     "shapley_brute_force",

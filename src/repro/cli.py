@@ -57,6 +57,25 @@ the daemon's warm stores::
     python -m repro serve --socket /tmp/repro.sock --cache-dir cache/ &
     python -m repro batch db.json QUERY --connect /tmp/repro.sock
 
+``--method`` (on ``batch`` and ``answers``) selects the algorithm family
+through the engine's unified :class:`~repro.engine.policy.MethodPolicy`:
+``auto`` (the default — polynomial algorithms when the dichotomy allows,
+bounded brute force, and Hoeffding-bounded sampling for everything else;
+never rejects a query), ``exact`` (polynomial only; rejects intractable
+queries at plan time), ``brute-force``, or ``sampled``.  ``--epsilon`` /
+``--delta`` set the additive accuracy contract of a sampled answer (with
+probability at least ``1 - delta`` every printed estimate is within
+``epsilon`` of the exact Shapley value); sampled answers print their
+achieved bound in the provenance line and carry an ``estimate`` block in
+``--json``.  ``--refine`` (on ``batch``) tightens a previous sampled
+answer instead of recomputing it: the engine resumes the request's
+stored permutation stream (in-process with ``--cache-dir``, or daemon
+state with ``--connect``), and with no explicit ``--epsilon`` each call
+roughly halves the achieved bound::
+
+    python -m repro batch db.json QUERY --method sampled --epsilon 0.05
+    python -m repro batch db.json QUERY --refine --connect /tmp/repro.sock
+
 ``--json`` (on ``batch`` and ``answers``) prints one machine-readable
 JSON document instead of the text report: values as exact
 numerator/denominator string pairs (the shared dialect of
@@ -138,6 +157,33 @@ def _make_engine(options: argparse.Namespace):
     return BatchAttributionEngine(persistent=persistent, jobs=jobs)
 
 
+def _policy_from_options(options: argparse.Namespace):
+    """The :class:`MethodPolicy` of this invocation's --method/--epsilon/--delta."""
+    from repro.engine.policy import DEFAULT_DELTA, DEFAULT_EPSILON, MethodPolicy
+
+    epsilon = getattr(options, "epsilon", None)
+    delta = getattr(options, "delta", None)
+    return MethodPolicy(
+        getattr(options, "method", None) or "auto",
+        epsilon=DEFAULT_EPSILON if epsilon is None else epsilon,
+        delta=DEFAULT_DELTA if delta is None else delta,
+    )
+
+
+def _provenance(result) -> str:
+    """The bracketed provenance of one result line, accuracy included."""
+    label = result.method
+    if result.estimate is not None:
+        est = result.estimate
+        label += (
+            f" eps<={est.epsilon:.4g} delta={est.delta:g}"
+            f" rounds={est.rounds} resumed={est.resumed_rounds}"
+        )
+    if result.from_cache:
+        label += ", cached"
+    return label
+
+
 def _print_stats(engine) -> None:
     """Per-layer accounting: caches first (historical format), then layers."""
     from repro.engine import CacheStats
@@ -208,6 +254,14 @@ def _reject_engine_flags_with_connect(options: argparse.Namespace) -> bool:
 def _cmd_batch(options: argparse.Namespace) -> int:
     if _reject_engine_flags_with_connect(options):
         return 2
+    if options.refine and options.method not in (None, "sampled"):
+        print(
+            "error: --refine always resumes the sampled method; drop"
+            f" --method {options.method}",
+            file=sys.stderr,
+        )
+        return 2
+    policy = _policy_from_options(options)
     database = load_database(options.database)
     delta = _load_delta(options)
     exogenous = frozenset(options.exogenous) if options.exogenous else None
@@ -230,10 +284,22 @@ def _cmd_batch(options: argparse.Namespace) -> int:
                 handle = client.update_database(database, delta=delta)
             else:
                 handle = client.load_database(database)
+
+            def remote(text: str):
+                if options.refine:
+                    return client.refine(
+                        handle,
+                        text,
+                        exogenous,
+                        epsilon=options.epsilon,
+                        delta=options.delta,
+                    )
+                return client.batch(handle, text, exogenous, policy=policy)
+
             for text, query in queries:
-                result = client.batch(handle, text, exogenous)
+                result = remote(text)
                 for _ in range(repeats - 1):
-                    result = client.batch(handle, text, exogenous)
+                    result = remote(text)
                 results.append((text, query, result))
             if options.stats or options.json:
                 stats = client.stats()
@@ -243,10 +309,24 @@ def _cmd_batch(options: argparse.Namespace) -> int:
 
             database = apply_delta(database, delta)
         engine = _make_engine(options)
+
+        def local(query):
+            if options.refine:
+                return engine.refine(
+                    database,
+                    query,
+                    exogenous_relations=exogenous,
+                    epsilon=options.epsilon,
+                    delta=options.delta,
+                )
+            return engine.batch(
+                database, query, exogenous_relations=exogenous, policy=policy
+            )
+
         for text, query in queries:
-            result = engine.batch(database, query, exogenous)
+            result = local(query)
             for _ in range(repeats - 1):
-                result = engine.batch(database, query, exogenous)
+                result = local(query)
             results.append((text, query, result))
         if options.json:
             stats = {"engine": engine.counters()}
@@ -262,15 +342,19 @@ def _cmd_batch(options: argparse.Namespace) -> int:
         print(json.dumps(document, indent=2))
         return 0
     for text, query, result in results:
-        provenance = result.method + (", cached" if result.from_cache else "")
-        print(f"query {query!r} [{provenance}], {result.player_count} players:")
+        print(
+            f"query {query!r} [{_provenance(result)}],"
+            f" {result.player_count} players:"
+        )
         show_shapley = options.measure in ("shapley", "both")
+        # Sampled results estimate Shapley only: their Banzhaf mapping is
+        # empty, so the column simply does not print.
         show_banzhaf = options.measure in ("banzhaf", "both")
         for f in sorted(result.shapley, key=repr):
             columns = []
             if show_shapley:
                 columns.append(f"shapley={result.shapley[f]!s}")
-            if show_banzhaf:
+            if show_banzhaf and f in result.banzhaf:
                 columns.append(f"banzhaf={result.banzhaf[f]!s}")
             print(f"  {f!r:32} {'  '.join(columns)}")
         if show_shapley:
@@ -326,6 +410,7 @@ def _cmd_answers(options: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+    policy = _policy_from_options(options)
     delta = _load_delta(options)
     stats: dict | None = None
     engine = None
@@ -340,7 +425,9 @@ def _cmd_answers(options: argparse.Namespace) -> int:
             target: object = database
             if delta is not None:
                 target = client.update_database(database, delta=delta)
-            batch = client.answers(target, options.query, requested, exogenous)
+            batch = client.answers(
+                target, options.query, requested, exogenous, policy=policy
+            )
             if options.stats or options.json:
                 stats = client.stats()
     else:
@@ -349,7 +436,13 @@ def _cmd_answers(options: argparse.Namespace) -> int:
 
             database = apply_delta(database, delta)
         engine = _make_engine(options)
-        batch = engine.batch_answers(database, query, requested, exogenous)
+        batch = engine.batch_answers(
+            database,
+            query,
+            requested,
+            exogenous_relations=exogenous,
+            policy=policy,
+        )
         if options.json:
             stats = {"engine": engine.counters()}
     show_shapley = options.measure in ("shapley", "both")
@@ -393,19 +486,20 @@ def _cmd_answers(options: argparse.Namespace) -> int:
         return 0
 
     def print_values(result, indent: str = "  ") -> None:
+        # A sampled result has no Banzhaf estimates (empty mapping), so
+        # the column simply does not print for it.
         for f in sorted(result.shapley, key=repr):
-            if not result.shapley[f] and not result.banzhaf[f]:
+            if not result.shapley[f] and not result.banzhaf.get(f):
                 continue
             columns = []
             if show_shapley:
                 columns.append(f"shapley={result.shapley[f]!s}")
-            if show_banzhaf:
+            if show_banzhaf and f in result.banzhaf:
                 columns.append(f"banzhaf={result.banzhaf[f]!s}")
             print(f"{indent}{f!r:32} {'  '.join(columns)}")
 
     for answer, result in batch.per_answer.items():
-        provenance = result.method + (", cached" if result.from_cache else "")
-        print(f"answer {answer!r} [{provenance}]:")
+        print(f"answer {answer!r} [{_provenance(result)}]:")
         print_values(result)
         if show_shapley:
             total = sum(result.shapley.values())
@@ -484,6 +578,33 @@ def _cmd_demo(_: argparse.Namespace) -> int:
     return 0
 
 
+def _add_method_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared --method/--epsilon/--delta of batch and answers."""
+    parser.add_argument(
+        "--method",
+        choices=("auto", "exact", "brute-force", "sampled"),
+        default=None,
+        help="algorithm family: auto (default; never rejects a query),"
+        " exact (polynomial only), brute-force, or sampled"
+        " ((epsilon, delta)-approximate)",
+    )
+    parser.add_argument(
+        "--epsilon",
+        type=float,
+        default=None,
+        metavar="EPS",
+        help="additive accuracy of a sampled answer (default: 0.1)",
+    )
+    parser.add_argument(
+        "--delta",
+        type=float,
+        default=None,
+        metavar="DELTA",
+        help="failure probability of a sampled answer's bound"
+        " (default: 0.05)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -529,6 +650,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_batch.add_argument(
         "--exogenous", nargs="*", metavar="REL", help="exogenous relations (X)"
+    )
+    _add_method_flags(p_batch)
+    p_batch.add_argument(
+        "--refine",
+        action="store_true",
+        help="tighten a previous sampled answer by resuming its stored"
+        " permutation stream (no explicit --epsilon: roughly halve the"
+        " achieved bound)",
     )
     p_batch.add_argument(
         "--repeat",
@@ -623,6 +752,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_answers.add_argument(
         "--exogenous", nargs="*", metavar="REL", help="exogenous relations (X)"
     )
+    _add_method_flags(p_answers)
     p_answers.add_argument(
         "--stats", action="store_true", help="print engine cache statistics"
     )

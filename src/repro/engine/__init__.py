@@ -45,6 +45,18 @@ Architecture (plan/execute engine, PR 3)
   served across database versions, bit-identically, with the engine's
   ``stats["delta"]`` reporting versions seen, null players zero-filled,
   and components reused vs recomputed.
+* The engine has an **approximation tier** (:mod:`repro.engine.policy`,
+  :mod:`repro.shapley.sampling`, PR 6): every front door takes one
+  :class:`MethodPolicy` (``auto``/``exact``/``brute-force``/``sampled``
+  plus an ``(epsilon, delta)`` accuracy contract), and ``auto`` serves
+  the intractable class — non-hierarchical queries too large for brute
+  force — as Hoeffding-bounded Shapley estimates instead of raising.
+  Sampled results carry an :class:`AttributionEstimate` and leave a
+  resumable :class:`~repro.shapley.sampling.SampleState` in the store,
+  so :meth:`BatchAttributionEngine.refine` (and the daemon's ``refine``
+  op) tightens the bound by extending the same deterministic
+  permutation stream — never recomputing a completed round, across
+  processes, restarts, and irrelevant database deltas.
 
 The component-convolution trick
 -------------------------------
@@ -145,6 +157,8 @@ from repro.engine.fingerprint import (
     fingerprint_grounding,
     fingerprint_query,
     fingerprint_request,
+    fingerprint_sample_state,
+    fingerprint_sampled,
     relevant_facts,
 )
 from repro.engine.persistent import PersistentResultCache, digest_key
@@ -154,23 +168,36 @@ from repro.engine.plan import (
     Plan,
     PlanRequest,
     PlanStats,
+    SampleSpec,
+    SampleStats,
     build_plan,
+)
+from repro.engine.policy import (
+    DEFAULT_DELTA,
+    DEFAULT_EPSILON,
+    METHODS,
+    MethodPolicy,
+    resolve_policy,
 )
 from repro.engine.results import (
     AnswerBatchResult,
+    AttributionEstimate,
     BatchResult,
     inflate_result,
     project_result,
+    result_from_state,
     result_from_vectors,
 )
 from repro.engine.stores import (
     MemoryResultStore,
     ResultStore,
+    StoredValue,
     TieredResultStore,
 )
 
 __all__ = [
     "AnswerBatchResult",
+    "AttributionEstimate",
     "BatchAttributionEngine",
     "BatchResult",
     "BatchVectors",
@@ -178,20 +205,27 @@ __all__ = [
     "BundleTask",
     "CacheStats",
     "CountBundle",
+    "DEFAULT_DELTA",
+    "DEFAULT_EPSILON",
     "DatabaseDelta",
     "DeltaStats",
     "Executor",
     "ExecutorStats",
     "GroundingTask",
     "LRUCache",
+    "METHODS",
     "MemoryResultStore",
+    "MethodPolicy",
     "PersistentResultCache",
     "Plan",
     "PlanRequest",
     "PlanStats",
     "ResultStore",
+    "SampleSpec",
+    "SampleStats",
     "SerialExecutor",
     "ShardedExecutor",
+    "StoredValue",
     "TieredResultStore",
     "apply_delta",
     "batch_count_vectors",
@@ -212,10 +246,14 @@ __all__ = [
     "fingerprint_grounding",
     "fingerprint_query",
     "fingerprint_request",
+    "fingerprint_sample_state",
+    "fingerprint_sampled",
     "inflate_result",
     "project_result",
     "relevant_facts",
     "reset_default_engine",
+    "resolve_policy",
+    "result_from_state",
     "result_from_vectors",
     "top_level_components",
 ]

@@ -49,8 +49,14 @@ from repro.engine.executors import (
     SerialExecutor,
     ShardedExecutor,
 )
-from repro.engine.plan import Plan, PlanRequest, PlanStats, build_plan
-from repro.engine.results import AnswerBatchResult, BatchResult, project_result
+from repro.engine.plan import Plan, PlanRequest, PlanStats, SampleStats, build_plan
+from repro.engine.policy import MethodPolicy, resolve_policy
+from repro.engine.results import (
+    AnswerBatchResult,
+    BatchResult,
+    inflate_result,
+    project_result,
+)
 from repro.engine.stores import MemoryResultStore, ResultStore, TieredResultStore
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
@@ -173,6 +179,7 @@ class BatchAttributionEngine:
         self.planner_stats = PlanStats()
         self.executor_stats = ExecutorStats(processes=self.executor.jobs)
         self.delta_stats = DeltaStats()
+        self.sample_stats = SampleStats()
         # Distinct database fingerprints served, for version accounting.
         # Bounded: past the cap new versions stop being *counted* as new,
         # which only ever under-reports versions_seen.
@@ -186,8 +193,10 @@ class BatchAttributionEngine:
         self,
         database: Database,
         query: BooleanQuery,
+        *,
         exogenous_relations: AbstractSet[str] | None = None,
-        allow_brute_force: bool = True,
+        policy: MethodPolicy | str | None = None,
+        allow_brute_force: bool | None = None,
         grounding: tuple[Constant, ...] | None = None,
         pool: BundlePool | None = None,
     ) -> BatchResult:
@@ -196,19 +205,32 @@ class BatchAttributionEngine:
         One plan with a single grounding request: the planner consults
         the result store (a satisfied plan executes nothing), the
         executor runs whatever remains, and the fresh result is written
-        back through the store.  ``grounding`` carries the head constants
-        when ``query`` is the grounding ``q_t`` of a non-Boolean query at
-        answer ``t``; it is part of the request fingerprint, so distinct
-        answers can never collide even when their grounded atom sets
-        coincide.  ``pool`` lets an answer batch share component bundles
-        across groundings (see :meth:`batch_answers`).
+        back through the store.  All options are keyword-only.
+
+        ``policy`` selects the method and — for sampled answers — the
+        ``(epsilon, delta)`` accuracy contract (a bare method name such
+        as ``"sampled"`` is accepted); the default ``auto`` policy
+        serves every request: exact algorithms where the dichotomy
+        allows, the Section 5 additive FPRAS beyond them.  A sampled
+        result carries its accuracy metadata in ``result.estimate`` and
+        an empty Banzhaf mapping.  ``allow_brute_force`` is the
+        deprecated spelling (``True`` = ``auto``, ``False`` =
+        ``exact``) and warns once per process.
+
+        ``grounding`` carries the head constants when ``query`` is the
+        grounding ``q_t`` of a non-Boolean query at answer ``t``; it is
+        part of the request fingerprint, so distinct answers can never
+        collide even when their grounded atom sets coincide.  ``pool``
+        lets an answer batch share component bundles across groundings
+        (see :meth:`batch_answers`).
         """
+        method_policy = resolve_policy(policy, allow_brute_force)
         version = self._note_version(database)
         plan = build_plan(
             database,
             [PlanRequest(query, grounding)],
             exogenous_relations=exogenous_relations,
-            allow_brute_force=allow_brute_force,
+            policy=method_policy,
             store=self.store,
             include_bundles=self.executor.jobs > 1,
             bundle_cache=pool if pool is not None else self.component_cache,
@@ -216,32 +238,39 @@ class BatchAttributionEngine:
         self._note_plan(plan)
         planned = plan.requests[0]
         if planned.node_id is None:
-            return self._public(plan.satisfied[planned.key], from_cache=True)
+            return self._finish(
+                plan.satisfied[planned.key], database, from_cache=True
+            )
         results = self._execute(plan, pool, version)
-        return self._public(results[planned.node_id], from_cache=False)
+        return self._finish(results[planned.node_id], database, from_cache=False)
 
     def batch_answers(
         self,
         database: Database,
         query: ConjunctiveQuery,
         answers: Iterable[tuple[Constant, ...]] | None = None,
+        *,
         exogenous_relations: AbstractSet[str] | None = None,
-        allow_brute_force: bool = True,
+        policy: MethodPolicy | str | None = None,
+        allow_brute_force: bool | None = None,
     ) -> AnswerBatchResult:
         """One plan covering every grounding ``q_t`` of a non-Boolean query.
 
         ``answers`` defaults to every candidate answer of ``query``
-        (tuples reachable under *some* endogenous subset).  The planner
-        emits one grounding task per answer and deduplicates their
-        top-level component nodes — the DAG form of "untouched components
-        are computed once and reused by every answer" — and all
-        groundings share one cross-grounding :class:`BundlePool` at
+        (tuples reachable under *some* endogenous subset); the remaining
+        options are keyword-only, with ``policy`` carrying the
+        method/accuracy request shape exactly as in :meth:`batch`.  The
+        planner emits one grounding task per answer and deduplicates
+        their top-level component nodes — the DAG form of "untouched
+        components are computed once and reused by every answer" — and
+        all groundings share one cross-grounding :class:`BundlePool` at
         execution time, on top of the with/without sharing inside each
         batch.
         """
         from repro.shapley.aggregates import candidate_answers
         from repro.shapley.answers import ground_at_answer, head_assignment
 
+        method_policy = resolve_policy(policy, allow_brute_force)
         if query.is_boolean:
             raise ValueError("batch_answers needs a query with head variables")
         if answers is None:
@@ -261,7 +290,7 @@ class BatchAttributionEngine:
             database,
             requests,
             exogenous_relations=exogenous_relations,
-            allow_brute_force=allow_brute_force,
+            policy=method_policy,
             store=self.store,
             include_bundles=self.executor.jobs > 1,
             bundle_cache=self.component_cache,
@@ -275,8 +304,8 @@ class BatchAttributionEngine:
                 result, cached = plan.satisfied[planned.key], True
             else:
                 result, cached = results[planned.node_id], False
-            per_answer[planned.request.grounding] = self._public(
-                result, from_cache=cached
+            per_answer[planned.request.grounding] = self._finish(
+                result, database, from_cache=cached
             )
         return AnswerBatchResult(per_answer, pool.stats.snapshot())
 
@@ -299,6 +328,7 @@ class BatchAttributionEngine:
         """Fold one plan's accounting into the engine-level counters."""
         self.planner_stats.merge(plan.stats)
         self.delta_stats.facts_zero_filled += plan.zero_filled
+        self.sample_stats.merge(plan.sample)
 
     def _execute(
         self, plan: Plan, pool: BundlePool | None, version: tuple | None = None
@@ -326,11 +356,42 @@ class BatchAttributionEngine:
             cache.stats.misses - dirty_before + stats.bundle_tasks
         )
         for task in plan.tasks:
+            if task.sample_spec is not None:
+                state = results[task.node_id].sample_state
+                if state is not None:
+                    prior = task.sample_spec.prior
+                    self.sample_stats.fresh_rounds += state.rounds - (
+                        prior.rounds if prior else 0
+                    )
+                    self.sample_stats.evaluations += state.evaluations - (
+                        prior.evaluations if prior else 0
+                    )
+                    # The resumable sampler state, under its
+                    # policy-independent key: any future contract over
+                    # this request refines from here.
+                    self.store.put(task.sample_spec.state_key, state)
             if task.key is not None:
                 self.store.put(
                     task.key, project_result(results[task.node_id], task.relevant)
                 )
         return results
+
+    def _finish(
+        self, result: BatchResult, database: Database, from_cache: bool
+    ) -> BatchResult:
+        """Widen a sampled core to this version, then publish.
+
+        Exact results always cover the full endogenous set; sampled
+        results are computed on the request's relevant slice and are
+        zero-filled (null players have exactly zero Shapley value) back
+        to the database's endogenous facts here.
+        """
+        if result.estimate is not None and len(result.shapley) < len(
+            database.endogenous
+        ):
+            result, filled = inflate_result(result, database.endogenous)
+            self.delta_stats.facts_zero_filled += filled
+        return self._public(result, from_cache)
 
     @staticmethod
     def _public(result: BatchResult, from_cache: bool) -> BatchResult:
@@ -339,7 +400,9 @@ class BatchAttributionEngine:
         The copy also normalizes both mappings to the canonical fact
         ordering (sorted by ``repr``), so every path out of the engine —
         fresh, memory-cached, or disk-cached, serial or sharded —
-        iterates identically.
+        iterates identically.  The transport-only sampler state is
+        stripped: callers resume through the store, not through result
+        objects.
         """
         return replace(
             result,
@@ -352,6 +415,7 @@ class BatchAttributionEngine:
                 for item in sorted(result.banzhaf, key=repr)
             },
             from_cache=from_cache,
+            sample_state=None,
         )
 
     def shapley_all(
@@ -359,10 +423,18 @@ class BatchAttributionEngine:
         database: Database,
         query: BooleanQuery,
         exogenous_relations: AbstractSet[str] | None = None,
-        allow_brute_force: bool = True,
+        *,
+        policy: MethodPolicy | str | None = None,
+        allow_brute_force: bool | None = None,
     ) -> dict[Fact, "Fraction"]:
         return dict(
-            self.batch(database, query, exogenous_relations, allow_brute_force).shapley
+            self.batch(
+                database,
+                query,
+                exogenous_relations=exogenous_relations,
+                policy=policy,
+                allow_brute_force=allow_brute_force,
+            ).shapley
         )
 
     def banzhaf_all(
@@ -370,10 +442,67 @@ class BatchAttributionEngine:
         database: Database,
         query: BooleanQuery,
         exogenous_relations: AbstractSet[str] | None = None,
-        allow_brute_force: bool = True,
+        *,
+        policy: MethodPolicy | str | None = None,
+        allow_brute_force: bool | None = None,
     ) -> dict[Fact, "Fraction"]:
         return dict(
-            self.batch(database, query, exogenous_relations, allow_brute_force).banzhaf
+            self.batch(
+                database,
+                query,
+                exogenous_relations=exogenous_relations,
+                policy=policy,
+                allow_brute_force=allow_brute_force,
+            ).banzhaf
+        )
+
+    def refine(
+        self,
+        database: Database,
+        query: BooleanQuery,
+        *,
+        exogenous_relations: AbstractSet[str] | None = None,
+        grounding: tuple[Constant, ...] | None = None,
+        epsilon: float | None = None,
+        delta: float | None = None,
+    ) -> BatchResult:
+        """Tighten a sampled request's bound from its stored state.
+
+        Resumes the request's permutation stream where the stored
+        :class:`repro.shapley.sampling.SampleState` left off and runs
+        only the rounds the new contract still needs — never restarting.
+        ``epsilon`` defaults to *half* the currently achieved bound
+        (which costs 4x the stored rounds — the Hoeffding count is
+        quadratic in ``1/epsilon``); ``delta`` defaults to the stored
+        request's confidence or the policy default.  Without any stored
+        state this is simply a fresh sampled batch under the (given or
+        default) contract.
+        """
+        from repro.engine.fingerprint import (
+            fingerprint_request,
+            fingerprint_sample_state,
+        )
+        from repro.engine.policy import DEFAULT_DELTA, DEFAULT_EPSILON
+        from repro.shapley.sampling import SampleState, achieved_epsilon
+
+        confidence = DEFAULT_DELTA if delta is None else float(delta)
+        target = epsilon
+        if target is None:
+            base_key = fingerprint_request(
+                database, query, exogenous_relations, grounding
+            )
+            state = self.store.get(fingerprint_sample_state(base_key))
+            if isinstance(state, SampleState) and state.rounds >= 1:
+                target = achieved_epsilon(4 * state.rounds, confidence)
+            else:
+                target = DEFAULT_EPSILON
+            target = min(max(target, 1e-9), 0.999)
+        return self.batch(
+            database,
+            query,
+            exogenous_relations=exogenous_relations,
+            grounding=grounding,
+            policy=MethodPolicy("sampled", epsilon=target, delta=confidence),
         )
 
     # ------------------------------------------------------------------
@@ -484,6 +613,7 @@ class BatchAttributionEngine:
         counters["planner"] = self.planner_stats.snapshot()
         counters["executor"] = self.executor_stats.snapshot()
         counters["delta"] = self.delta_stats.snapshot()
+        counters["sampler"] = self.sample_stats.snapshot()
         return counters
 
     def retire_version(self, database: Database) -> int:

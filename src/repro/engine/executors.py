@@ -46,7 +46,17 @@ from typing import Protocol, runtime_checkable
 from repro.engine.bundles import batch_count_vectors, bundle_for_component
 from repro.engine.cache import BundlePool, LRUCache
 from repro.engine.plan import BundleTask, GroundingTask, Plan
-from repro.engine.results import BatchResult, result_from_vectors
+from repro.engine.results import (
+    AttributionEstimate,
+    BatchResult,
+    result_from_vectors,
+)
+from repro.shapley.sampling import (
+    achieved_epsilon,
+    extend_state,
+    merge_totals,
+    run_rounds,
+)
 
 #: Bundle caches executors work against: the engine's component LRU or a
 #: call-scoped pool layered on top of it.
@@ -124,8 +134,57 @@ def execute_grounding_task(task: GroundingTask, cache: BundleCache) -> BatchResu
             "brute-force",
             len(task.database.endogenous),
         )
+    if task.method == "sampled":
+        return execute_sample_task(task)
     vectors = batch_count_vectors(task.database, task.query, cache)
     return result_from_vectors(vectors, task.method)
+
+
+def assemble_sample_result(
+    task: GroundingTask,
+    fresh_totals: dict,
+    fresh_evaluations: int,
+) -> BatchResult:
+    """Fold fresh round totals into the task's prior state and report.
+
+    The per-fact estimate after ``n`` total rounds is ``totals / (2 n)``
+    (two antithetic sweeps per round); the reported ``epsilon`` is the
+    bound those ``n`` rounds actually achieve, which is at least as
+    tight as the contract.  Banzhaf stays empty: the permutation
+    estimator matches Shapley's coalition-size distribution only.
+    """
+    spec = task.sample_spec
+    state = extend_state(
+        spec.prior, spec.seed, fresh_totals, spec.fresh_rounds, fresh_evaluations
+    )
+    players = sorted(task.database.endogenous, key=repr)
+    shapley = {player: state.value_of(player) for player in players}
+    estimate = AttributionEstimate(
+        epsilon=achieved_epsilon(state.rounds, spec.delta),
+        delta=spec.delta,
+        rounds=state.rounds,
+        permutations=2 * state.rounds,
+        resumed_rounds=spec.prior.rounds if spec.prior else 0,
+        state_digest=spec.state_digest,
+    )
+    return BatchResult(
+        shapley,
+        {},
+        "sampled",
+        len(players),
+        estimate=estimate,
+        sample_state=state,
+    )
+
+
+def execute_sample_task(task: GroundingTask) -> BatchResult:
+    """Run one sampled node in-process: the fresh round suffix, then fold."""
+    spec = task.sample_spec
+    start = spec.prior.rounds if spec.prior else 0
+    totals, evaluations = run_rounds(
+        task.database, task.query, spec.seed, start, spec.fresh_rounds
+    )
+    return assemble_sample_result(task, totals, evaluations)
 
 
 class SerialExecutor:
@@ -188,6 +247,37 @@ def _run_grounding_chunk(
     """
     cache: LRUCache = LRUCache(64)
     return [(task.node_id, execute_grounding_task(task, cache)) for task in tasks]
+
+
+def _run_sample_chunk(
+    task: GroundingTask, start: int, count: int
+) -> tuple[tuple, dict, int]:
+    """Worker payload: one contiguous round range of a sampled node.
+
+    Per-round seeding (:func:`repro.shapley.sampling.round_rng`) makes
+    the returned integer totals a pure function of ``(seed, start,
+    count)``, so the parent can merge ranges in any completion order
+    and still match serial execution bit for bit.
+    """
+    totals, evaluations = run_rounds(
+        task.database, task.query, task.sample_spec.seed, start, count
+    )
+    return task.node_id, totals, evaluations
+
+
+def _round_ranges(start: int, count: int, jobs: int) -> list[tuple[int, int]]:
+    """Split ``count`` rounds from ``start`` into up to ``jobs`` ranges."""
+    if count <= 0:
+        return []
+    size = -(-count // jobs)
+    ranges = []
+    position = start
+    end = start + count
+    while position < end:
+        step = min(size, end - position)
+        ranges.append((position, step))
+        position += step
+    return ranges
 
 
 def _chunked(items: list, jobs: int) -> list[list]:
@@ -340,6 +430,7 @@ class ShardedExecutor:
         results: dict[tuple, BatchResult] = {}
         pending_bundles: list[BundleTask] = []
         remote_tasks: list[GroundingTask] = []
+        sample_tasks: list[GroundingTask] = []
         if self.jobs > 1:
             pending_bundles = [
                 bundle
@@ -347,11 +438,24 @@ class ShardedExecutor:
                 if cache.peek(bundle.fingerprint) is None
             ]
             remote_tasks = [task for task in plan.tasks if task.method == "brute-force"]
-            if len(pending_bundles) + len(remote_tasks) < self.min_shard_tasks:
-                pending_bundles, remote_tasks = [], []
-        if pending_bundles or remote_tasks:
+            # A sampled node shards *within itself*: its fresh round
+            # range splits into per-worker sub-ranges whose integer
+            # totals merge order-independently.
+            sample_tasks = [
+                task
+                for task in plan.tasks
+                if task.method == "sampled" and task.sample_spec.fresh_rounds >= 2
+            ]
+            shardable = (
+                len(pending_bundles) + len(remote_tasks) + len(sample_tasks) * self.jobs
+            )
+            if shardable < self.min_shard_tasks:
+                pending_bundles, remote_tasks, sample_tasks = [], [], []
+        if pending_bundles or remote_tasks or sample_tasks:
             try:
-                self._ship(pending_bundles, remote_tasks, cache, results, stats)
+                self._ship(
+                    pending_bundles, remote_tasks, sample_tasks, cache, results, stats
+                )
             except (BrokenProcessPool, OSError, pickle.PicklingError):
                 # Correctness first: whatever did not come back from the
                 # workers is recomputed in-process below.  The pool is
@@ -373,6 +477,7 @@ class ShardedExecutor:
         self,
         bundles: list[BundleTask],
         tasks: list[GroundingTask],
+        sample_tasks: list[GroundingTask],
         cache: BundleCache,
         results: dict[tuple, BatchResult],
         stats: ExecutorStats,
@@ -381,10 +486,15 @@ class ShardedExecutor:
 
         Bundle results merge into the caller's cache (``seed`` — no
         hit/miss noise), grounding results go straight into the result
-        map.  Completion order is irrelevant: nodes are keyed by
-        fingerprint ids and the exact integer/Fraction arithmetic makes
-        merged results identical to in-process ones.
+        map, and sampled nodes' per-range totals accumulate until every
+        range of a node has arrived, at which point the node's result is
+        assembled in the parent (nodes missing a range fall back to the
+        serial path).  Completion order is irrelevant: nodes are keyed
+        by fingerprint ids and the exact integer/Fraction arithmetic
+        makes merged results identical to in-process ones.
         """
+        from dataclasses import replace
+
         pool = _worker_pool(self.jobs, self.start_method)
         futures = {
             pool.submit(_run_bundle_chunk, chunk): "bundle"
@@ -396,9 +506,31 @@ class ShardedExecutor:
                 for chunk in _chunked(tasks, self.jobs)
             }
         )
+        sample_by_node: dict[tuple, GroundingTask] = {}
+        expected: dict[tuple, int] = {}
+        partials: dict[tuple, list[tuple[dict, int]]] = {}
+        for task in sample_tasks:
+            spec = task.sample_spec
+            start = spec.prior.rounds if spec.prior else 0
+            ranges = _round_ranges(start, spec.fresh_rounds, self.jobs)
+            sample_by_node[task.node_id] = task
+            expected[task.node_id] = len(ranges)
+            partials[task.node_id] = []
+            # Ship without the prior state: workers only run the fresh
+            # range, the parent folds the prior back in on assembly.
+            shippable = replace(task, sample_spec=replace(spec, prior=None))
+            for range_start, count in ranges:
+                futures[
+                    pool.submit(_run_sample_chunk, shippable, range_start, count)
+                ] = "sample"
         done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
         try:
             for future in done:
+                if futures[future] == "sample":
+                    node_id, totals, evaluations = future.result()
+                    partials[node_id].append((totals, evaluations))
+                    stats.shipped += 1
+                    continue
                 for node_id, value in future.result():
                     if futures[future] == "bundle":
                         cache.seed(node_id[1], value)
@@ -407,6 +539,15 @@ class ShardedExecutor:
                         results[node_id] = value
                         stats.tasks += 1
                     stats.shipped += 1
+            for node_id, parts in partials.items():
+                if len(parts) != expected[node_id]:
+                    continue
+                totals = merge_totals({}, *(part[0] for part in parts))
+                evaluations = sum(part[1] for part in parts)
+                results[node_id] = assemble_sample_result(
+                    sample_by_node[node_id], totals, evaluations
+                )
+                stats.tasks += 1
         finally:
             for future in not_done:
                 future.cancel()
@@ -418,6 +559,8 @@ __all__ = [
     "ExecutorStats",
     "SerialExecutor",
     "ShardedExecutor",
+    "assemble_sample_result",
     "execute_grounding_task",
+    "execute_sample_task",
     "shutdown_worker_pools",
 ]

@@ -215,6 +215,30 @@ def fingerprint_request(
     )
 
 
+def fingerprint_sampled(base_key: tuple, contract: tuple) -> tuple:
+    """The store key of a *sampled* result under one accuracy contract.
+
+    Sampled answers are estimates, so they must never be conflated with
+    exact results (which live under the bare request key) nor with
+    estimates of a different ``(epsilon, delta)`` class — ``contract``
+    is :meth:`repro.engine.policy.MethodPolicy.contract`.  Tightening
+    the contract therefore misses here by construction and falls
+    through to the policy-independent sample state instead.
+    """
+    return ("sampled", base_key, contract)
+
+
+def fingerprint_sample_state(base_key: tuple) -> tuple:
+    """The store key of a request's resumable sampler state.
+
+    Deliberately *policy-independent*: every accuracy contract over the
+    same request extends one permutation stream, so a loose first
+    request, a tight refinement, and a post-delta repeat all resume the
+    same stored state.
+    """
+    return ("sample-state", base_key)
+
+
 __all__ = [
     "fingerprint_atoms",
     "fingerprint_component",
@@ -223,6 +247,8 @@ __all__ = [
     "fingerprint_grounding",
     "fingerprint_query",
     "fingerprint_request",
+    "fingerprint_sample_state",
+    "fingerprint_sampled",
     "query_atoms",
     "relevant_facts",
 ]

@@ -3,10 +3,12 @@
 The engine's in-memory LRU caches die with the process, which makes every
 new worker pay the full recursion cost for requests the fleet has already
 answered.  This module stores whole :class:`~repro.engine.core.BatchResult`
-values on disk, keyed by a SHA-256 digest of the canonical request
-fingerprint (:mod:`repro.engine.fingerprint`), so a process can serve warm
-results computed by another process — the multi-process serving step of
-the ROADMAP north star.
+values — and, since the approximation tier, the resumable
+:class:`~repro.shapley.sampling.SampleState` behind sampled results — on
+disk, keyed by a SHA-256 digest of the canonical request fingerprint
+(:mod:`repro.engine.fingerprint`), so a process can serve warm results
+computed by another process — the multi-process serving step of the
+ROADMAP north star.
 
 Design points:
 
@@ -61,12 +63,23 @@ from typing import Any
 from repro.core.facts import Fact
 from repro.engine.cache import CacheStats
 from repro.engine.results import BatchResult
-from repro.io import attribution_from_rows, attribution_to_rows, write_json_atomic
+from repro.io import (
+    attribution_from_rows,
+    attribution_to_rows,
+    estimate_from_dict,
+    estimate_to_dict,
+    fact_from_row,
+    fact_is_json_safe,
+    fact_to_row,
+    write_json_atomic,
+)
+from repro.shapley.sampling import SampleState
 
-#: Bumped to 2 with the delta-aware engine: values are now the
-#: *projection* of a result to its query-relevant facts (inflated back
-#: per database version on read) and carry the writer's version digest.
-FORMAT_VERSION = 2
+#: Bumped to 3 with the approximation tier: payloads are discriminated
+#: by ``kind`` — ``"result"`` documents (optionally carrying a sampled
+#: result's ``estimate`` block) and ``"sample-state"`` documents (the
+#: resumable permutation-stream state behind anytime refinement).
+FORMAT_VERSION = 3
 
 #: Access stamp given to retired (superseded-version) entries: far in
 #: the past, so LRU eviction drains them before any live entry.
@@ -146,8 +159,15 @@ class PersistentResultCache:
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("*.json"))
 
-    def get(self, key: tuple) -> BatchResult | None:
-        """The cached result for ``key``, or None (counts a hit or a miss)."""
+    def get(self, key: tuple) -> BatchResult | SampleState | None:
+        """The cached value for ``key``, or None (counts a hit or a miss).
+
+        Returns a :class:`BatchResult` for ``"result"`` entries and a
+        :class:`SampleState` for ``"sample-state"`` entries; the caller's
+        key discipline (result keys vs the ``("sample-state", ...)`` keys
+        of :func:`repro.engine.fingerprint.fingerprint_sample_state`)
+        keeps the two from ever being confused.
+        """
         path = self._path(key)
         try:
             payload = json.loads(path.read_text())
@@ -158,12 +178,7 @@ class PersistentResultCache:
             self.stats.misses += 1
             return None
         try:
-            result = BatchResult(
-                shapley=attribution_from_rows(payload["shapley"]),
-                banzhaf=attribution_from_rows(payload["banzhaf"]),
-                method=payload["method"],
-                player_count=payload["player_count"],
-            )
+            value = self._decode_payload(payload)
         except (KeyError, TypeError, ValueError):
             self.stats.misses += 1
             return None
@@ -173,26 +188,52 @@ class PersistentResultCache:
             os.utime(path)
         except OSError:
             pass
-        return result
+        return value
 
-    def put(self, key: tuple, result: BatchResult) -> bool:
+    @staticmethod
+    def _decode_payload(payload: dict) -> BatchResult | SampleState:
+        kind = payload.get("kind", "result")
+        if kind == "sample-state":
+            return SampleState(
+                seed=int(payload["seed"]),
+                rounds=int(payload["rounds"]),
+                totals={
+                    fact_from_row([relation, args]): int(total)
+                    for relation, args, total in payload["totals"]
+                },
+                evaluations=int(payload["evaluations"]),
+            )
+        if kind != "result":
+            raise ValueError(f"unknown payload kind {kind!r}")
+        raw_estimate = payload.get("estimate")
+        return BatchResult(
+            shapley=attribution_from_rows(payload["shapley"]),
+            banzhaf=attribution_from_rows(payload["banzhaf"]),
+            method=payload["method"],
+            player_count=payload["player_count"],
+            estimate=(
+                None if raw_estimate is None else estimate_from_dict(raw_estimate)
+            ),
+        )
+
+    def put(self, key: tuple, result: BatchResult | SampleState) -> bool:
         """Persist ``result`` under ``key`` atomically; False if skipped.
 
         Row encoding is the shared dialect of
         :func:`repro.io.attribution_to_rows`: None (a non-JSON-safe
         constant somewhere) means the entry is simply not persisted.
+        :class:`SampleState` values persist the same way — the resumable
+        sampler state survives the process, so a daemon restart or a
+        sibling worker resumes the permutation stream instead of
+        restarting it.
         """
-        shapley = attribution_to_rows(result.shapley)
-        banzhaf = attribution_to_rows(result.banzhaf)
-        if shapley is None or banzhaf is None:
+        if isinstance(result, SampleState):
+            payload = self._encode_state(result)
+        else:
+            payload = self._encode_result(result)
+        if payload is None:
             return False
-        payload = {
-            "version": FORMAT_VERSION,
-            "method": result.method,
-            "player_count": result.player_count,
-            "shapley": shapley,
-            "banzhaf": banzhaf,
-        }
+        payload["version"] = FORMAT_VERSION
         if self.writer_version is not None:
             payload["writer"] = self.writer_version
         path = self._path(key)
@@ -200,6 +241,38 @@ class PersistentResultCache:
             return False
         self._note_put(path)
         return True
+
+    @staticmethod
+    def _encode_result(result: BatchResult) -> dict | None:
+        shapley = attribution_to_rows(result.shapley)
+        banzhaf = attribution_to_rows(result.banzhaf)
+        if shapley is None or banzhaf is None:
+            return None
+        payload: dict[str, Any] = {
+            "kind": "result",
+            "method": result.method,
+            "player_count": result.player_count,
+            "shapley": shapley,
+            "banzhaf": banzhaf,
+        }
+        if result.estimate is not None:
+            payload["estimate"] = estimate_to_dict(result.estimate)
+        return payload
+
+    @staticmethod
+    def _encode_state(state: SampleState) -> dict | None:
+        totals = []
+        for player in sorted(state.totals, key=repr):
+            if not fact_is_json_safe(player):
+                return None
+            totals.append(fact_to_row(player) + [state.totals[player]])
+        return {
+            "kind": "sample-state",
+            "seed": state.seed,
+            "rounds": state.rounds,
+            "evaluations": state.evaluations,
+            "totals": totals,
+        }
 
     def _note_put(self, path: Path) -> None:
         """Update the occupancy estimate; rescan only when a cap is crossed.

@@ -5,12 +5,15 @@ a :class:`Plan` — the static half of the engine's plan/execute split.
 Planning does everything that must happen *before* any count vector is
 computed, and nothing that computes one:
 
-1. **Method dispatch** (the dichotomy of Theorems 3.1/4.3): each
-   grounding is classified as ``cntsat``, ``exoshap`` (the rewrite runs
-   at plan time, once), ``brute-force`` (validated once, up front,
-   against ``MAX_BRUTE_FORCE_PLAYERS``), ``empty``, or ``inconsistent``.
-   Intractable requests therefore fail at plan time, before a single
-   worker is spawned.
+1. **Method dispatch** (the dichotomy of Theorems 3.1/4.3, steered by a
+   :class:`repro.engine.policy.MethodPolicy`): each grounding is
+   classified as ``cntsat``, ``exoshap`` (the rewrite runs at plan
+   time, once), ``brute-force`` (validated once, up front, against
+   ``MAX_BRUTE_FORCE_PLAYERS``), ``sampled`` (the Section 5 additive
+   FPRAS — the ``auto`` fallback for the intractable class, or forced),
+   ``empty``, or ``inconsistent``.  Under an ``exact`` policy,
+   intractable requests fail at plan time, before a single worker is
+   spawned; under ``auto`` nothing is intractable anymore.
 2. **Node construction**: one :class:`GroundingTask` per distinct
    request (the per-grounding convolution/assembly task) plus one
    :class:`BundleTask` per distinct top-level Gaifman component
@@ -53,9 +56,16 @@ from repro.core.hierarchy import is_hierarchical
 from repro.core.paths import has_non_hierarchical_path
 from repro.core.query import BooleanQuery, ConjunctiveQuery
 from repro.engine.bundles import top_level_components
-from repro.engine.fingerprint import fingerprint_request, relevant_facts
-from repro.engine.results import BatchResult, inflate_result
+from repro.engine.fingerprint import (
+    fingerprint_request,
+    fingerprint_sample_state,
+    fingerprint_sampled,
+    relevant_facts,
+)
+from repro.engine.policy import MethodPolicy
+from repro.engine.results import BatchResult, inflate_result, result_from_state
 from repro.shapley.brute_force import MAX_BRUTE_FORCE_PLAYERS
+from repro.shapley.sampling import SampleState, rounds_for_contract, sample_seed
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.engine.executors import BundleCache
@@ -93,14 +103,46 @@ class BundleTask:
 
 
 @dataclass(frozen=True)
+class SampleSpec:
+    """How a ``sampled`` grounding task must drive the permutation stream.
+
+    ``rounds`` is the *total* round count the task's accuracy contract
+    requires; the executor runs only the fresh suffix ``prior.rounds ..
+    rounds - 1`` of stream ``seed`` and folds it into ``prior`` (the
+    stored :class:`repro.shapley.sampling.SampleState` the planner
+    loaded, or ``None`` on a cold start).  ``state_key`` is where the
+    engine persists the extended state; ``state_digest`` is the public
+    handle surfaced on the result's estimate.  ``restarted`` records
+    that a stored state existed but was unusable (wrong stream or
+    player set) and the stream was restarted from round zero.
+    """
+
+    seed: int
+    rounds: int
+    epsilon: float
+    delta: float
+    state_key: tuple
+    state_digest: str
+    prior: SampleState | None = None
+    restarted: bool = False
+
+    @property
+    def fresh_rounds(self) -> int:
+        return self.rounds - (self.prior.rounds if self.prior else 0)
+
+
+@dataclass(frozen=True)
 class GroundingTask:
     """A per-grounding node: count vectors + Lemma 3.2 assembly.
 
     ``database``/``query`` are the pair the method actually runs on —
     for ``exoshap`` they are the *rewritten* database and query produced
-    at plan time.  ``dependencies`` lists the bundle node ids this task's
-    recursion will consume; executors may satisfy them in any order (or
-    lazily, through the bundle cache) before or while running the task.
+    at plan time; for ``sampled`` the database is the request's
+    *relevant slice* (see :func:`sampled databases <build_plan>` below),
+    and ``sample_spec`` carries the round plan.  ``dependencies`` lists
+    the bundle node ids this task's recursion will consume; executors
+    may satisfy them in any order (or lazily, through the bundle cache)
+    before or while running the task.
     """
 
     node_id: tuple
@@ -112,6 +154,7 @@ class GroundingTask:
     #: The request's relevant endogenous facts — the projection the
     #: engine stores under the (relevance-scoped) key after execution.
     relevant: frozenset = frozenset()
+    sample_spec: SampleSpec | None = None
 
 
 @dataclass(frozen=True)
@@ -163,6 +206,55 @@ class PlanStats:
 
 
 @dataclass
+class SampleStats:
+    """Sampler accounting: how the approximation tier spent (and saved) work.
+
+    ``requests`` counts sampled requests planned; ``resumed_rounds``
+    the stored antithetic rounds they reused instead of recomputing;
+    ``served_from_state`` the requests whose contract was already
+    satisfied by stored rounds (zero fresh work); ``restarts`` the
+    requests that found an unusable stored state and started the stream
+    over.  ``fresh_rounds`` and ``evaluations`` are filled in by the
+    engine after execution: new rounds actually run and query
+    evaluations actually spent.
+    """
+
+    requests: int = 0
+    fresh_rounds: int = 0
+    resumed_rounds: int = 0
+    served_from_state: int = 0
+    restarts: int = 0
+    evaluations: int = 0
+
+    def merge(self, other: "SampleStats") -> None:
+        self.requests += other.requests
+        self.fresh_rounds += other.fresh_rounds
+        self.resumed_rounds += other.resumed_rounds
+        self.served_from_state += other.served_from_state
+        self.restarts += other.restarts
+        self.evaluations += other.evaluations
+
+    def snapshot(self) -> "SampleStats":
+        return SampleStats(
+            self.requests,
+            self.fresh_rounds,
+            self.resumed_rounds,
+            self.served_from_state,
+            self.restarts,
+            self.evaluations,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SampleStats(requests={self.requests},"
+            f" fresh_rounds={self.fresh_rounds},"
+            f" resumed_rounds={self.resumed_rounds},"
+            f" served_from_state={self.served_from_state},"
+            f" restarts={self.restarts}, evaluations={self.evaluations})"
+        )
+
+
+@dataclass
 class Plan:
     """An executable DAG: grounding tasks over shared bundle nodes.
 
@@ -179,6 +271,7 @@ class Plan:
     bundles: dict[tuple, BundleTask] = field(default_factory=dict)
     satisfied: dict[tuple, BatchResult] = field(default_factory=dict)
     stats: PlanStats = field(default_factory=PlanStats)
+    sample: SampleStats = field(default_factory=SampleStats)
     #: Endogenous null players zero-filled while inflating store hits.
     #: Any relevance-scoped hit whose request has irrelevant endogenous
     #: facts counts here — same-version or cross-version alike (the
@@ -186,22 +279,38 @@ class Plan:
     zero_filled: int = 0
 
 
+def _as_boolean(query: BooleanQuery) -> BooleanQuery:
+    """Normalize a CQ to its Boolean form (UCQs are Boolean already)."""
+    return query.as_boolean() if isinstance(query, ConjunctiveQuery) else query
+
+
 def _dispatch(
     database: Database,
     query: BooleanQuery,
     exogenous_relations: AbstractSet[str] | None,
-    allow_brute_force: bool,
+    policy: MethodPolicy,
 ) -> tuple[str, Database, BooleanQuery]:
-    """The dichotomy dispatch, with up-front validation.
+    """The policy-steered dichotomy dispatch, with up-front validation.
 
     Returns ``(method, database, query)`` where the database/query pair
     is the one the method runs on (rewritten for ``exoshap``).  Raises
-    :class:`IntractableQueryError` — at plan time — when no polynomial
-    algorithm applies and brute force is disallowed or oversized.
+    :class:`IntractableQueryError` — at plan time — when the policy is
+    ``exact`` and no polynomial algorithm applies, or when a forced
+    ``brute-force`` request is oversized.  Under ``auto`` the dispatch
+    never raises: the intractable class falls through to ``sampled``.
     """
     players = len(database.endogenous)
     if players == 0:
         return "empty", database, query
+    if policy.method == "brute-force":
+        if players > MAX_BRUTE_FORCE_PLAYERS:
+            raise IntractableQueryError(
+                f"brute force over {players} endogenous facts would enumerate"
+                f" 2^{players} coalitions (limit: {MAX_BRUTE_FORCE_PLAYERS})"
+            )
+        return "brute-force", database, query
+    if policy.method == "sampled":
+        return "sampled", database, _as_boolean(query)
     if isinstance(query, ConjunctiveQuery):
         boolean = query.as_boolean()
         if exogenous_relations is None:
@@ -216,18 +325,112 @@ def _dispatch(
                     database, boolean, exogenous_relations
                 )
                 return "exoshap", rewrite.database, rewrite.query
-    if not allow_brute_force:
+    if policy.method == "exact":
         raise IntractableQueryError(
             f"no polynomial batch algorithm applies to {query!r} and brute"
             f" force over {players} endogenous facts is disabled"
         )
     if players > MAX_BRUTE_FORCE_PLAYERS:
-        raise IntractableQueryError(
-            f"no polynomial batch algorithm applies to {query!r} and brute"
-            f" force over {players} endogenous facts would enumerate"
-            f" 2^{players} coalitions (limit: {MAX_BRUTE_FORCE_PLAYERS})"
-        )
+        return "sampled", database, _as_boolean(query)
     return "brute-force", database, query
+
+
+def _plan_sampled(
+    plan: Plan,
+    request: PlanRequest,
+    database: Database,
+    query: BooleanQuery,
+    base_key: tuple,
+    relevant: tuple[frozenset, frozenset],
+    policy: MethodPolicy,
+    store: "ResultStore | None",
+    seen: set[tuple],
+) -> None:
+    """Plan one sampled grounding: accuracy-tagged key, resumable state.
+
+    The result key wraps the base request key with the policy's
+    ``(epsilon, delta)`` contract — stores never mix accuracy classes —
+    while the sampler *state* lives under a policy-independent key, so
+    any contract over the same request extends one permutation stream.
+    Three outcomes, checked in order:
+
+    1. the contract's own result entry is warm — inflate and prune;
+    2. a stored state already holds enough rounds — build the (tighter)
+       result from it at plan time, zero fresh work;
+    3. otherwise emit a task whose spec resumes the stored state (or
+       starts the stream) and runs only the missing rounds, over the
+       request's *relevant slice* as its database: dummy invariance
+       makes the restricted estimates exact-equivalent, and keeps them
+       — like every relevance-scoped entry — valid across database
+       versions whose deltas leave the slice untouched.
+    """
+    from repro.engine.persistent import digest_key
+
+    skey = fingerprint_sampled(base_key, policy.contract())
+    if skey in plan.satisfied:
+        plan.requests.append(PlannedRequest(request, skey, None))
+        return
+    node_id = (RESULT, skey)
+    if node_id in seen:
+        plan.requests.append(PlannedRequest(request, skey, node_id))
+        return
+    cached = store.get(skey) if store is not None else None
+    if cached is not None:
+        inflated, filled = inflate_result(cached, database.endogenous)
+        plan.zero_filled += filled
+        plan.satisfied[skey] = inflated
+        plan.stats.pruned += 1
+        plan.requests.append(PlannedRequest(request, skey, None))
+        return
+    state_key = fingerprint_sample_state(base_key)
+    state_digest = digest_key(state_key)[:16]
+    seed = sample_seed(base_key)
+    players = sorted(relevant[0], key=repr)
+    prior = store.get(state_key) if store is not None else None
+    restarted = False
+    if prior is not None and not (
+        isinstance(prior, SampleState) and prior.compatible_with(seed, players)
+    ):
+        prior, restarted = None, True
+    needed = rounds_for_contract(policy.epsilon, policy.delta)
+    plan.sample.requests += 1
+    plan.sample.resumed_rounds += prior.rounds if prior is not None else 0
+    if restarted:
+        plan.sample.restarts += 1
+    if prior is not None and prior.rounds >= needed:
+        core = result_from_state(prior, policy.delta, state_digest=state_digest)
+        inflated, filled = inflate_result(core, database.endogenous)
+        plan.zero_filled += filled
+        plan.satisfied[skey] = inflated
+        plan.stats.pruned += 1
+        plan.sample.served_from_state += 1
+        plan.requests.append(PlannedRequest(request, skey, None))
+        return
+    restricted = Database(endogenous=relevant[0], exogenous=relevant[1])
+    spec = SampleSpec(
+        seed=seed,
+        rounds=needed,
+        epsilon=policy.epsilon,
+        delta=policy.delta,
+        state_key=state_key,
+        state_digest=state_digest,
+        prior=prior,
+        restarted=restarted,
+    )
+    seen.add(node_id)
+    plan.tasks.append(
+        GroundingTask(
+            node_id,
+            skey,
+            "sampled",
+            restricted,
+            query,
+            relevant=relevant[0],
+            sample_spec=spec,
+        )
+    )
+    plan.stats.planned += 1
+    plan.requests.append(PlannedRequest(request, skey, node_id))
 
 
 def build_plan(
@@ -235,17 +438,18 @@ def build_plan(
     requests: Sequence[PlanRequest],
     *,
     exogenous_relations: AbstractSet[str] | None = None,
-    allow_brute_force: bool = True,
+    policy: MethodPolicy | None = None,
     store: "ResultStore | None" = None,
     include_bundles: bool = True,
     bundle_cache: "BundleCache | None" = None,
 ) -> Plan:
     """Plan a batch request: dispatch, node construction, store pruning.
 
-    All validation errors (intractable queries, disabled brute force —
-    including store-served results whose *cached* method was brute force)
-    surface here, before any execution; a returned plan only contains
-    work the dichotomy sanctioned.
+    All validation errors (intractable queries under an ``exact``
+    policy — including store-served results whose *cached* method was
+    brute force — and oversized forced brute force) surface here, before
+    any execution; a returned plan only contains work the policy
+    sanctioned.
 
     Request keys are relevance-scoped, so store pruning works **across
     database versions**: a delta that leaves a request's relevant slice
@@ -263,6 +467,8 @@ def build_plan(
     already warm (``stats.bundles_reused``): the delta-scoped pruning
     signal for clean components.
     """
+    if policy is None:
+        policy = MethodPolicy()
     plan = Plan()
     plan.stats.requested = len(requests)
     seen: set[tuple] = set()
@@ -285,6 +491,19 @@ def build_plan(
             request.grounding,
             relevant=relevant,
         )
+        if policy.method == "sampled" and database.endogenous:
+            _plan_sampled(
+                plan,
+                request,
+                database,
+                _as_boolean(request.query),
+                key,
+                relevant,
+                policy,
+                store,
+                seen,
+            )
+            continue
         if key in plan.satisfied:
             plan.requests.append(PlannedRequest(request, key, None))
             continue
@@ -294,9 +513,9 @@ def build_plan(
             continue
         cached = store.get(key) if store is not None else None
         if cached is not None:
-            if not allow_brute_force and cached.method == "brute-force":
+            if policy.method == "exact" and cached.method == "brute-force":
                 # A warm store must not bypass the caller's polynomial-only
-                # contract: honor the flag exactly as a cold plan would.
+                # contract: honor the policy exactly as a cold plan would.
                 raise IntractableQueryError(
                     f"no polynomial batch algorithm applies to {request.query!r}"
                     f" and brute force over {cached.player_count} endogenous"
@@ -309,8 +528,23 @@ def build_plan(
             plan.requests.append(PlannedRequest(request, key, None))
             continue
         method, count_database, count_query = _dispatch(
-            database, request.query, exogenous_relations, allow_brute_force
+            database, request.query, exogenous_relations, policy
         )
+        if method == "sampled":
+            # An ``auto`` fallback: the request is re-planned on the
+            # sampled path, under its accuracy-tagged key.
+            _plan_sampled(
+                plan,
+                request,
+                database,
+                count_query,
+                key,
+                relevant,
+                policy,
+                store,
+                seen,
+            )
+            continue
         dependencies = []
         if include_bundles and method in ("cntsat", "exoshap"):
             for fingerprint, scope in top_level_components(count_database, count_query):
@@ -350,5 +584,7 @@ __all__ = [
     "PlanRequest",
     "PlanStats",
     "PlannedRequest",
+    "SampleSpec",
+    "SampleStats",
     "build_plan",
 ]

@@ -1,0 +1,174 @@
+"""The method/accuracy policy: one request shape for every front end.
+
+Historically callers steered the engine with a scattered
+``allow_brute_force: bool`` kwarg — a two-state knob that could not say
+"give me an estimate" and that every layer (engine, daemon, wire
+envelope, client, CLI) spelled slightly differently.
+:class:`MethodPolicy` replaces it with one value that travels the whole
+stack unchanged:
+
+* ``method`` — which algorithm family may serve the request:
+
+  ========== =========================================================
+  ``auto``    CntSat / ExoShap when the dichotomy allows, bounded brute
+              force otherwise, and — new with the approximation tier —
+              Hoeffding-bounded sampling for everything else.  Never
+              raises :class:`~repro.core.errors.IntractableQueryError`.
+  ``exact``   polynomial algorithms only (the old
+              ``allow_brute_force=False``): raises at plan time when
+              the query falls outside Theorems 3.1/4.3.
+  ``brute-force``
+              force coalition enumeration (still validated against
+              ``MAX_BRUTE_FORCE_PLAYERS``).
+  ``sampled`` force the additive FPRAS of Section 5, even for
+              tractable queries.
+  ========== =========================================================
+
+* ``epsilon``/``delta`` — the additive accuracy contract of a sampled
+  answer: with probability at least ``1 - delta`` every per-fact
+  estimate is within ``epsilon`` of the exact Shapley value.  The pair
+  is part of the request fingerprint (:meth:`MethodPolicy.contract`),
+  so result stores and the daemon's request coalescer never conflate
+  accuracy classes.
+
+``allow_brute_force`` survives as a deprecation shim:
+:func:`resolve_policy` maps ``True`` to ``auto`` and ``False`` to
+``exact`` — bit-identical behavior for every previously *working* call
+site — and warns once per process.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+
+#: The method names a policy may request.
+METHODS = ("auto", "exact", "brute-force", "sampled")
+
+#: Default additive accuracy contract for sampled answers.
+DEFAULT_EPSILON = 0.1
+DEFAULT_DELTA = 0.05
+
+
+@dataclass(frozen=True)
+class MethodPolicy:
+    """How a request may be answered, and — if sampled — how accurately.
+
+    Instances are immutable and hashable, so a policy can sit directly
+    inside cache keys and coalescing keys.  ``epsilon``/``delta`` are
+    validated in ``(0, 1)`` even for exact methods: a policy is one
+    request shape, and front ends forward the accuracy fields blindly.
+    """
+
+    method: str = "auto"
+    epsilon: float = DEFAULT_EPSILON
+    delta: float = DEFAULT_DELTA
+
+    def __post_init__(self) -> None:
+        if self.method not in METHODS:
+            raise ValueError(
+                f"unknown method {self.method!r}"
+                f" (expected one of: {', '.join(METHODS)})"
+            )
+        epsilon = float(self.epsilon)
+        delta = float(self.delta)
+        if not 0 < epsilon < 1 or not 0 < delta < 1:
+            raise ValueError("epsilon and delta must lie in (0, 1)")
+        object.__setattr__(self, "epsilon", epsilon)
+        object.__setattr__(self, "delta", delta)
+
+    def contract(self) -> tuple:
+        """The accuracy-class fingerprint of this policy.
+
+        Key material for sampled result entries: two requests share a
+        stored estimate only when their ``(epsilon, delta)`` contracts
+        agree exactly.  Exact methods have no accuracy class and do not
+        include this in their keys.
+        """
+        return ("contract", repr(self.epsilon), repr(self.delta))
+
+    def to_params(self) -> dict:
+        """The policy as wire-envelope parameters (JSON-safe)."""
+        return {
+            "method": self.method,
+            "epsilon": self.epsilon,
+            "delta": self.delta,
+        }
+
+    @classmethod
+    def from_params(cls, params: dict) -> "MethodPolicy":
+        """Rebuild a policy from wire-envelope parameters.
+
+        Accepts the legacy ``allow_brute_force`` field silently (the
+        protocol boundary is not a deprecation surface — old clients
+        must keep working without the server spewing warnings).
+        Explicit policy fields win over the legacy flag.
+        """
+        if any(field in params for field in ("method", "epsilon", "delta")):
+            return cls(
+                str(params.get("method", "auto")),
+                epsilon=float(params.get("epsilon", DEFAULT_EPSILON)),
+                delta=float(params.get("delta", DEFAULT_DELTA)),
+            )
+        legacy = params.get("allow_brute_force")
+        if legacy is None:
+            return cls()
+        return cls("auto" if legacy else "exact")
+
+
+_WARNED = False
+
+
+def _reset_deprecation_warnings() -> None:
+    """Re-arm the once-per-process shim warning (test helper)."""
+    global _WARNED
+    _WARNED = False
+
+
+def resolve_policy(
+    policy: "MethodPolicy | str | None",
+    allow_brute_force: bool | None = None,
+    *,
+    stacklevel: int = 3,
+) -> MethodPolicy:
+    """The deprecation shim: one policy out of old and new spellings.
+
+    ``policy`` may be a :class:`MethodPolicy`, a bare method name
+    (``"sampled"`` coerces to ``MethodPolicy("sampled")`` with default
+    accuracy), or ``None`` (the ``auto`` default).  A non-``None``
+    ``allow_brute_force`` maps ``True -> auto`` / ``False -> exact``
+    and emits a :class:`DeprecationWarning` once per process; passing
+    both spellings is an error — silently preferring either would make
+    migration bugs invisible.
+    """
+    global _WARNED
+    if allow_brute_force is not None:
+        if policy is not None:
+            raise ValueError(
+                "pass either policy= or the deprecated allow_brute_force=,"
+                " not both"
+            )
+        if not _WARNED:
+            _WARNED = True
+            warnings.warn(
+                "allow_brute_force is deprecated; use"
+                " policy=MethodPolicy('auto') instead of True and"
+                " policy=MethodPolicy('exact') instead of False",
+                DeprecationWarning,
+                stacklevel=stacklevel,
+            )
+        return MethodPolicy("auto" if allow_brute_force else "exact")
+    if policy is None:
+        return MethodPolicy()
+    if isinstance(policy, str):
+        return MethodPolicy(policy)
+    return policy
+
+
+__all__ = [
+    "DEFAULT_DELTA",
+    "DEFAULT_EPSILON",
+    "METHODS",
+    "MethodPolicy",
+    "resolve_policy",
+]

@@ -24,7 +24,32 @@ from typing import Callable, Mapping
 from repro.core.facts import Constant, Fact
 from repro.engine.bundles import BatchVectors
 from repro.engine.cache import CacheStats
+from repro.shapley.sampling import SampleState, achieved_epsilon
 from repro.util.combinatorics import shapley_coefficient
+
+
+@dataclass(frozen=True)
+class AttributionEstimate:
+    """The accuracy metadata of a sampled (``method="sampled"``) result.
+
+    With probability at least ``1 - delta``, every per-fact Shapley
+    value of the result is within ``epsilon`` of the exact value —
+    ``epsilon`` is the *achieved* bound of the rounds actually folded
+    in, which can be tighter than the contract the request asked for
+    (anytime refinement only ever shrinks it).  ``rounds`` counts
+    antithetic rounds, ``permutations`` the underlying permutation
+    sweeps (two per round), and ``resumed_rounds`` how many of the
+    rounds were reused from a stored :class:`SampleState` rather than
+    recomputed.  ``state_digest`` is the resumable sample-state handle:
+    the digest of the store key the state is persisted under.
+    """
+
+    epsilon: float
+    delta: float
+    rounds: int
+    permutations: int
+    resumed_rounds: int = 0
+    state_digest: str | None = None
 
 
 @dataclass(frozen=True)
@@ -35,6 +60,15 @@ class BatchResult:
     library's canonical order — sorted by ``repr`` — so callers observe
     one deterministic, documented ordering regardless of which algorithm
     or cache produced the result.
+
+    ``estimate`` is ``None`` for exact methods and carries the
+    ``(epsilon, delta)`` accuracy metadata for sampled ones — a sampled
+    result's ``shapley`` values are estimates, and its ``banzhaf``
+    mapping is empty (the permutation estimator draws coalition sizes
+    uniformly, which matches Shapley's size distribution but not
+    Banzhaf's).  ``sample_state`` is transport-only: executors attach
+    the resumable sampler state for the engine to persist, and the
+    engine strips it before a result leaves the public API.
     """
 
     shapley: Mapping[Fact, Fraction]
@@ -42,6 +76,8 @@ class BatchResult:
     method: str
     player_count: int
     from_cache: bool = False
+    estimate: AttributionEstimate | None = None
+    sample_state: SampleState | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -117,7 +153,9 @@ def project_result(result: BatchResult, relevant: frozenset[Fact]) -> BatchResul
     banzhaf = {
         item: value for item, value in result.banzhaf.items() if item in relevant
     }
-    return BatchResult(shapley, banzhaf, result.method, len(shapley))
+    return BatchResult(
+        shapley, banzhaf, result.method, len(shapley), estimate=result.estimate
+    )
 
 
 def inflate_result(
@@ -133,14 +171,60 @@ def inflate_result(
     with irrelevant endogenous facts fills, same-version or cross).
     Shapley and Banzhaf dummy invariance make the widened values
     bit-identical to a cold recomputation on this version.
+
+    Sampled cores widen the same way — a null player's *estimate* is
+    the exact zero, since its marginal contribution is zero in every
+    permutation — but their (empty) Banzhaf mapping stays empty: a
+    zero-fill there would fabricate values the sampler never estimated.
     """
     zero = Fraction(0)
     shapley = {item: core.shapley.get(item, zero) for item in endogenous}
-    banzhaf = {item: core.banzhaf.get(item, zero) for item in endogenous}
+    if core.estimate is None:
+        banzhaf = {item: core.banzhaf.get(item, zero) for item in endogenous}
+    else:
+        banzhaf = dict(core.banzhaf)
     filled = len(endogenous) - len(core.shapley)
     return (
-        BatchResult(shapley, banzhaf, core.method, len(endogenous)),
+        BatchResult(
+            shapley,
+            banzhaf,
+            core.method,
+            len(endogenous),
+            estimate=core.estimate,
+            sample_state=core.sample_state,
+        ),
         max(0, filled),
+    )
+
+
+def result_from_state(
+    state: SampleState, delta: float, state_digest: str | None = None
+) -> BatchResult:
+    """The sampled result a stored :class:`SampleState` already implies.
+
+    Used when a request's accuracy contract is satisfied by rounds that
+    are already folded into the stored state: the per-fact estimates are
+    ``totals / (2 rounds)``, the achieved bound comes from the full
+    stored round count (tighter than the contract), and every round
+    counts as resumed — nothing was recomputed.
+    """
+    players = sorted(state.totals, key=repr)
+    shapley = {player: state.value_of(player) for player in players}
+    estimate = AttributionEstimate(
+        epsilon=achieved_epsilon(state.rounds, delta),
+        delta=delta,
+        rounds=state.rounds,
+        permutations=2 * state.rounds,
+        resumed_rounds=state.rounds,
+        state_digest=state_digest,
+    )
+    return BatchResult(
+        shapley,
+        {},
+        "sampled",
+        len(players),
+        estimate=estimate,
+        sample_state=state,
     )
 
 
@@ -170,9 +254,11 @@ def result_from_vectors(vectors: BatchVectors, method: str) -> BatchResult:
 
 __all__ = [
     "AnswerBatchResult",
+    "AttributionEstimate",
     "BatchResult",
     "aggregate_spec",
     "inflate_result",
     "project_result",
+    "result_from_state",
     "result_from_vectors",
 ]

@@ -24,10 +24,17 @@ safe — and expose :class:`repro.engine.cache.CacheStats` accounting.
 
 from __future__ import annotations
 
-from typing import Protocol, runtime_checkable
+from typing import Protocol, Union, runtime_checkable
 
 from repro.engine.cache import CacheStats, LRUCache
 from repro.engine.results import BatchResult
+from repro.shapley.sampling import SampleState
+
+#: What a store holds: finished results under request keys, and — since
+#: the approximation tier — resumable sampler states under the
+#: policy-independent ``("sample-state", ...)`` keys of
+#: :func:`repro.engine.fingerprint.fingerprint_sample_state`.
+StoredValue = Union[BatchResult, SampleState]
 
 
 @runtime_checkable
@@ -35,17 +42,20 @@ class ResultStore(Protocol):
     """Anything that can answer "was this request already computed?".
 
     Keys are the canonical request fingerprints of
-    :func:`repro.engine.fingerprint.fingerprint_request`; values are
-    :class:`repro.engine.results.BatchResult` objects.  ``get`` counts a
-    hit or a miss on ``stats``; ``put`` is best effort (a store may
-    decline an entry, e.g. non-JSON-safe constants on disk).
+    :func:`repro.engine.fingerprint.fingerprint_request` (plus the
+    ``("sampled", ...)`` / ``("sample-state", ...)`` derivatives of the
+    approximation tier); values are :data:`StoredValue` objects.  The
+    key discipline keeps kinds apart — a result key never yields a
+    state, and vice versa.  ``get`` counts a hit or a miss on ``stats``;
+    ``put`` is best effort (a store may decline an entry, e.g.
+    non-JSON-safe constants on disk).
     """
 
     stats: CacheStats
 
-    def get(self, key: tuple) -> BatchResult | None: ...
+    def get(self, key: tuple) -> StoredValue | None: ...
 
-    def put(self, key: tuple, result: BatchResult) -> object: ...
+    def put(self, key: tuple, result: StoredValue) -> object: ...
 
 
 class MemoryResultStore:
@@ -66,10 +76,10 @@ class MemoryResultStore:
     def __len__(self) -> int:
         return len(self.cache)
 
-    def get(self, key: tuple) -> BatchResult | None:
+    def get(self, key: tuple) -> StoredValue | None:
         return self.cache.get(key)
 
-    def put(self, key: tuple, result: BatchResult) -> bool:
+    def put(self, key: tuple, result: StoredValue) -> bool:
         self.cache.put(key, result)
         return True
 
@@ -92,7 +102,7 @@ class TieredResultStore:
         self.tiers: list[ResultStore] = [tier for tier in tiers if tier is not None]
         self.stats = CacheStats()
 
-    def get(self, key: tuple) -> BatchResult | None:
+    def get(self, key: tuple) -> StoredValue | None:
         for position, tier in enumerate(self.tiers):
             value = tier.get(key)
             if value is not None:
@@ -103,7 +113,7 @@ class TieredResultStore:
         self.stats.misses += 1
         return None
 
-    def put(self, key: tuple, result: BatchResult) -> bool:
+    def put(self, key: tuple, result: StoredValue) -> bool:
         stored = False
         for tier in self.tiers:
             if tier.put(key, result) is not False:
@@ -111,4 +121,4 @@ class TieredResultStore:
         return stored
 
 
-__all__ = ["MemoryResultStore", "ResultStore", "TieredResultStore"]
+__all__ = ["MemoryResultStore", "ResultStore", "StoredValue", "TieredResultStore"]

@@ -19,6 +19,10 @@ helpers are the one dialect shared by the engine's persistent result
 cache (:mod:`repro.engine.persistent`), the attribution service's wire
 protocol (:mod:`repro.server.protocol`), and the CLI's ``--json`` output,
 so a document produced by any of them is readable by all of them.
+Sampled results additionally carry an ``estimate`` block (their
+``(epsilon, delta)`` accuracy contract, round counts, and resumable
+state handle) so an estimate can never masquerade as an exact answer
+after a round-trip.
 """
 
 from __future__ import annotations
@@ -36,7 +40,7 @@ from repro.core.query import ConjunctiveQuery, Variable
 from repro.logic.cnf import Clause, CnfFormula
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
-    from repro.engine.results import BatchResult
+    from repro.engine.results import AttributionEstimate, BatchResult
 
 
 def write_json_atomic(path: Path, payload: Any) -> bool:
@@ -137,12 +141,46 @@ def attribution_from_rows(rows: list[list[Any]]) -> dict[Fact, Fraction]:
     return values
 
 
-def batch_result_to_dict(result: "BatchResult") -> dict[str, Any]:
-    """A JSON-ready document of one batch result (both measures, exact).
+def estimate_to_dict(estimate: "AttributionEstimate") -> dict[str, Any]:
+    """A JSON-ready document of one sampled result's accuracy metadata.
 
-    Raises :class:`ValueError` when some fact's constants do not
-    round-trip through JSON scalars — the wire protocol and ``--json``
-    must fail loudly rather than drop values silently.
+    ``epsilon``/``delta`` travel as floats (JSON preserves the exact
+    double), the round/permutation counters as ints, and the resumable
+    ``state_digest`` handle as a string or null.
+    """
+    return {
+        "epsilon": estimate.epsilon,
+        "delta": estimate.delta,
+        "rounds": estimate.rounds,
+        "permutations": estimate.permutations,
+        "resumed_rounds": estimate.resumed_rounds,
+        "state_digest": estimate.state_digest,
+    }
+
+
+def estimate_from_dict(payload: Mapping[str, Any]) -> "AttributionEstimate":
+    """Rebuild an :class:`AttributionEstimate` from :func:`estimate_to_dict`."""
+    from repro.engine.results import AttributionEstimate
+
+    return AttributionEstimate(
+        epsilon=float(payload["epsilon"]),
+        delta=float(payload["delta"]),
+        rounds=int(payload["rounds"]),
+        permutations=int(payload["permutations"]),
+        resumed_rounds=int(payload.get("resumed_rounds", 0)),
+        state_digest=payload.get("state_digest"),
+    )
+
+
+def batch_result_to_dict(result: "BatchResult") -> dict[str, Any]:
+    """A JSON-ready document of one batch result (both measures).
+
+    Sampled results carry their ``(epsilon, delta)`` accuracy metadata in
+    an ``estimate`` block (absent for exact methods), so an estimate is
+    never mistaken for an exact answer after a round-trip.  Raises
+    :class:`ValueError` when some fact's constants do not round-trip
+    through JSON scalars — the wire protocol and ``--json`` must fail
+    loudly rather than drop values silently.
     """
     shapley = attribution_to_rows(result.shapley)
     banzhaf = attribution_to_rows(result.banzhaf)
@@ -151,25 +189,30 @@ def batch_result_to_dict(result: "BatchResult") -> dict[str, Any]:
             "attribution values contain constants that do not round-trip"
             " through JSON scalars"
         )
-    return {
+    document: dict[str, Any] = {
         "method": result.method,
         "player_count": result.player_count,
         "from_cache": result.from_cache,
         "shapley": shapley,
         "banzhaf": banzhaf,
     }
+    if result.estimate is not None:
+        document["estimate"] = estimate_to_dict(result.estimate)
+    return document
 
 
 def batch_result_from_dict(payload: Mapping[str, Any]) -> "BatchResult":
     """Rebuild a :class:`BatchResult` from :func:`batch_result_to_dict`."""
     from repro.engine.results import BatchResult
 
+    raw_estimate = payload.get("estimate")
     return BatchResult(
         shapley=attribution_from_rows(payload["shapley"]),
         banzhaf=attribution_from_rows(payload["banzhaf"]),
         method=payload["method"],
         player_count=payload["player_count"],
         from_cache=bool(payload.get("from_cache", False)),
+        estimate=None if raw_estimate is None else estimate_from_dict(raw_estimate),
     )
 
 

@@ -46,6 +46,7 @@ from repro.core.database import Database
 from repro.core.facts import Constant, Fact
 from repro.core.query import ConjunctiveQuery
 from repro.engine.delta import DatabaseDelta, delta_to_dict
+from repro.engine.policy import MethodPolicy, resolve_policy
 from repro.io import (
     attribution_from_rows,
     batch_result_from_dict,
@@ -339,15 +340,23 @@ class AttributionClient:
         database: Database | str,
         query: str | ConjunctiveQuery,
         exogenous: Iterable[str] | None = None,
-        allow_brute_force: bool = True,
+        *,
+        policy: MethodPolicy | str | None = None,
+        allow_brute_force: bool | None = None,
     ):
         """All-facts attribution of one Boolean query, served warm.
 
-        Returns a :class:`~repro.engine.results.BatchResult` bit-identical
-        to what an in-process engine would produce; the raw wire payload
+        ``policy`` selects the method/accuracy class exactly as on the
+        in-process engine (a :class:`~repro.engine.policy.MethodPolicy`
+        or a bare method name); ``allow_brute_force`` survives as the
+        deprecated spelling and warns once per process.  Returns a
+        :class:`~repro.engine.results.BatchResult` bit-identical to what
+        an in-process engine would produce — including the ``estimate``
+        accuracy block on sampled answers; the raw wire payload
         (per-request stats delta, ``coalesced`` flag) stays available on
         :attr:`last_response`.
         """
+        method_policy = resolve_policy(policy, allow_brute_force)
         result = self._with_handle(
             database,
             lambda handle: self.call(
@@ -355,7 +364,37 @@ class AttributionClient:
                 db=handle,
                 query=self._query_text(query),
                 exogenous=self._exogenous_param(exogenous),
-                allow_brute_force=allow_brute_force,
+                **method_policy.to_params(),
+            ),
+        )
+        return batch_result_from_dict(result["result"])
+
+    def refine(
+        self,
+        database: Database | str,
+        query: str | ConjunctiveQuery,
+        exogenous: Iterable[str] | None = None,
+        *,
+        epsilon: float | None = None,
+        delta: float | None = None,
+    ):
+        """Tighten a sampled request's accuracy bound, resuming its stream.
+
+        With no explicit ``epsilon``, each call roughly halves the
+        achieved bound of the daemon's stored sample state; completed
+        rounds are never recomputed (``last_response["stats"]`` shows
+        ``sampler.restarts == 0``).  Returns the refined
+        :class:`~repro.engine.results.BatchResult`.
+        """
+        result = self._with_handle(
+            database,
+            lambda handle: self.call(
+                "refine",
+                db=handle,
+                query=self._query_text(query),
+                exogenous=self._exogenous_param(exogenous),
+                epsilon=epsilon,
+                delta=delta,
             ),
         )
         return batch_result_from_dict(result["result"])
@@ -366,7 +405,9 @@ class AttributionClient:
         query: str | ConjunctiveQuery,
         answers: Iterable[tuple[Constant, ...]] | None = None,
         exogenous: Iterable[str] | None = None,
-        allow_brute_force: bool = True,
+        *,
+        policy: MethodPolicy | str | None = None,
+        allow_brute_force: bool | None = None,
     ):
         """Per-answer attribution of a non-Boolean query, served warm.
 
@@ -376,6 +417,7 @@ class AttributionClient:
         from repro.engine.cache import CacheStats
         from repro.engine.results import AnswerBatchResult
 
+        method_policy = resolve_policy(policy, allow_brute_force)
         result = self._with_handle(
             database,
             lambda handle: self.call(
@@ -384,7 +426,7 @@ class AttributionClient:
                 query=self._query_text(query),
                 answers=None if answers is None else [list(a) for a in answers],
                 exogenous=self._exogenous_param(exogenous),
-                allow_brute_force=allow_brute_force,
+                **method_policy.to_params(),
             ),
         )
         per_answer = {

@@ -31,6 +31,13 @@ loaded handle (bounded version chains in the registry, superseded
 persistent entries retired), and the delta-aware engine re-executes only
 the dirty slice — see :mod:`repro.engine.delta`.
 
+Anytime refinement: ``batch`` accepts ``method``/``epsilon``/``delta``
+policy fields (:class:`~repro.engine.policy.MethodPolicy`), and a
+sampled answer leaves a resumable sample state in the warm store;
+``refine`` extends that state's permutation stream to tighten the
+``(epsilon, delta)`` bound without recomputing a single completed round
+— observable per request via the ``sampler.*`` stats delta.
+
 Hardening: a TCP listener may require an auth token (``--auth-token`` /
 ``REPRO_AUTH_TOKEN``); every frame is checked with a constant-time
 compare and rejected frames get a typed
@@ -55,6 +62,7 @@ from typing import Any, Callable
 from repro.core.parser import parse_query
 from repro.engine.core import BatchAttributionEngine
 from repro.engine.delta import delta_from_dict
+from repro.engine.policy import MethodPolicy
 from repro.io import batch_result_to_dict, database_from_dict
 from repro.server.protocol import (
     PROTOCOL_VERSION,
@@ -404,6 +412,17 @@ class AttributionDaemon:
         result["coalesced"] = coalesced
         return result
 
+    @staticmethod
+    def _policy_key(policy: MethodPolicy) -> tuple:
+        """The coalescing-key component of a request's method policy.
+
+        The method *and* the accuracy contract are key material: a
+        polynomial-only request must never share an outcome with a
+        brute-force-permitting one, and two sampled requests coalesce
+        only when their ``(epsilon, delta)`` classes agree exactly.
+        """
+        return ("policy", policy.method, policy.contract())
+
     def _op_batch(self, payload: dict[str, Any]) -> dict[str, Any]:
         handle = str(payload.get("db"))
         database = self.registry.get(handle)
@@ -414,24 +433,67 @@ class AttributionDaemon:
                 " queries with head variables"
             )
         exogenous = self._exogenous(payload)
-        allow_brute_force = bool(payload.get("allow_brute_force", True))
-        # allow_brute_force is part of the key: a polynomial-only request
-        # must never share an outcome with a brute-force-permitting one.
-        # The handle pins the database *version*: the engine's store may
-        # share entries across versions, but a coalesced response carries
-        # one version's exact fact set and must never cross versions.
+        policy = MethodPolicy.from_params(payload)
+        # The policy is part of the key (see _policy_key).  The handle
+        # pins the database *version*: the engine's store may share
+        # entries across versions, but a coalesced response carries one
+        # version's exact fact set and must never cross versions.
         key = (
             "batch",
             handle,
             self.engine.fingerprint(database, query, exogenous),
-            allow_brute_force,
+            self._policy_key(policy),
         )
 
         def compute() -> dict[str, Any]:
             with self._engine_lock:
                 before = self.engine.counters()
                 result = self.engine.batch(
-                    database, query, exogenous, allow_brute_force
+                    database, query, exogenous_relations=exogenous, policy=policy
+                )
+                after = self.engine.counters()
+            return {
+                "result": batch_result_to_dict(result),
+                "stats": _counters_delta(before, after),
+            }
+
+        return self._coalesced(key, compute)
+
+    def _op_refine(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Tighten a sampled request's accuracy bound from its stored state.
+
+        The engine resumes the request's persisted permutation stream —
+        no completed round is ever recomputed, which the per-request
+        ``stats`` delta makes observable (``sampler.restarts`` stays 0,
+        ``sampler.resumed_rounds`` counts the reused prefix).  With no
+        explicit ``epsilon``, each call roughly halves the achieved
+        bound (4x the stored rounds).
+        """
+        handle = str(payload.get("db"))
+        database = self.registry.get(handle)
+        query = parse_query(str(payload.get("query")))
+        if not query.is_boolean:
+            raise ValueError("refine needs a Boolean query")
+        exogenous = self._exogenous(payload)
+        epsilon = payload.get("epsilon")
+        delta = payload.get("delta")
+        key = (
+            "refine",
+            handle,
+            self.engine.fingerprint(database, query, exogenous),
+            None if epsilon is None else repr(float(epsilon)),
+            None if delta is None else repr(float(delta)),
+        )
+
+        def compute() -> dict[str, Any]:
+            with self._engine_lock:
+                before = self.engine.counters()
+                result = self.engine.refine(
+                    database,
+                    query,
+                    exogenous_relations=exogenous,
+                    epsilon=None if epsilon is None else float(epsilon),
+                    delta=None if delta is None else float(delta),
                 )
                 after = self.engine.counters()
             return {
@@ -448,7 +510,7 @@ class AttributionDaemon:
         if query.is_boolean:
             raise ValueError("answers needs a query with head variables")
         exogenous = self._exogenous(payload)
-        allow_brute_force = bool(payload.get("allow_brute_force", True))
+        policy = MethodPolicy.from_params(payload)
         requested = payload.get("answers")
         answers = (
             None
@@ -459,14 +521,18 @@ class AttributionDaemon:
             "answers",
             handle,
             self.engine.fingerprint_answers(database, query, answers, exogenous),
-            allow_brute_force,
+            self._policy_key(policy),
         )
 
         def compute() -> dict[str, Any]:
             with self._engine_lock:
                 before = self.engine.counters()
                 batch = self.engine.batch_answers(
-                    database, query, answers, exogenous, allow_brute_force
+                    database,
+                    query,
+                    answers,
+                    exogenous_relations=exogenous,
+                    policy=policy,
                 )
                 after = self.engine.counters()
             return {
@@ -506,7 +572,9 @@ class AttributionDaemon:
         def compute() -> dict[str, Any]:
             with self._engine_lock:
                 before = self.engine.counters()
-                batch = self.engine.batch_answers(database, query, None, exogenous)
+                batch = self.engine.batch_answers(
+                    database, query, None, exogenous_relations=exogenous
+                )
                 after = self.engine.counters()
             try:
                 totals = batch.aggregate(weight)
@@ -536,6 +604,7 @@ class AttributionDaemon:
         "batch": _op_batch,
         "answers": _op_answers,
         "aggregate": _op_aggregate,
+        "refine": _op_refine,
     }
 
 

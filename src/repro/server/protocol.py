@@ -8,9 +8,9 @@ never make the daemon allocate unbounded memory.
 
 On top of the framing sit versioned request/response **envelopes**::
 
-    {"v": 1, "id": 7, "op": "batch", "db": "db:...", "query": "q() :- ..."}
-    {"v": 1, "id": 7, "ok": true,  "result": {...}}
-    {"v": 1, "id": 7, "ok": false, "error": {"type": "...", "message": "..."}}
+    {"v": 2, "id": 7, "op": "batch", "db": "db:...", "query": "q() :- ..."}
+    {"v": 2, "id": 7, "ok": true,  "result": {...}}
+    {"v": 2, "id": 7, "ok": false, "error": {"type": "...", "message": "..."}}
 
 ``v`` is :data:`PROTOCOL_VERSION` and must match on both sides — a
 mismatch is a :class:`ProtocolError`, never a silent misparse.  ``id`` is
@@ -46,7 +46,10 @@ from repro.core.errors import (
 )
 
 #: Bump on any incompatible change to the envelope or payload layout.
-PROTOCOL_VERSION = 1
+#: Version 2 (the approximation tier): ``batch``/``answers`` accept
+#: ``method``/``epsilon``/``delta`` policy fields, result documents may
+#: carry an ``estimate`` block, and the ``refine`` operation exists.
+PROTOCOL_VERSION = 2
 
 #: Upper bound on one frame's body; a larger header is a protocol error.
 MAX_FRAME_BYTES = 64 * 1024 * 1024
@@ -147,7 +150,7 @@ def read_frame(stream: BinaryIO) -> dict[str, Any] | None:
 # ----------------------------------------------------------------------
 # Envelopes
 # ----------------------------------------------------------------------
-#: Operations a version-1 daemon understands.
+#: Operations a version-2 daemon understands.
 OPERATIONS = (
     "ping",
     "stats",
@@ -156,6 +159,7 @@ OPERATIONS = (
     "batch",
     "answers",
     "aggregate",
+    "refine",
     "shutdown",
 )
 

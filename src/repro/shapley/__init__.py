@@ -47,6 +47,16 @@ from repro.shapley.exact import (
     shapley_value,
 )
 from repro.shapley.exoshap import ExoShapRewrite, exo_shapley, rewrite_to_hierarchical
+from repro.shapley.sampling import (
+    SampleState,
+    achieved_epsilon,
+    extend_state,
+    merge_totals,
+    round_rng,
+    rounds_for_contract,
+    run_rounds,
+    sample_seed,
+)
 from repro.shapley.stratified import (
     StratifiedEstimate,
     estimator_variance_comparison,
@@ -62,10 +72,12 @@ from repro.shapley.games import (
 )
 
 __all__ = [
-    "MAX_BRUTE_FORCE_PLAYERS",
     "ExoShapRewrite",
+    "MAX_BRUTE_FORCE_PLAYERS",
+    "SampleState",
     "ShapleyEstimate",
     "StratifiedEstimate",
+    "achieved_epsilon",
     "aggregate_attribution",
     "answer_attribution",
     "answers_attribution",
@@ -74,28 +86,32 @@ __all__ = [
     "banzhaf_all_brute_force",
     "banzhaf_all_values",
     "banzhaf_brute_force",
-    "estimator_variance_comparison",
-    "stratified_shapley_estimate",
     "banzhaf_fact_value",
     "banzhaf_from_counts",
     "banzhaf_value",
     "candidate_answers",
     "count_satisfying_subsets",
     "efficiency_gap",
+    "estimator_variance_comparison",
     "exo_shapley",
+    "extend_state",
     "gap_property_floor",
     "ground_at_answer",
     "head_assignment",
     "hoeffding_sample_count",
+    "merge_totals",
     "model_count",
     "multiplicative_sample_lower_bound",
     "permutation_marginals",
     "query_game",
     "rewrite_to_hierarchical",
+    "round_rng",
+    "rounds_for_contract",
+    "run_rounds",
     "sample_marginal_contributions",
+    "sample_seed",
     "satisfaction_probability",
     "satisfying_subset_counts",
-    "shapley_for_answer",
     "shapley_aggregate",
     "shapley_all",
     "shapley_all_brute_force",
@@ -105,8 +121,10 @@ __all__ = [
     "shapley_by_permutations",
     "shapley_by_subsets",
     "shapley_count",
+    "shapley_for_answer",
     "shapley_from_counts",
     "shapley_hierarchical",
     "shapley_sum",
     "shapley_value",
+    "stratified_shapley_estimate",
 ]

@@ -80,7 +80,10 @@ def _attribution_from_weighted(
     if not weighted:
         return totals
     batch = default_engine().batch_answers(
-        database, query, [row for row, _ in weighted], exogenous_relations
+        database,
+        query,
+        [row for row, _ in weighted],
+        exogenous_relations=exogenous_relations,
     )
     weights = dict(weighted)
     for answer, result in batch.per_answer.items():

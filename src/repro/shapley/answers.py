@@ -97,7 +97,7 @@ def shapley_for_answer(
     result = default_engine().batch(
         database,
         ground_at_answer(query, answer),
-        exogenous_relations,
+        exogenous_relations=exogenous_relations,
         grounding=tuple(answer),
     )
     return result.shapley[target]
@@ -123,7 +123,7 @@ def answer_attribution(
     result = default_engine().batch(
         database,
         ground_at_answer(query, answer),
-        exogenous_relations,
+        exogenous_relations=exogenous_relations,
         grounding=tuple(answer),
     )
     return dict(result.shapley)
@@ -146,7 +146,7 @@ def answers_attribution(
     from repro.engine import default_engine
 
     batch = default_engine().batch_answers(
-        database, query, answers, exogenous_relations
+        database, query, answers, exogenous_relations=exogenous_relations
     )
     return {
         answer: dict(result.shapley)

@@ -105,19 +105,29 @@ def banzhaf_all_values(
     database: Database,
     query: BooleanQuery,
     exogenous_relations: AbstractSet[str] | None = None,
-    allow_brute_force: bool = True,
+    *,
+    policy=None,
+    allow_brute_force: bool | None = None,
 ) -> dict[Fact, Fraction]:
     """Exact Banzhaf values of every endogenous fact, via the batch engine.
 
     The engine derives Banzhaf and Shapley values from the same per-fact
     count vectors, so asking for both costs one shared recursion total —
     one plan/execute pass, under whichever executor backend the default
-    engine is configured with.
+    engine is configured with.  ``policy`` follows
+    :func:`repro.shapley.exact.shapley_all_values` — but note the
+    ``sampled`` method estimates Shapley only, so a sampled policy here
+    returns an empty mapping; ``allow_brute_force`` is the deprecated
+    boolean spelling and warns once per process.
     """
     from repro.engine import default_engine
 
     return default_engine().banzhaf_all(
-        database, query, exogenous_relations, allow_brute_force
+        database,
+        query,
+        exogenous_relations,
+        policy=policy,
+        allow_brute_force=allow_brute_force,
     )
 
 

@@ -131,9 +131,11 @@ def shapley_all_values(
     database: Database,
     query: BooleanQuery,
     exogenous_relations: AbstractSet[str] | None = None,
-    allow_brute_force: bool = True,
+    *,
+    policy=None,
+    allow_brute_force: bool | None = None,
 ) -> dict[Fact, Fraction]:
-    """Exact Shapley values of every endogenous fact.
+    """Shapley values of every endogenous fact, exact or sampled per policy.
 
     Delegates to the shared-work batch engine
     (:class:`repro.engine.BatchAttributionEngine`), i.e. routes through
@@ -141,14 +143,22 @@ def shapley_all_values(
     prunes store-satisfied work, the configured executor (serial by
     default, sharded under ``REPRO_JOBS``) runs one CntSat-style
     recursion — or one ExoShap rewrite — for all facts instead of two
-    count-vector computations per fact, and intractable requests fail
-    once, at plan time, with an :class:`IntractableQueryError` naming
-    the player count.
+    count-vector computations per fact.  ``policy`` is a
+    :class:`repro.engine.policy.MethodPolicy` (or a bare method name):
+    the default ``auto`` serves even non-hierarchical queries too large
+    for brute force as Hoeffding-bounded estimates, while ``exact``
+    fails at plan time with an :class:`IntractableQueryError` naming
+    the player count.  ``allow_brute_force`` survives as the deprecated
+    boolean spelling and warns once per process.
     """
     from repro.engine import default_engine
 
     return default_engine().shapley_all(
-        database, query, exogenous_relations, allow_brute_force
+        database,
+        query,
+        exogenous_relations,
+        policy=policy,
+        allow_brute_force=allow_brute_force,
     )
 
 

@@ -1,0 +1,218 @@
+"""The engine-grade sampler behind the ``sampled`` method (Section 5).
+
+This module turns the seed estimators (:mod:`repro.shapley.approximate`,
+:mod:`repro.shapley.stratified`) into something a plan/execute engine
+can schedule, shard, and *resume*:
+
+* **Shared permutation sweeps** — as in
+  :func:`repro.shapley.approximate.approximate_shapley_all`, one
+  permutation of all players is swept once, and the satisfaction flip at
+  position ``i`` is a marginal-contribution sample for the fact at that
+  position: one permutation buys one sample for *every* fact.
+
+* **Antithetic rounds** — each round pairs a forward sweep with the
+  sweep of the *reversed* permutation.  Reversal mirrors the coalition
+  sizes (position ``k`` becomes ``m - 1 - k``), so the pair covers the
+  size strata the way :mod:`repro.shapley.stratified` allocates budget
+  per size, and the two sweeps' errors are negatively correlated on
+  monotone-ish queries — variance reduction at no guarantee cost: the
+  round mean still lies in ``[-1, 1]``, so the Hoeffding bound applies
+  *round-wise* and :func:`rounds_for_contract` is exactly the seed
+  sample count.
+
+* **Deterministic, order-independent rounds** — round ``i`` draws its
+  permutation from ``sha256(seed, i)``, so any executor (serial, or a
+  sharded backend splitting the round range across worker processes)
+  produces bit-identical integer totals, and a later request can run
+  rounds ``n .. n'`` and merge them with a stored prefix — the anytime
+  refinement the daemon's ``refine`` operation exposes.
+
+* **Resumable state** — :class:`SampleState` is the whole estimator
+  state: the stream seed, how many rounds are folded in, the integer
+  marginal totals per fact, and the cumulative evaluation count.  It is
+  persisted by the engine's result store under a policy-independent key,
+  so *any* accuracy contract over the same request continues one stream.
+
+The per-fact estimate after ``n`` rounds is ``totals[f] / (2 n)`` (two
+sweeps per round), with the additive guarantee
+``epsilon = sqrt(2 ln(2 / delta) / n)`` per fact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Mapping, Sequence
+
+from repro.core.database import Database
+from repro.core.evaluation import holds
+from repro.core.facts import Fact
+from repro.core.query import BooleanQuery
+from repro.shapley.approximate import hoeffding_sample_count
+
+
+@dataclass(frozen=True)
+class SampleState:
+    """Everything needed to resume a sampled request where it stopped.
+
+    ``totals`` maps each player to the integer sum of its marginal
+    contributions over all ``2 * rounds`` sweeps of rounds ``0 ..
+    rounds - 1`` of the stream named by ``seed``; ``evaluations`` counts
+    the query evaluations spent producing them (cumulative across
+    resumptions).  States are value objects: executors return fresh
+    ones, they are never mutated in place.
+    """
+
+    seed: int
+    rounds: int
+    totals: Mapping[Fact, int]
+    evaluations: int
+
+    def value_of(self, player: Fact) -> Fraction:
+        """The running estimate for one player: ``total / (2 rounds)``."""
+        return Fraction(self.totals.get(player, 0), 2 * self.rounds)
+
+    def compatible_with(self, seed: int, players: Sequence[Fact]) -> bool:
+        """Can this state extend the stream ``seed`` over ``players``?
+
+        A stored state is only resumable when it was drawn from the
+        same stream *and* covers exactly the same player set — anything
+        else (a corrupted entry, a key collision across refactors) must
+        restart rather than silently merge incompatible totals.
+        """
+        return self.seed == seed and set(self.totals) == set(players)
+
+
+def rounds_for_contract(epsilon: float, delta: float) -> int:
+    """Antithetic rounds sufficient for an additive ``(epsilon, delta)``.
+
+    Round means lie in ``[-1, 1]`` and rounds are independent, so the
+    Hoeffding count of the seed estimator applies unchanged with
+    "samples" read as "rounds".
+    """
+    return hoeffding_sample_count(epsilon, delta)
+
+
+def achieved_epsilon(rounds: int, delta: float) -> float:
+    """The additive bound ``rounds`` completed rounds actually deliver.
+
+    Inverts the Hoeffding count: ``epsilon = sqrt(2 ln(2/delta) / n)``.
+    May exceed 1 for very small ``n`` — callers clamp where a bound in
+    ``(0, 1)`` is required (e.g. when re-entering it as a contract).
+    """
+    if rounds < 1:
+        raise ValueError("achieved_epsilon needs at least one round")
+    if not 0 < delta < 1:
+        raise ValueError("delta must lie in (0, 1)")
+    return math.sqrt(2.0 * math.log(2.0 / delta) / rounds)
+
+
+def sample_seed(key: tuple) -> int:
+    """A deterministic stream seed derived from a request key.
+
+    Hashing the canonical request key (rather than drawing entropy)
+    makes the permutation stream a pure function of the request: every
+    process, worker, and session that plans the same request extends
+    the *same* stream, which is what lets stored states resume across
+    daemon restarts and database deltas.
+    """
+    digest = hashlib.sha256(repr(key).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def round_rng(seed: int, index: int) -> random.Random:
+    """The RNG of round ``index`` of stream ``seed``.
+
+    Each round gets an independent generator keyed by ``(seed, index)``
+    so rounds can run in any order, on any executor, in any process,
+    and still shuffle identically.
+    """
+    digest = hashlib.sha256(f"{seed}:{index}".encode("utf-8")).digest()
+    return random.Random(int.from_bytes(digest[:16], "big"))
+
+
+def run_rounds(
+    database: Database,
+    query: BooleanQuery,
+    seed: int,
+    start: int,
+    count: int,
+) -> tuple[dict[Fact, int], int]:
+    """Run antithetic rounds ``start .. start + count - 1`` of a stream.
+
+    Returns the integer marginal totals contributed by exactly these
+    rounds (two sweeps each) and the number of query evaluations spent.
+    Totals are order-independent integer sums, so disjoint round ranges
+    — run serially, in worker processes, or in a later session — merge
+    by plain addition.
+    """
+    players = sorted(database.endogenous, key=repr)
+    totals: dict[Fact, int] = {player: 0 for player in players}
+    if count <= 0 or not players:
+        return totals, 0
+    exogenous = list(database.exogenous)
+    base = 1 if holds(query, exogenous) else 0
+    full = 1 if holds(query, exogenous + players) else 0
+    evaluations = 2
+    for index in range(start, start + count):
+        rng = round_rng(seed, index)
+        permutation = players[:]
+        rng.shuffle(permutation)
+        for sweep in (permutation, permutation[::-1]):
+            previous = base
+            prefix = list(exogenous)
+            last = len(sweep) - 1
+            for position, player in enumerate(sweep):
+                prefix.append(player)
+                if position == last:
+                    current = full
+                else:
+                    current = 1 if holds(query, prefix) else 0
+                    evaluations += 1
+                totals[player] += current - previous
+                previous = current
+    return totals, evaluations
+
+
+def merge_totals(
+    base: Mapping[Fact, int], *others: Mapping[Fact, int]
+) -> dict[Fact, int]:
+    """Fold disjoint round ranges' totals together (plain integer sums)."""
+    merged = dict(base)
+    for totals in others:
+        for player, value in totals.items():
+            merged[player] = merged.get(player, 0) + value
+    return merged
+
+
+def extend_state(
+    state: SampleState | None,
+    seed: int,
+    new_totals: Mapping[Fact, int],
+    new_rounds: int,
+    new_evaluations: int,
+) -> SampleState:
+    """The state after appending ``new_rounds`` fresh rounds to a prefix."""
+    if state is None:
+        return SampleState(seed, new_rounds, dict(new_totals), new_evaluations)
+    return SampleState(
+        seed,
+        state.rounds + new_rounds,
+        merge_totals(state.totals, new_totals),
+        state.evaluations + new_evaluations,
+    )
+
+
+__all__ = [
+    "SampleState",
+    "achieved_epsilon",
+    "extend_state",
+    "merge_totals",
+    "round_rng",
+    "rounds_for_contract",
+    "run_rounds",
+    "sample_seed",
+]

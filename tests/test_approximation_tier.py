@@ -1,0 +1,388 @@
+"""The approximation tier end to end (PR 6 acceptance criteria).
+
+* The deprecated ``allow_brute_force`` spelling is **bit-identical** to
+  its :class:`MethodPolicy` replacement and warns exactly once per
+  process (re-armed via the test-only ``_reset_deprecation_warnings``);
+* sampled estimates are **deterministic**: the same request draws the
+  same permutation stream under the serial and the ``jobs=2`` sharded
+  backend, in-process and through the persistent tier;
+* ``refine`` tightens the bound by **extending** the stored stream —
+  the per-request stats show resumed rounds and zero restarts — across
+  engines, processes (via the persistent cache), and the daemon;
+* estimates and sample states **round-trip** the shared io dialect and
+  the on-disk cache without drift;
+* a non-hierarchical query past the brute-force cap — the class the
+  seed pipeline could only refuse — is **served** under ``auto`` as an
+  ``(epsilon, delta)`` estimate in-process, via the CLI, and over the
+  daemon wire.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import threading
+from fractions import Fraction
+from pathlib import Path
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.errors import IntractableQueryError
+from repro.core.facts import fact
+from repro.core.parser import parse_query
+from repro.engine import (
+    BatchAttributionEngine,
+    MethodPolicy,
+    PersistentResultCache,
+    ShardedExecutor,
+    resolve_policy,
+)
+from repro.engine.policy import _reset_deprecation_warnings
+from repro.io import batch_result_from_dict, batch_result_to_dict, save_database
+from repro.server import AttributionClient, AttributionDaemon
+from repro.shapley.sampling import (
+    SampleState,
+    achieved_epsilon,
+    merge_totals,
+    rounds_for_contract,
+    run_rounds,
+    sample_seed,
+)
+from repro.workloads.running_example import figure_1_database
+
+INTRACTABLE_Q = "q() :- R(x), S(x, y), T(y)"
+Q1 = "q1() :- Stud(x), not TA(x), Reg(x, y)"
+
+
+def intractable_db(players: int = 30) -> Database:
+    """Non-hierarchical, no exogenous rescue, past the brute-force cap."""
+    half = players // 2
+    return Database(
+        endogenous=[fact("R", i) for i in range(half)]
+        + [fact("T", i) for i in range(half)],
+        exogenous=[fact("S", i, i) for i in range(half)],
+    )
+
+
+@contextlib.contextmanager
+def running_daemon(directory, engine=None):
+    daemon = AttributionDaemon(str(Path(directory) / "daemon.sock"), engine=engine)
+    thread = threading.Thread(target=daemon.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield daemon
+    finally:
+        daemon.shutdown()
+        thread.join(timeout=10)
+        daemon.close()
+        assert not thread.is_alive()
+
+
+class TestDeprecationShim:
+    def test_shim_is_bit_identical_and_warns_once(self):
+        db = figure_1_database()
+        q = parse_query(Q1)
+        modern = BatchAttributionEngine().batch(db, q, policy=MethodPolicy("auto"))
+        _reset_deprecation_warnings()
+        with pytest.warns(DeprecationWarning, match="allow_brute_force"):
+            legacy = BatchAttributionEngine().batch(db, q, allow_brute_force=True)
+        assert legacy.shapley == modern.shapley
+        assert legacy.banzhaf == modern.banzhaf
+        assert legacy.method == modern.method
+        # Once per process: the second legacy call stays silent.
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            BatchAttributionEngine().batch(db, q, allow_brute_force=True)
+
+    def test_false_maps_to_exact(self):
+        _reset_deprecation_warnings()
+        with pytest.warns(DeprecationWarning):
+            assert resolve_policy(None, False) == MethodPolicy("exact")
+        assert resolve_policy(None, True) == MethodPolicy("auto")
+
+    def test_both_spellings_together_rejected(self):
+        with pytest.raises(ValueError, match="not both"):
+            resolve_policy(MethodPolicy("auto"), True)
+
+    def test_bare_method_names_coerce(self):
+        assert resolve_policy("sampled") == MethodPolicy("sampled")
+        with pytest.raises(ValueError, match="unknown method"):
+            resolve_policy("guess")
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize("epsilon,delta", [(0.0, 0.05), (1.0, 0.05), (0.1, 0.0), (0.1, 1.5)])
+    def test_contract_must_lie_in_open_unit_interval(self, epsilon, delta):
+        with pytest.raises(ValueError, match="epsilon and delta"):
+            MethodPolicy("sampled", epsilon=epsilon, delta=delta)
+
+    def test_contract_fingerprints_distinguish_accuracy_classes(self):
+        loose = MethodPolicy("sampled", epsilon=0.2)
+        tight = MethodPolicy("sampled", epsilon=0.1)
+        assert loose.contract() != tight.contract()
+        assert loose.contract() == MethodPolicy("auto", epsilon=0.2).contract()
+
+    def test_params_round_trip(self):
+        policy = MethodPolicy("sampled", epsilon=0.07, delta=0.02)
+        assert MethodPolicy.from_params(policy.to_params()) == policy
+        # Legacy wire field maps silently (the protocol boundary is not
+        # a deprecation surface).
+        assert MethodPolicy.from_params({"allow_brute_force": False}).method == "exact"
+        assert MethodPolicy.from_params({}) == MethodPolicy()
+
+
+class TestSampler:
+    def test_rounds_match_hoeffding_contract(self):
+        rounds = rounds_for_contract(0.1, 0.05)
+        assert achieved_epsilon(rounds, 0.05) <= 0.1
+        assert achieved_epsilon(rounds - 1, 0.05) > 0.1
+
+    def test_disjoint_round_ranges_merge_to_the_full_run(self):
+        db = intractable_db(8)
+        q = parse_query(INTRACTABLE_Q)
+        seed = sample_seed(("stream", "test"))
+        full, _ = run_rounds(db, q, seed, 0, 20)
+        head, _ = run_rounds(db, q, seed, 0, 7)
+        tail, _ = run_rounds(db, q, seed, 7, 13)
+        assert merge_totals(head, tail) == full
+
+    def test_sampled_estimate_tracks_exact_values(self):
+        # Small enough to brute force: the estimate of a tight contract
+        # must land within its additive bound of the exact answer.
+        db = intractable_db(8)
+        q = parse_query(INTRACTABLE_Q)
+        exact = BatchAttributionEngine().batch(db, q, policy="brute-force")
+        sampled = BatchAttributionEngine().batch(
+            db, q, policy=MethodPolicy("sampled", epsilon=0.05, delta=0.01)
+        )
+        assert sampled.method == "sampled"
+        assert sampled.estimate is not None
+        for player, value in exact.shapley.items():
+            assert abs(float(sampled.shapley[player] - value)) <= 0.05
+
+    def test_estimates_sum_to_the_query_gap(self):
+        # Each sweep's marginals telescope to v(full) - v(empty), so the
+        # estimate inherits the efficiency identity exactly.
+        db = intractable_db(8)
+        q = parse_query(INTRACTABLE_Q)
+        result = BatchAttributionEngine().batch(
+            db, q, policy=MethodPolicy("sampled", epsilon=0.3)
+        )
+        assert sum(result.shapley.values(), Fraction(0)) == 1
+
+
+class TestAutoServesTheIntractableClass:
+    def test_auto_samples_where_exact_refuses(self):
+        db = intractable_db(30)
+        q = parse_query(INTRACTABLE_Q)
+        with pytest.raises(IntractableQueryError, match="30"):
+            BatchAttributionEngine().batch(db, q, policy="exact")
+        result = BatchAttributionEngine().batch(db, q)
+        assert result.method == "sampled"
+        assert result.estimate is not None
+        assert result.estimate.epsilon <= 0.1 + 1e-12
+        assert result.estimate.rounds >= rounds_for_contract(0.1, 0.05)
+        # Sampling estimates Shapley only.
+        assert result.banzhaf == {}
+
+    def test_sampled_results_are_deterministic_serial_vs_sharded(self):
+        db = intractable_db(12)
+        q = parse_query(INTRACTABLE_Q)
+        policy = MethodPolicy("sampled", epsilon=0.25, delta=0.1)
+        serial = BatchAttributionEngine().batch(db, q, policy=policy)
+        sharded = BatchAttributionEngine(
+            executor=ShardedExecutor(jobs=2)
+        ).batch(db, q, policy=policy)
+        assert serial.shapley == sharded.shapley
+        assert serial.estimate.rounds == sharded.estimate.rounds
+        assert serial.estimate.epsilon == sharded.estimate.epsilon
+
+    def test_forcing_sampled_on_a_tractable_query_works(self):
+        db = figure_1_database()
+        q = parse_query(Q1)
+        result = BatchAttributionEngine().batch(
+            db, q, policy=MethodPolicy("sampled", epsilon=0.3)
+        )
+        assert result.method == "sampled"
+        exact = BatchAttributionEngine().batch(db, q)
+        for player, value in exact.shapley.items():
+            assert abs(float(result.shapley[player] - value)) <= 0.3
+
+
+class TestRefinement:
+    def test_refine_extends_the_stream_without_restarting(self):
+        db = intractable_db(30)
+        q = parse_query(INTRACTABLE_Q)
+        engine = BatchAttributionEngine()
+        first = engine.batch(
+            db, q, policy=MethodPolicy("sampled", epsilon=0.2)
+        )
+        refined = engine.refine(db, q, epsilon=0.1)
+        assert refined.estimate.epsilon <= 0.1
+        assert refined.estimate.resumed_rounds == first.estimate.rounds
+        counters = engine.counters()
+        assert counters["sampler.restarts"] == 0
+        assert counters["sampler.resumed_rounds"] == first.estimate.rounds
+        # The refined stream is a superset: exactly the Hoeffding count
+        # of the tighter contract, of which the first run is the prefix.
+        assert refined.estimate.rounds == rounds_for_contract(0.1, 0.05)
+
+    def test_default_refine_halves_the_bound(self):
+        db = intractable_db(30)
+        q = parse_query(INTRACTABLE_Q)
+        engine = BatchAttributionEngine()
+        first = engine.batch(db, q, policy=MethodPolicy("sampled", epsilon=0.2))
+        refined = engine.refine(db, q)
+        assert refined.estimate.epsilon <= first.estimate.epsilon / 2 + 1e-12
+
+    def test_refinement_resumes_across_processes_via_persistent_tier(self, tmp_path):
+        db = intractable_db(30)
+        q = parse_query(INTRACTABLE_Q)
+        policy = MethodPolicy("sampled", epsilon=0.2)
+        cold = BatchAttributionEngine(persistent=PersistentResultCache(tmp_path))
+        first = cold.batch(db, q, policy=policy)
+        # A fresh engine on the same directory — a "new process" — serves
+        # the stored estimate without sampling a single round.
+        warm = BatchAttributionEngine(persistent=PersistentResultCache(tmp_path))
+        served = warm.batch(db, q, policy=policy)
+        assert served.from_cache
+        assert served.shapley == first.shapley
+        assert served.estimate == first.estimate
+        # And a third engine refines the *state*, not from scratch.
+        refining = BatchAttributionEngine(
+            persistent=PersistentResultCache(tmp_path)
+        )
+        refined = refining.refine(db, q, epsilon=0.1)
+        assert refined.estimate.resumed_rounds == first.estimate.rounds
+        assert refining.counters()["sampler.restarts"] == 0
+
+    def test_tighter_contract_reuses_looser_rounds(self):
+        db = intractable_db(30)
+        q = parse_query(INTRACTABLE_Q)
+        engine = BatchAttributionEngine()
+        loose = engine.batch(db, q, policy=MethodPolicy("sampled", epsilon=0.3))
+        tight = engine.batch(db, q, policy=MethodPolicy("sampled", epsilon=0.15))
+        assert tight.estimate.resumed_rounds == loose.estimate.rounds
+        assert engine.counters()["sampler.restarts"] == 0
+
+
+class TestEstimateRoundTrips:
+    def test_io_dialect_round_trips_the_estimate_block(self):
+        db = intractable_db(30)
+        q = parse_query(INTRACTABLE_Q)
+        result = BatchAttributionEngine().batch(db, q)
+        document = batch_result_to_dict(result)
+        assert document["estimate"]["rounds"] == result.estimate.rounds
+        # The document is honest JSON end to end.
+        revived = batch_result_from_dict(json.loads(json.dumps(document)))
+        assert revived.shapley == result.shapley
+        assert revived.estimate == result.estimate
+
+    def test_exact_results_carry_no_estimate_block(self):
+        result = BatchAttributionEngine().batch(
+            figure_1_database(), parse_query(Q1)
+        )
+        assert "estimate" not in batch_result_to_dict(result)
+        assert batch_result_from_dict(batch_result_to_dict(result)).estimate is None
+
+    def test_persistent_cache_round_trips_sample_state(self, tmp_path):
+        state = SampleState(
+            seed=1234,
+            rounds=17,
+            totals={fact("R", 1): 5, fact("T", 2): -3},
+            evaluations=99,
+        )
+        cache = PersistentResultCache(tmp_path)
+        assert cache.put(("sample-state", "k"), state)
+        revived = PersistentResultCache(tmp_path).get(("sample-state", "k"))
+        assert isinstance(revived, SampleState)
+        assert revived == state
+
+
+class TestDaemonApproximation:
+    def test_daemon_serves_refines_and_accounts_the_stream(self, tmp_path):
+        db = intractable_db(30)
+        with running_daemon(tmp_path) as daemon:
+            with AttributionClient(daemon.address) as client:
+                handle = client.load_database(db)
+                with pytest.raises(IntractableQueryError):
+                    client.batch(handle, INTRACTABLE_Q, policy="exact")
+                first = client.batch(handle, INTRACTABLE_Q)
+                assert first.method == "sampled"
+                assert first.estimate is not None
+                # Anytime refinement over the wire: tighter bound, zero
+                # restarted permutations, all prior rounds resumed.
+                refined = client.refine(handle, INTRACTABLE_Q, epsilon=0.05)
+                stats = client.last_response["stats"]
+                assert refined.estimate.epsilon <= 0.05
+                assert refined.estimate.resumed_rounds == first.estimate.rounds
+                assert stats["sampler.restarts"] == 0
+                assert stats["sampler.resumed_rounds"] == first.estimate.rounds
+
+    def test_accuracy_classes_never_share_a_stored_result(self, tmp_path):
+        db = intractable_db(30)
+        with running_daemon(tmp_path) as daemon:
+            with AttributionClient(daemon.address) as client:
+                handle = client.load_database(db)
+                loose = client.batch(
+                    handle,
+                    INTRACTABLE_Q,
+                    policy=MethodPolicy("sampled", epsilon=0.3),
+                )
+                tight = client.batch(
+                    handle,
+                    INTRACTABLE_Q,
+                    policy=MethodPolicy("sampled", epsilon=0.15),
+                )
+                assert tight.estimate.epsilon <= 0.15
+                assert loose.estimate.rounds < tight.estimate.rounds
+                # Same contract again: bit-identical warm answer.
+                again = client.batch(
+                    handle,
+                    INTRACTABLE_Q,
+                    policy=MethodPolicy("sampled", epsilon=0.3),
+                )
+                assert again.shapley == loose.shapley
+                assert again.estimate == loose.estimate
+
+
+class TestCliApproximation:
+    def test_cli_serves_and_refines_the_intractable_class(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "hard.json"
+        save_database(intractable_db(30), path)
+        assert main(["batch", str(path), INTRACTABLE_Q, "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        (entry,) = document["queries"]
+        assert entry["method"] == "sampled"
+        assert entry["estimate"]["rounds"] > 0
+        cache = str(tmp_path / "cache")
+        assert (
+            main(["batch", str(path), INTRACTABLE_Q, "--cache-dir", cache]) == 0
+        )
+        first = capsys.readouterr().out
+        assert "sampled" in first and "resumed=0" in first
+        code = main(
+            [
+                "batch", str(path), INTRACTABLE_Q,
+                "--cache-dir", cache, "--refine", "--json",
+            ]
+        )
+        assert code == 0
+        (refined,) = json.loads(capsys.readouterr().out)["queries"]
+        assert refined["estimate"]["resumed_rounds"] > 0
+
+    def test_refine_rejects_conflicting_method(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "hard.json"
+        save_database(intractable_db(30), path)
+        code = main(
+            ["batch", str(path), INTRACTABLE_Q, "--refine", "--method", "exact"]
+        )
+        assert code == 2
+        assert "--refine" in capsys.readouterr().err

@@ -146,8 +146,9 @@ class TestCliErrorPaths:
 
         from repro.shapley.brute_force import MAX_BRUTE_FORCE_PLAYERS
 
-        # Strictly past the brute-force player cap, so the plan-time
-        # IntractableQueryError surfaces before any coalition enumerates.
+        # Strictly past the brute-force player cap with --method exact, so
+        # the plan-time IntractableQueryError surfaces before any coalition
+        # enumerates.  (The default "auto" would serve this as an estimate.)
         half = MAX_BRUTE_FORCE_PLAYERS // 2 + 1
         db = Database(
             endogenous=[fact("R", i) for i in range(half)]
@@ -156,7 +157,9 @@ class TestCliErrorPaths:
         )
         path = tmp_path / "hard.json"
         save_database(db, path)
-        code = main(["batch", str(path), "q() :- R(x), S(x, y), T(y)"])
+        code = main(
+            ["batch", str(path), "q() :- R(x), S(x, y), T(y)", "--method", "exact"]
+        )
         err = capsys.readouterr().err
         assert code == 2
         assert "Traceback" not in err

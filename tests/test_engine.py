@@ -160,13 +160,15 @@ class TestBatchEngine:
 
 class TestUpFrontValidation:
     def test_all_values_raises_with_player_count(self):
+        # "auto" now degrades oversized brute force to sampling, so the
+        # plan-time error is the "exact" policy's contract.
         db = Database(
             endogenous=[fact("R", i) for i in range(28)]
             + [fact("T", i) for i in range(2)],
             exogenous=[fact("S", 1, 1)],
         )
         with pytest.raises(IntractableQueryError, match="30"):
-            shapley_all_values(db, q_rst())
+            shapley_all_values(db, q_rst(), policy="exact")
 
     def test_all_brute_force_raises_before_any_work(self):
         q = parse_query("q() :- R(x)")
@@ -180,7 +182,7 @@ class TestUpFrontValidation:
             exogenous=[fact("S", 1, 2)],
         )
         with pytest.raises(IntractableQueryError):
-            shapley_all_values(db, q_rst(), allow_brute_force=False)
+            shapley_all_values(db, q_rst(), policy="exact")
 
     def test_warm_cache_does_not_bypass_brute_force_flag(self):
         db = Database(
@@ -190,7 +192,7 @@ class TestUpFrontValidation:
         engine = BatchAttributionEngine()
         assert engine.batch(db, q_rst()).method == "brute-force"
         with pytest.raises(IntractableQueryError):
-            engine.batch(db, q_rst(), allow_brute_force=False)
+            engine.batch(db, q_rst(), policy="exact")
 
     def test_mutating_a_result_does_not_corrupt_the_cache(self, q1):
         db = figure_1_database()

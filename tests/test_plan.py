@@ -12,7 +12,7 @@ from repro.core.database import Database
 from repro.core.errors import IntractableQueryError
 from repro.core.facts import fact
 from repro.core.parser import parse_query
-from repro.engine import BatchAttributionEngine, fingerprint_request
+from repro.engine import BatchAttributionEngine, MethodPolicy, fingerprint_request
 from repro.engine.plan import BUNDLE, RESULT, PlanRequest, build_plan
 from repro.engine.stores import MemoryResultStore
 from repro.shapley.answers import ground_at_answer
@@ -141,7 +141,7 @@ class TestStorePruning:
             build_plan(
                 db,
                 [PlanRequest(q_rst())],
-                allow_brute_force=False,
+                policy=MethodPolicy("exact"),
                 store=engine.store,
             )
 
@@ -153,16 +153,21 @@ class TestUpFrontValidation:
             exogenous=[fact("S", 1, 2)],
         )
         with pytest.raises(IntractableQueryError):
-            build_plan(db, [PlanRequest(q_rst())], allow_brute_force=False)
+            build_plan(db, [PlanRequest(q_rst())], policy=MethodPolicy("exact"))
 
     def test_oversized_brute_force_raises_with_player_count(self):
+        # Under the default "auto" policy an oversized brute-force request
+        # degrades to sampling; "exact" still fails at plan time, naming
+        # the player count.
         db = Database(
             endogenous=[fact("R", i) for i in range(28)]
             + [fact("T", i) for i in range(2)],
             exogenous=[fact("S", 1, 1)],
         )
         with pytest.raises(IntractableQueryError, match="30"):
-            build_plan(db, [PlanRequest(q_rst())])
+            build_plan(db, [PlanRequest(q_rst())], policy=MethodPolicy("exact"))
+        plan = build_plan(db, [PlanRequest(q_rst())])
+        assert [task.method for task in plan.tasks] == ["sampled"]
 
     def test_multi_grounding_plan_fails_before_any_execution(self):
         # One bad grounding poisons the whole plan up front — no partial
@@ -178,4 +183,4 @@ class TestUpFrontValidation:
             for value in (1, 2)
         ]
         with pytest.raises(IntractableQueryError):
-            build_plan(db, requests, allow_brute_force=False)
+            build_plan(db, requests, policy=MethodPolicy("exact"))

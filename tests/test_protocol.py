@@ -257,6 +257,7 @@ class TestAddresses:
             "db_load",
             "db_update",
             "batch",
+            "refine",
             "answers",
             "aggregate",
             "shutdown",

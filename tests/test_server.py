@@ -127,7 +127,7 @@ class TestBasics:
                 )
                 with pytest.raises(IntractableQueryError, match="brute"):
                     client.batch(
-                        db, "q() :- R(x), S(x, y), T(y)", allow_brute_force=False
+                        db, "q() :- R(x), S(x, y), T(y)", policy="exact"
                     )
                 # The failed requests left the daemon fully serviceable.
                 assert client.ping()["pong"] is True
@@ -391,9 +391,9 @@ class TestClientResilience:
 
 
 class TestCoalescingKeys:
-    def test_opposite_brute_force_flags_never_coalesce(self, tmp_path):
-        """A polynomial-only request must not inherit a brute-force
-        leader's outcome (or vice versa): the flag is part of the key."""
+    def test_distinct_method_policies_never_coalesce(self, tmp_path):
+        """An exact-only request must not inherit an auto leader's
+        outcome (or vice versa): the policy is part of the key."""
         db = figure_1_database()
         with running_daemon(
             tmp_path, engine=BatchAttributionEngine(executor=SerialExecutor())
@@ -413,22 +413,22 @@ class TestCoalescingKeys:
             results: list[dict] = []
             failures: list[BaseException] = []
 
-            def issue(allow: bool) -> None:
+            def issue(method: str) -> None:
                 try:
                     with AttributionClient(daemon.address) as client:
-                        result = client.batch(db, Q1, allow_brute_force=allow)
+                        result = client.batch(db, Q1, policy=method)
                         results.append(dict(result.shapley))
                 except BaseException as error:  # noqa: BLE001 - surfaced below
                     failures.append(error)
 
             threads = [
-                threading.Thread(target=issue, args=(True,)),
-                threading.Thread(target=issue, args=(False,)),
+                threading.Thread(target=issue, args=("auto",)),
+                threading.Thread(target=issue, args=("exact",)),
             ]
             threads[0].start()
             assert first_started.wait(20)
             threads[1].start()
-            # The flags differ, so the second request must become its own
+            # The policies differ, so the second request must become its own
             # leader (it registers with the coalescer *before* queueing on
             # the engine lock) — never a follower of the first.
             deadline = time.monotonic() + 20
