@@ -11,7 +11,13 @@ The serving claims of ISSUE 4 made executable:
 * **multi-client throughput** — several clients replaying a
   repetition-heavy traffic stream (:mod:`repro.workloads.traffic`)
   against one daemon: repeats hit the warm store, concurrent duplicates
-  coalesce onto one computation, and every response stays bit-identical.
+  coalesce onto one computation, and every response stays bit-identical;
+* **storm mode** (ISSUE 7) — a sustained Zipf-mixed storm from many
+  *pipelined* clients (:func:`repro.workloads.traffic.storm_traffic`
+  through the ``tests/harness`` storm driver): zero errors below the
+  admission limit, a p99 latency bound, bit-identical results, a clean
+  shed-counter ledger and no leaked admission slots.  CI's
+  ``server-storm`` job runs this under ``REPRO_JOBS=2``.
 """
 
 from __future__ import annotations
@@ -29,9 +35,12 @@ import pytest
 
 from repro.io import fraction_from_pair, save_database
 from repro.server import AttributionClient, AttributionDaemon
-from repro.workloads.traffic import star_traffic
+from repro.workloads.traffic import star_traffic, storm_traffic
 
 SRC = str(Path(__file__).resolve().parent.parent / "src")
+TESTS = str(Path(__file__).resolve().parent.parent / "tests")
+if TESTS not in sys.path:  # the reusable storm/fault harness lives there
+    sys.path.insert(0, TESTS)
 SPEEDUP_FLOOR = 5.0
 QUERY = "q() :- Stud(x), not TA(x), Reg(x, y)"
 
@@ -218,3 +227,88 @@ def test_multi_client_traffic_throughput(tmp_path, report, quick):
     # warm (store hits) or coalesced, never recomputed.
     assert stats["executed_tasks"] < num_requests
     assert stats["store_hits"] > 0
+
+
+def test_pipelined_storm_zipf_mix(tmp_path, report, quick):
+    """E-STORM: a sustained Zipf-mixed storm from pipelined clients.
+
+    The acceptance bar of ISSUE 7, executable: at least 32 concurrent
+    pipelined clients (8 in ``--quick``) replay a Zipf-weighted
+    batch/answers mix against one daemon.  Below the admission limit
+    nothing is shed, nothing drops, every response is bit-identical to
+    an in-process engine, the daemon's metrics ledger reconciles with
+    the client-side request log, and no admission slot leaks.
+    """
+    from harness import (
+        assert_bit_identical,
+        assert_metrics_reconcile,
+        assert_no_leaked_slots,
+        reference_results,
+        run_storm,
+    )
+
+    num_clients = 8 if quick else 32
+    num_requests = 96 if quick else 512
+    pipeline_depth = 4 if quick else 8
+    p99_ceiling_ms = 10_000.0
+    database, stream = storm_traffic(
+        num_requests,
+        num_students=6 if quick else 8,
+        num_courses=3,
+        rng=random.Random(11),
+    )
+    daemon = AttributionDaemon(
+        str(tmp_path / "storm.sock"), max_inflight=max(64, num_clients * 2)
+    )
+    thread = threading.Thread(target=daemon.serve_forever, daemon=True)
+    thread.start()
+    try:
+        with AttributionClient(daemon.address) as probe:
+            before = probe.metrics()
+            start = time.perf_counter()
+            storm = run_storm(
+                daemon.address,
+                database,
+                stream,
+                clients=num_clients,
+                pipeline_depth=pipeline_depth,
+            )
+            elapsed = time.perf_counter() - start
+            after = probe.metrics()
+    finally:
+        daemon.shutdown()
+        thread.join(timeout=10)
+        daemon.close()
+
+    # Zero errors below the admission limit: no transport drops, no
+    # shed frames, nothing typed.
+    assert not storm.failures, storm.error_types()
+    assert len(storm.records) == num_requests
+    assert_bit_identical(storm, reference_results(database, stream))
+    assert_metrics_reconcile(after, storm, before=before)
+    assert_no_leaked_slots(after)
+
+    # Shed-counter sanity: an unloaded admission controller sheds nothing.
+    admission = after["admission"]
+    for counter in ("shed_overload", "shed_throttled", "deadline_expired"):
+        assert admission[counter] == before["admission"][counter], admission
+
+    p99 = storm.p99_ms()
+    assert p99 <= p99_ceiling_ms, f"storm p99 {p99:.0f} ms over ceiling"
+
+    coalescing = after["coalescing"]
+    report(
+        "pipelined Zipf storm against one daemon",
+        ["clients", "depth", "requests", "wall", "req/s", "p99", "coalesced"],
+        [
+            (
+                num_clients,
+                pipeline_depth,
+                num_requests,
+                f"{elapsed * 1000:.0f} ms",
+                f"{num_requests / elapsed:.0f}",
+                f"{p99:.1f} ms",
+                coalescing["followers"] - before["coalescing"]["followers"],
+            )
+        ],
+    )

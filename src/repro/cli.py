@@ -12,7 +12,9 @@ Usage (after ``pip install -e .``)::
     python -m repro answers   db.json QUERY --answer Caroline --measure both
     python -m repro answers   db.json QUERY --aggregate count --stats
     python -m repro serve     --socket /tmp/repro.sock --cache-dir cache/
+    python -m repro serve     --tcp 127.0.0.1:7464 --max-inflight 32 --per-client-rps 50
     python -m repro batch     db.json QUERY --connect /tmp/repro.sock --json
+    python -m repro metrics   --connect /tmp/repro.sock
     python -m repro relevance db.json QUERY --fact 'TA' Adam
     python -m repro demo                         # the paper's running example
 
@@ -47,7 +49,13 @@ keys), planner prunes, store hits, and executor task placement.
 ``serve`` starts the attribution daemon (:mod:`repro.server`): one warm
 engine behind a Unix-domain socket (``--socket PATH``) or TCP endpoint
 (``--tcp HOST:PORT``), optionally with a persistent store
-(``--cache-dir``) and sharded executor (``--jobs``).  ``--connect ADDR``
+(``--cache-dir``) and sharded executor (``--jobs``).  Admission control
+is tunable: ``--max-inflight`` bounds concurrent compute requests,
+``--per-client-rps`` rate-limits each client connection, and
+``--drain-timeout`` caps the graceful drain on SIGTERM/``shutdown``.
+``metrics --connect ADDR`` prints the live serving metrics (per-op
+latency histograms, queue depth, shed counters, coalescing ratio) of a
+running daemon.  ``--connect ADDR``
 (on ``batch`` and ``answers``) routes the command through a running
 daemon instead of computing in-process: the database uploads once per
 invocation (content-addressed, so re-uploads are cheap), results come
@@ -530,10 +538,20 @@ def _cmd_serve(options: argparse.Namespace) -> int:
     engine = _make_engine(options)
     address = options.socket if options.socket else options.tcp
     auth_token = options.auth_token or os.environ.get("REPRO_AUTH_TOKEN") or None
-    daemon = AttributionDaemon(address, engine=engine, auth_token=auth_token)
+    daemon = AttributionDaemon(
+        address,
+        engine=engine,
+        auth_token=auth_token,
+        max_inflight=options.max_inflight,
+        per_client_rps=options.per_client_rps,
+        drain_timeout=options.drain_timeout,
+    )
 
     def _stop(signum: int, frame: object) -> None:
-        raise SystemExit(0)
+        # Graceful drain: in-flight requests finish (up to --drain-timeout),
+        # new arrivals get a retryable OverloadedError, then serve_forever
+        # returns normally and the finally below unlinks the socket.
+        daemon.request_shutdown()
 
     signal.signal(signal.SIGTERM, _stop)
     signal.signal(signal.SIGINT, _stop)
@@ -546,6 +564,56 @@ def _cmd_serve(options: argparse.Namespace) -> int:
         daemon.serve_forever()
     finally:
         daemon.close()
+    return 0
+
+
+def _render_metrics(document: dict) -> None:
+    """The metrics document as aligned text: ops table, then counters."""
+    ops = document.get("ops", {})
+    if ops:
+        header = (
+            f"{'op':<12} {'requests':>8} {'errors':>8}"
+            f" {'p50 ms':>10} {'p99 ms':>10} {'max ms':>10}"
+        )
+        print(header)
+        for op in sorted(ops):
+            doc = ops[op]
+            latency = doc.get("latency", {})
+
+            def column(value):
+                return f"{value:.2f}" if isinstance(value, (int, float)) else "-"
+
+            print(
+                f"{op:<12} {doc.get('requests', 0):>8} {doc.get('errors', 0):>8}"
+                f" {column(latency.get('p50_ms')):>10}"
+                f" {column(latency.get('p99_ms')):>10}"
+                f" {column(latency.get('max_ms')):>10}"
+            )
+    admission = document.get("admission", {})
+    for name in sorted(admission):
+        print(f"admission[{name}]: {admission[name]}")
+    queue = document.get("queue", {})
+    for name in sorted(queue):
+        print(f"queue[{name}]: {queue[name]}")
+    coalescing = document.get("coalescing")
+    if coalescing:
+        print(f"coalescing: {json.dumps(coalescing, sort_keys=True)}")
+    print(f"draining: {document.get('draining', False)}")
+
+
+def _cmd_metrics(options: argparse.Namespace) -> int:
+    from repro.server.client import AttributionClient
+
+    with AttributionClient(
+        options.connect,
+        timeout=options.timeout,
+        auth_token=options.auth_token,
+    ) as client:
+        document = client.metrics()
+    if options.json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+    _render_metrics(document)
     return 0
 
 
@@ -836,7 +904,63 @@ def build_parser() -> argparse.ArgumentParser:
         " (constant-time compare; default: REPRO_AUTH_TOKEN; Unix"
         " sockets ignore it)",
     )
+    p_serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        metavar="N",
+        help="execution slots for compute requests; excess queues (bounded"
+        " at 4x) and arrivals past the queue are shed with a retryable"
+        " overloaded frame (default: 64)",
+    )
+    p_serve.add_argument(
+        "--per-client-rps",
+        type=float,
+        default=None,
+        metavar="RPS",
+        help="token-bucket rate limit per client connection; requests above"
+        " it are shed, not queued (default: unlimited)",
+    )
+    p_serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="on SIGTERM/shutdown: how long in-flight requests may finish"
+        " before the loop exits (default: 5.0)",
+    )
     p_serve.set_defaults(handler=_cmd_serve)
+
+    p_metrics = commands.add_parser(
+        "metrics",
+        help="live daemon metrics: latency histograms, admission counters",
+    )
+    p_metrics.add_argument(
+        "--connect",
+        required=True,
+        metavar="ADDR",
+        help="running attribution daemon (socket path or HOST:PORT)",
+    )
+    p_metrics.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="socket timeout for the metrics request (default: 10.0)",
+    )
+    p_metrics.add_argument(
+        "--auth-token",
+        metavar="TOKEN",
+        default=None,
+        help="auth token for a guarded TCP daemon"
+        " (default: REPRO_AUTH_TOKEN)",
+    )
+    p_metrics.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw metrics document as JSON",
+    )
+    p_metrics.set_defaults(handler=_cmd_metrics)
 
     p_relevance = commands.add_parser(
         "relevance", help="relevance of a fact (polarity-consistent queries)"

@@ -153,6 +153,7 @@ class BatchAttributionEngine:
         store: ResultStore | None = None,
         jobs: int | None = None,
         start_method: str | None = None,
+        sample_strata: int = 1,
     ) -> None:
         self.component_cache: LRUCache = LRUCache(component_cache_size)
         self.result_cache: LRUCache = LRUCache(result_cache_size)
@@ -175,6 +176,15 @@ class BatchAttributionEngine:
                 )
             else:
                 executor = _executor_from_environment()
+        if sample_strata < 1:
+            raise ValueError(
+                f"sample_strata must be positive, got {sample_strata}"
+            )
+        # Per-round stratification of the sampled method: strata=1 is
+        # the plain antithetic sampler (bit-identical); higher counts
+        # sweep evenly-spaced rotations of each round's permutation —
+        # the stratified allocator folded into the round structure.
+        self.sample_strata = sample_strata
         self.executor = executor
         self.planner_stats = PlanStats()
         self.executor_stats = ExecutorStats(processes=self.executor.jobs)
@@ -234,6 +244,7 @@ class BatchAttributionEngine:
             store=self.store,
             include_bundles=self.executor.jobs > 1,
             bundle_cache=pool if pool is not None else self.component_cache,
+            sample_strata=self.sample_strata,
         )
         self._note_plan(plan)
         planned = plan.requests[0]
@@ -294,6 +305,7 @@ class BatchAttributionEngine:
             store=self.store,
             include_bundles=self.executor.jobs > 1,
             bundle_cache=self.component_cache,
+            sample_strata=self.sample_strata,
         )
         self._note_plan(plan)
         pool = BundlePool(self.component_cache)
@@ -491,7 +503,12 @@ class BatchAttributionEngine:
             base_key = fingerprint_request(
                 database, query, exogenous_relations, grounding
             )
-            state = self.store.get(fingerprint_sample_state(base_key))
+            state_key = fingerprint_sample_state(base_key)
+            if self.sample_strata != 1:
+                # Mirror the planner: stratified streams live under a
+                # strata-suffixed state key.
+                state_key = (*state_key, ("strata", self.sample_strata))
+            state = self.store.get(state_key)
             if isinstance(state, SampleState) and state.rounds >= 1:
                 target = achieved_epsilon(4 * state.rounds, confidence)
             else:

@@ -147,15 +147,21 @@ def assemble_sample_result(
 ) -> BatchResult:
     """Fold fresh round totals into the task's prior state and report.
 
-    The per-fact estimate after ``n`` total rounds is ``totals / (2 n)``
-    (two antithetic sweeps per round); the reported ``epsilon`` is the
-    bound those ``n`` rounds actually achieve, which is at least as
-    tight as the contract.  Banzhaf stays empty: the permutation
-    estimator matches Shapley's coalition-size distribution only.
+    The per-fact estimate after ``n`` total rounds is ``totals /
+    (2 s n)`` (``2 s`` stratified antithetic sweeps per round); the
+    reported ``epsilon`` is the bound those ``n`` rounds actually
+    achieve, which is at least as tight as the contract.  Banzhaf stays
+    empty: the permutation estimator matches Shapley's coalition-size
+    distribution only.
     """
     spec = task.sample_spec
     state = extend_state(
-        spec.prior, spec.seed, fresh_totals, spec.fresh_rounds, fresh_evaluations
+        spec.prior,
+        spec.seed,
+        fresh_totals,
+        spec.fresh_rounds,
+        fresh_evaluations,
+        spec.strata,
     )
     players = sorted(task.database.endogenous, key=repr)
     shapley = {player: state.value_of(player) for player in players}
@@ -163,7 +169,7 @@ def assemble_sample_result(
         epsilon=achieved_epsilon(state.rounds, spec.delta),
         delta=spec.delta,
         rounds=state.rounds,
-        permutations=2 * state.rounds,
+        permutations=2 * state.strata * state.rounds,
         resumed_rounds=spec.prior.rounds if spec.prior else 0,
         state_digest=spec.state_digest,
     )
@@ -182,7 +188,7 @@ def execute_sample_task(task: GroundingTask) -> BatchResult:
     spec = task.sample_spec
     start = spec.prior.rounds if spec.prior else 0
     totals, evaluations = run_rounds(
-        task.database, task.query, spec.seed, start, spec.fresh_rounds
+        task.database, task.query, spec.seed, start, spec.fresh_rounds, spec.strata
     )
     return assemble_sample_result(task, totals, evaluations)
 
@@ -260,7 +266,12 @@ def _run_sample_chunk(
     and still match serial execution bit for bit.
     """
     totals, evaluations = run_rounds(
-        task.database, task.query, task.sample_spec.seed, start, count
+        task.database,
+        task.query,
+        task.sample_spec.seed,
+        start,
+        count,
+        task.sample_spec.strata,
     )
     return task.node_id, totals, evaluations
 

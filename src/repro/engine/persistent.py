@@ -202,6 +202,9 @@ class PersistentResultCache:
                     for relation, args, total in payload["totals"]
                 },
                 evaluations=int(payload["evaluations"]),
+                # Entries written before stratified rounds carry no
+                # "strata" key; they are plain (strata=1) states.
+                strata=int(payload.get("strata", 1)),
             )
         if kind != "result":
             raise ValueError(f"unknown payload kind {kind!r}")
@@ -266,13 +269,19 @@ class PersistentResultCache:
             if not fact_is_json_safe(player):
                 return None
             totals.append(fact_to_row(player) + [state.totals[player]])
-        return {
+        payload: dict[str, Any] = {
             "kind": "sample-state",
             "seed": state.seed,
             "rounds": state.rounds,
             "evaluations": state.evaluations,
             "totals": totals,
         }
+        if state.strata != 1:
+            # Written only when stratified, so plain states keep the
+            # historical byte-for-byte payload (and older readers keep
+            # decoding them).
+            payload["strata"] = state.strata
+        return payload
 
     def _note_put(self, path: Path) -> None:
         """Update the occupancy estimate; rescan only when a cap is crossed.

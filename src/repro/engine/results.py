@@ -204,9 +204,9 @@ def result_from_state(
 
     Used when a request's accuracy contract is satisfied by rounds that
     are already folded into the stored state: the per-fact estimates are
-    ``totals / (2 rounds)``, the achieved bound comes from the full
-    stored round count (tighter than the contract), and every round
-    counts as resumed — nothing was recomputed.
+    ``totals / (2 strata rounds)``, the achieved bound comes from the
+    full stored round count (tighter than the contract), and every
+    round counts as resumed — nothing was recomputed.
     """
     players = sorted(state.totals, key=repr)
     shapley = {player: state.value_of(player) for player in players}
@@ -214,7 +214,7 @@ def result_from_state(
         epsilon=achieved_epsilon(state.rounds, delta),
         delta=delta,
         rounds=state.rounds,
-        permutations=2 * state.rounds,
+        permutations=2 * state.strata * state.rounds,
         resumed_rounds=state.rounds,
         state_digest=state_digest,
     )

@@ -323,3 +323,52 @@ def save_formula(formula: CnfFormula, path: str | Path) -> None:
 
 def load_formula(path: str | Path) -> CnfFormula:
     return formula_from_dimacs(Path(path).read_text())
+
+
+# ----------------------------------------------------------------------
+# Metrics dialect: latency histograms <-> JSON rows
+# ----------------------------------------------------------------------
+#: Upper bucket bounds (milliseconds) of every latency histogram in the
+#: metrics dialect: log-spaced from sub-millisecond warm hits up to
+#: minute-scale cold brute force, with ``inf`` as the implicit last
+#: bucket.  Fixed bounds (rather than adaptive ones) keep histograms
+#: mergeable across operations, daemons, and sessions.
+LATENCY_BUCKET_BOUNDS_MS: tuple[float, ...] = (
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
+    500.0, 1_000.0, 2_500.0, 5_000.0, 10_000.0, 30_000.0, 60_000.0,
+)
+
+
+def histogram_rows(counts: list[int]) -> list[list[Any]]:
+    """``[[upper_bound_ms, count], ...]`` rows of one latency histogram.
+
+    ``counts`` has ``len(LATENCY_BUCKET_BOUNDS_MS) + 1`` entries (the
+    last is the overflow bucket, serialized with ``null`` as its bound).
+    """
+    bounds: list[Any] = [*LATENCY_BUCKET_BOUNDS_MS, None]
+    return [[bound, count] for bound, count in zip(bounds, counts)]
+
+
+def histogram_quantile(rows: list[list[Any]], quantile: float) -> float | None:
+    """An upper-bound estimate of ``quantile`` from histogram rows.
+
+    Returns the upper bound of the bucket the quantile falls in (the
+    conservative read: the true latency is at most this), the largest
+    finite bound when it falls in the overflow bucket, and None for an
+    empty histogram.  ``quantile`` is a fraction in ``[0, 1]``.
+    """
+    if not 0.0 <= quantile <= 1.0:
+        raise ValueError(f"quantile must lie in [0, 1], got {quantile}")
+    total = sum(count for _, count in rows)
+    if total == 0:
+        return None
+    rank = quantile * total
+    seen = 0
+    largest_finite = 0.0
+    for bound, count in rows:
+        if bound is not None:
+            largest_finite = float(bound)
+        seen += count
+        if seen >= rank and count:
+            return float(bound) if bound is not None else largest_finite
+    return largest_finite

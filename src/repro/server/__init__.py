@@ -12,12 +12,15 @@ Layers::
 
     client ──frames──► daemon ──handles──► registry ──keys──► engine
     AttributionClient   AttributionDaemon   DatabaseRegistry   (warm stores,
-    retries, Fraction   thread per conn,    content-addressed  coalesced by
-    round-trip          error frames        InFlightCoalescer  plan fingerprint)
+    retries, pipelining asyncio loop,       content-addressed  coalesced by
+    Fraction round-trip admission control   InFlightCoalescer  plan fingerprint)
 
 * :mod:`repro.server.protocol` — length-prefixed JSON frames, versioned
   request/response envelopes, structured error frames that round-trip
-  :class:`~repro.core.errors.IntractableQueryError` and parse errors.
+  :class:`~repro.core.errors.IntractableQueryError` and parse errors;
+  load-shedding outcomes (:class:`OverloadedError`,
+  :class:`DeadlineExceededError`, :class:`CoalescedRequestAborted`) are
+  typed and marked ``retryable``.
 * :mod:`repro.server.registry` — upload a database once (``db_load`` →
   content-addressed handle), then query the handle — or evolve it with a
   fact-level delta (``db_update`` → successor handle; the registry keeps
@@ -25,24 +28,39 @@ Layers::
   coalesce onto one computation, keyed by the engine's canonical plan
   fingerprints *plus the handle*, so coalescing never crosses database
   versions.
-* :mod:`repro.server.daemon` — the serving loop; survives malformed
-  frames and mid-request disconnects, stops cleanly on ``shutdown`` or
+* :mod:`repro.server.admission` — bounded in-flight concurrency, fair
+  per-client queueing with priorities and deadlines, per-client token
+  buckets; overload sheds with retryable frames instead of queueing
+  unboundedly.
+* :mod:`repro.server.metrics` — live latency histograms (the fixed
+  bucket dialect of :mod:`repro.io`), admission counters, and gauges
+  behind the ``metrics`` wire op.
+* :mod:`repro.server.daemon` — the asyncio serving loop; pipelines
+  requests per connection, survives malformed frames, slow-loris peers
+  and mid-request disconnects, drains gracefully on ``shutdown`` or
   SIGTERM; TCP listeners optionally require an auth token
   (``--auth-token`` / ``REPRO_AUTH_TOKEN``, constant-time compare —
   Unix sockets are unaffected).
 * :mod:`repro.server.client` — :class:`AttributionClient`, returning the
-  same exact-``Fraction`` result objects as an in-process engine.
+  same exact-``Fraction`` result objects as an in-process engine, with
+  pipelined submits (:class:`PendingRequest`) on top of the same
+  connection.
 
 From the CLI: ``python -m repro serve --socket /run/repro.sock`` and
 ``python -m repro batch db.json QUERY --connect /run/repro.sock``.
 """
 
-from repro.server.client import AttributionClient
+from repro.server.admission import AdmissionController, TokenBucket
+from repro.server.client import AttributionClient, PendingRequest
 from repro.server.daemon import AttributionDaemon
+from repro.server.metrics import DaemonMetrics
 from repro.server.protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
     AuthenticationError,
+    CoalescedRequestAborted,
+    DeadlineExceededError,
+    OverloadedError,
     ProtocolError,
     ServerError,
     UnknownHandleError,
@@ -55,16 +73,23 @@ from repro.server.registry import (
 )
 
 __all__ = [
+    "AdmissionController",
     "AttributionClient",
     "AttributionDaemon",
     "AuthenticationError",
+    "CoalescedRequestAborted",
     "CoalescerStats",
+    "DaemonMetrics",
     "DatabaseRegistry",
+    "DeadlineExceededError",
     "InFlightCoalescer",
     "MAX_FRAME_BYTES",
+    "OverloadedError",
+    "PendingRequest",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "ServerError",
+    "TokenBucket",
     "UnknownHandleError",
     "parse_address",
 ]

@@ -1,0 +1,276 @@
+"""Admission control for the asyncio daemon: shed early, queue fairly.
+
+A serving loop that accepts every request eventually queues itself to
+death: one slow client, one hot query, or one burst past engine capacity
+and every other client's latency climbs without bound.  The admission
+controller enforces three policies *before* any engine work happens:
+
+* **bounded concurrency** — at most ``max_inflight`` requests hold an
+  execution slot; everything else waits in a bounded queue, and arrivals
+  past the queue bound are shed immediately with a retryable
+  :class:`~repro.server.protocol.OverloadedError` (shedding at the door
+  keeps the queue short enough that queued requests still meet their
+  deadlines — the classic admission-control argument);
+* **per-client rate limits** — a token bucket per client identity
+  (connection peer), refilled at ``per_client_rps``, so one greedy
+  client cannot starve the fleet; throttled requests are shed, not
+  queued, because a client above its rate would only re-fill the queue;
+* **priorities, fairness, and deadlines** — the queue grants slots to
+  the highest priority class first and round-robins between clients
+  *within* a class (one client's burst cannot monopolize its class);
+  a request whose ``deadline_ms`` expires while queued is failed with
+  :class:`~repro.server.protocol.DeadlineExceededError` without ever
+  touching the engine, and a waiter whose client disconnects is reaped
+  so abandoned requests can never hold queue slots.
+
+The controller is **event-loop confined**: every method must run on the
+daemon's loop (no locks needed), and the injected ``clock`` keeps the
+token buckets and deadlines testable without real sleeps.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict, deque
+from typing import Callable
+
+from repro.server.metrics import DaemonMetrics
+from repro.server.protocol import DeadlineExceededError, OverloadedError
+
+
+class TokenBucket:
+    """A standard token bucket: ``rate`` tokens/second, bounded burst."""
+
+    __slots__ = ("rate", "capacity", "tokens", "_updated", "_clock")
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.rate = float(rate)
+        # Default burst: one second's worth of tokens, at least one —
+        # a client at exactly its rate never sees a shed.
+        self.capacity = float(burst) if burst is not None else max(1.0, self.rate)
+        self.tokens = self.capacity
+        self._clock = clock
+        self._updated = clock()
+
+    def try_acquire(self, amount: float = 1.0) -> bool:
+        now = self._clock()
+        self.tokens = min(
+            self.capacity, self.tokens + (now - self._updated) * self.rate
+        )
+        self._updated = now
+        if self.tokens >= amount:
+            self.tokens -= amount
+            return True
+        return False
+
+
+class _Waiter:
+    """One queued admission request: its future plus its queue address."""
+
+    __slots__ = ("future", "client", "priority")
+
+    def __init__(self, future: asyncio.Future, client: str, priority: int) -> None:
+        self.future = future
+        self.client = client
+        self.priority = priority
+
+
+class AdmissionController:
+    """Slots, queues, buckets — see the module docstring.
+
+    ``max_queue`` defaults to ``4 * max_inflight``: deep enough to ride
+    out a coalescing burst, shallow enough that queueing delay stays a
+    small multiple of service time.
+    """
+
+    #: Token-bucket table bound: beyond this many distinct client
+    #: identities the least-recently-seen bucket is dropped (it re-fills
+    #: to full burst on return, which only ever under-throttles).
+    MAX_BUCKETS = 1024
+
+    def __init__(
+        self,
+        max_inflight: int,
+        per_client_rps: float | None = None,
+        max_queue: int | None = None,
+        metrics: DaemonMetrics | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be positive, got {max_inflight}")
+        if per_client_rps is not None and per_client_rps <= 0:
+            raise ValueError(
+                f"per_client_rps must be positive, got {per_client_rps}"
+            )
+        self.max_inflight = max_inflight
+        self.per_client_rps = per_client_rps
+        self.max_queue = max_queue if max_queue is not None else 4 * max_inflight
+        self.metrics = metrics if metrics is not None else DaemonMetrics()
+        self.clock = clock
+        self.inflight = 0
+        self.queued = 0
+        # priority -> (client -> FIFO of waiters); clients round-robin
+        # within a priority class, classes are served highest first.
+        self._levels: dict[int, OrderedDict[str, deque[_Waiter]]] = {}
+        self._buckets: OrderedDict[str, TokenBucket] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Acquisition
+    # ------------------------------------------------------------------
+    async def acquire(
+        self,
+        client: str,
+        priority: int = 0,
+        deadline: float | None = None,
+    ) -> None:
+        """Wait for an execution slot; raises instead of queueing forever.
+
+        ``deadline`` is an absolute ``clock()`` timestamp.  Raises
+        :class:`OverloadedError` (shed: queue full or client throttled)
+        or :class:`DeadlineExceededError` (expired while queued).  On
+        success the caller owns one slot and must :meth:`release` it
+        exactly once.
+        """
+        if self.per_client_rps is not None and not self._bucket(client).try_acquire():
+            self.metrics.bump("shed_throttled")
+            raise OverloadedError(
+                f"client {client} is above its rate limit"
+                f" ({self.per_client_rps:g} requests/second); retry later"
+            )
+        if deadline is not None and deadline <= self.clock():
+            self.metrics.bump("deadline_expired")
+            raise DeadlineExceededError(
+                "request deadline expired before admission; no work was done"
+            )
+        if self.inflight < self.max_inflight and self.queued == 0:
+            self._grant()
+            return
+        if self.queued >= self.max_queue:
+            self.metrics.bump("shed_overload")
+            raise OverloadedError(
+                f"daemon at capacity ({self.inflight} in flight,"
+                f" {self.queued} queued); retry later"
+            )
+        await self._wait(client, priority, deadline)
+
+    def _grant(self) -> None:
+        self.inflight += 1
+        self.metrics.bump("admitted")
+        self.metrics.inflight_changed(+1)
+
+    async def _wait(
+        self, client: str, priority: int, deadline: float | None
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        waiter = _Waiter(loop.create_future(), client, priority)
+        self._enqueue(waiter)
+        self.queued += 1
+        self.metrics.queue_changed(+1)
+        expiry = None
+        if deadline is not None:
+            expiry = loop.call_later(
+                max(0.0, deadline - self.clock()), self._expire, waiter
+            )
+        try:
+            await waiter.future
+        except asyncio.CancelledError:
+            # The request task died while queued (client disconnected,
+            # drain cancelled it).  If the slot was granted in the same
+            # tick, hand it straight back so it cannot leak.
+            if self._discard(waiter):
+                self.metrics.bump("reaped_waiters")
+            elif waiter.future.done() and not waiter.future.cancelled():
+                if waiter.future.exception() is None:
+                    self.release()
+            raise
+        finally:
+            if expiry is not None:
+                expiry.cancel()
+            self.queued -= 1
+            self.metrics.queue_changed(-1)
+
+    def _expire(self, waiter: _Waiter) -> None:
+        if waiter.future.done():
+            return
+        self._discard(waiter)
+        self.metrics.bump("deadline_expired")
+        waiter.future.set_exception(
+            DeadlineExceededError(
+                "request deadline expired while queued; no work was done"
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Release and scheduling
+    # ------------------------------------------------------------------
+    def release(self) -> None:
+        """Return one slot and grant it onward (priority, then fairness)."""
+        self.inflight -= 1
+        self.metrics.inflight_changed(-1)
+        while self.inflight < self.max_inflight:
+            waiter = self._dequeue()
+            if waiter is None:
+                return
+            self._grant()
+            waiter.future.set_result(True)
+
+    def _bucket(self, client: str) -> TokenBucket:
+        bucket = self._buckets.get(client)
+        if bucket is not None:
+            self._buckets.move_to_end(client)
+            return bucket
+        bucket = TokenBucket(self.per_client_rps, clock=self.clock)  # type: ignore[arg-type]
+        self._buckets[client] = bucket
+        while len(self._buckets) > self.MAX_BUCKETS:
+            self._buckets.popitem(last=False)
+        return bucket
+
+    def _enqueue(self, waiter: _Waiter) -> None:
+        level = self._levels.setdefault(waiter.priority, OrderedDict())
+        level.setdefault(waiter.client, deque()).append(waiter)
+
+    def _dequeue(self) -> _Waiter | None:
+        """The next waiter: highest priority class, round-robin clients."""
+        while self._levels:
+            priority = max(self._levels)
+            level = self._levels[priority]
+            client, queue = next(iter(level.items()))
+            waiter = queue.popleft()
+            if queue:
+                level.move_to_end(client)
+            else:
+                del level[client]
+            if not level:
+                del self._levels[priority]
+            if not waiter.future.done():
+                return waiter
+        return None
+
+    def _discard(self, waiter: _Waiter) -> bool:
+        """Drop a waiter from its queue; True when it was still queued."""
+        level = self._levels.get(waiter.priority)
+        if level is None:
+            return False
+        queue = level.get(waiter.client)
+        if queue is None:
+            return False
+        try:
+            queue.remove(waiter)
+        except ValueError:
+            return False
+        if not queue:
+            del level[waiter.client]
+        if not level:
+            del self._levels[waiter.priority]
+        return True
+
+
+__all__ = ["AdmissionController", "TokenBucket"]

@@ -12,6 +12,14 @@ protocol of :mod:`repro.server.protocol` to a running
   requests (daemon restarted, idle timeout on a proxy) is re-dialed and
   the request resent; ``shutdown`` is never retried, everything else the
   daemon serves idempotently (warm results are exact);
+* **pipelining** — :meth:`submit` (and the typed ``submit_batch`` /
+  ``submit_answers`` / ``submit_refine``) writes a request frame and
+  returns a :class:`PendingRequest` immediately; many requests ride one
+  connection concurrently, and responses pair by the protocol's request
+  ``id`` regardless of arrival order (the asyncio daemon answers cheap
+  warm hits before an earlier cold compute finishes).  Pipelined
+  requests are **not** auto-retried: the caller sees the transport
+  failure and decides;
 * **exact round-tripping** — values come back as the same ``Fraction``
   objects an in-process engine would produce (numerator/denominator
   string pairs on the wire, never floats), and daemon-side exceptions
@@ -65,6 +73,50 @@ from repro.server.protocol import (
 )
 
 
+class PendingRequest:
+    """A pipelined request's claim ticket; see :meth:`AttributionClient.submit`.
+
+    ``result()`` blocks until *this* request's response arrives (reading
+    and buffering any other pipelined responses that land first), then
+    returns the decoded result — or raises the daemon's exception,
+    rebuilt locally exactly as a synchronous call would.  Calling it
+    again returns the cached outcome.
+    """
+
+    __slots__ = ("request_id", "op", "_client", "_decode", "_outcome")
+
+    def __init__(
+        self,
+        client: "AttributionClient",
+        request_id: int,
+        op: str,
+        decode: Any = None,
+    ) -> None:
+        self.request_id = request_id
+        self.op = op
+        self._client = client
+        self._decode = decode
+        self._outcome: tuple[bool, Any] | None = None
+
+    def done(self) -> bool:
+        """Has a response already been claimed for this request?"""
+        return self._outcome is not None
+
+    def result(self) -> Any:
+        if self._outcome is None:
+            try:
+                payload = self._client._receive(self.request_id)
+            except BaseException as error:
+                self._outcome = (False, error)
+                raise
+            value = self._decode(payload) if self._decode is not None else payload
+            self._outcome = (True, value)
+        ok, value = self._outcome
+        if not ok:
+            raise value
+        return value
+
+
 class AttributionClient:
     """A connection to an attribution daemon; see the module docstring.
 
@@ -105,6 +157,10 @@ class AttributionClient:
         self._socket: socket.socket | None = None
         self._stream = None
         self._ids = itertools.count(1)
+        # Pipelining state: ids written but not yet claimed, and
+        # responses read while waiting for a different id.
+        self._outstanding: set[int] = set()
+        self._responses: dict[int, dict[str, Any]] = {}
         # id(db) -> (db, handle), LRU-bounded.  The database object is
         # pinned so a garbage-collected database can never hand its id —
         # and thereby a stale handle — to a different database allocated
@@ -165,6 +221,8 @@ class AttributionClient:
 
     def close(self) -> None:
         self._handles.clear()
+        self._outstanding.clear()
+        self._responses.clear()
         if self._stream is not None:
             try:
                 self._stream.close()
@@ -193,9 +251,11 @@ class AttributionClient:
         Raises the daemon's exception (rebuilt locally) on an error
         frame.  A connection that proves dead is re-dialed once and the
         request resent — except for ``shutdown``, whose duplicate
-        delivery is not idempotent.
+        delivery is not idempotent, and except while pipelined requests
+        are outstanding (a silent re-dial would strand their responses;
+        the transport failure surfaces instead).
         """
-        retries = 0 if op == "shutdown" else 1
+        retries = 0 if op == "shutdown" or self._outstanding else 1
         attempt = 0
         while True:
             try:
@@ -209,31 +269,75 @@ class AttributionClient:
                     raise
                 attempt += 1
 
+    def submit(self, op: str, decode: Any = None, **params: Any) -> PendingRequest:
+        """Write one request frame and return without waiting.
+
+        The returned :class:`PendingRequest` claims the response later
+        by the protocol's request ``id`` — issue many submits back to
+        back and the daemon works them concurrently over this one
+        connection.  Pipelined requests are never auto-retried.
+        """
+        request_id = self._send(op, params)
+        return PendingRequest(self, request_id, op, decode)
+
     def _call_once(self, op: str, params: dict[str, Any]) -> dict[str, Any]:
+        return self._receive(self._send(op, params))
+
+    def _send(self, op: str, params: dict[str, Any]) -> int:
         self.connect()
         assert self._stream is not None
         request_id = next(self._ids)
         if self.auth_token is not None:
             params = {**params, "auth": self.auth_token}
+        params = {
+            key: value for key, value in params.items() if value is not None
+        }
         write_frame(self._stream, request(op, request_id, **params))
-        try:
-            response = read_frame(self._stream)
-        except ProtocolError as error:
-            # A stream that dies or degenerates mid-frame is a transport
-            # failure; surface it as such so `call` may retry it.
-            raise ConnectionError(
-                f"broken response stream from {self.address}: {error}"
-            ) from error
-        if response is None:
-            raise ConnectionError(
-                f"the daemon at {self.address} closed the connection"
-                " before responding"
-            )
-        if response.get("id") != request_id:
-            raise ProtocolError(
-                f"response id {response.get('id')!r} does not match request"
-                f" id {request_id!r}"
-            )
+        self._outstanding.add(request_id)
+        return request_id
+
+    def _receive(self, request_id: int) -> dict[str, Any]:
+        """The response for ``request_id``, buffering out-of-order frames.
+
+        The asyncio daemon answers pipelined requests as they finish,
+        not in arrival order; responses for *other* outstanding requests
+        are parked until their own claim arrives.
+        """
+        while request_id not in self._responses:
+            if self._stream is None:
+                self._outstanding.discard(request_id)
+                raise ConnectionError(
+                    f"the connection to {self.address} was closed with"
+                    f" request {request_id} still in flight"
+                )
+            try:
+                response = read_frame(self._stream)
+            except ProtocolError as error:
+                # A stream that dies or degenerates mid-frame is a
+                # transport failure; surface it as such so `call` may
+                # retry it.
+                raise ConnectionError(
+                    f"broken response stream from {self.address}: {error}"
+                ) from error
+            except OSError:
+                self._outstanding.discard(request_id)
+                raise
+            if response is None:
+                self._outstanding.discard(request_id)
+                raise ConnectionError(
+                    f"the daemon at {self.address} closed the connection"
+                    " before responding"
+                )
+            response_id = response.get("id")
+            if response_id in self._outstanding:
+                self._responses[response_id] = response
+            else:
+                raise ProtocolError(
+                    f"response id {response_id!r} matches no outstanding"
+                    f" request (waiting on {request_id!r})"
+                )
+        response = self._responses.pop(request_id)
+        self._outstanding.discard(request_id)
         if not response.get("ok"):
             error = response.get("error")
             raise error_from_payload(error if isinstance(error, dict) else {})
@@ -252,6 +356,12 @@ class AttributionClient:
     def stats(self) -> dict[str, Any]:
         """The daemon's per-layer counters (engine, registry, coalescer)."""
         return self.call("stats")
+
+    def metrics(self) -> dict[str, Any]:
+        """Live serving metrics: per-op latency histograms, admission
+        counters, queue/in-flight gauges, coalescing ratios — see
+        :mod:`repro.server.metrics` for the document layout."""
+        return self.call("metrics")
 
     def shutdown(self) -> dict[str, Any]:
         """Ask the daemon to stop; the connection is closed afterwards."""
@@ -369,6 +479,38 @@ class AttributionClient:
         )
         return batch_result_from_dict(result["result"])
 
+    def submit_batch(
+        self,
+        database: Database | str,
+        query: str | ConjunctiveQuery,
+        exogenous: Iterable[str] | None = None,
+        *,
+        policy: MethodPolicy | str | None = None,
+        priority: int | None = None,
+        deadline_ms: float | None = None,
+    ) -> PendingRequest:
+        """Pipelined :meth:`batch`: returns a :class:`PendingRequest`
+        whose ``result()`` yields the decoded
+        :class:`~repro.engine.results.BatchResult`.
+
+        ``priority`` (higher first) and ``deadline_ms`` (shed if still
+        queued after this many milliseconds) feed the daemon's admission
+        control.  A :class:`Database` argument is uploaded synchronously
+        first (the upload is not pipelined); no transparent stale-handle
+        retry happens on this path.
+        """
+        method_policy = resolve_policy(policy, None)
+        return self.submit(
+            "batch",
+            decode=lambda result: batch_result_from_dict(result["result"]),
+            db=self._handle_for(database),
+            query=self._query_text(query),
+            exogenous=self._exogenous_param(exogenous),
+            priority=priority,
+            deadline_ms=deadline_ms,
+            **method_policy.to_params(),
+        )
+
     def refine(
         self,
         database: Database | str,
@@ -399,6 +541,31 @@ class AttributionClient:
         )
         return batch_result_from_dict(result["result"])
 
+    def submit_refine(
+        self,
+        database: Database | str,
+        query: str | ConjunctiveQuery,
+        exogenous: Iterable[str] | None = None,
+        *,
+        epsilon: float | None = None,
+        delta: float | None = None,
+        priority: int | None = None,
+        deadline_ms: float | None = None,
+    ) -> PendingRequest:
+        """Pipelined :meth:`refine`; same decoding and admission fields
+        as :meth:`submit_batch`."""
+        return self.submit(
+            "refine",
+            decode=lambda result: batch_result_from_dict(result["result"]),
+            db=self._handle_for(database),
+            query=self._query_text(query),
+            exogenous=self._exogenous_param(exogenous),
+            epsilon=epsilon,
+            delta=delta,
+            priority=priority,
+            deadline_ms=deadline_ms,
+        )
+
     def answers(
         self,
         database: Database | str,
@@ -414,9 +581,6 @@ class AttributionClient:
         Returns an :class:`~repro.engine.results.AnswerBatchResult`
         (aggregate via its :meth:`aggregate`, exactly as in-process).
         """
-        from repro.engine.cache import CacheStats
-        from repro.engine.results import AnswerBatchResult
-
         method_policy = resolve_policy(policy, allow_brute_force)
         result = self._with_handle(
             database,
@@ -429,6 +593,13 @@ class AttributionClient:
                 **method_policy.to_params(),
             ),
         )
+        return self._decode_answers(result)
+
+    @staticmethod
+    def _decode_answers(result: dict[str, Any]):
+        from repro.engine.cache import CacheStats
+        from repro.engine.results import AnswerBatchResult
+
         per_answer = {
             tuple(entry["answer"]): batch_result_from_dict(entry["result"])
             for entry in result["answers"]
@@ -439,6 +610,32 @@ class AttributionClient:
             CacheStats(
                 hits=int(pool.get("hits", 0)), misses=int(pool.get("misses", 0))
             ),
+        )
+
+    def submit_answers(
+        self,
+        database: Database | str,
+        query: str | ConjunctiveQuery,
+        answers: Iterable[tuple[Constant, ...]] | None = None,
+        exogenous: Iterable[str] | None = None,
+        *,
+        policy: MethodPolicy | str | None = None,
+        priority: int | None = None,
+        deadline_ms: float | None = None,
+    ) -> PendingRequest:
+        """Pipelined :meth:`answers`; decodes to an
+        :class:`~repro.engine.results.AnswerBatchResult`."""
+        method_policy = resolve_policy(policy, None)
+        return self.submit(
+            "answers",
+            decode=self._decode_answers,
+            db=self._handle_for(database),
+            query=self._query_text(query),
+            answers=None if answers is None else [list(a) for a in answers],
+            exogenous=self._exogenous_param(exogenous),
+            priority=priority,
+            deadline_ms=deadline_ms,
+            **method_policy.to_params(),
         )
 
     def aggregate(
@@ -464,4 +661,4 @@ class AttributionClient:
         return attribution_from_rows(result["values"])
 
 
-__all__ = ["AttributionClient"]
+__all__ = ["AttributionClient", "PendingRequest"]

@@ -1,4 +1,4 @@
-"""The attribution daemon: one warm engine behind a socket.
+"""The attribution daemon: one warm engine behind an asyncio serving loop.
 
 Every CLI invocation pays Python startup, cold caches, and a database
 re-parse before the first count vector exists.  The daemon pays those
@@ -11,52 +11,67 @@ already holds is answered without executing a single plan node; a request
 identical to one *currently running* joins it through the in-flight
 coalescer instead of recomputing.
 
-Concurrency model: one thread per connection (``socketserver.ThreadingMixIn``),
-one shared engine.  The engine's caches are plain ``OrderedDict`` LRUs —
-not thread-safe — so the daemon serializes *engine entry* with a single
-lock; parallelism comes from the engine's own sharded executor
-(``--jobs``), from the warm stores (hits barely hold the lock), and from
-the coalescer (duplicate requests never queue for the lock at all).
+Concurrency model: one **event loop** multiplexes every connection
+(requests on one connection pipeline freely — responses pair by ``id``,
+not arrival order), while actual engine work runs on a small pool of
+worker threads.  The engine's caches are plain ``OrderedDict`` LRUs —
+not thread-safe — so engine *entry* stays serialized by a single lock;
+parallelism comes from the engine's own sharded executor (``--jobs``),
+from the warm stores (hits barely hold the lock), and from the coalescer
+(duplicate requests never queue for the lock at all).
+
+In front of the workers sits **admission control**
+(:class:`~repro.server.admission.AdmissionController`): at most
+``max_inflight`` compute requests execute or queue fairly (priority
+classes, round-robin between clients inside a class), per-client token
+buckets (``per_client_rps``) throttle greedy clients, and overload is
+answered with typed, **retryable** error frames —
+:class:`~repro.server.protocol.OverloadedError` when shed,
+:class:`~repro.server.protocol.DeadlineExceededError` when a request's
+``deadline_ms`` expired while queued — never with an unbounded queue or
+a silent hang.  Cheap introspection ops (``ping``, ``stats``,
+``metrics``) bypass admission entirely, so health checks work *because*
+the daemon is loaded, not until it is.
 
 Failure containment: a malformed frame ends only its own connection
-(best-effort error frame first); an exception inside a request — plan-time
+(best-effort error frame first); a frame that starts arriving but does
+not finish within ``frame_timeout`` (a slow-loris peer) closes only that
+connection; an exception inside a request — plan-time
 :class:`~repro.core.errors.IntractableQueryError`, parse errors, unknown
-handles — becomes a structured error frame and the connection lives on; a
-client that disconnects mid-request costs nothing but the computed result
-(the engine and every other connection are untouched, and the result is
-warm in the store for whoever asks next).
+handles — becomes a structured error frame and the connection lives on;
+a client that disconnects mid-request costs nothing but the computed
+result (admitted work finishes and lands warm in the store; work still
+queued is cancelled and its queue slot reclaimed).
 
-Live databases: ``db_update`` applies a fact-level delta against a
-loaded handle (bounded version chains in the registry, superseded
-persistent entries retired), and the delta-aware engine re-executes only
-the dirty slice — see :mod:`repro.engine.delta`.
-
-Anytime refinement: ``batch`` accepts ``method``/``epsilon``/``delta``
-policy fields (:class:`~repro.engine.policy.MethodPolicy`), and a
-sampled answer leaves a resumable sample state in the warm store;
-``refine`` extends that state's permutation stream to tighten the
-``(epsilon, delta)`` bound without recomputing a single completed round
-— observable per request via the ``sampler.*`` stats delta.
-
-Hardening: a TCP listener may require an auth token (``--auth-token`` /
-``REPRO_AUTH_TOKEN``); every frame is checked with a constant-time
-compare and rejected frames get a typed
-:class:`~repro.server.protocol.AuthenticationError` error frame.
-Unix-domain sockets rely on filesystem permissions and never
-authenticate.
+Observability: the ``metrics`` op returns per-op latency histograms (the
+fixed bucket dialect of :mod:`repro.io`), queue/in-flight gauges with
+peaks, admission counters (admitted / shed / expired / reaped), and
+coalescing ratios — the numbers the storm harness reconciles against its
+client-side request log.  Lifecycle events are also emitted as
+structured JSON lines on the ``repro.server`` logger.
 
 Lifecycle: ``shutdown`` (the protocol op) and SIGTERM (installed by
-``python -m repro serve``) both stop the accept loop cleanly;
-:meth:`AttributionDaemon.close` releases the socket and unlinks the
-Unix-socket path.
+``python -m repro serve``) both **drain**: the listener closes, in-flight
+requests get up to ``drain_timeout`` seconds to finish, new compute
+requests are refused with a retryable frame, and only then does the loop
+exit; :meth:`AttributionDaemon.close` releases the socket and unlinks
+the Unix-socket path.
 """
 
 from __future__ import annotations
 
+import asyncio
+import contextlib
 import hmac
+import json
+import logging
 import os
-import socketserver
+import socket
+import struct
 import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from functools import partial
 from typing import Any, Callable
 
 from repro.core.parser import parse_query
@@ -64,112 +79,40 @@ from repro.engine.core import BatchAttributionEngine
 from repro.engine.delta import delta_from_dict
 from repro.engine.policy import MethodPolicy
 from repro.io import batch_result_to_dict, database_from_dict
+from repro.server import protocol as protocol_module
+from repro.server.admission import AdmissionController
+from repro.server.metrics import DaemonMetrics
 from repro.server.protocol import (
+    OPERATIONS,
     PROTOCOL_VERSION,
     AuthenticationError,
+    OverloadedError,
     ProtocolError,
+    encode_frame,
+    decode_frame_body,
     error_response,
     format_address,
     ok_response,
     parse_address,
-    read_frame,
     validate_request,
-    write_frame,
 )
 from repro.server.registry import DatabaseRegistry, InFlightCoalescer
 
+_HEADER = struct.Struct(">I")
+_logger = logging.getLogger("repro.server")
 
-class _QuietServerMixin:
-    """Connection-level failures are contained, not printed as tracebacks.
+#: Operations answered inline on the event loop — pure dictionary reads,
+#: never shed, never queued: health checks must keep working *because*
+#: the daemon is overloaded, not until it is.
+INLINE_OPS = frozenset({"ping", "stats", "metrics"})
 
-    ``socketserver`` dumps a traceback to stderr whenever a handler
-    raises; for a daemon whose handlers only ever raise on *transport*
-    failures (a peer resetting mid-frame), that is noise — the
-    per-connection thread dies, the daemon carries on, and the event is
-    counted on the daemon's ``errors`` counter instead.
-    """
+#: Operations that run on a worker thread (they parse databases or touch
+#: the filesystem) but bypass admission: registry state management must
+#: not compete with compute for queue slots.
+SIDE_OPS = frozenset({"db_load", "db_update"})
 
-    def handle_error(self, request: object, client_address: object) -> None:
-        daemon = getattr(self, "attribution_daemon", None)
-        if daemon is not None:
-            daemon.count("errors")
-
-
-class _ThreadingTCPServer(
-    _QuietServerMixin, socketserver.ThreadingMixIn, socketserver.TCPServer
-):
-    daemon_threads = True
-    allow_reuse_address = True
-    block_on_close = False
-
-
-if hasattr(socketserver, "UnixStreamServer"):  # pragma: no branch - POSIX only
-
-    class _ThreadingUnixServer(
-        _QuietServerMixin, socketserver.ThreadingMixIn, socketserver.UnixStreamServer
-    ):
-        daemon_threads = True
-        block_on_close = False
-
-
-class _ConnectionHandler(socketserver.StreamRequestHandler):
-    """One client connection: a loop of request frames until EOF."""
-
-    def handle(self) -> None:
-        daemon: AttributionDaemon = self.server.attribution_daemon
-        daemon.count("connections")
-        while True:
-            try:
-                payload = read_frame(self.rfile)
-            except ProtocolError as error:
-                # The stream is no longer trustworthy: report once, hang up.
-                self._try_write(error_response(None, error))
-                break
-            except OSError:
-                # The peer reset the connection mid-read; nothing to tell it.
-                break
-            if payload is None:
-                break
-            if not daemon.authorized(payload):
-                # Unauthenticated TCP frames get a typed error frame and
-                # never reach dispatch — not even for ping or shutdown.
-                daemon.count("errors")
-                daemon.count("requests")
-                rejected = error_response(
-                    payload.get("id"),
-                    AuthenticationError(
-                        "this daemon requires an auth token: pass auth_token"
-                        " to AttributionClient (or set REPRO_AUTH_TOKEN)"
-                    ),
-                )
-                if not self._try_write(rejected):
-                    break
-                continue
-            response, stop = daemon.dispatch(payload)
-            if not self._try_write(response):
-                # The client vanished mid-request.  The work is done and
-                # warm in the store; the daemon and every other
-                # connection carry on.
-                break
-            if stop:
-                daemon.request_shutdown()
-                break
-
-    def _try_write(self, response: dict[str, Any]) -> bool:
-        try:
-            write_frame(self.wfile, response)
-            return True
-        except ProtocolError as error:
-            # The *response* violates the protocol (a result frame above
-            # the size cap): replace it with a structured error frame so
-            # the client learns why instead of watching a dead socket.
-            try:
-                write_frame(self.wfile, error_response(response.get("id"), error))
-                return True
-            except (OSError, ValueError):
-                return False
-        except (OSError, ValueError):
-            return False
+#: Operations gated by admission control — the ones that cost engine time.
+COMPUTE_OPS = frozenset({"batch", "answers", "aggregate", "refine"})
 
 
 def _counters_delta(
@@ -185,10 +128,27 @@ class AttributionDaemon:
     ``address`` is an address spec (Unix-socket path, ``HOST:PORT``, or
     an explicit ``unix:``/``tcp:`` prefix — see
     :func:`repro.server.protocol.parse_address`).  The daemon binds
-    immediately; call :meth:`serve` (blocking) or run
-    :meth:`serve_forever` in a thread, then :meth:`shutdown` +
-    :meth:`close` from anywhere.
+    immediately (an ephemeral TCP port resolves at construction); call
+    :meth:`serve` (blocking) or run :meth:`serve_forever` in a thread,
+    then :meth:`shutdown` + :meth:`close` from anywhere.
+
+    Admission knobs: ``max_inflight`` bounds concurrently executing or
+    queued compute requests (the queue itself is bounded at
+    ``max_queue``, default ``4 * max_inflight``; past it, requests shed
+    with a retryable :class:`OverloadedError`); ``per_client_rps``
+    token-buckets each client connection; ``drain_timeout`` is how long
+    a graceful shutdown waits for in-flight work; ``frame_timeout``
+    bounds how long a *started* frame may trickle in before the
+    connection is closed (slow-loris defense — an idle connection may
+    stay silent forever); ``coalesce_timeout`` bounds how long a
+    coalesced follower waits on its leader before giving up with a
+    typed :class:`CoalescedRequestAborted` (``None``: as long as it
+    takes).
     """
+
+    #: Per-connection pipelining depth: past this many unanswered
+    #: requests the read loop stops pulling frames until one completes.
+    MAX_PIPELINE = 128
 
     def __init__(
         self,
@@ -197,6 +157,14 @@ class AttributionDaemon:
         registry: DatabaseRegistry | None = None,
         max_databases: int = 64,
         auth_token: str | None = None,
+        *,
+        max_inflight: int = 64,
+        per_client_rps: float | None = None,
+        max_queue: int | None = None,
+        drain_timeout: float = 5.0,
+        engine_workers: int = 4,
+        frame_timeout: float = 10.0,
+        coalesce_timeout: float | None = None,
     ) -> None:
         self.kind, self.location = parse_address(address)
         self.engine = engine if engine is not None else BatchAttributionEngine()
@@ -208,21 +176,55 @@ class AttributionDaemon:
         # would break every local workflow for zero security gain.
         self.auth_token = auth_token if self.kind == "tcp" else None
         self.coalescer = InFlightCoalescer()
+        self.metrics = DaemonMetrics()
+        self.admission = AdmissionController(
+            max_inflight,
+            per_client_rps=per_client_rps,
+            max_queue=max_queue,
+            metrics=self.metrics,
+        )
+        self.drain_timeout = drain_timeout
+        self.frame_timeout = frame_timeout
+        self.coalesce_timeout = coalesce_timeout
         self.requests = 0
         self.errors = 0
         self.connections = 0
         self._engine_lock = threading.Lock()
         self._counter_lock = threading.Lock()
+        self._workers = ThreadPoolExecutor(
+            max_workers=max(2, engine_workers), thread_name_prefix="repro-engine"
+        )
+        self._draining = False
+        self._shutdown_requested = False
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._drain_event: asyncio.Event | None = None
+        self._stopped = threading.Event()
+        self._stopped.set()  # nothing is serving yet
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._connection_seq = 0
+        # Bind now so the address (including an ephemeral TCP port) is
+        # known before serving starts — callers read ``location`` first.
         if self.kind == "unix":
             self._reclaim_stale_socket(self.location)
-            self._server: socketserver.BaseServer = _ThreadingUnixServer(
-                self.location, _ConnectionHandler
-            )
+            listener = socket.socket(socket.AF_UNIX)
+            try:
+                listener.bind(self.location)
+                listener.listen(128)
+            except OSError:
+                listener.close()
+                raise
         else:
-            self._server = _ThreadingTCPServer(self.location, _ConnectionHandler)
-            # An ephemeral port (port 0) resolves at bind time.
-            self.location = self._server.server_address[:2]
-        self._server.attribution_daemon = self
+            listener = socket.socket(socket.AF_INET)
+            try:
+                listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+                listener.bind(tuple(self.location))
+                listener.listen(128)
+            except OSError:
+                listener.close()
+                raise
+            self.location = listener.getsockname()[:2]
+        listener.setblocking(False)
+        self._listen_socket = listener
 
     @staticmethod
     def _reclaim_stale_socket(path: str) -> None:
@@ -232,11 +234,9 @@ class AttributionDaemon:
         next daemon must be able to bind there.  A *live* listener is
         detected by connecting first, and keeps its address.
         """
-        import socket as socket_module
-
         if not os.path.exists(path):
             return
-        probe = socket_module.socket(socket_module.AF_UNIX)
+        probe = socket.socket(socket.AF_UNIX)
         probe.settimeout(0.2)
         try:
             probe.connect(path)
@@ -266,23 +266,47 @@ class AttributionDaemon:
             self.close()
 
     def serve_forever(self) -> None:
-        self._server.serve_forever(poll_interval=0.1)
+        """Run the serving loop in this thread until drained."""
+        self._stopped.clear()
+        try:
+            asyncio.run(self._serve_async())
+        finally:
+            self._loop = None
+            self._stopped.set()
 
     def shutdown(self) -> None:
-        """Stop the accept loop (callable from any *other* thread)."""
-        self._server.shutdown()
+        """Drain and stop the loop; blocks until ``serve_forever`` exits.
+
+        Callable from any thread (including before the loop is up — the
+        loop then exits as soon as it starts).
+        """
+        self.request_shutdown()
+        self._stopped.wait()
 
     def request_shutdown(self) -> None:
-        """Stop the accept loop from inside a handler thread.
+        """Begin a graceful drain without waiting for it to finish.
 
-        ``BaseServer.shutdown`` blocks until ``serve_forever`` exits, so a
-        handler thread must hand it to a helper thread or deadlock the
-        daemon it is trying to stop.
+        Safe from handler context, signal handlers, and other threads
+        alike — this only flips a flag and pokes the loop.
         """
-        threading.Thread(target=self._server.shutdown, daemon=True).start()
+        self._shutdown_requested = True
+        loop = self._loop
+        if loop is not None:
+            try:
+                loop.call_soon_threadsafe(self._signal_drain)
+            except RuntimeError:
+                pass  # the loop already exited; the flag is enough
+
+    def _signal_drain(self) -> None:
+        if self._drain_event is not None:
+            self._drain_event.set()
 
     def close(self) -> None:
-        self._server.server_close()
+        self._workers.shutdown(wait=False)
+        try:
+            self._listen_socket.close()
+        except OSError:
+            pass
         if self.kind == "unix":
             try:
                 os.unlink(self.location)
@@ -290,7 +314,7 @@ class AttributionDaemon:
                 pass
 
     def count(self, name: str) -> None:
-        """Increment a server counter; handler threads race on these."""
+        """Increment a server counter; loop and helper threads race on these."""
         with self._counter_lock:
             setattr(self, name, getattr(self, name) + 1)
 
@@ -311,16 +335,314 @@ class AttributionDaemon:
             presented.encode("utf-8"), self.auth_token.encode("utf-8")
         )
 
+    def _log(self, event: str, **fields: Any) -> None:
+        """One structured JSON log line on the ``repro.server`` logger."""
+        if _logger.isEnabledFor(logging.INFO):
+            _logger.info(
+                json.dumps(
+                    {"event": event, **fields}, separators=(",", ":"), default=str
+                )
+            )
+
     # ------------------------------------------------------------------
-    # Request dispatch
+    # The serving loop
+    # ------------------------------------------------------------------
+    async def _serve_async(self) -> None:
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        self._drain_event = asyncio.Event()
+        if self._shutdown_requested:
+            self._drain_event.set()
+        if self.kind == "unix":
+            server = await asyncio.start_unix_server(
+                self._serve_connection, sock=self._listen_socket
+            )
+        else:
+            server = await asyncio.start_server(
+                self._serve_connection, sock=self._listen_socket
+            )
+        self._log("listening", address=self.address, pid=os.getpid())
+        try:
+            await self._drain_event.wait()
+            await self._drain(server)
+        finally:
+            server.close()
+            # wait_closed can block on lingering connections (3.12+
+            # semantics); everything left is torn down by asyncio.run's
+            # task cancellation, so cap the courtesy wait.
+            with contextlib.suppress(asyncio.TimeoutError, OSError):
+                await asyncio.wait_for(server.wait_closed(), 1.0)
+
+    async def _drain(self, server: asyncio.base_events.Server) -> None:
+        """Graceful shutdown: stop accepting, let in-flight work finish."""
+        self._draining = True
+        self._log(
+            "draining",
+            inflight=self.admission.inflight,
+            queued=self.admission.queued,
+            timeout=self.drain_timeout,
+        )
+        server.close()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.drain_timeout
+        while (
+            self.admission.inflight or self.admission.queued
+        ) and loop.time() < deadline:
+            await asyncio.sleep(0.02)
+        abandoned = self.admission.inflight + self.admission.queued
+        if abandoned:
+            self.metrics.bump("drained_inflight", abandoned)
+        for writer in list(self._writers):
+            with contextlib.suppress(Exception):
+                writer.close()
+        self._log("drained", abandoned=abandoned)
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.count("connections")
+        self._connection_seq += 1
+        peer = writer.get_extra_info("peername")
+        if isinstance(peer, tuple) and len(peer) >= 2:
+            client = f"{peer[0]}:{peer[1]}"
+        else:
+            client = f"unix#{self._connection_seq}"
+        self._writers.add(writer)
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        admitted: set[asyncio.Task] = set()
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                try:
+                    payload = await self._read_request(reader)
+                except ProtocolError as error:
+                    # The stream is no longer trustworthy: report once,
+                    # hang up.
+                    await self._send(writer, write_lock, error_response(None, error))
+                    break
+                except (OSError, ValueError):
+                    break  # the peer reset mid-read; nothing to tell it
+                if payload is None:
+                    break
+                while len(tasks) >= self.MAX_PIPELINE:
+                    await asyncio.wait(set(tasks), return_when=asyncio.FIRST_COMPLETED)
+                task = loop.create_task(
+                    self._handle_request(payload, writer, write_lock, client, admitted)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+                task.add_done_callback(admitted.discard)
+        finally:
+            self._writers.discard(writer)
+            # Requests still *queued* die with their connection (their
+            # admission waiters are reaped); admitted work finishes and
+            # warms the store for whoever asks next.
+            for task in list(tasks):
+                if task not in admitted:
+                    task.cancel()
+            with contextlib.suppress(Exception):
+                writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> dict[str, Any] | None:
+        """One frame, or None on clean EOF at a frame boundary.
+
+        Waiting for a frame to *start* is unbounded (idle connections
+        are fine); once the first byte arrives the rest of the frame
+        must land within ``frame_timeout``, or the connection is closed
+        — a slow-loris peer trickling bytes can hold a socket, but
+        never a queue slot or a worker.
+        """
+        first = await reader.read(1)
+        if not first:
+            return None
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.frame_timeout
+
+        async def exactly(count: int, what: str) -> bytes:
+            try:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    raise asyncio.TimeoutError
+                return await asyncio.wait_for(reader.readexactly(count), remaining)
+            except asyncio.TimeoutError:
+                self.metrics.bump("slow_frames_closed")
+                self._log("slow-frame-closed", budget=self.frame_timeout)
+                raise ProtocolError(
+                    f"{what} did not complete within {self.frame_timeout:g}s;"
+                    " closing the connection"
+                ) from None
+            except asyncio.IncompleteReadError as error:
+                raise ProtocolError(f"stream ended inside a {what}") from error
+
+        rest = await exactly(_HEADER.size - 1, "frame header")
+        (length,) = _HEADER.unpack(first + rest)
+        if length > protocol_module.MAX_FRAME_BYTES:
+            raise ProtocolError(
+                f"frame header announces {length} bytes, above the"
+                f" {protocol_module.MAX_FRAME_BYTES}-byte cap"
+            )
+        body = await exactly(length, "frame body")
+        return decode_frame_body(body)
+
+    async def _send(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        payload: dict[str, Any],
+    ) -> bool:
+        """Write one response frame under the connection's write lock.
+
+        Pipelined responses interleave on one socket, so each frame must
+        go out atomically.  A response that violates the protocol (a
+        result frame above the size cap) is replaced by a structured
+        error frame — the client learns why instead of watching a dead
+        socket.  A vanished client is not an error: the work is done and
+        warm in the store.
+        """
+        try:
+            data = encode_frame(payload)
+        except ProtocolError as error:
+            data = encode_frame(error_response(payload.get("id"), error))
+        try:
+            async with write_lock:
+                writer.write(data)
+                await writer.drain()
+            return True
+        except (ConnectionError, OSError, RuntimeError):
+            return False
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+    async def _handle_request(
+        self,
+        payload: dict[str, Any],
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        client: str,
+        admitted: set[asyncio.Task],
+    ) -> None:
+        request_id = payload.get("id")
+        self.count("requests")
+        started = time.perf_counter()
+        op_name = payload.get("op")
+        op_label = op_name if op_name in OPERATIONS else "invalid"
+        failed = False
+        try:
+            if not self.authorized(payload):
+                # Unauthenticated TCP frames get a typed error frame and
+                # never reach dispatch — not even for ping or shutdown.
+                failed = True
+                self.count("errors")
+                await self._send(
+                    writer,
+                    write_lock,
+                    error_response(
+                        request_id,
+                        AuthenticationError(
+                            "this daemon requires an auth token: pass auth_token"
+                            " to AttributionClient (or set REPRO_AUTH_TOKEN)"
+                        ),
+                    ),
+                )
+                return
+            op = validate_request(payload)
+            op_label = op
+            if op == "shutdown":
+                await self._send(
+                    writer, write_lock, ok_response(request_id, {"stopping": True})
+                )
+                self._log("shutdown-requested", client=client)
+                self.request_shutdown()
+                return
+            if op in INLINE_OPS:
+                result = self._operations[op](self, payload)
+            elif op in SIDE_OPS:
+                self._refuse_if_draining()
+                result = await asyncio.get_running_loop().run_in_executor(
+                    self._workers, partial(self._operations[op], self, payload)
+                )
+            else:
+                result = await self._compute(op, payload, client, admitted)
+            await self._send(writer, write_lock, ok_response(request_id, result))
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:  # noqa: BLE001 - the frame is the boundary
+            failed = True
+            self.count("errors")
+            if getattr(error, "retryable", False):
+                self._log(
+                    "request-shed",
+                    client=client,
+                    op=op_label,
+                    error=type(error).__name__,
+                )
+            await self._send(writer, write_lock, error_response(request_id, error))
+        finally:
+            self.metrics.observe(
+                op_label, (time.perf_counter() - started) * 1000.0, error=failed
+            )
+
+    def _refuse_if_draining(self) -> None:
+        if self._draining:
+            self.metrics.bump("drain_refused")
+            raise OverloadedError(
+                "daemon is draining for shutdown; retry against a fresh daemon"
+            )
+
+    async def _compute(
+        self,
+        op: str,
+        payload: dict[str, Any],
+        client: str,
+        admitted: set[asyncio.Task],
+    ) -> dict[str, Any]:
+        """One admission-gated, coalesced, worker-executed compute op."""
+        self._refuse_if_draining()
+        priority = int(payload.get("priority") or 0)
+        deadline_ms = payload.get("deadline_ms")
+        deadline = (
+            None
+            if deadline_ms is None
+            else self.admission.clock() + float(deadline_ms) / 1000.0
+        )
+        await self.admission.acquire(client, priority=priority, deadline=deadline)
+        task = asyncio.current_task()
+        if task is not None:
+            admitted.add(task)
+        try:
+            loop = asyncio.get_running_loop()
+            prepare = self._preparers[op]
+            key, compute = await loop.run_in_executor(
+                self._workers, partial(prepare, self, payload)
+            )
+            shared, coalesced = await self.coalescer.run_async(
+                key,
+                lambda: loop.run_in_executor(self._workers, compute),
+                timeout=self.coalesce_timeout,
+            )
+            result = dict(shared)
+            result["coalesced"] = coalesced
+            return result
+        finally:
+            self.admission.release()
+
+    # ------------------------------------------------------------------
+    # Synchronous dispatch (compatibility surface; also: in-process use)
     # ------------------------------------------------------------------
     def dispatch(self, payload: dict[str, Any]) -> tuple[dict[str, Any], bool]:
-        """One request envelope in, one response envelope out.
+        """One request envelope in, one response envelope out, no loop.
 
         Never raises: every failure — protocol violations included —
-        becomes a structured error frame, so one bad request can never
-        take down the connection loop, let alone the daemon.  The second
-        element says whether the daemon should stop after responding.
+        becomes a structured error frame.  The second element says
+        whether the daemon should stop after responding.  This is the
+        original synchronous entry point, kept for in-process callers
+        and tests; the serving path goes through the asyncio handlers.
         """
         request_id = payload.get("id")
         self.count("requests")
@@ -334,7 +656,7 @@ class AttributionDaemon:
             self.count("errors")
             return error_response(request_id, error), False
 
-    # -- individual operations -----------------------------------------
+    # -- cheap operations ------------------------------------------------
     def _op_ping(self, payload: dict[str, Any]) -> dict[str, Any]:
         return {"pong": True, "protocol": PROTOCOL_VERSION, "pid": os.getpid()}
 
@@ -345,6 +667,7 @@ class AttributionDaemon:
             "coalescer": {
                 "leaders": self.coalescer.stats.leaders,
                 "followers": self.coalescer.stats.followers,
+                "aborted": self.coalescer.stats.aborted,
             },
             "server": {
                 "requests": self.requests,
@@ -352,6 +675,17 @@ class AttributionDaemon:
                 "connections": self.connections,
             },
         }
+
+    def _op_metrics(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """The live-metrics document — see :mod:`repro.server.metrics`."""
+        return self.metrics.snapshot(
+            coalescer={
+                "leaders": self.coalescer.stats.leaders,
+                "followers": self.coalescer.stats.followers,
+                "aborted": self.coalescer.stats.aborted,
+            },
+            draining=self._draining,
+        )
 
     def _op_db_load(self, payload: dict[str, Any]) -> dict[str, Any]:
         document = payload.get("database")
@@ -394,6 +728,7 @@ class AttributionDaemon:
             **delta.accounting(base),
         }
 
+    # -- compute operations ----------------------------------------------
     @staticmethod
     def _exogenous(payload: dict[str, Any]) -> frozenset[str] | None:
         relations = payload.get("exogenous")
@@ -402,7 +737,7 @@ class AttributionDaemon:
     def _coalesced(
         self, key: tuple, compute: Callable[[], dict[str, Any]]
     ) -> dict[str, Any]:
-        """Run ``compute`` once per concurrent identical request.
+        """Run ``compute`` once per concurrent identical request (sync path).
 
         The leader's payload dict is shared with every follower, so the
         per-request view is a copy with its own ``coalesced`` flag.
@@ -423,7 +758,9 @@ class AttributionDaemon:
         """
         return ("policy", policy.method, policy.contract())
 
-    def _op_batch(self, payload: dict[str, Any]) -> dict[str, Any]:
+    def _prepare_batch(
+        self, payload: dict[str, Any]
+    ) -> tuple[tuple, Callable[[], dict[str, Any]]]:
         handle = str(payload.get("db"))
         database = self.registry.get(handle)
         query = parse_query(str(payload.get("query")))
@@ -457,9 +794,11 @@ class AttributionDaemon:
                 "stats": _counters_delta(before, after),
             }
 
-        return self._coalesced(key, compute)
+        return key, compute
 
-    def _op_refine(self, payload: dict[str, Any]) -> dict[str, Any]:
+    def _prepare_refine(
+        self, payload: dict[str, Any]
+    ) -> tuple[tuple, Callable[[], dict[str, Any]]]:
         """Tighten a sampled request's accuracy bound from its stored state.
 
         The engine resumes the request's persisted permutation stream —
@@ -501,9 +840,11 @@ class AttributionDaemon:
                 "stats": _counters_delta(before, after),
             }
 
-        return self._coalesced(key, compute)
+        return key, compute
 
-    def _op_answers(self, payload: dict[str, Any]) -> dict[str, Any]:
+    def _prepare_answers(
+        self, payload: dict[str, Any]
+    ) -> tuple[tuple, Callable[[], dict[str, Any]]]:
         handle = str(payload.get("db"))
         database = self.registry.get(handle)
         query = parse_query(str(payload.get("query")))
@@ -547,9 +888,11 @@ class AttributionDaemon:
                 "stats": _counters_delta(before, after),
             }
 
-        return self._coalesced(key, compute)
+        return key, compute
 
-    def _op_aggregate(self, payload: dict[str, Any]) -> dict[str, Any]:
+    def _prepare_aggregate(
+        self, payload: dict[str, Any]
+    ) -> tuple[tuple, Callable[[], dict[str, Any]]]:
         from repro.engine.results import aggregate_spec
         from repro.io import attribution_to_rows
 
@@ -594,17 +937,48 @@ class AttributionDaemon:
                 "stats": _counters_delta(before, after),
             }
 
+        return key, compute
+
+    # -- synchronous op table (dispatch + the async cheap/side paths) ----
+    def _op_batch(self, payload: dict[str, Any]) -> dict[str, Any]:
+        key, compute = self._prepare_batch(payload)
+        return self._coalesced(key, compute)
+
+    def _op_refine(self, payload: dict[str, Any]) -> dict[str, Any]:
+        key, compute = self._prepare_refine(payload)
+        return self._coalesced(key, compute)
+
+    def _op_answers(self, payload: dict[str, Any]) -> dict[str, Any]:
+        key, compute = self._prepare_answers(payload)
+        return self._coalesced(key, compute)
+
+    def _op_aggregate(self, payload: dict[str, Any]) -> dict[str, Any]:
+        key, compute = self._prepare_aggregate(payload)
         return self._coalesced(key, compute)
 
     _operations: dict[str, Callable[["AttributionDaemon", dict[str, Any]], dict]] = {
         "ping": _op_ping,
         "stats": _op_stats,
+        "metrics": _op_metrics,
         "db_load": _op_db_load,
         "db_update": _op_db_update,
         "batch": _op_batch,
         "answers": _op_answers,
         "aggregate": _op_aggregate,
         "refine": _op_refine,
+    }
+
+    _preparers: dict[
+        str,
+        Callable[
+            ["AttributionDaemon", dict[str, Any]],
+            tuple[tuple, Callable[[], dict[str, Any]]],
+        ],
+    ] = {
+        "batch": _prepare_batch,
+        "answers": _prepare_answers,
+        "aggregate": _prepare_aggregate,
+        "refine": _prepare_refine,
     }
 
 

@@ -49,7 +49,13 @@ from repro.core.errors import (
 #: Version 2 (the approximation tier): ``batch``/``answers`` accept
 #: ``method``/``epsilon``/``delta`` policy fields, result documents may
 #: carry an ``estimate`` block, and the ``refine`` operation exists.
-PROTOCOL_VERSION = 2
+#: Version 3 (the asyncio daemon): the ``metrics`` operation exists,
+#: requests may carry ``priority`` (int, higher first) and
+#: ``deadline_ms`` (relative milliseconds) admission fields, and error
+#: frames may carry ``retryable: true`` — load-shedding outcomes
+#: (:class:`OverloadedError`, :class:`DeadlineExceededError`,
+#: :class:`CoalescedRequestAborted`) that a client may simply resend.
+PROTOCOL_VERSION = 3
 
 #: Upper bound on one frame's body; a larger header is a protocol error.
 MAX_FRAME_BYTES = 64 * 1024 * 1024
@@ -85,18 +91,76 @@ class AuthenticationError(ReproError):
     """
 
 
+class OverloadedError(ReproError):
+    """The daemon shed this request instead of queueing it.
+
+    Raised when admission control refuses work: the in-flight limit and
+    queue are full, the per-client token bucket is empty, or the daemon
+    is draining for shutdown.  Always **retryable** — nothing about the
+    request itself is wrong, the daemon just has no capacity for it
+    right now, and a later resend may well be served warm.
+    """
+
+    retryable = True
+
+
+class DeadlineExceededError(ReproError):
+    """The request's ``deadline_ms`` expired while it was still queued.
+
+    The daemon never *starts* work for an expired request (finishing it
+    would be wasted effort the client no longer wants), so this frame
+    means zero engine time was spent.  Retryable with a fresh deadline.
+    """
+
+    retryable = True
+
+
+class CoalescedRequestAborted(ReproError):
+    """A coalesced follower lost its leader before a result existed.
+
+    The follower was parked on an in-flight identical computation whose
+    leader crashed, was cancelled, or outlived the follower's patience
+    (timeout).  The computation may still land in the warm store, so a
+    retry is cheap — hence retryable.
+    """
+
+    retryable = True
+
+
 # ----------------------------------------------------------------------
 # Framing
 # ----------------------------------------------------------------------
-def write_frame(stream: BinaryIO, payload: dict[str, Any]) -> None:
-    """Write one length-prefixed JSON frame and flush it."""
+def encode_frame(payload: dict[str, Any]) -> bytes:
+    """One length-prefixed JSON frame as bytes (header + body).
+
+    The size cap is read at call time (not import time) so tests and
+    operators can tighten :data:`MAX_FRAME_BYTES` on the module and see
+    oversized *responses* rejected, not just requests.
+    """
     body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
     if len(body) > MAX_FRAME_BYTES:
         raise ProtocolError(
             f"frame of {len(body)} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
         )
-    stream.write(_HEADER.pack(len(body)))
-    stream.write(body)
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_frame_body(body: bytes) -> dict[str, Any]:
+    """The payload of one frame body; raises :class:`ProtocolError`."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as error:
+        raise ProtocolError(f"frame body is not valid JSON: {error}") from error
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame body must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def write_frame(stream: BinaryIO, payload: dict[str, Any]) -> None:
+    """Write one length-prefixed JSON frame and flush it."""
+    stream.write(encode_frame(payload))
     stream.flush()
 
 
@@ -136,24 +200,17 @@ def read_frame(stream: BinaryIO) -> dict[str, Any] | None:
         raise ProtocolError(
             f"stream ended inside a frame body ({len(body)} of {length} bytes)"
         )
-    try:
-        payload = json.loads(body.decode("utf-8"))
-    except (UnicodeDecodeError, ValueError) as error:
-        raise ProtocolError(f"frame body is not valid JSON: {error}") from error
-    if not isinstance(payload, dict):
-        raise ProtocolError(
-            f"frame body must be a JSON object, got {type(payload).__name__}"
-        )
-    return payload
+    return decode_frame_body(body)
 
 
 # ----------------------------------------------------------------------
 # Envelopes
 # ----------------------------------------------------------------------
-#: Operations a version-2 daemon understands.
+#: Operations a version-3 daemon understands.
 OPERATIONS = (
     "ping",
     "stats",
+    "metrics",
     "db_load",
     "db_update",
     "batch",
@@ -176,12 +233,23 @@ def ok_response(request_id: Any, result: dict[str, Any]) -> dict[str, Any]:
 
 
 def error_response(request_id: Any, error: BaseException) -> dict[str, Any]:
-    """An error envelope carrying the exception's type name and message."""
+    """An error envelope carrying the exception's type name and message.
+
+    Exceptions whose class carries ``retryable = True`` (the
+    load-shedding family) mark the frame retryable, telling clients the
+    request itself was fine and a resend may succeed.
+    """
+    payload: dict[str, Any] = {
+        "type": type(error).__name__,
+        "message": str(error),
+    }
+    if getattr(error, "retryable", False):
+        payload["retryable"] = True
     return {
         "v": PROTOCOL_VERSION,
         "id": request_id,
         "ok": False,
-        "error": {"type": type(error).__name__, "message": str(error)},
+        "error": payload,
     }
 
 
@@ -208,6 +276,9 @@ WIRE_ERRORS: dict[str, type[Exception]] = {
         UnsafeNegationError,
         UnknownHandleError,
         AuthenticationError,
+        OverloadedError,
+        DeadlineExceededError,
+        CoalescedRequestAborted,
         ProtocolError,
         ValueError,
     )
@@ -219,13 +290,18 @@ def error_from_payload(error: dict[str, Any]) -> Exception:
 
     Mapped types round-trip exactly; everything else degrades to
     :class:`ServerError` with the original type name in the message.
+    The frame's ``retryable`` flag lands on the instance (instance
+    attribute, so even unmapped server errors keep it).
     """
     name = str(error.get("type", "ServerError"))
     message = str(error.get("message", ""))
     mapped = WIRE_ERRORS.get(name)
     if mapped is not None:
-        return mapped(message)
-    return ServerError(f"{name}: {message}" if message else name)
+        rebuilt: Exception = mapped(message)
+    else:
+        rebuilt = ServerError(f"{name}: {message}" if message else name)
+    rebuilt.retryable = bool(error.get("retryable", False))  # type: ignore[attr-defined]
+    return rebuilt
 
 
 # ----------------------------------------------------------------------
@@ -262,12 +338,17 @@ def format_address(kind: str, location: Any) -> str:
 
 __all__ = [
     "AuthenticationError",
+    "CoalescedRequestAborted",
+    "DeadlineExceededError",
     "MAX_FRAME_BYTES",
     "OPERATIONS",
+    "OverloadedError",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "ServerError",
     "UnknownHandleError",
+    "decode_frame_body",
+    "encode_frame",
     "error_from_payload",
     "error_response",
     "format_address",

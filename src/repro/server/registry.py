@@ -31,17 +31,18 @@ all connection handler threads.
 
 from __future__ import annotations
 
+import asyncio
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Callable, TypeVar
+from typing import Any, Awaitable, Callable, TypeVar
 
 from repro.core.database import Database
 from repro.engine.cache import CacheStats
 from repro.engine.delta import DatabaseDelta, apply_delta
 from repro.engine.fingerprint import fingerprint_database
 from repro.engine.persistent import digest_key
-from repro.server.protocol import UnknownHandleError
+from repro.server.protocol import CoalescedRequestAborted, UnknownHandleError
 
 Value = TypeVar("Value")
 
@@ -179,25 +180,36 @@ class DatabaseRegistry:
 
 @dataclass
 class CoalescerStats:
-    """How often in-flight sharing actually fired."""
+    """How often in-flight sharing actually fired (and how often it broke)."""
 
     leaders: int = 0
     followers: int = 0
+    aborted: int = 0
 
     def snapshot(self) -> "CoalescerStats":
-        return CoalescerStats(self.leaders, self.followers)
+        return CoalescerStats(self.leaders, self.followers, self.aborted)
 
 
 class _InFlight:
-    """One running computation: the leader's slot plus a completion event."""
+    """One running computation: the leader's slot plus a completion event.
 
-    __slots__ = ("event", "value", "error", "followers")
+    Completion is broadcast two ways at once: a :class:`threading.Event`
+    for synchronous followers (connection-handler threads, in-process
+    clients) and a list of ``(loop, asyncio.Event)`` pairs for async
+    followers parked on the daemon's event loop — each async event is
+    set via ``call_soon_threadsafe`` on *its own* loop, so a leader
+    finishing in a worker thread wakes followers on any loop without
+    blocking it.
+    """
+
+    __slots__ = ("event", "value", "error", "followers", "async_waiters")
 
     def __init__(self) -> None:
         self.event = threading.Event()
         self.value: Any = None
         self.error: BaseException | None = None
         self.followers = 0
+        self.async_waiters: list[tuple[asyncio.AbstractEventLoop, asyncio.Event]] = []
 
 
 class InFlightCoalescer:
@@ -208,6 +220,18 @@ class InFlightCoalescer:
     arriving while it runs wait and share the outcome
     (``coalesced=True``), including a raised exception — a request that
     fails at plan time fails identically for every coalesced waiter.
+
+    ``run_async`` is the same contract for coroutines on an event loop
+    (the asyncio daemon's serving path); sync and async callers share
+    one in-flight table, so a thread-side leader deduplicates loop-side
+    followers and vice versa.
+
+    Followers are never parked unconditionally: a follower whose
+    ``timeout`` lapses, or whose leader is cancelled/killed before a
+    result exists, gets a typed
+    :class:`~repro.server.protocol.CoalescedRequestAborted` — retryable,
+    because the leader's work (if any finished) landed in the warm
+    store.
 
     The in-flight table holds *only running* computations: the moment a
     leader finishes, its key is removed, and the next identical request
@@ -225,35 +249,138 @@ class InFlightCoalescer:
             entry = self._inflight.get(key)
             return entry.followers if entry is not None else 0
 
-    def run(
-        self, key: Any, compute: Callable[[], Value]
-    ) -> tuple[Value, bool]:
+    # ------------------------------------------------------------------
+    # Shared leader/follower bookkeeping
+    # ------------------------------------------------------------------
+    def _join(self, key: Any) -> tuple[_InFlight, bool]:
+        """Become the leader for ``key`` or register as a follower."""
         with self._lock:
             entry = self._inflight.get(key)
             if entry is None:
                 entry = _InFlight()
                 self._inflight[key] = entry
                 self.stats.leaders += 1
-                leader = True
-            else:
-                entry.followers += 1
-                self.stats.followers += 1
-                leader = False
+                return entry, True
+            entry.followers += 1
+            self.stats.followers += 1
+            return entry, False
+
+    def _finish(self, key: Any, entry: _InFlight) -> None:
+        """Retire a finished leader and wake every follower, sync and async."""
+        with self._lock:
+            del self._inflight[key]
+            waiters = list(entry.async_waiters)
+            entry.async_waiters.clear()
+        entry.event.set()
+        for loop, event in waiters:
+            try:
+                loop.call_soon_threadsafe(event.set)
+            except RuntimeError:
+                pass  # that follower's loop already closed; nothing waits
+
+    def _record_failure(self, entry: _InFlight, error: BaseException) -> None:
+        """What followers will see when the leader did not produce a value.
+
+        Ordinary exceptions are shared verbatim (a plan-time failure is
+        identical for every coalesced request).  Control-flow
+        ``BaseException``s — ``asyncio.CancelledError``, interpreter
+        shutdown — must *not* propagate into unrelated requests, so
+        followers get a typed abort instead.
+        """
+        if isinstance(error, Exception):
+            entry.error = error
+        else:
+            entry.error = CoalescedRequestAborted(
+                "the leader of this coalesced computation was cancelled"
+                f" ({type(error).__name__}) before a result existed; retry"
+            )
+
+    def _follower_outcome(self, entry: _InFlight) -> tuple[Value, bool]:
+        if entry.error is not None:
+            if isinstance(entry.error, CoalescedRequestAborted):
+                with self._lock:
+                    self.stats.aborted += 1
+            raise entry.error
+        return entry.value, True
+
+    def _abandon(self, key: Any, entry: _InFlight) -> None:
+        """A follower stopped waiting (timeout); keep ``waiting()`` honest."""
+        with self._lock:
+            if self._inflight.get(key) is entry:
+                entry.followers -= 1
+            self.stats.aborted += 1
+
+    # ------------------------------------------------------------------
+    # Synchronous path (connection-handler threads, in-process callers)
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        key: Any,
+        compute: Callable[[], Value],
+        timeout: float | None = None,
+    ) -> tuple[Value, bool]:
+        entry, leader = self._join(key)
         if leader:
             try:
                 entry.value = compute()
             except BaseException as error:
-                entry.error = error
+                self._record_failure(entry, error)
                 raise
             finally:
-                with self._lock:
-                    del self._inflight[key]
-                entry.event.set()
+                self._finish(key, entry)
             return entry.value, False
-        entry.event.wait()
-        if entry.error is not None:
-            raise entry.error
-        return entry.value, True
+        if not entry.event.wait(timeout):
+            self._abandon(key, entry)
+            raise CoalescedRequestAborted(
+                f"gave up waiting on an in-flight identical computation after"
+                f" {timeout:g}s; the leader is still running — retry later"
+            )
+        return self._follower_outcome(entry)
+
+    # ------------------------------------------------------------------
+    # Asynchronous path (the daemon's event loop)
+    # ------------------------------------------------------------------
+    async def run_async(
+        self,
+        key: Any,
+        compute: Callable[[], Awaitable[Value]],
+        timeout: float | None = None,
+    ) -> tuple[Value, bool]:
+        """The ``run`` contract for coroutines; safe alongside ``run``.
+
+        The follower parks on an :class:`asyncio.Event` bound to *its*
+        running loop, so waiting never blocks the loop — and because
+        registration happens in :meth:`_join` before any await, a
+        follower is visible in ``waiting()``/stats the moment its
+        request reaches the coalescer, which is what lets one engine
+        worker's slow leader absorb a whole burst.
+        """
+        entry, leader = self._join(key)
+        if leader:
+            try:
+                entry.value = await compute()
+            except BaseException as error:
+                self._record_failure(entry, error)
+                raise
+            finally:
+                self._finish(key, entry)
+            return entry.value, False
+        loop = asyncio.get_running_loop()
+        done = asyncio.Event()
+        with self._lock:
+            if key in self._inflight and self._inflight[key] is entry:
+                entry.async_waiters.append((loop, done))
+            else:
+                done.set()  # leader already finished; outcome is recorded
+        try:
+            await asyncio.wait_for(done.wait(), timeout)
+        except asyncio.TimeoutError:
+            self._abandon(key, entry)
+            raise CoalescedRequestAborted(
+                f"gave up waiting on an in-flight identical computation after"
+                f" {timeout:g}s; the leader is still running — retry later"
+            ) from None
+        return self._follower_outcome(entry)
 
 
 __all__ = [

@@ -27,14 +27,28 @@ can schedule, shard, and *resume*:
   rounds ``n .. n'`` and merge them with a stored prefix — the anytime
   refinement the daemon's ``refine`` operation exposes.
 
-* **Resumable state** — :class:`SampleState` is the whole estimator
-  state: the stream seed, how many rounds are folded in, the integer
-  marginal totals per fact, and the cumulative evaluation count.  It is
-  persisted by the engine's result store under a policy-independent key,
-  so *any* accuracy contract over the same request continues one stream.
+* **Stratified rounds** — the standalone allocator of
+  :mod:`repro.shapley.stratified` spends equal budget per coalition
+  size; folded into the round structure, ``strata=s`` sweeps ``s``
+  evenly-spaced *rotations* of each round's permutation (each rotation
+  shifts every player's position by ``m/s``, visiting ``s`` spread-out
+  coalition sizes per player per round) plus their reversals — ``2 s``
+  sweeps per round.  The round mean still lies in ``[-1, 1]`` and
+  rounds stay independent, so the Hoeffding arithmetic below is
+  *unchanged*: stratification only ever lowers the per-round variance
+  (it cannot widen the guaranteed bound), exactly the allocator's
+  argument.  ``strata=1`` is bit-identical to the un-stratified
+  sampler.
 
-The per-fact estimate after ``n`` rounds is ``totals[f] / (2 n)`` (two
-sweeps per round), with the additive guarantee
+* **Resumable state** — :class:`SampleState` is the whole estimator
+  state: the stream seed, how many rounds are folded in, the stratum
+  count, the integer marginal totals per fact, and the cumulative
+  evaluation count.  It is persisted by the engine's result store under
+  a policy-independent key, so *any* accuracy contract over the same
+  request continues one stream.
+
+The per-fact estimate after ``n`` rounds is ``totals[f] / (2 s n)``
+(``2 s`` sweeps per round), with the additive guarantee
 ``epsilon = sqrt(2 ln(2 / delta) / n)`` per fact.
 """
 
@@ -59,9 +73,9 @@ class SampleState:
     """Everything needed to resume a sampled request where it stopped.
 
     ``totals`` maps each player to the integer sum of its marginal
-    contributions over all ``2 * rounds`` sweeps of rounds ``0 ..
-    rounds - 1`` of the stream named by ``seed``; ``evaluations`` counts
-    the query evaluations spent producing them (cumulative across
+    contributions over all ``2 * strata * rounds`` sweeps of rounds
+    ``0 .. rounds - 1`` of the stream named by ``seed``; ``evaluations``
+    counts the query evaluations spent producing them (cumulative across
     resumptions).  States are value objects: executors return fresh
     ones, they are never mutated in place.
     """
@@ -70,20 +84,28 @@ class SampleState:
     rounds: int
     totals: Mapping[Fact, int]
     evaluations: int
+    strata: int = 1
 
     def value_of(self, player: Fact) -> Fraction:
-        """The running estimate for one player: ``total / (2 rounds)``."""
-        return Fraction(self.totals.get(player, 0), 2 * self.rounds)
+        """The running estimate for one player: ``total / (2 s rounds)``."""
+        return Fraction(self.totals.get(player, 0), 2 * self.strata * self.rounds)
 
-    def compatible_with(self, seed: int, players: Sequence[Fact]) -> bool:
+    def compatible_with(
+        self, seed: int, players: Sequence[Fact], strata: int = 1
+    ) -> bool:
         """Can this state extend the stream ``seed`` over ``players``?
 
         A stored state is only resumable when it was drawn from the
-        same stream *and* covers exactly the same player set — anything
-        else (a corrupted entry, a key collision across refactors) must
-        restart rather than silently merge incompatible totals.
+        same stream with the same stratum count *and* covers exactly the
+        same player set — anything else (a corrupted entry, a key
+        collision across refactors) must restart rather than silently
+        merge incompatible totals.
         """
-        return self.seed == seed and set(self.totals) == set(players)
+        return (
+            self.seed == seed
+            and self.strata == strata
+            and set(self.totals) == set(players)
+        )
 
 
 def rounds_for_contract(epsilon: float, delta: float) -> int:
@@ -134,21 +156,51 @@ def round_rng(seed: int, index: int) -> random.Random:
     return random.Random(int.from_bytes(digest[:16], "big"))
 
 
+def round_sweeps(players: Sequence[Fact], rng: random.Random, strata: int) -> list:
+    """The sweep orders of one round: rotations of one shuffle, reversed.
+
+    One shuffled permutation, rotated to ``strata`` evenly-spaced
+    offsets (each rotation shifts every player's coalition size by
+    ``m/strata`` — the stratified allocator's per-size budget, realized
+    as permutation sweeps), each paired with its reversal for the
+    antithetic mirror.  ``strata=1`` is exactly the historical
+    forward/reverse pair.
+    """
+    permutation = list(players)
+    rng.shuffle(permutation)
+    size = len(permutation)
+    sweeps = []
+    # Exactly ``strata`` rotations, always: the estimate's divisor is
+    # ``2 * strata`` sweeps per round, so the sweep count may never
+    # shrink (with more strata than players some offsets repeat, which
+    # is still an unbiased — merely redundant — sweep).
+    for stratum in range(strata):
+        offset = stratum * size // strata
+        rotated = permutation[offset:] + permutation[:offset]
+        sweeps.append(rotated)
+        sweeps.append(rotated[::-1])
+    return sweeps
+
+
 def run_rounds(
     database: Database,
     query: BooleanQuery,
     seed: int,
     start: int,
     count: int,
+    strata: int = 1,
 ) -> tuple[dict[Fact, int], int]:
     """Run antithetic rounds ``start .. start + count - 1`` of a stream.
 
     Returns the integer marginal totals contributed by exactly these
-    rounds (two sweeps each) and the number of query evaluations spent.
-    Totals are order-independent integer sums, so disjoint round ranges
-    — run serially, in worker processes, or in a later session — merge
-    by plain addition.
+    rounds (``2 * strata`` sweeps each — see :func:`round_sweeps`) and
+    the number of query evaluations spent.  Totals are
+    order-independent integer sums, so disjoint round ranges — run
+    serially, in worker processes, or in a later session — merge by
+    plain addition.
     """
+    if strata < 1:
+        raise ValueError(f"strata must be positive, got {strata}")
     players = sorted(database.endogenous, key=repr)
     totals: dict[Fact, int] = {player: 0 for player in players}
     if count <= 0 or not players:
@@ -159,9 +211,7 @@ def run_rounds(
     evaluations = 2
     for index in range(start, start + count):
         rng = round_rng(seed, index)
-        permutation = players[:]
-        rng.shuffle(permutation)
-        for sweep in (permutation, permutation[::-1]):
+        for sweep in round_sweeps(players, rng, strata):
             previous = base
             prefix = list(exogenous)
             last = len(sweep) - 1
@@ -194,15 +244,19 @@ def extend_state(
     new_totals: Mapping[Fact, int],
     new_rounds: int,
     new_evaluations: int,
+    strata: int = 1,
 ) -> SampleState:
     """The state after appending ``new_rounds`` fresh rounds to a prefix."""
     if state is None:
-        return SampleState(seed, new_rounds, dict(new_totals), new_evaluations)
+        return SampleState(
+            seed, new_rounds, dict(new_totals), new_evaluations, strata
+        )
     return SampleState(
         seed,
         state.rounds + new_rounds,
         merge_totals(state.totals, new_totals),
         state.evaluations + new_evaluations,
+        state.strata,
     )
 
 
@@ -212,6 +266,7 @@ __all__ = [
     "extend_state",
     "merge_totals",
     "round_rng",
+    "round_sweeps",
     "rounds_for_contract",
     "run_rounds",
     "sample_seed",

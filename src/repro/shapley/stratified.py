@@ -18,6 +18,16 @@ out of moderate instances, which the E7 benchmark quantifies.)
 The stratum estimate is exact (variance zero) when a stratum is
 deterministic, and the Hoeffding bound applies stratum-wise, giving the
 same additive guarantee from the same total budget.
+
+The engine-grade sampler folds this allocation into its round
+structure: :func:`repro.shapley.sampling.round_sweeps` realizes the
+per-size budget as evenly-spaced *rotations* of each round's
+permutation (``strata`` sweeps visiting spread-out coalition sizes),
+which keeps rounds independent, totals mergeable, and the achieved
+``epsilon`` formula unchanged — pass ``sample_strata`` to
+:class:`repro.engine.core.BatchAttributionEngine` to use it.  This
+module remains the standalone single-fact estimator and the E7
+variance-comparison harness.
 """
 
 from __future__ import annotations

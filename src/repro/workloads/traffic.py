@@ -87,6 +87,81 @@ def request_stream(
     return stream
 
 
+def zipf_stream(
+    templates: Sequence[TrafficRequest],
+    num_requests: int,
+    exponent: float = 1.1,
+    rng: random.Random | None = None,
+) -> list[TrafficRequest]:
+    """A stream whose template popularity follows a Zipf law.
+
+    Template ``i`` (0-based, in the given order) is drawn with weight
+    ``1 / (i + 1) ** exponent`` — the classic heavy-tailed profile of
+    real query logs: a small head of hot queries that coalescing and
+    warm stores should absorb, plus a long tail that keeps the planner
+    and admission queue honest.  ``exponent=0`` degenerates to a uniform
+    mix; larger exponents concentrate the head.
+    """
+    rng = rng or random.Random()
+    if not templates:
+        raise ValueError("zipf_stream needs at least one template")
+    if num_requests < 0:
+        raise ValueError(f"num_requests must be >= 0, got {num_requests}")
+    if exponent < 0:
+        raise ValueError(f"exponent must be >= 0, got {exponent}")
+    weights = [1.0 / (rank + 1) ** exponent for rank in range(len(templates))]
+    total = sum(weights)
+    cumulative: list[float] = []
+    running = 0.0
+    for weight in weights:
+        running += weight / total
+        cumulative.append(running)
+    cumulative[-1] = 1.0  # guard against float drift at the boundary
+    stream: list[TrafficRequest] = []
+    for _ in range(num_requests):
+        draw = rng.random()
+        index = next(i for i, bound in enumerate(cumulative) if draw <= bound)
+        stream.append(templates[index])
+    return stream
+
+
+def storm_traffic(
+    num_requests: int,
+    num_students: int = 8,
+    num_courses: int = 3,
+    exponent: float = 1.1,
+    answers_fraction: float = 0.25,
+    rng: random.Random | None = None,
+) -> tuple[Database, list[TrafficRequest]]:
+    """The storm workload: a Zipf query mix over the star schema.
+
+    Returns ``(database, stream)`` like :func:`star_traffic`, but the
+    stream is drawn by :func:`zipf_stream` over a template order that
+    interleaves per-answer requests into the Boolean ranks at roughly
+    ``answers_fraction`` density.  This is the mix the server storm
+    benchmark replays from many concurrent pipelined clients: the hot
+    head exercises coalescing under contention, the tail exercises the
+    admission queue.
+    """
+    rng = rng or random.Random()
+    database = star_join_database(num_students, num_courses, rng=rng)
+    batches = [TrafficRequest("batch", text) for text in STAR_BATCH_QUERIES]
+    answers = [TrafficRequest("answers", text) for text in STAR_ANSWERS_QUERIES]
+    # Deterministic interleave: every 1/answers_fraction-th rank is a
+    # per-answer template, so the heavy head stays mostly cheap Boolean
+    # queries and the answers land mid-tail.
+    mixed: list[TrafficRequest] = []
+    step = max(1, round(1.0 / answers_fraction)) if answers_fraction > 0 else 0
+    answer_index = 0
+    for rank, template in enumerate(batches, start=1):
+        mixed.append(template)
+        if step and rank % step == 0 and answer_index < len(answers):
+            mixed.append(answers[answer_index])
+            answer_index += 1
+    mixed.extend(answers[answer_index:] if step else [])
+    return database, zipf_stream(mixed, num_requests, exponent, rng)
+
+
 def star_traffic(
     num_requests: int,
     num_students: int = 8,
@@ -131,4 +206,6 @@ __all__ = [
     "TrafficRequest",
     "request_stream",
     "star_traffic",
+    "storm_traffic",
+    "zipf_stream",
 ]

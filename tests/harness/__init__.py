@@ -1,0 +1,50 @@
+"""Reusable concurrency/fault-injection harness for the attribution daemon.
+
+Test-side infrastructure (not shipped in ``src/``): drive request storms
+from many pipelined clients (:mod:`harness.storm`), inject protocol-level
+faults — slow-loris trickles, mid-frame deaths, truncated frames —
+through raw sockets (:mod:`harness.faults`), and assert the daemon-wide
+invariants (bit-identical results, reconciled metrics, no leaked
+admission slots) that the PR 7 acceptance criteria name.
+
+Both the test suite (``tests/test_server_faults.py``,
+``tests/test_server_async.py``) and the storm benchmark
+(``benchmarks/bench_server.py``) build on this package, so invariants
+are asserted identically under pytest and under CI's storm job.
+"""
+
+from harness.daemons import running_daemon
+from harness.faults import (
+    dead_client_holding_slot,
+    die_mid_frame,
+    encode_request,
+    raw_connection,
+    send_truncated_frame,
+    slow_loris,
+)
+from harness.storm import (
+    RequestRecord,
+    StormReport,
+    assert_bit_identical,
+    assert_metrics_reconcile,
+    assert_no_leaked_slots,
+    reference_results,
+    run_storm,
+)
+
+__all__ = [
+    "RequestRecord",
+    "StormReport",
+    "assert_bit_identical",
+    "assert_metrics_reconcile",
+    "assert_no_leaked_slots",
+    "dead_client_holding_slot",
+    "die_mid_frame",
+    "encode_request",
+    "raw_connection",
+    "reference_results",
+    "run_storm",
+    "running_daemon",
+    "send_truncated_frame",
+    "slow_loris",
+]

@@ -1,0 +1,141 @@
+"""Protocol-level fault injectors: misbehaving clients as functions.
+
+Each injector opens a *raw* socket to the daemon — below
+:class:`~repro.server.client.AttributionClient`, so nothing here is
+sanitized — and misbehaves in one specific way: trickling a frame byte
+by byte (slow loris), dying mid-frame, truncating a declared frame, or
+abandoning an admitted request.  The assertions live in the tests; these
+functions only *do the damage* and report what the socket observed.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import time
+
+from repro.server.protocol import encode_frame, request
+
+_HEADER = struct.Struct(">I")
+
+
+def raw_connection(daemon, timeout: float = 10.0) -> socket.socket:
+    """A plain socket to a daemon's listener (unix path or TCP pair)."""
+    if daemon.kind == "unix":
+        sock = socket.socket(socket.AF_UNIX)
+        sock.settimeout(timeout)
+        sock.connect(daemon.location)
+    else:
+        sock = socket.socket(socket.AF_INET)
+        sock.settimeout(timeout)
+        sock.connect(tuple(daemon.location))
+    return sock
+
+
+def encode_request(op: str, request_id: int = 1, **params: object) -> bytes:
+    """One well-formed frame's bytes (header + JSON body)."""
+    return encode_frame(request(op, request_id, **params))
+
+
+def _read_response(sock: socket.socket) -> bytes | None:
+    """Read one whole response frame; None when the daemon closed first."""
+    try:
+        header = b""
+        while len(header) < _HEADER.size:
+            chunk = sock.recv(_HEADER.size - len(header))
+            if not chunk:
+                return None
+            header += chunk
+        (length,) = _HEADER.unpack(header)
+        body = b""
+        while len(body) < length:
+            chunk = sock.recv(length - len(body))
+            if not chunk:
+                return None
+            body += chunk
+        return body
+    except OSError:
+        return None
+
+
+def slow_loris(
+    daemon,
+    chunk_size: int = 1,
+    delay: float = 0.05,
+    max_seconds: float = 30.0,
+) -> tuple[bool, float]:
+    """Trickle a valid ``ping`` frame one byte at a time, forever-ish.
+
+    Returns ``(closed_by_daemon, elapsed_seconds)``.  A daemon with a
+    frame-body timeout must cut the connection long before
+    ``max_seconds`` — the slow peer holds no admission slot and no other
+    client should notice it.
+    """
+    payload = encode_request("ping")
+    started = time.monotonic()
+    closed = False
+    with raw_connection(daemon) as sock:
+        try:
+            for offset in range(0, len(payload), chunk_size):
+                if time.monotonic() - started > max_seconds:
+                    break
+                sock.sendall(payload[offset : offset + chunk_size])
+                time.sleep(delay)
+            else:
+                # The whole frame eventually arrived (timeout too lax for
+                # this trickle rate): drain the response to keep the
+                # accounting clean.
+                _read_response(sock)
+            closed = _read_response(sock) is None
+        except OSError:
+            closed = True
+    return closed, time.monotonic() - started
+
+
+def die_mid_frame(daemon, fraction: float = 0.5) -> None:
+    """Send the first ``fraction`` of a valid frame, then vanish."""
+    payload = encode_request("stats")
+    cut = max(1, int(len(payload) * fraction))
+    sock = raw_connection(daemon)
+    try:
+        sock.sendall(payload[:cut])
+    finally:
+        sock.close()
+
+
+def send_truncated_frame(daemon, declared: int = 4096, sent: int = 10) -> None:
+    """Declare a ``declared``-byte body, deliver only ``sent``, then close."""
+    sock = raw_connection(daemon)
+    try:
+        sock.sendall(_HEADER.pack(declared) + b"x" * sent)
+    finally:
+        sock.close()
+
+
+def dead_client_holding_slot(
+    daemon, handle: str, query: str, linger: float = 0.0
+) -> None:
+    """Submit a compute request, then die without ever reading the response.
+
+    The daemon admits the request (it may already hold an execution or
+    queue slot when the socket dies); a correct daemon finishes or reaps
+    it and returns every slot — the tests assert the gauges go back to
+    zero and later clients still get served.
+    """
+    sock = raw_connection(daemon)
+    try:
+        sock.sendall(encode_request("batch", db=handle, query=query))
+        if linger:
+            time.sleep(linger)
+    finally:
+        sock.close()
+
+
+__all__ = [
+    "dead_client_holding_slot",
+    "die_mid_frame",
+    "encode_request",
+    "raw_connection",
+    "send_truncated_frame",
+    "slow_loris",
+]

@@ -1,0 +1,298 @@
+"""The storm driver: many pipelined clients, one shared request log.
+
+``run_storm`` partitions a :mod:`repro.workloads.traffic` stream across
+``clients`` threads, each holding its own :class:`AttributionClient`
+connection and keeping up to ``pipeline_depth`` requests in flight
+(``submit_*`` / ``PendingRequest.result``).  Every request's outcome —
+decoded result, typed daemon error, or transport failure — lands in one
+:class:`RequestRecord`, so the report is the *client-side ledger* the
+daemon's ``metrics`` document must reconcile with.
+
+The invariant helpers at the bottom are the acceptance criteria as
+executable checks; tests and the storm benchmark call the same
+functions.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.core.database import Database
+from repro.core.errors import ReproError
+from repro.server.client import AttributionClient
+from repro.workloads.traffic import TrafficRequest
+
+#: Compute operations the storm issues (and the metrics ops it audits).
+STORM_OPS = ("batch", "answers", "refine")
+
+#: The one accuracy contract every storm ``refine`` uses.  Fixing it
+#: makes interleavings order-independent: whichever request computes
+#: first runs exactly the contract's round count, and every later (or
+#: coalesced) duplicate is served from a state holding exactly those
+#: rounds — so all of them return bit-identical estimates.
+REFINE_CONTRACT = {"epsilon": 0.5, "delta": 0.1}
+
+
+@dataclass
+class RequestRecord:
+    """One storm request's client-side outcome."""
+
+    client: int
+    index: int
+    op: str
+    query: str
+    ok: bool
+    elapsed_ms: float
+    result: object = None
+    error: str | None = None
+    retryable: bool = False
+
+
+@dataclass
+class StormReport:
+    """Everything the storm observed, queryable per-op and per-error."""
+
+    records: list[RequestRecord] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def add(self, record: RequestRecord) -> None:
+        with self._lock:
+            self.records.append(record)
+
+    @property
+    def successes(self) -> list[RequestRecord]:
+        return [record for record in self.records if record.ok]
+
+    @property
+    def failures(self) -> list[RequestRecord]:
+        return [record for record in self.records if not record.ok]
+
+    def count(self, op: str) -> int:
+        return sum(1 for record in self.records if record.op == op)
+
+    def errors_of(self, op: str) -> int:
+        return sum(
+            1 for record in self.records if record.op == op and not record.ok
+        )
+
+    def error_types(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for record in self.failures:
+            counts[record.error] = counts.get(record.error, 0) + 1
+        return counts
+
+    def p99_ms(self) -> float:
+        """The observed p99 latency over successful requests."""
+        latencies = sorted(record.elapsed_ms for record in self.successes)
+        if not latencies:
+            return 0.0
+        return latencies[min(len(latencies) - 1, int(0.99 * len(latencies)))]
+
+
+def _issue(
+    client: AttributionClient,
+    handle: str,
+    entry: TrafficRequest,
+    **admission: object,
+):
+    """Submit one traffic request, pipelined; returns the PendingRequest."""
+    if entry.op == "answers":
+        return client.submit_answers(handle, entry.query, **admission)
+    if entry.op == "refine":
+        return client.submit_refine(
+            handle, entry.query, **REFINE_CONTRACT, **admission
+        )
+    return client.submit_batch(handle, entry.query, **admission)
+
+
+def run_storm(
+    address: str,
+    database: Database,
+    stream: list[TrafficRequest],
+    clients: int = 4,
+    pipeline_depth: int = 8,
+    priority_of=None,
+    deadline_ms: float | None = None,
+    auth_token: str | None = None,
+    timeout: float | None = 60.0,
+) -> StormReport:
+    """Drive ``stream`` against a daemon from ``clients`` pipelined threads.
+
+    The stream is partitioned round-robin (client ``i`` takes positions
+    ``i, i + clients, ...``); each thread uploads the database once,
+    then keeps a window of ``pipeline_depth`` requests in flight on its
+    single connection, claiming responses in submission order.  Typed
+    daemon errors (:class:`ReproError` subclasses — overload, deadline,
+    coalesce-abort) are recorded, never raised: shedding is an expected
+    storm outcome.  Transport failures are recorded as ``ConnectionError``
+    — the acceptance bar says there should be none below the admission
+    limit.  ``priority_of`` (``record_index -> int``) and ``deadline_ms``
+    feed the daemon's admission control.
+    """
+    report = StormReport()
+    barrier = threading.Barrier(clients)
+
+    def worker(client_index: int) -> None:
+        slice_ = stream[client_index::clients]
+        with AttributionClient(
+            address, timeout=timeout, auth_token=auth_token
+        ) as client:
+            handle = client.load_database(database)
+            barrier.wait()
+            window: list[tuple[int, TrafficRequest, object, float]] = []
+
+            def collect(count: int) -> None:
+                while len(window) > count:
+                    index, entry, pending, started = window.pop(0)
+                    record = RequestRecord(
+                        client_index, index, entry.op, entry.query, False, 0.0
+                    )
+                    try:
+                        record.result = pending.result()
+                        record.ok = True
+                    except ReproError as error:
+                        record.error = type(error).__name__
+                        record.retryable = bool(
+                            getattr(error, "retryable", False)
+                        )
+                    except (ConnectionError, OSError) as error:
+                        record.error = type(error).__name__
+                    record.elapsed_ms = (time.perf_counter() - started) * 1000.0
+                    report.add(record)
+
+            for index, entry in enumerate(slice_):
+                admission: dict[str, object] = {}
+                if priority_of is not None:
+                    admission["priority"] = priority_of(index)
+                if deadline_ms is not None:
+                    admission["deadline_ms"] = deadline_ms
+                started = time.perf_counter()
+                try:
+                    pending = _issue(client, handle, entry, **admission)
+                except (ConnectionError, OSError) as error:
+                    report.add(
+                        RequestRecord(
+                            client_index,
+                            index,
+                            entry.op,
+                            entry.query,
+                            False,
+                            (time.perf_counter() - started) * 1000.0,
+                            error=type(error).__name__,
+                        )
+                    )
+                    continue
+                window.append((index, entry, pending, started))
+                collect(pipeline_depth - 1)
+            collect(0)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), daemon=True)
+        for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=300)
+        assert not thread.is_alive(), "storm worker hung"
+    return report
+
+
+# ----------------------------------------------------------------------
+# Invariants (the acceptance criteria as executable checks)
+# ----------------------------------------------------------------------
+def reference_results(database: Database, stream: list[TrafficRequest]) -> dict:
+    """In-process ground truth: one fresh serial engine, every distinct request."""
+    from repro.core.parser import parse_query
+    from repro.engine import BatchAttributionEngine
+
+    engine = BatchAttributionEngine()
+    reference: dict[tuple[str, str], object] = {}
+    for entry in stream:
+        key = (entry.op, entry.query)
+        if key in reference:
+            continue
+        query = parse_query(entry.query)
+        if entry.op == "answers":
+            reference[key] = engine.batch_answers(database, query)
+        elif entry.op == "refine":
+            reference[key] = engine.refine(database, query, **REFINE_CONTRACT)
+        else:
+            reference[key] = engine.batch(database, query)
+    return reference
+
+
+def _assert_same_values(served, expected) -> None:
+    assert list(served.shapley) == list(expected.shapley)
+    for item in served.shapley:
+        assert served.shapley[item] == expected.shapley[item]
+    assert dict(served.banzhaf) == dict(expected.banzhaf)
+
+
+def assert_bit_identical(report: StormReport, reference: dict) -> None:
+    """Every successful storm result equals the in-process ground truth."""
+    for record in report.successes:
+        expected = reference[(record.op, record.query)]
+        if record.op == "answers":
+            assert set(record.result.per_answer) == set(expected.per_answer)
+            for answer, served in record.result.per_answer.items():
+                _assert_same_values(served, expected.per_answer[answer])
+        else:
+            _assert_same_values(record.result, expected)
+
+
+def assert_metrics_reconcile(
+    metrics: dict, report: StormReport, before: dict | None = None
+) -> None:
+    """The daemon's ledger matches the client-side request log exactly.
+
+    Per storm op: the daemon observed precisely as many requests (and
+    error outcomes) as the clients logged.  ``before`` — a ``metrics``
+    snapshot taken before the storm — turns the comparison into a delta,
+    so one long-lived daemon can host many storms.  Transport-failure
+    records (``ConnectionError``) have no daemon-side completion and are
+    excluded from the error reconciliation.
+    """
+
+    def field(document: dict | None, op: str, name: str) -> int:
+        if document is None:
+            return 0
+        return document.get("ops", {}).get(op, {}).get(name, 0)
+
+    for op in STORM_OPS:
+        logged = report.count(op)
+        observed = field(metrics, op, "requests") - field(before, op, "requests")
+        assert observed == logged, (
+            f"daemon observed {observed} {op} requests, clients logged {logged}"
+        )
+        daemon_errors = field(metrics, op, "errors") - field(before, op, "errors")
+        typed_errors = sum(
+            1
+            for record in report.failures
+            if record.op == op and record.error != "ConnectionError"
+        )
+        assert daemon_errors == typed_errors, (
+            f"daemon counted {daemon_errors} {op} errors,"
+            f" clients logged {typed_errors} typed failures"
+        )
+
+
+def assert_no_leaked_slots(metrics: dict) -> None:
+    """After the storm settles: empty queue, zero in-flight slots."""
+    queue = metrics.get("queue", {})
+    assert queue.get("depth") == 0, f"leaked queue slots: {queue}"
+    assert queue.get("inflight") == 0, f"leaked inflight slots: {queue}"
+
+
+__all__ = [
+    "RequestRecord",
+    "STORM_OPS",
+    "StormReport",
+    "assert_bit_identical",
+    "assert_metrics_reconcile",
+    "assert_no_leaked_slots",
+    "reference_results",
+    "run_storm",
+]

@@ -254,6 +254,7 @@ class TestAddresses:
         assert set(protocol.OPERATIONS) == {
             "ping",
             "stats",
+            "metrics",
             "db_load",
             "db_update",
             "batch",

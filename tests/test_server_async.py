@@ -1,0 +1,249 @@
+"""The asyncio daemon under concurrency (ISSUE 7 tentpole + satellite 2).
+
+* **Pipelining** — one connection, many outstanding requests, responses
+  claimed by protocol request id in any completion order;
+* **storm property test** — N pipelined clients issuing interleaved
+  ``batch`` / ``answers`` / ``refine`` streams return results
+  bit-identical to in-process engines, on the serial *and* the
+  ``jobs=2`` sharded backend (Hypothesis over workload seeds);
+* **coalescing accounting** — every admitted compute request is exactly
+  one coalescer leader or follower (leaders + followers == total), and
+  nothing aborts under a clean storm;
+* **metrics reconciliation** — the daemon's ``metrics`` ledger matches
+  the client-side request log, and the admission gauges return to zero
+  (no leaked slots) after every storm.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from harness import (
+    assert_bit_identical,
+    assert_metrics_reconcile,
+    assert_no_leaked_slots,
+    reference_results,
+    run_storm,
+    running_daemon,
+)
+from repro.engine import BatchAttributionEngine, SerialExecutor, ShardedExecutor
+from repro.server import AttributionClient
+from repro.workloads.running_example import figure_1_database
+from repro.workloads.traffic import TrafficRequest, star_traffic
+
+Q1 = "q1() :- Stud(x), not TA(x), Reg(x, y)"
+ANS = "ans(x) :- Stud(x), not TA(x), Reg(x, y)"
+REFINE_QUERY = "q() :- Stud(x), Reg(x, y)"
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def storm_stream(seed: int, length: int = 18, refines: int = 4):
+    """A mixed batch/answers/refine stream plus its database."""
+    rng = random.Random(seed)
+    database, stream = star_traffic(length, rng=rng)
+    stream = stream + [TrafficRequest("refine", REFINE_QUERY)] * refines
+    rng.shuffle(stream)
+    return database, stream
+
+
+class TestPipelining:
+    def test_many_outstanding_requests_one_connection(self, tmp_path):
+        db = figure_1_database()
+        with running_daemon(tmp_path) as daemon:
+            with AttributionClient(daemon.address) as client:
+                handle = client.load_database(db)
+                pending = [client.submit_batch(handle, Q1) for _ in range(6)]
+                pending += [client.submit_answers(handle, ANS)]
+                # Claim in reverse submission order: responses for other
+                # ids must be parked, not lost.
+                results = [p.result() for p in reversed(pending)]
+                answers = results[0]
+                from repro.core.parser import parse_query
+
+                reference = BatchAttributionEngine()
+                expected = reference.batch(db, parse_query(Q1))
+                for result in results[1:]:
+                    assert dict(result.shapley) == dict(expected.shapley)
+                expected_answers = reference.batch_answers(db, parse_query(ANS))
+                assert set(answers.per_answer) == set(expected_answers.per_answer)
+
+    def test_interleaved_claims_out_of_order(self, tmp_path):
+        db = figure_1_database()
+        with running_daemon(tmp_path) as daemon:
+            with AttributionClient(daemon.address) as client:
+                handle = client.load_database(db)
+                first = client.submit_batch(handle, Q1)
+                second = client.submit_batch(handle, "q() :- Stud(x), Reg(x, y)")
+                third = client.ping()  # a sync call between pipelined ones
+                assert third["pong"] is True
+                assert dict(second.result().shapley) != {}
+                assert dict(first.result().shapley) != {}
+
+    def test_pipelined_error_frames_round_trip(self, tmp_path):
+        from repro.core.errors import QuerySyntaxError
+
+        db = figure_1_database()
+        with running_daemon(tmp_path) as daemon:
+            with AttributionClient(daemon.address) as client:
+                handle = client.load_database(db)
+                good = client.submit_batch(handle, Q1)
+                bad = client.submit_batch(handle, "q() :- ")
+                with pytest.raises(QuerySyntaxError):
+                    bad.result()
+                assert dict(good.result().shapley) != {}
+                # The error is cached, not re-read from the stream.
+                with pytest.raises(QuerySyntaxError):
+                    bad.result()
+
+
+@pytest.fixture(scope="module")
+def serial_daemon(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("storm-serial")
+    engine = BatchAttributionEngine(executor=SerialExecutor())
+    with running_daemon(directory, engine=engine) as daemon:
+        yield daemon
+
+
+@pytest.fixture(scope="module")
+def sharded_daemon(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("storm-sharded")
+    engine = BatchAttributionEngine(executor=ShardedExecutor(jobs=2))
+    with running_daemon(directory, engine=engine) as daemon:
+        yield daemon
+
+
+def _run_and_audit(daemon, seed: int, clients: int = 3) -> None:
+    database, stream = storm_stream(seed)
+    with AttributionClient(daemon.address) as probe:
+        before = probe.metrics()
+        report = run_storm(
+            daemon.address, database, stream, clients=clients, pipeline_depth=6
+        )
+        after = probe.metrics()
+    assert not report.failures, report.error_types()
+    assert len(report.records) == len(stream)
+    assert_bit_identical(report, reference_results(database, stream))
+    assert_metrics_reconcile(after, report, before=before)
+    assert_no_leaked_slots(after)
+    # Every admitted compute request is exactly one leader or follower.
+    coalescing = after.get("coalescing", {})
+    before_coalescing = before.get("coalescing", {})
+    computed = coalescing.get("leaders", 0) - before_coalescing.get("leaders", 0)
+    shared = coalescing.get("followers", 0) - before_coalescing.get(
+        "followers", 0
+    )
+    assert computed + shared == len(report.successes)
+    assert coalescing.get("aborted", 0) == before_coalescing.get("aborted", 0)
+
+
+class TestStormProperty:
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(seed=seeds)
+    def test_interleaved_streams_serial_backend(self, serial_daemon, seed):
+        _run_and_audit(serial_daemon, seed)
+
+    @settings(
+        max_examples=3,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(seed=seeds)
+    def test_interleaved_streams_sharded_backend(self, sharded_daemon, seed):
+        _run_and_audit(sharded_daemon, seed)
+
+
+class TestAdmissionControl:
+    def test_overload_sheds_with_typed_retryable_frames(self, tmp_path):
+        """Past max_inflight + max_queue the daemon sheds, never hangs."""
+        import time as time_module
+
+        from repro.server.protocol import OverloadedError
+
+        db = figure_1_database()
+        engine = BatchAttributionEngine()
+        slow_batch = engine.batch
+
+        def braked(*args, **kwargs):
+            time_module.sleep(0.15)
+            return slow_batch(*args, **kwargs)
+
+        engine.batch = braked  # type: ignore[method-assign]
+        with running_daemon(
+            tmp_path, engine=engine, max_inflight=1, max_queue=1
+        ) as daemon:
+            with AttributionClient(daemon.address) as client:
+                handle = client.load_database(db)
+                # Distinct queries so coalescing cannot absorb the burst.
+                queries = [
+                    f"q() :- Stud(x), not TA(x), Reg(x, y{i})" for i in range(6)
+                ]
+                pending = [
+                    client.submit_batch(handle, text) for text in queries
+                ]
+                outcomes = []
+                for request in pending:
+                    try:
+                        request.result()
+                        outcomes.append("ok")
+                    except OverloadedError as error:
+                        assert error.retryable is True
+                        outcomes.append("shed")
+                assert "shed" in outcomes, outcomes
+                assert "ok" in outcomes, outcomes
+                metrics = client.metrics()
+                assert metrics["admission"]["shed_overload"] >= 1
+                assert_no_leaked_slots(metrics)
+
+    def test_per_client_rate_limit_sheds_the_greedy_client(self, tmp_path):
+        from repro.server.protocol import OverloadedError
+
+        db = figure_1_database()
+        with running_daemon(tmp_path, per_client_rps=1.0) as daemon:
+            with AttributionClient(daemon.address) as client:
+                handle = client.load_database(db)
+                assert dict(client.batch(handle, Q1).shapley) != {}
+                with pytest.raises(OverloadedError, match="rate limit"):
+                    for _ in range(20):
+                        client.batch(handle, Q1)
+                metrics = client.metrics()
+                assert metrics["admission"]["shed_throttled"] >= 1
+
+    def test_expired_deadline_is_a_typed_frame(self, tmp_path):
+        from repro.server.protocol import DeadlineExceededError
+
+        db = figure_1_database()
+        with running_daemon(tmp_path) as daemon:
+            with AttributionClient(daemon.address) as client:
+                handle = client.load_database(db)
+                pending = client.submit_batch(handle, Q1, deadline_ms=-1.0)
+                with pytest.raises(DeadlineExceededError):
+                    pending.result()
+                assert client.metrics()["admission"]["deadline_expired"] >= 1
+
+
+class TestGracefulDrain:
+    def test_drain_refuses_new_compute_with_retryable_frame(self, tmp_path):
+        from repro.server.protocol import OverloadedError
+
+        db = figure_1_database()
+        with running_daemon(tmp_path, drain_timeout=2.0) as daemon:
+            with AttributionClient(daemon.address) as client:
+                handle = client.load_database(db)
+                assert dict(client.batch(handle, Q1).shapley) != {}
+                daemon.request_shutdown()
+                # The daemon drains before exiting; inline ops stay up
+                # and compute is refused with a retryable frame for as
+                # long as the loop lives.
+                try:
+                    client.batch(handle, "q() :- Stud(x), Reg(x, y)")
+                except (OverloadedError, ConnectionError, OSError) as error:
+                    if isinstance(error, OverloadedError):
+                        assert error.retryable is True
