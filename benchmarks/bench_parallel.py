@@ -25,6 +25,7 @@ import pytest
 
 from repro.core.parser import parse_query
 from repro.engine import BatchAttributionEngine, SerialExecutor, ShardedExecutor
+from repro.util.kernels import kernel_description
 from repro.workloads.generators import hard_answers_database, star_join_database
 from repro.workloads.queries import audit_query
 
@@ -157,11 +158,12 @@ def test_sharded_speedup_on_large_hard_instances(report):
                 f"{serial_seconds:.2f} s",
                 f"{sharded_seconds:.2f} s",
                 f"{speedup:.2f}x",
+                kernel_description(),
             )
         )
     report(
         "E-PARALLEL: shard scaling on large hard multi-answer instances",
-        ("answers x |Dn|", "serial", "sharded (jobs=2)", "speedup"),
+        ("answers x |Dn|", "serial", "sharded (jobs=2)", "speedup", "serial kernel"),
         rows,
     )
     assert max(speedups) > SPEEDUP_FLOOR, (

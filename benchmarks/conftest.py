@@ -3,10 +3,17 @@
 Every benchmark prints the paper-style rows it regenerates (bypassing
 pytest's capture so the tables land in ``bench_output.txt``) and records
 the same data in ``benchmark.extra_info`` for machine consumption.
+
+``--bench-json PATH`` additionally writes every reported table to one
+JSON document at session end — the nightly-style artifact CI archives as
+``BENCH_<date>.json``.
 """
 
 from __future__ import annotations
 
+import json
+import platform
+import sys
 from typing import Iterable, Sequence
 
 import pytest
@@ -19,6 +26,12 @@ def pytest_addoption(parser: pytest.Parser) -> None:
         default=False,
         help="run benchmarks on reduced instance sizes (CI smoke mode)",
     )
+    parser.addoption(
+        "--bench-json",
+        default=None,
+        metavar="PATH",
+        help="write every reported benchmark table to PATH as JSON",
+    )
 
 
 @pytest.fixture
@@ -28,11 +41,21 @@ def quick(request: pytest.FixtureRequest) -> bool:
 
 
 @pytest.fixture
-def report(capsys):
-    """Print a titled table outside pytest's capture."""
+def report(capsys, request: pytest.FixtureRequest):
+    """Print a titled table outside pytest's capture (and record it)."""
 
     def _report(title: str, headers: Sequence[str], rows: Iterable[Sequence]):
         rendered_rows = [[str(cell) for cell in row] for row in rows]
+        records = getattr(request.config, "_bench_tables", None)
+        if records is not None:
+            records.append(
+                {
+                    "test": request.node.nodeid,
+                    "title": title,
+                    "headers": list(headers),
+                    "rows": rendered_rows,
+                }
+            )
         widths = [
             max(len(header), *(len(row[i]) for row in rendered_rows), 1)
             if rendered_rows
@@ -51,3 +74,24 @@ def report(capsys):
                 )
 
     return _report
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    if config.getoption("--bench-json", default=None):
+        config._bench_tables = []
+
+
+def pytest_sessionfinish(session: pytest.Session, exitstatus: int) -> None:
+    path = session.config.getoption("--bench-json", default=None)
+    if not path:
+        return
+    document = {
+        "python": platform.python_version(),
+        "platform": sys.platform,
+        "quick": bool(session.config.getoption("--quick")),
+        "exit_status": int(exitstatus),
+        "tables": getattr(session.config, "_bench_tables", []),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")

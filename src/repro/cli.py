@@ -598,6 +598,13 @@ def _render_metrics(document: dict) -> None:
     coalescing = document.get("coalescing")
     if coalescing:
         print(f"coalescing: {json.dumps(coalescing, sort_keys=True)}")
+    kernel = document.get("kernel", {})
+    if kernel:
+        print(f"kernel[active]: {kernel.get('active', 'auto')}")
+        print(f"kernel[gmpy_available]: {kernel.get('gmpy_available', False)}")
+        counters = kernel.get("counters", {})
+        for name in sorted(counters):
+            print(f"kernel[{name}]: {counters[name]}")
     print(f"draining: {document.get('draining', False)}")
 
 

@@ -60,6 +60,7 @@ from repro.engine.fingerprint import fingerprint_component
 from repro.util.combinatorics import (
     binomial_vector,
     convolve,
+    convolve_many,
     subtract_vectors,
 )
 
@@ -204,24 +205,36 @@ def _restricted_components(
 
 
 def _bundle_scope(scope: Sequence[_Scoped], cache: BundleCache) -> CountBundle:
-    """AND level: restriction, component split, and convolution sharing."""
+    """AND level: restriction, component split, and convolution sharing.
+
+    The prefix/suffix chains exist only to supply the "everything except
+    component ``j``" factor of the delta vectors; when no component owns
+    a delta (every endogenous fact is provably zero) the chains are
+    skipped and the baseline reduces through the balanced product tree
+    of :func:`convolve_many` — same integers, half the convolutions.
+    """
     components, free_facts = _restricted_components(scope)
     bundles = [_bundle_component(component, cache) for component in components]
     free = len(free_facts)
     free_vector = binomial_vector(free)
-    prefix, suffix = _prefix_suffix([bundle.sat for bundle in bundles])
-    sat = tuple(convolve(prefix[len(bundles)], free_vector))
+    sat_vectors = [bundle.sat for bundle in bundles]
     owned = sum(bundle.owned for bundle in bundles) + free
 
     deltas: dict[Fact, tuple[int, ...]] = {}
     zero = set(free_facts)
-    for j, bundle in enumerate(bundles):
+    for bundle in bundles:
         zero |= bundle.zero
-        if not bundle.deltas:
-            continue
-        rest = convolve(convolve(prefix[j], suffix[j + 1]), free_vector)
-        for item, sat_del in bundle.deltas.items():
-            deltas[item] = tuple(convolve(sat_del, rest))
+    if any(bundle.deltas for bundle in bundles):
+        prefix, suffix = _prefix_suffix(sat_vectors)
+        sat = tuple(convolve(prefix[len(bundles)], free_vector))
+        for j, bundle in enumerate(bundles):
+            if not bundle.deltas:
+                continue
+            rest = convolve(convolve(prefix[j], suffix[j + 1]), free_vector)
+            for item, sat_del in bundle.deltas.items():
+                deltas[item] = tuple(convolve(sat_del, rest))
+    else:
+        sat = tuple(convolve(convolve_many(sat_vectors), free_vector))
     return CountBundle(owned, sat, deltas, frozenset(zero))
 
 
@@ -283,24 +296,28 @@ def _bundle_component_fresh(component: list[_Scoped], cache: BundleCache) -> Cou
         subtract_vectors(binomial_vector(bundle.owned), bundle.sat)
         for bundle in slice_bundles
     ]
-    prefix, suffix = _prefix_suffix(unsat_vectors)
-    all_unsat = prefix[len(unsat_vectors)]
-    sat = tuple(subtract_vectors(binomial_vector(total), all_unsat))
-
     deltas: dict[Fact, tuple[int, ...]] = {}
     zero: set[Fact] = set()
-    remaining = binomial_vector(total - 1) if total else []
-    for b, bundle in enumerate(slice_bundles):
+    for bundle in slice_bundles:
         zero |= bundle.zero
-        if not bundle.deltas:
-            continue
-        rest = convolve(prefix[b], suffix[b + 1])
-        slice_players = binomial_vector(bundle.owned - 1)
-        for item, sat_del in bundle.deltas.items():
-            unsat_del = subtract_vectors(slice_players, sat_del)
-            deltas[item] = tuple(
-                subtract_vectors(remaining, convolve(unsat_del, rest))
-            )
+    if any(bundle.deltas for bundle in slice_bundles):
+        # The suffix chain only feeds the per-fact "rest" factors below.
+        prefix, suffix = _prefix_suffix(unsat_vectors)
+        all_unsat = prefix[len(unsat_vectors)]
+        remaining = binomial_vector(total - 1) if total else []
+        for b, bundle in enumerate(slice_bundles):
+            if not bundle.deltas:
+                continue
+            rest = convolve(prefix[b], suffix[b + 1])
+            slice_players = binomial_vector(bundle.owned - 1)
+            for item, sat_del in bundle.deltas.items():
+                unsat_del = subtract_vectors(slice_players, sat_del)
+                deltas[item] = tuple(
+                    subtract_vectors(remaining, convolve(unsat_del, rest))
+                )
+    else:
+        all_unsat = convolve_many(unsat_vectors)
+    sat = tuple(subtract_vectors(binomial_vector(total), all_unsat))
     return CountBundle(total, sat, deltas, frozenset(zero))
 
 

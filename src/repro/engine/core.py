@@ -58,6 +58,7 @@ from repro.engine.results import (
     project_result,
 )
 from repro.engine.stores import MemoryResultStore, ResultStore, TieredResultStore
+from repro.util import kernels
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from fractions import Fraction
@@ -631,6 +632,7 @@ class BatchAttributionEngine:
         counters["executor"] = self.executor_stats.snapshot()
         counters["delta"] = self.delta_stats.snapshot()
         counters["sampler"] = self.sample_stats.snapshot()
+        counters["kernel"] = kernels.kernel_stats().snapshot()
         return counters
 
     def retire_version(self, database: Database) -> int:

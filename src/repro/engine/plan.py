@@ -66,6 +66,7 @@ from repro.engine.policy import MethodPolicy
 from repro.engine.results import BatchResult, inflate_result, result_from_state
 from repro.shapley.brute_force import MAX_BRUTE_FORCE_PLAYERS
 from repro.shapley.sampling import SampleState, rounds_for_contract, sample_seed
+from repro.util import kernels
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.engine.executors import BundleCache
@@ -281,6 +282,10 @@ class Plan:
     #: facts counts here — same-version or cross-version alike (the
     #: engine folds this into its delta stats).
     zero_filled: int = 0
+    #: The convolution kernel active when this plan was built — the
+    #: ``REPRO_KERNEL`` selection (``auto`` / ``schoolbook`` / ``packed``
+    #: / ``gmpy``), re-read from the environment at plan time.
+    kernel: str = "auto"
 
 
 def _as_boolean(query: BooleanQuery) -> BooleanQuery:
@@ -490,6 +495,10 @@ def build_plan(
     if policy is None:
         policy = MethodPolicy()
     plan = Plan()
+    # Kernel selection is a *plan-time* decision: the environment is read
+    # once per plan, so one batch never mixes tiers mid-flight, and the
+    # chosen tier is recorded on the plan (and in the kernel counters).
+    plan.kernel = kernels.refresh_from_environment()
     plan.stats.requested = len(requests)
     seen: set[tuple] = set()
     for request in requests:
@@ -568,6 +577,8 @@ def build_plan(
             )
             continue
         dependencies = []
+        if method in ("cntsat", "exoshap"):
+            kernels.note_plan_selection(len(count_database.endogenous))
         if include_bundles and method in ("cntsat", "exoshap"):
             for fingerprint, scope in top_level_components(count_database, count_query):
                 bundle_id = (BUNDLE, fingerprint)

@@ -25,7 +25,7 @@ from repro.core.facts import Constant, Fact
 from repro.engine.bundles import BatchVectors
 from repro.engine.cache import CacheStats
 from repro.shapley.sampling import SampleState, achieved_epsilon
-from repro.util.combinatorics import shapley_coefficient
+from repro.util.kernels import ShapleyAccumulator
 
 
 @dataclass(frozen=True)
@@ -234,20 +234,27 @@ def result_from_vectors(vectors: BatchVectors, method: str) -> BatchResult:
     Shapley and Banzhaf values fall out of the same ``(Sat^{+f},
     Sat^{-f})`` vectors — only the weights differ — so the convolution
     task of every plan always materializes both measures.
+
+    Assembly is *deferred*: per fact, the Shapley numerator accumulates
+    as one integer over the shared weight table
+    (:class:`repro.util.kernels.ShapleyAccumulator`) and normalizes to a
+    single ``Fraction`` at the end — bit-identical to the historical
+    per-size ``Fraction`` multiply-add, minus one gcd per coalition
+    size.
     """
     players = vectors.total_players
     shapley: dict[Fact, Fraction] = {item: Fraction(0) for item in vectors.zero_facts}
     banzhaf = dict(shapley)
     denominator = 2 ** (players - 1)
     for item, (sat_exo, sat_del) in vectors.per_fact.items():
-        value = Fraction(0)
+        accumulator = ShapleyAccumulator(players)
         difference_total = 0
         for k in range(players):
             difference = sat_exo[k] - sat_del[k]
             if difference:
-                value += shapley_coefficient(players, k) * difference
+                accumulator.add(k, difference)
                 difference_total += difference
-        shapley[item] = value
+        shapley[item] = accumulator.value()
         banzhaf[item] = Fraction(difference_total, denominator)
     return BatchResult(shapley, banzhaf, method, players)
 

@@ -97,6 +97,7 @@ from repro.server.protocol import (
     validate_request,
 )
 from repro.server.registry import DatabaseRegistry, InFlightCoalescer
+from repro.util.kernels import kernel_metrics_document
 
 _HEADER = struct.Struct(">I")
 _logger = logging.getLogger("repro.server")
@@ -678,7 +679,7 @@ class AttributionDaemon:
 
     def _op_metrics(self, payload: dict[str, Any]) -> dict[str, Any]:
         """The live-metrics document — see :mod:`repro.server.metrics`."""
-        return self.metrics.snapshot(
+        document = self.metrics.snapshot(
             coalescer={
                 "leaders": self.coalescer.stats.leaders,
                 "followers": self.coalescer.stats.followers,
@@ -686,6 +687,8 @@ class AttributionDaemon:
             },
             draining=self._draining,
         )
+        document["kernel"] = kernel_metrics_document()
+        return document
 
     def _op_db_load(self, payload: dict[str, Any]) -> dict[str, Any]:
         document = payload.get("database")

@@ -22,7 +22,7 @@ from repro.core.errors import IntractableQueryError
 from repro.core.evaluation import holds
 from repro.core.facts import Fact
 from repro.core.query import BooleanQuery
-from repro.util.combinatorics import shapley_coefficient
+from repro.util.kernels import ShapleyAccumulator
 
 # Enumerating 2^|Dn| subsets beyond this size is a bug, not a computation.
 MAX_BRUTE_FORCE_PLAYERS = 24
@@ -78,15 +78,14 @@ def shapley_brute_force(
     players, value = query_game(database, query)
     others = [player for player in players if player != target]
     n = len(players)
-    total = Fraction(0)
+    accumulator = ShapleyAccumulator(n)
     for size in range(n):
-        coefficient = shapley_coefficient(n, size)
         for subset in itertools.combinations(others, size):
             coalition = frozenset(subset)
             marginal = value(coalition | {target}) - value(coalition)
             if marginal:
-                total += coefficient * marginal
-    return total
+                accumulator.add(size, marginal)
+    return accumulator.value()
 
 
 def shapley_all_brute_force(
@@ -101,11 +100,10 @@ def shapley_all_brute_force(
     validate_brute_force_bound(database)
     players, value = query_game(database, query)
     n = len(players)
-    result: dict[Fact, Fraction] = {player: Fraction(0) for player in players}
     if n == 0:
-        return result
+        return {}
+    accumulators = {player: ShapleyAccumulator(n) for player in players}
     for size in range(n):
-        coefficient = shapley_coefficient(n, size)
         for subset in itertools.combinations(players, size):
             coalition = frozenset(subset)
             base = value(coalition)
@@ -114,8 +112,8 @@ def shapley_all_brute_force(
                     continue
                 marginal = value(coalition | {player}) - base
                 if marginal:
-                    result[player] += coefficient * marginal
-    return result
+                    accumulators[player].add(size, marginal)
+    return {player: accumulators[player].value() for player in players}
 
 
 def satisfying_subset_counts(

@@ -37,7 +37,7 @@ from repro.shapley.brute_force import (
     shapley_brute_force,
 )
 from repro.shapley.cntsat import count_satisfying_subsets
-from repro.util.combinatorics import shapley_coefficient
+from repro.util.kernels import ShapleyAccumulator
 
 CountFunction = Callable[[Database, ConjunctiveQuery], list[int]]
 
@@ -56,12 +56,12 @@ def shapley_from_counts(
     without_target = database.without_fact(target)
     counts_with = counter(with_target, query)
     counts_without = counter(without_target, query)
-    total = Fraction(0)
+    accumulator = ShapleyAccumulator(m)
     for k in range(m):
         difference = counts_with[k] - counts_without[k]
         if difference:
-            total += shapley_coefficient(m, k) * difference
-    return total
+            accumulator.add(k, difference)
+    return accumulator.value()
 
 
 def shapley_hierarchical(

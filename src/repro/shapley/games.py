@@ -20,7 +20,7 @@ import itertools
 from fractions import Fraction
 from typing import Callable, Hashable, Iterable, Sequence
 
-from repro.util.combinatorics import shapley_coefficient
+from repro.util.kernels import ShapleyAccumulator
 
 Player = Hashable
 ValueFunction = Callable[[frozenset], Fraction | int]
@@ -61,15 +61,14 @@ def shapley_by_subsets(
     if len(others) == len(players):
         raise ValueError(f"target {target!r} is not a player")
     n = len(players)
-    total = Fraction(0)
+    accumulator = ShapleyAccumulator(n)
     for size in range(len(others) + 1):
-        coefficient = shapley_coefficient(n, size)
         for subset in itertools.combinations(others, size):
             coalition = frozenset(subset)
             marginal = Fraction(value(coalition | {target})) - Fraction(value(coalition))
             if marginal:
-                total += coefficient * marginal
-    return total
+                accumulator.add(size, marginal)
+    return accumulator.value()
 
 
 def shapley_all(
@@ -91,9 +90,8 @@ def shapley_all(
             cache[coalition] = Fraction(value(coalition))
         return cache[coalition]
 
-    result: dict[Player, Fraction] = {player: Fraction(0) for player in players}
+    accumulators = {player: ShapleyAccumulator(n) for player in players}
     for size in range(n):
-        coefficient = shapley_coefficient(n, size)
         for subset in itertools.combinations(players, size):
             coalition = frozenset(subset)
             base = cached_value(coalition)
@@ -102,8 +100,8 @@ def shapley_all(
                     continue
                 marginal = cached_value(coalition | {player}) - base
                 if marginal:
-                    result[player] += coefficient * marginal
-    return result
+                    accumulators[player].add(size, marginal)
+    return {player: accumulators[player].value() for player in players}
 
 
 def banzhaf_value(

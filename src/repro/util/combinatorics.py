@@ -12,13 +12,22 @@ vectors*: a list ``c`` where ``c[k]`` is the number of ``k``-subsets of some
 fact set satisfying a property.  Combining independent fact sets corresponds
 to polynomial multiplication of their vectors, provided here as
 :func:`convolve` / :func:`convolve_many`.
+
+This module is the stable public façade; the heavy lifting lives in the
+tiered kernel layer (:mod:`repro.util.kernels`): size-tiered convolution
+(schoolbook / single-big-int limb packing / optional gmpy2, overridable
+via ``REPRO_KERNEL``), balanced product trees, and memoized
+factorial/binomial/Shapley-weight tables.  Every kernel is exact and
+bit-identical to the schoolbook reference.
 """
 
 from __future__ import annotations
 
 from fractions import Fraction
-from math import comb, factorial
+from math import comb
 from typing import Sequence
+
+from repro.util import kernels
 
 
 def binomial(n: int, k: int) -> int:
@@ -42,11 +51,13 @@ def binomial_vector(n: int) -> list[int]:
     """Vector ``[C(n, 0), C(n, 1), ..., C(n, n)]``.
 
     This is the count vector of a set of ``n`` "free" facts: any ``k`` of
-    them can be chosen without affecting query satisfaction.
+    them can be chosen without affecting query satisfaction.  Rows are
+    memoized in the kernel layer; callers get a fresh list they may
+    mutate freely.
     """
     if n < 0:
         raise ValueError("binomial_vector requires n >= 0")
-    return [comb(n, k) for k in range(n + 1)]
+    return list(kernels.binomial_row(n))
 
 
 def convolve(left: Sequence[int], right: Sequence[int]) -> list[int]:
@@ -56,29 +67,23 @@ def convolve(left: Sequence[int], right: Sequence[int]) -> list[int]:
     and ``right[j]`` counts ``j``-subsets of a disjoint fact set ``B`` with
     property *Q*, the result counts ``k``-subsets of ``A ∪ B`` whose
     restriction to ``A`` has *P* and restriction to ``B`` has *Q*.
+
+    Dispatches to the size-tiered exact kernels of
+    :mod:`repro.util.kernels` (``REPRO_KERNEL`` forces one tier); every
+    tier returns bit-identical integers.
     """
-    if not left or not right:
-        return []
-    result = [0] * (len(left) + len(right) - 1)
-    for i, a in enumerate(left):
-        if a == 0:
-            continue
-        for j, b in enumerate(right):
-            if b:
-                result[i + j] += a * b
-    return result
+    return kernels.convolve(left, right)
 
 
 def convolve_many(vectors: Sequence[Sequence[int]]) -> list[int]:
     """Convolution of an arbitrary number of count vectors.
 
     The empty product is the multiplicative identity ``[1]`` (the count
-    vector of the empty fact set).
+    vector of the empty fact set).  Factors reduce through a balanced
+    product tree (:func:`repro.util.kernels.convolve_many`), which keeps
+    big-int operand sizes even — bit-identical to the sequential fold.
     """
-    result: list[int] = [1]
-    for vector in vectors:
-        result = convolve(result, vector)
-    return result
+    return kernels.convolve_many(vectors)
 
 
 def subtract_vectors(left: Sequence[int], right: Sequence[int]) -> list[int]:
@@ -106,7 +111,4 @@ def shapley_coefficient(num_players: int, coalition_size: int) -> Fraction:
             "coalition_size must lie in [0, num_players - 1], got "
             f"{coalition_size} for {num_players} players"
         )
-    return Fraction(
-        factorial(coalition_size) * factorial(num_players - coalition_size - 1),
-        factorial(num_players),
-    )
+    return kernels.shapley_coefficient_cached(num_players, coalition_size)

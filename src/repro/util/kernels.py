@@ -1,0 +1,481 @@
+"""Exact-integer kernels under the library's ``Fraction`` surface.
+
+Every exact result in the stack — serial, sharded, daemon-served,
+delta-reused — bottoms out in two integer-arithmetic hot loops: count
+vector convolution (:func:`repro.util.combinatorics.convolve`) and the
+Lemma 3.2 weighted assembly that turns per-fact vector deltas into
+Shapley values.  This module makes both fast while keeping the public
+rational API bit-identical:
+
+* **Tiered convolution kernels.**  ``schoolbook`` is the classic
+  O(n^2) multiply-add loop, unbeatable for short vectors; ``packed``
+  is a single-big-int kernel (Kronecker substitution: each count is a
+  fixed-width limb of one padded integer, so CPython's subquadratic
+  big-int multiplication performs the whole convolution in one
+  multiply); ``gmpy`` is the same limb packing on top of ``gmpy2``'s
+  GMP-backed multiply, used only when the optional dependency imports.
+  :func:`convolve` picks a tier per call from the operand sizes; the
+  ``REPRO_KERNEL`` environment variable (re-read at plan time by
+  :func:`repro.engine.plan.build_plan`) forces one tier everywhere.
+* **Balanced product trees.**  :func:`convolve_many` reduces a factor
+  list pairwise in rounds instead of folding left, keeping operand
+  sizes balanced — the shape under which the packed kernel's
+  subquadratic multiply pays off most.
+* **Shared weight tables.**  :func:`factorial_cached`,
+  :func:`binomial_row` and :func:`shapley_weights` memoize the
+  factorials, binomial vectors and Shapley coalition weights that the
+  engine's assembly, the brute-force enumerations, and the generic game
+  solvers previously recomputed per call site.
+* **Deferred rational assembly.**  :class:`ShapleyAccumulator`
+  accumulates ``sum_k k!(n-k-1)! * marginal_k`` as one integer over the
+  common denominator ``n!`` and normalizes to a single ``Fraction`` at
+  the end — one gcd per fact instead of one per coalition size.
+  ``Fraction`` canonicalizes, so the result is bit-identical to the
+  historical per-size ``Fraction`` multiply-add.
+
+Every kernel is exact integer arithmetic; the Hypothesis suite
+(``tests/test_kernels.py``) asserts each one equals ``schoolbook`` on
+arbitrary vectors — including the negative entries
+:func:`repro.util.combinatorics.subtract_vectors` can produce — and that
+engine results are bit-identical across kernels, executors, and the
+daemon.  Per-kernel call and plan-selection counters are process-wide
+(:func:`kernel_stats`) and surface through ``engine.stats["kernel"]``
+and the daemon's ``metrics`` operation.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from fractions import Fraction
+from functools import lru_cache
+from math import comb, factorial
+from typing import Callable, Iterator, Sequence
+
+try:  # pragma: no cover - exercised only where gmpy2 is installed
+    import gmpy2 as _gmpy2
+except ImportError:  # pragma: no cover - the common case in CI
+    _gmpy2 = None
+
+#: Kernel tier names, as accepted by ``REPRO_KERNEL``.
+AUTO = "auto"
+SCHOOLBOOK = "schoolbook"
+PACKED = "packed"
+GMPY = "gmpy"
+KERNEL_NAMES = (AUTO, SCHOOLBOOK, PACKED, GMPY)
+
+#: Auto-tier cutover: schoolbook wins below this ``len(a) * len(b)``
+#: work bound, the single-multiply packed kernel above it (measured
+#: crossover is near 16x16 on CPython 3.11; 400 keeps a safety margin
+#: so short-vector workloads never regress).
+PACK_THRESHOLD = 400
+
+
+def gmpy_available() -> bool:
+    """Whether the optional GMP-backed kernel can run in this process."""
+    return _gmpy2 is not None
+
+
+@dataclass
+class KernelStats:
+    """Process-wide kernel accounting: who convolved, and how often.
+
+    ``*_calls`` count executed pairwise convolutions per tier;
+    ``tree_products`` counts balanced multi-factor products;
+    ``plan_selections_*`` count the tier the planner predicted for each
+    exact grounding task from its component size (the plan-time
+    selection record, before any convolution runs).
+    """
+
+    schoolbook_calls: int = 0
+    packed_calls: int = 0
+    gmpy_calls: int = 0
+    tree_products: int = 0
+    plan_selections_schoolbook: int = 0
+    plan_selections_packed: int = 0
+    plan_selections_gmpy: int = 0
+
+    def merge(self, other: "KernelStats") -> None:
+        self.schoolbook_calls += other.schoolbook_calls
+        self.packed_calls += other.packed_calls
+        self.gmpy_calls += other.gmpy_calls
+        self.tree_products += other.tree_products
+        self.plan_selections_schoolbook += other.plan_selections_schoolbook
+        self.plan_selections_packed += other.plan_selections_packed
+        self.plan_selections_gmpy += other.plan_selections_gmpy
+
+    def snapshot(self) -> "KernelStats":
+        return KernelStats(
+            self.schoolbook_calls,
+            self.packed_calls,
+            self.gmpy_calls,
+            self.tree_products,
+            self.plan_selections_schoolbook,
+            self.plan_selections_packed,
+            self.plan_selections_gmpy,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"KernelStats(schoolbook_calls={self.schoolbook_calls},"
+            f" packed_calls={self.packed_calls},"
+            f" gmpy_calls={self.gmpy_calls},"
+            f" tree_products={self.tree_products},"
+            f" plan_selections_schoolbook={self.plan_selections_schoolbook},"
+            f" plan_selections_packed={self.plan_selections_packed},"
+            f" plan_selections_gmpy={self.plan_selections_gmpy})"
+        )
+
+
+_STATS = KernelStats()
+#: The kernel forced by ``REPRO_KERNEL`` (``None`` = size-tiered auto).
+_FORCED: str | None = None
+
+
+def kernel_stats() -> KernelStats:
+    """The live process-wide counters (mutating them is the hot path's job)."""
+    return _STATS
+
+
+def reset_kernel_stats() -> None:
+    """Zero the process-wide counters (test isolation hook)."""
+    global _STATS
+    _STATS = KernelStats()
+
+
+def refresh_from_environment() -> str:
+    """Re-read ``REPRO_KERNEL`` and return the active kernel name.
+
+    Called once per plan (:func:`repro.engine.plan.build_plan`), so an
+    environment change takes effect on the next request without
+    re-importing.  Unknown values degrade to ``auto`` and a forced
+    ``gmpy`` without the optional dependency degrades to ``packed`` —
+    the environment can tune kernels but never break a computation.
+    """
+    global _FORCED
+    raw = os.environ.get("REPRO_KERNEL", "").strip().lower()
+    if raw in ("", AUTO) or raw not in KERNEL_NAMES:
+        _FORCED = None
+    elif raw == GMPY and _gmpy2 is None:
+        _FORCED = PACKED
+    else:
+        _FORCED = raw
+    return active_kernel_name()
+
+
+def active_kernel_name() -> str:
+    """``auto`` or the tier ``REPRO_KERNEL`` currently forces."""
+    return AUTO if _FORCED is None else _FORCED
+
+
+def kernel_description() -> str:
+    """A one-line human description of the serial kernel configuration."""
+    if _FORCED is not None:
+        return f"{_FORCED} (forced via REPRO_KERNEL)"
+    fast = GMPY if _gmpy2 is not None else PACKED
+    return f"auto (schoolbook<{PACK_THRESHOLD}, then {fast})"
+
+
+@contextmanager
+def use_kernel(name: str) -> Iterator[str]:
+    """Force one kernel tier for the duration of a block (tests, benches)."""
+    if name not in KERNEL_NAMES:
+        raise ValueError(f"unknown kernel {name!r} (expected one of {KERNEL_NAMES})")
+    global _FORCED
+    previous = _FORCED
+    if name == AUTO:
+        _FORCED = None
+    elif name == GMPY and _gmpy2 is None:
+        _FORCED = PACKED
+    else:
+        _FORCED = name
+    try:
+        yield active_kernel_name()
+    finally:
+        _FORCED = previous
+
+
+# ----------------------------------------------------------------------
+# Pairwise convolution kernels
+# ----------------------------------------------------------------------
+def convolve_schoolbook(left: Sequence[int], right: Sequence[int]) -> list[int]:
+    """The O(n^2) multiply-add reference kernel (and short-vector tier)."""
+    if not left or not right:
+        return []
+    result = [0] * (len(left) + len(right) - 1)
+    for i, a in enumerate(left):
+        if a == 0:
+            continue
+        for j, b in enumerate(right):
+            if b:
+                result[i + j] += a * b
+    return result
+
+
+def _pack(vector: Sequence[int], limb: int) -> int:
+    """Non-negative limbs into one little-endian integer, ``limb`` bytes each."""
+    return int.from_bytes(
+        b"".join(value.to_bytes(limb, "little") for value in vector), "little"
+    )
+
+
+def _convolve_packed_nonneg(
+    left: Sequence[int],
+    right: Sequence[int],
+    multiply: Callable[[int, int], int],
+) -> list[int]:
+    """Kronecker substitution over non-negative vectors: one big multiply.
+
+    Each coefficient of the product is bounded by ``min(len(left),
+    len(right)) * max(left) * max(right)``, so a limb width strictly
+    above that bound makes the limbs of the product integer exactly the
+    convolution — no carries ever cross a limb boundary.
+    """
+    n = len(left) + len(right) - 1
+    max_left = max(left)
+    max_right = max(right)
+    if max_left == 0 or max_right == 0:
+        return [0] * n
+    bound = min(len(left), len(right)) * max_left * max_right
+    limb = bound.bit_length() // 8 + 1
+    product = multiply(_pack(left, limb), _pack(right, limb))
+    raw = product.to_bytes(n * limb, "little")
+    return [
+        int.from_bytes(raw[index * limb : (index + 1) * limb], "little")
+        for index in range(n)
+    ]
+
+
+def _gmpy_multiply(a: int, b: int) -> int:
+    return int(_gmpy2.mpz(a) * _gmpy2.mpz(b))
+
+
+def convolve_packed(
+    left: Sequence[int],
+    right: Sequence[int],
+    multiply: Callable[[int, int], int] = int.__mul__,
+) -> list[int]:
+    """The single-big-int kernel, exact for arbitrary (signed) integers.
+
+    Count vectors are non-negative on every real engine path, so the
+    common case is one multiply.  Signed inputs (possible through the
+    public :func:`repro.util.combinatorics.convolve` on
+    ``subtract_vectors`` output) split into positive/negative parts —
+    four non-negative convolutions recombined exactly.
+    """
+    if not left or not right:
+        return []
+    if min(left) >= 0 and min(right) >= 0:
+        return _convolve_packed_nonneg(left, right, multiply)
+    left_pos = [value if value > 0 else 0 for value in left]
+    left_neg = [-value if value < 0 else 0 for value in left]
+    right_pos = [value if value > 0 else 0 for value in right]
+    right_neg = [-value if value < 0 else 0 for value in right]
+    pos_pos = _convolve_packed_nonneg(left_pos, right_pos, multiply)
+    neg_neg = _convolve_packed_nonneg(left_neg, right_neg, multiply)
+    pos_neg = _convolve_packed_nonneg(left_pos, right_neg, multiply)
+    neg_pos = _convolve_packed_nonneg(left_neg, right_pos, multiply)
+    return [
+        pos_pos[index] + neg_neg[index] - pos_neg[index] - neg_pos[index]
+        for index in range(len(pos_pos))
+    ]
+
+
+def convolve_gmpy(left: Sequence[int], right: Sequence[int]) -> list[int]:
+    """The packed kernel over gmpy2's GMP multiply (optional dependency)."""
+    if _gmpy2 is None:
+        raise RuntimeError("gmpy2 is not installed; the gmpy kernel is unavailable")
+    return convolve_packed(left, right, _gmpy_multiply)
+
+
+def tier_for_sizes(left_size: int, right_size: int) -> str:
+    """The auto tier for one pairwise convolution of these operand sizes."""
+    if _FORCED is not None:
+        return _FORCED
+    if left_size * right_size < PACK_THRESHOLD:
+        return SCHOOLBOOK
+    return GMPY if _gmpy2 is not None else PACKED
+
+
+def convolve(left: Sequence[int], right: Sequence[int]) -> list[int]:
+    """Tiered pairwise convolution: the library-wide hot-path entry point."""
+    if not left or not right:
+        return []
+    tier = tier_for_sizes(len(left), len(right))
+    if tier == SCHOOLBOOK:
+        _STATS.schoolbook_calls += 1
+        return convolve_schoolbook(left, right)
+    if tier == GMPY:
+        _STATS.gmpy_calls += 1
+        return convolve_packed(left, right, _gmpy_multiply)
+    _STATS.packed_calls += 1
+    return convolve_packed(left, right)
+
+
+def convolve_many(vectors: Sequence[Sequence[int]]) -> list[int]:
+    """Balanced product tree over a factor list (empty product = ``[1]``).
+
+    Pairwise reduction in rounds keeps the operand sizes of every
+    multiply balanced, which is where the packed kernel's subquadratic
+    big-int multiplication beats the left fold's long-times-short chain.
+    Convolution is associative over exact integers, so the result is
+    bit-identical to the sequential fold.
+    """
+    if any(not vector for vector in vectors):
+        # The historical fold semantics: one empty factor nulls the product.
+        return []
+    items: list[Sequence[int]] = [vector for vector in vectors]
+    if not items:
+        return [1]
+    if len(items) > 1:
+        _STATS.tree_products += 1
+    while len(items) > 1:
+        items = [
+            convolve(items[index], items[index + 1])
+            if index + 1 < len(items)
+            else items[index]
+            for index in range(0, len(items), 2)
+        ]
+    return list(items[0])
+
+
+# ----------------------------------------------------------------------
+# Shared weight tables and deferred rational assembly
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=None)
+def factorial_cached(n: int) -> int:
+    """Memoized ``n!`` (the common Shapley denominator)."""
+    return factorial(n)
+
+
+@lru_cache(maxsize=4096)
+def binomial_row(n: int) -> tuple[int, ...]:
+    """Memoized ``(C(n, 0), ..., C(n, n))`` — the free-fact count vector."""
+    if n < 0:
+        raise ValueError("binomial_row requires n >= 0")
+    return tuple(comb(n, k) for k in range(n + 1))
+
+
+@lru_cache(maxsize=2048)
+def shapley_weights(num_players: int) -> tuple[int, ...]:
+    """Integer Shapley weight numerators over the denominator ``n!``.
+
+    ``shapley_weights(n)[k] == k! * (n - k - 1)!`` — the coalition
+    weight of size ``k`` times ``n!``, shared by every assembly loop in
+    the library (engine results, brute force, generic games).
+    """
+    if num_players <= 0:
+        raise ValueError("shapley_weights requires at least one player")
+    facts = [1] * num_players
+    for index in range(1, num_players):
+        facts[index] = facts[index - 1] * index
+    return tuple(
+        facts[k] * facts[num_players - 1 - k] for k in range(num_players)
+    )
+
+
+@lru_cache(maxsize=65536)
+def shapley_coefficient_cached(num_players: int, coalition_size: int) -> Fraction:
+    """Memoized ``k!(n-k-1)!/n!`` from the shared weight table."""
+    return Fraction(
+        shapley_weights(num_players)[coalition_size],
+        factorial_cached(num_players),
+    )
+
+
+class ShapleyAccumulator:
+    """Deferred Fraction assembly of one player's Shapley value.
+
+    Accumulates ``sum_k k!(n-k-1)! * marginal_k`` exactly — as a plain
+    integer while every marginal is an integer, promoting to ``Fraction``
+    only if a rational marginal arrives (generic games) — and divides by
+    ``n!`` once at the end.  ``Fraction`` canonicalizes, so the result
+    is bit-identical to the historical per-size ``Fraction``
+    multiply-add at a fraction of the gcd work.
+    """
+
+    __slots__ = ("_weights", "_denominator", "_total")
+
+    def __init__(self, num_players: int) -> None:
+        self._weights = shapley_weights(num_players)
+        self._denominator = factorial_cached(num_players)
+        self._total: int | Fraction = 0
+
+    def add(self, coalition_size: int, marginal: int | Fraction) -> None:
+        """Fold in one coalition's marginal contribution at ``coalition_size``."""
+        self._total += self._weights[coalition_size] * marginal
+
+    def value(self) -> Fraction:
+        """The assembled Shapley value, normalized exactly once."""
+        if isinstance(self._total, Fraction):
+            return self._total / self._denominator
+        return Fraction(self._total, self._denominator)
+
+
+def note_plan_selection(component_size: int) -> str:
+    """Record the tier the planner expects for one exact grounding task.
+
+    The planner calls this per planned ``cntsat``/``exoshap`` task with
+    the component's endogenous fact count — the length scale of the
+    task's top-level convolutions — so ``stats["kernel"]`` shows which
+    tier each planned task was steered to before execution starts.
+    Returns the predicted tier name.
+    """
+    tier = tier_for_sizes(component_size + 1, component_size + 1)
+    if tier == SCHOOLBOOK:
+        _STATS.plan_selections_schoolbook += 1
+    elif tier == GMPY:
+        _STATS.plan_selections_gmpy += 1
+    else:
+        _STATS.plan_selections_packed += 1
+    return tier
+
+
+def kernel_metrics_document() -> dict:
+    """The JSON form of the kernel layer for the daemon's ``metrics`` op."""
+    return {
+        "active": active_kernel_name(),
+        "gmpy_available": gmpy_available(),
+        "counters": {
+            name: value
+            for name, value in vars(_STATS.snapshot()).items()
+            if isinstance(value, int)
+        },
+    }
+
+
+# Honor REPRO_KERNEL from process start (spawned workers re-import and
+# pick the variable up here; forked workers inherit the parent's state).
+refresh_from_environment()
+
+
+__all__ = [
+    "AUTO",
+    "GMPY",
+    "KERNEL_NAMES",
+    "PACKED",
+    "PACK_THRESHOLD",
+    "SCHOOLBOOK",
+    "KernelStats",
+    "ShapleyAccumulator",
+    "active_kernel_name",
+    "binomial_row",
+    "convolve",
+    "convolve_gmpy",
+    "convolve_many",
+    "convolve_packed",
+    "convolve_schoolbook",
+    "factorial_cached",
+    "gmpy_available",
+    "kernel_description",
+    "kernel_metrics_document",
+    "kernel_stats",
+    "note_plan_selection",
+    "refresh_from_environment",
+    "reset_kernel_stats",
+    "shapley_coefficient_cached",
+    "shapley_weights",
+    "tier_for_sizes",
+    "use_kernel",
+]
