@@ -15,6 +15,8 @@ Usage (after ``pip install -e .``)::
     python -m repro serve     --tcp 127.0.0.1:7464 --max-inflight 32 --per-client-rps 50
     python -m repro batch     db.json QUERY --connect /tmp/repro.sock --json
     python -m repro metrics   --connect /tmp/repro.sock
+    python -m repro batch     db.json QUERY --trace --trace-out trace.json
+    python -m repro trace     db.json QUERY --jobs 2 --out trace.json
     python -m repro relevance db.json QUERY --fact 'TA' Adam
     python -m repro demo                         # the paper's running example
 
@@ -101,6 +103,18 @@ it the delta is applied locally before the engine runs::
 
     python -m repro answers db.json QUERY --connect /run/repro.sock \
         --update delta.json
+
+``--trace`` (on ``batch`` and ``answers``) records a hierarchical span
+trace of each request — planner prunes, store tiers with hit/miss,
+kernel convolutions, sampler rounds, and (with ``--jobs``) per-worker
+lanes; with ``--connect`` the daemon contributes its admission and
+coalescing spans and ships the trace back on the response.  The tree
+prints after the report; ``--trace-out FILE.json`` additionally exports
+Chrome ``trace_event`` JSON loadable in ``chrome://tracing`` or
+Perfetto.  The dedicated ``trace`` command does the same for a single
+query without the attribution report::
+
+    python -m repro trace db.json QUERY --jobs 2 --out trace.json
 
 ``--auth-token TOKEN`` (or ``REPRO_AUTH_TOKEN``) guards a TCP daemon:
 ``serve --tcp`` rejects frames without the token (constant-time compare,
@@ -259,6 +273,44 @@ def _reject_engine_flags_with_connect(options: argparse.Namespace) -> bool:
     return False
 
 
+def _trace_wanted(options: argparse.Namespace) -> bool:
+    """--trace-out implies --trace: an export needs a recorded trace."""
+    return bool(
+        getattr(options, "trace", False) or getattr(options, "trace_out", None)
+    )
+
+
+def _finish_traces(
+    options: argparse.Namespace,
+    traces: list[tuple[str, dict | None]],
+    *,
+    quiet: bool = False,
+) -> None:
+    """Render and/or export collected ``(query, document)`` traces.
+
+    ``quiet`` suppresses the text tree (--json mode keeps stdout a single
+    machine-readable document); --trace-out exports the first recorded
+    trace as Chrome ``trace_event`` JSON either way.
+    """
+    if not _trace_wanted(options):
+        return
+    from repro.obs import export_chrome, render_trace
+
+    out = getattr(options, "trace_out", None)
+    for text, document in traces:
+        if document is None:
+            print(f"warning: no trace recorded for {text!r}", file=sys.stderr)
+            continue
+        if not quiet:
+            print(f"trace for {text!r}:")
+            print(render_trace(document))
+        if out:
+            export_chrome(document, out)
+            if not quiet:
+                print(f"trace written to {out}")
+            out = None
+
+
 def _cmd_batch(options: argparse.Namespace) -> int:
     if _reject_engine_flags_with_connect(options):
         return 2
@@ -276,6 +328,8 @@ def _cmd_batch(options: argparse.Namespace) -> int:
     queries = [(text, parse_query(text)) for text in options.queries]
     repeats = max(1, options.repeat)
     results = []
+    traces: list[tuple[str, dict | None]] = []
+    want_trace = _trace_wanted(options)
     stats: dict | None = None
     engine = None
     if options.connect:
@@ -301,14 +355,19 @@ def _cmd_batch(options: argparse.Namespace) -> int:
                         exogenous,
                         epsilon=options.epsilon,
                         delta=options.delta,
+                        trace=want_trace,
                     )
-                return client.batch(handle, text, exogenous, policy=policy)
+                return client.batch(
+                    handle, text, exogenous, policy=policy, trace=want_trace
+                )
 
             for text, query in queries:
                 result = remote(text)
                 for _ in range(repeats - 1):
                     result = remote(text)
                 results.append((text, query, result))
+                if want_trace:
+                    traces.append((text, client.last_trace))
             if options.stats or options.json:
                 stats = client.stats()
     else:
@@ -326,9 +385,14 @@ def _cmd_batch(options: argparse.Namespace) -> int:
                     exogenous_relations=exogenous,
                     epsilon=options.epsilon,
                     delta=options.delta,
+                    trace=True if want_trace else None,
                 )
             return engine.batch(
-                database, query, exogenous_relations=exogenous, policy=policy
+                database,
+                query,
+                exogenous_relations=exogenous,
+                policy=policy,
+                trace=True if want_trace else None,
             )
 
         for text, query in queries:
@@ -336,6 +400,8 @@ def _cmd_batch(options: argparse.Namespace) -> int:
             for _ in range(repeats - 1):
                 result = local(query)
             results.append((text, query, result))
+            if want_trace:
+                traces.append((text, engine.last_trace))
         if options.json:
             stats = {"engine": engine.counters()}
     if options.json:
@@ -347,7 +413,12 @@ def _cmd_batch(options: argparse.Namespace) -> int:
             ],
             "stats": stats,
         }
+        if want_trace:
+            document["traces"] = [
+                {"query": text, "trace": trace} for text, trace in traces
+            ]
         print(json.dumps(document, indent=2))
+        _finish_traces(options, traces, quiet=True)
         return 0
     for text, query, result in results:
         print(
@@ -368,6 +439,7 @@ def _cmd_batch(options: argparse.Namespace) -> int:
         if show_shapley:
             total = sum(result.shapley.values())
             print(f"  {'(shapley sum)':32} {total!s}")
+    _finish_traces(options, traces)
     if options.stats:
         if engine is not None:
             _print_stats(engine)
@@ -420,6 +492,8 @@ def _cmd_answers(options: argparse.Namespace) -> int:
             return 2
     policy = _policy_from_options(options)
     delta = _load_delta(options)
+    traces: list[tuple[str, dict | None]] = []
+    want_trace = _trace_wanted(options)
     stats: dict | None = None
     engine = None
     if options.connect:
@@ -434,8 +508,15 @@ def _cmd_answers(options: argparse.Namespace) -> int:
             if delta is not None:
                 target = client.update_database(database, delta=delta)
             batch = client.answers(
-                target, options.query, requested, exogenous, policy=policy
+                target,
+                options.query,
+                requested,
+                exogenous,
+                policy=policy,
+                trace=want_trace,
             )
+            if want_trace:
+                traces.append((options.query, client.last_trace))
             if options.stats or options.json:
                 stats = client.stats()
     else:
@@ -450,7 +531,10 @@ def _cmd_answers(options: argparse.Namespace) -> int:
             requested,
             exogenous_relations=exogenous,
             policy=policy,
+            trace=True if want_trace else None,
         )
+        if want_trace:
+            traces.append((options.query, engine.last_trace))
         if options.json:
             stats = {"engine": engine.counters()}
     show_shapley = options.measure in ("shapley", "both")
@@ -490,7 +574,12 @@ def _cmd_answers(options: argparse.Namespace) -> int:
                 "label": label,
                 "values": attribution_to_rows(totals),
             }
+        if want_trace:
+            document["traces"] = [
+                {"query": text, "trace": trace} for text, trace in traces
+            ]
         print(json.dumps(document, indent=2))
+        _finish_traces(options, traces, quiet=True)
         return 0
 
     def print_values(result, indent: str = "  ") -> None:
@@ -520,6 +609,7 @@ def _cmd_answers(options: argparse.Namespace) -> int:
                 print(f"  {f!r:32} shapley={totals[f]!s}")
         print(f"  {'(sum)':32} {sum(totals.values(), Fraction(0))!s}")
 
+    _finish_traces(options, traces)
     if options.stats:
         if engine is not None:
             _print_stats(engine)
@@ -621,6 +711,68 @@ def _cmd_metrics(options: argparse.Namespace) -> int:
         print(json.dumps(document, indent=2, sort_keys=True))
         return 0
     _render_metrics(document)
+    return 0
+
+
+def _cmd_trace(options: argparse.Namespace) -> int:
+    """Run one traced request and print its span tree (optionally export)."""
+    if _reject_engine_flags_with_connect(options):
+        return 2
+    from repro.obs import export_chrome, render_trace
+
+    database = load_database(options.database)
+    query = parse_query(options.query)
+    exogenous = frozenset(options.exogenous) if options.exogenous else None
+    policy = _policy_from_options(options)
+    if options.connect:
+        from repro.server.client import AttributionClient
+
+        with AttributionClient(
+            options.connect,
+            timeout=options.timeout,
+            auth_token=options.auth_token,
+        ) as client:
+            if query.is_boolean:
+                client.batch(
+                    database, options.query, exogenous, policy=policy, trace=True
+                )
+            else:
+                client.answers(
+                    database,
+                    options.query,
+                    None,
+                    exogenous,
+                    policy=policy,
+                    trace=True,
+                )
+            document = client.last_trace
+    else:
+        engine = _make_engine(options)
+        if query.is_boolean:
+            engine.batch(
+                database,
+                query,
+                exogenous_relations=exogenous,
+                policy=policy,
+                trace=True,
+            )
+        else:
+            engine.batch_answers(
+                database,
+                query,
+                None,
+                exogenous_relations=exogenous,
+                policy=policy,
+                trace=True,
+            )
+        document = engine.last_trace
+    if document is None:
+        print("error: no trace was recorded for the request", file=sys.stderr)
+        return 2
+    print(render_trace(document))
+    if options.out:
+        path = export_chrome(document, options.out)
+        print(f"trace written to {path}")
     return 0
 
 
@@ -791,6 +943,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="auth token for a guarded TCP daemon with --connect"
         " (default: REPRO_AUTH_TOKEN)",
     )
+    p_batch.add_argument(
+        "--trace",
+        action="store_true",
+        help="record a span trace of each request (engine, stores, kernels;"
+        " with --connect also the daemon's admission/coalescing) and print"
+        " the span tree",
+    )
+    p_batch.add_argument(
+        "--trace-out",
+        metavar="FILE.json",
+        help="export the first trace as Chrome trace_event JSON"
+        " (chrome://tracing / Perfetto; implies --trace)",
+    )
     p_batch.set_defaults(handler=_cmd_batch)
 
     p_answers = commands.add_parser(
@@ -877,6 +1042,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="auth token for a guarded TCP daemon with --connect"
         " (default: REPRO_AUTH_TOKEN)",
+    )
+    p_answers.add_argument(
+        "--trace",
+        action="store_true",
+        help="record a span trace of the request (engine, stores, kernels;"
+        " with --connect also the daemon's admission/coalescing) and print"
+        " the span tree",
+    )
+    p_answers.add_argument(
+        "--trace-out",
+        metavar="FILE.json",
+        help="export the trace as Chrome trace_event JSON"
+        " (chrome://tracing / Perfetto; implies --trace)",
     )
     p_answers.set_defaults(handler=_cmd_answers)
 
@@ -968,6 +1146,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the raw metrics document as JSON",
     )
     p_metrics.set_defaults(handler=_cmd_metrics)
+
+    p_trace = commands.add_parser(
+        "trace",
+        help="run one traced request and print its span tree",
+    )
+    p_trace.add_argument("database", help="database JSON file")
+    p_trace.add_argument(
+        "query",
+        help="datalog-style query text (Boolean queries run as a batch,"
+        " queries with head variables as per-answer attribution)",
+    )
+    p_trace.add_argument(
+        "--exogenous", nargs="*", metavar="REL", help="exogenous relations (X)"
+    )
+    _add_method_flags(p_trace)
+    p_trace.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard independent plan tasks across N worker processes"
+        " (worker spans land on their own lanes)",
+    )
+    p_trace.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persistent on-disk result cache (store.get spans show tier"
+        " and hit/miss)",
+    )
+    p_trace.add_argument(
+        "--connect",
+        metavar="ADDR",
+        help="trace through a running attribution daemon (socket path or"
+        " HOST:PORT); adds the server's admission/coalescing spans",
+    )
+    p_trace.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request socket timeout with --connect",
+    )
+    p_trace.add_argument(
+        "--auth-token",
+        metavar="TOKEN",
+        default=None,
+        help="auth token for a guarded TCP daemon with --connect"
+        " (default: REPRO_AUTH_TOKEN)",
+    )
+    p_trace.add_argument(
+        "--out",
+        metavar="FILE.json",
+        help="also export Chrome trace_event JSON"
+        " (chrome://tracing / Perfetto)",
+    )
+    p_trace.set_defaults(handler=_cmd_trace)
 
     p_relevance = commands.add_parser(
         "relevance", help="relevance of a fact (polarity-consistent queries)"

@@ -35,6 +35,7 @@ runs the whole engine suite under a sharded backend.
 from __future__ import annotations
 
 import os
+from contextlib import contextmanager
 from dataclasses import replace
 from typing import TYPE_CHECKING, AbstractSet, Iterable
 
@@ -58,6 +59,7 @@ from repro.engine.results import (
     project_result,
 )
 from repro.engine.stores import MemoryResultStore, ResultStore, TieredResultStore
+from repro.obs import tracing as _tracing
 from repro.util import kernels
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
@@ -128,6 +130,17 @@ def _executor_from_environment() -> Executor:
     return SerialExecutor()
 
 
+class _RequestScope:
+    """What one public engine call threads through its request window."""
+
+    __slots__ = ("tracer", "span", "plan")
+
+    def __init__(self, tracer: "_tracing.Tracer | None", span) -> None:
+        self.tracer = tracer
+        self.span = span
+        self.plan: Plan | None = None
+
+
 class BatchAttributionEngine:
     """Computes Shapley/Banzhaf values for all endogenous facts at once.
 
@@ -155,6 +168,7 @@ class BatchAttributionEngine:
         jobs: int | None = None,
         start_method: str | None = None,
         sample_strata: int = 1,
+        trace: bool = False,
     ) -> None:
         self.component_cache: LRUCache = LRUCache(component_cache_size)
         self.result_cache: LRUCache = LRUCache(result_cache_size)
@@ -187,6 +201,19 @@ class BatchAttributionEngine:
         # the stratified allocator folded into the round structure.
         self.sample_strata = sample_strata
         self.executor = executor
+        # Trace every request by default when True; individual calls can
+        # still opt in/out (or supply their own tracer) per request.
+        self.trace = bool(trace)
+        #: The finished trace document of the last engine-traced request
+        #: (left alone when the caller supplied its own tracer).
+        self.last_trace: dict | None = None
+        #: Engine-scoped kernel accounting: the sum of per-request
+        #: deltas, vs the process-wide totals of
+        #: :func:`repro.util.kernels.kernel_stats`.
+        self.kernel_stats = kernels.KernelStats()
+        #: The kernel delta of the most recent request (also attached to
+        #: its plan as ``plan.kernel_stats``).
+        self.last_kernel_stats: "kernels.KernelStats | None" = None
         self.planner_stats = PlanStats()
         self.executor_stats = ExecutorStats(processes=self.executor.jobs)
         self.delta_stats = DeltaStats()
@@ -196,6 +223,60 @@ class BatchAttributionEngine:
         # which only ever under-reports versions_seen.
         self._versions: set[tuple] = set()
         self._versions_cap = 1024
+
+    # ------------------------------------------------------------------
+    # Per-request scoping (tracing + kernel counter deltas)
+    # ------------------------------------------------------------------
+    def _resolve_tracer(
+        self, trace: "bool | _tracing.Tracer | None"
+    ) -> tuple["_tracing.Tracer | None", bool]:
+        """The request's tracer, and whether the engine owns documenting it.
+
+        ``None`` defers to the engine-level ``trace`` default; ``True``
+        builds a fresh tracer whose finished document lands in
+        :attr:`last_trace`; a :class:`repro.obs.tracing.Tracer` instance
+        (the daemon's) is used as-is — its owner documents it, so engine
+        spans nest under whatever the owner already opened.
+        """
+        if trace is None:
+            trace = self.trace
+        if trace is False:
+            return None, False
+        if trace is True:
+            return _tracing.Tracer(), True
+        return trace, False
+
+    @contextmanager
+    def _request_scope(
+        self, trace: "bool | _tracing.Tracer | None", kind: str
+    ):
+        """One request's accounting window: ``request`` span + kernel delta.
+
+        The window opens *before* planning (plan-time kernel selections
+        belong to the request) and closes after execution, when the
+        process-wide kernel counter delta is attached to the plan
+        (``plan.kernel_stats``), folded into the engine-scoped
+        :attr:`kernel_stats` aggregate, and kept as
+        :attr:`last_kernel_stats`.  Under a sharded executor the delta
+        covers parent-side work only — workers count into their own
+        process-local totals.
+        """
+        tracer, owned = self._resolve_tracer(trace)
+        before = kernels.kernel_stats().snapshot()
+        scope: _RequestScope | None = None
+        try:
+            with _tracing.activate(tracer):
+                with _tracing.maybe_span(tracer, "request", kind=kind) as span:
+                    scope = _RequestScope(tracer, span)
+                    yield scope
+        finally:
+            delta = kernels.kernel_stats().delta(before)
+            self.kernel_stats.merge(delta)
+            self.last_kernel_stats = delta
+            if scope is not None and scope.plan is not None:
+                scope.plan.kernel_stats = delta
+            if owned:
+                self.last_trace = tracer.document()
 
     # ------------------------------------------------------------------
     # Public API
@@ -210,6 +291,7 @@ class BatchAttributionEngine:
         allow_brute_force: bool | None = None,
         grounding: tuple[Constant, ...] | None = None,
         pool: BundlePool | None = None,
+        trace: "bool | _tracing.Tracer | None" = None,
     ) -> BatchResult:
         """Shapley and Banzhaf values of every endogenous fact of ``D``.
 
@@ -234,27 +316,39 @@ class BatchAttributionEngine:
         collide even when their grounded atom sets coincide.  ``pool``
         lets an answer batch share component bundles across groundings
         (see :meth:`batch_answers`).
+
+        ``trace`` opts this request into span tracing: ``True`` records
+        a fresh trace into :attr:`last_trace`, a
+        :class:`repro.obs.tracing.Tracer` instance nests the request's
+        spans under the caller's, ``None`` defers to the engine default.
         """
         method_policy = resolve_policy(policy, allow_brute_force)
-        version = self._note_version(database)
-        plan = build_plan(
-            database,
-            [PlanRequest(query, grounding)],
-            exogenous_relations=exogenous_relations,
-            policy=method_policy,
-            store=self.store,
-            include_bundles=self.executor.jobs > 1,
-            bundle_cache=pool if pool is not None else self.component_cache,
-            sample_strata=self.sample_strata,
-        )
-        self._note_plan(plan)
-        planned = plan.requests[0]
-        if planned.node_id is None:
-            return self._finish(
-                plan.satisfied[planned.key], database, from_cache=True
+        with self._request_scope(trace, "batch") as scope:
+            version = self._note_version(database)
+            plan = build_plan(
+                database,
+                [PlanRequest(query, grounding)],
+                exogenous_relations=exogenous_relations,
+                policy=method_policy,
+                store=self.store,
+                include_bundles=self.executor.jobs > 1,
+                bundle_cache=pool if pool is not None else self.component_cache,
+                sample_strata=self.sample_strata,
             )
-        results = self._execute(plan, pool, version)
-        return self._finish(results[planned.node_id], database, from_cache=False)
+            scope.plan = plan
+            self._note_plan(plan)
+            planned = plan.requests[0]
+            if scope.tracer is not None:
+                scope.span.set("fingerprint", _tracing.label(planned.key))
+            if planned.node_id is None:
+                scope.span.set("pruned", True)
+                return self._finish(
+                    plan.satisfied[planned.key], database, from_cache=True
+                )
+            results = self._execute(plan, pool, version)
+            return self._finish(
+                results[planned.node_id], database, from_cache=False
+            )
 
     def batch_answers(
         self,
@@ -265,6 +359,7 @@ class BatchAttributionEngine:
         exogenous_relations: AbstractSet[str] | None = None,
         policy: MethodPolicy | str | None = None,
         allow_brute_force: bool | None = None,
+        trace: "bool | _tracing.Tracer | None" = None,
     ) -> AnswerBatchResult:
         """One plan covering every grounding ``q_t`` of a non-Boolean query.
 
@@ -285,42 +380,47 @@ class BatchAttributionEngine:
         method_policy = resolve_policy(policy, allow_brute_force)
         if query.is_boolean:
             raise ValueError("batch_answers needs a query with head variables")
-        if answers is None:
-            answers = candidate_answers(database, query)
-        requests = []
-        for answer in sorted(answers, key=repr):
-            answer = tuple(answer)
-            if head_assignment(query, answer) is None:
-                # A tuple conflicting with a repeated head variable is
-                # never an answer: q_t is identically false and every
-                # fact's value vanishes.
-                requests.append(PlanRequest(None, answer, inconsistent=True))
-            else:
-                requests.append(PlanRequest(ground_at_answer(query, answer), answer))
-        version = self._note_version(database)
-        plan = build_plan(
-            database,
-            requests,
-            exogenous_relations=exogenous_relations,
-            policy=method_policy,
-            store=self.store,
-            include_bundles=self.executor.jobs > 1,
-            bundle_cache=self.component_cache,
-            sample_strata=self.sample_strata,
-        )
-        self._note_plan(plan)
-        pool = BundlePool(self.component_cache)
-        results = self._execute(plan, pool, version)
-        per_answer: dict[tuple[Constant, ...], BatchResult] = {}
-        for planned in plan.requests:
-            if planned.node_id is None:
-                result, cached = plan.satisfied[planned.key], True
-            else:
-                result, cached = results[planned.node_id], False
-            per_answer[planned.request.grounding] = self._finish(
-                result, database, from_cache=cached
+        with self._request_scope(trace, "batch_answers") as scope:
+            if answers is None:
+                answers = candidate_answers(database, query)
+            requests = []
+            for answer in sorted(answers, key=repr):
+                answer = tuple(answer)
+                if head_assignment(query, answer) is None:
+                    # A tuple conflicting with a repeated head variable is
+                    # never an answer: q_t is identically false and every
+                    # fact's value vanishes.
+                    requests.append(PlanRequest(None, answer, inconsistent=True))
+                else:
+                    requests.append(
+                        PlanRequest(ground_at_answer(query, answer), answer)
+                    )
+            scope.span.set("answers", len(requests))
+            version = self._note_version(database)
+            plan = build_plan(
+                database,
+                requests,
+                exogenous_relations=exogenous_relations,
+                policy=method_policy,
+                store=self.store,
+                include_bundles=self.executor.jobs > 1,
+                bundle_cache=self.component_cache,
+                sample_strata=self.sample_strata,
             )
-        return AnswerBatchResult(per_answer, pool.stats.snapshot())
+            scope.plan = plan
+            self._note_plan(plan)
+            pool = BundlePool(self.component_cache)
+            results = self._execute(plan, pool, version)
+            per_answer: dict[tuple[Constant, ...], BatchResult] = {}
+            for planned in plan.requests:
+                if planned.node_id is None:
+                    result, cached = plan.satisfied[planned.key], True
+                else:
+                    result, cached = results[planned.node_id], False
+                per_answer[planned.request.grounding] = self._finish(
+                    result, database, from_cache=cached
+                )
+            return AnswerBatchResult(per_answer, pool.stats.snapshot())
 
     def _note_version(self, database: Database) -> tuple:
         """Count distinct database fingerprints for the delta accounting.
@@ -362,7 +462,15 @@ class BatchAttributionEngine:
             self.persistent.writer_version = digest_key(version)
         reused_before = cache.stats.hits
         dirty_before = cache.stats.misses
-        results, stats = self.executor.execute(plan, cache)
+        with _tracing.maybe_span(
+            _tracing.ACTIVE,
+            "execute",
+            tasks=len(plan.tasks),
+            bundles=len(plan.bundles),
+        ) as span:
+            results, stats = self.executor.execute(plan, cache)
+            span.set("shipped", stats.shipped)
+            span.set("fallbacks", stats.fallbacks)
         self.executor_stats.merge(stats)
         self.delta_stats.components_reused += cache.stats.hits - reused_before
         self.delta_stats.components_dirty += (
@@ -478,6 +586,7 @@ class BatchAttributionEngine:
         grounding: tuple[Constant, ...] | None = None,
         epsilon: float | None = None,
         delta: float | None = None,
+        trace: "bool | _tracing.Tracer | None" = None,
     ) -> BatchResult:
         """Tighten a sampled request's bound from its stored state.
 
@@ -521,6 +630,7 @@ class BatchAttributionEngine:
             exogenous_relations=exogenous_relations,
             grounding=grounding,
             policy=MethodPolicy("sampled", epsilon=target, delta=confidence),
+            trace=trace,
         )
 
     # ------------------------------------------------------------------
@@ -632,7 +742,11 @@ class BatchAttributionEngine:
         counters["executor"] = self.executor_stats.snapshot()
         counters["delta"] = self.delta_stats.snapshot()
         counters["sampler"] = self.sample_stats.snapshot()
-        counters["kernel"] = kernels.kernel_stats().snapshot()
+        # Engine-scoped since the per-plan counter scoping: the sum of
+        # this engine's per-request deltas, not the process-wide totals
+        # (those stay on ``kernels.kernel_stats()`` and the daemon's
+        # ``kernel_metrics_document``).
+        counters["kernel"] = self.kernel_stats.snapshot()
         return counters
 
     def retire_version(self, database: Database) -> int:

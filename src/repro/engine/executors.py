@@ -51,6 +51,7 @@ from repro.engine.results import (
     BatchResult,
     result_from_vectors,
 )
+from repro.obs import tracing as _tracing
 from repro.shapley.sampling import (
     achieved_epsilon,
     extend_state,
@@ -209,8 +210,12 @@ class SerialExecutor:
     ) -> tuple[dict[tuple, BatchResult], ExecutorStats]:
         stats = ExecutorStats(processes=1)
         results: dict[tuple, BatchResult] = {}
+        tracer = _tracing.ACTIVE
         for task in plan.tasks:
-            results[task.node_id] = execute_grounding_task(task, cache)
+            with _tracing.maybe_span(
+                tracer, f"node:{task.method}", node=_tracing.label(task.node_id)
+            ):
+                results[task.node_id] = execute_grounding_task(task, cache)
             stats.tasks += 1
         return results, stats
 
@@ -235,15 +240,30 @@ def _worker_init() -> None:
     reset_default_engine()
 
 
-def _run_bundle_chunk(tasks: list[BundleTask]) -> list[tuple[tuple, object]]:
-    """Worker payload: a chunk of component bundles, one shared local cache."""
+def _run_bundle_chunk(
+    tasks: list[BundleTask], trace: bool = False
+) -> tuple[list[tuple[tuple, object]], dict | None]:
+    """Worker payload: a chunk of component bundles, one shared local cache.
+
+    With ``trace`` set, the worker records its own spans (one
+    ``node:bundle`` per component, plus whatever the kernels emit) and
+    ships them home alongside the results — spans arrive iff results do.
+    """
     cache: LRUCache = LRUCache(128)
-    return [(task.node_id, bundle_for_component(task.scope, cache)) for task in tasks]
+    tracer = _tracing.Tracer() if trace else None
+    out: list[tuple[tuple, object]] = []
+    with _tracing.activate(tracer):
+        for task in tasks:
+            with _tracing.maybe_span(
+                tracer, "node:bundle", node=_tracing.label(task.node_id)
+            ):
+                out.append((task.node_id, bundle_for_component(task.scope, cache)))
+    return out, (tracer.shipment() if tracer is not None else None)
 
 
 def _run_grounding_chunk(
-    tasks: list[GroundingTask],
-) -> list[tuple[tuple, BatchResult]]:
+    tasks: list[GroundingTask], trace: bool = False
+) -> tuple[list[tuple[tuple, BatchResult]], dict | None]:
     """Worker payload: a chunk of self-contained grounding nodes.
 
     Chunking matters for more than dispatch overhead: the tasks of one
@@ -252,28 +272,45 @@ def _run_grounding_chunk(
     instead of once per grounding.
     """
     cache: LRUCache = LRUCache(64)
-    return [(task.node_id, execute_grounding_task(task, cache)) for task in tasks]
+    tracer = _tracing.Tracer() if trace else None
+    out: list[tuple[tuple, BatchResult]] = []
+    with _tracing.activate(tracer):
+        for task in tasks:
+            with _tracing.maybe_span(
+                tracer, f"node:{task.method}", node=_tracing.label(task.node_id)
+            ):
+                out.append((task.node_id, execute_grounding_task(task, cache)))
+    return out, (tracer.shipment() if tracer is not None else None)
 
 
 def _run_sample_chunk(
-    task: GroundingTask, start: int, count: int
-) -> tuple[tuple, dict, int]:
+    task: GroundingTask, start: int, count: int, trace: bool = False
+) -> tuple[tuple, dict, int, dict | None]:
     """Worker payload: one contiguous round range of a sampled node.
 
     Per-round seeding (:func:`repro.shapley.sampling.round_rng`) makes
     the returned integer totals a pure function of ``(seed, start,
     count)``, so the parent can merge ranges in any completion order
-    and still match serial execution bit for bit.
+    and still match serial execution bit for bit.  A traced worker ships
+    only its ``sampler.round`` span — the node-level ``node:sampled``
+    span is emitted once by the parent at assembly time.
     """
-    totals, evaluations = run_rounds(
-        task.database,
-        task.query,
-        task.sample_spec.seed,
-        start,
-        count,
-        task.sample_spec.strata,
+    tracer = _tracing.Tracer() if trace else None
+    with _tracing.activate(tracer):
+        totals, evaluations = run_rounds(
+            task.database,
+            task.query,
+            task.sample_spec.seed,
+            start,
+            count,
+            task.sample_spec.strata,
+        )
+    return (
+        task.node_id,
+        totals,
+        evaluations,
+        tracer.shipment() if tracer is not None else None,
     )
-    return task.node_id, totals, evaluations
 
 
 def _round_ranges(start: int, count: int, jobs: int) -> list[tuple[int, int]]:
@@ -289,6 +326,37 @@ def _round_ranges(start: int, count: int, jobs: int) -> list[tuple[int, int]]:
         ranges.append((position, step))
         position += step
     return ranges
+
+
+def _merge_shipped_trace(
+    tracer: "_tracing.Tracer | None",
+    at: float | None,
+    shipment: dict | None,
+    name: str,
+) -> None:
+    """Fold one worker shipment under a fresh dispatch span.
+
+    The dispatch span covers the submit-to-merge window; the worker's
+    own spans land inside it, on a dedicated lane, re-clocked onto the
+    parent tracer (see :meth:`repro.obs.tracing.Tracer.merge_shipment`).
+    """
+    if tracer is None or at is None or shipment is None:
+        return
+    end = tracer.now()
+    lane = tracer.new_lane()
+    dispatch = tracer.add_span(
+        name,
+        at,
+        end,
+        parent_id=tracer.current_id,
+        lane=lane,
+        pid=shipment.get("pid"),
+    )
+    if dispatch is None:
+        return
+    tracer.merge_shipment(
+        shipment, parent_id=dispatch.span_id, at=at, until=end, lane=lane
+    )
 
 
 def _chunked(items: list, jobs: int) -> list[list]:
@@ -477,10 +545,14 @@ class ShardedExecutor:
                 if failed is not None:
                     failed.shutdown(wait=False, cancel_futures=True)
                 stats.fallbacks += 1
+        tracer = _tracing.ACTIVE
         for task in plan.tasks:
             if task.node_id in results:
                 continue
-            results[task.node_id] = execute_grounding_task(task, cache)
+            with _tracing.maybe_span(
+                tracer, f"node:{task.method}", node=_tracing.label(task.node_id)
+            ):
+                results[task.node_id] = execute_grounding_task(task, cache)
             stats.tasks += 1
         return results, stats
 
@@ -506,17 +578,22 @@ class ShardedExecutor:
         """
         from dataclasses import replace
 
+        tracer = _tracing.ACTIVE
+        trace = tracer is not None
         pool = _worker_pool(self.jobs, self.start_method)
-        futures = {
-            pool.submit(_run_bundle_chunk, chunk): "bundle"
-            for chunk in _chunked(bundles, self.jobs)
-        }
-        futures.update(
-            {
-                pool.submit(_run_grounding_chunk, chunk): "task"
-                for chunk in _chunked(tasks, self.jobs)
-            }
-        )
+        futures = {}
+        submits: dict[object, float] = {}
+
+        def _submit(payload, kind, *args):
+            future = pool.submit(payload, *args, trace)
+            futures[future] = kind
+            if trace:
+                submits[future] = tracer.now()
+
+        for chunk in _chunked(bundles, self.jobs):
+            _submit(_run_bundle_chunk, "bundle", chunk)
+        for chunk in _chunked(tasks, self.jobs):
+            _submit(_run_grounding_chunk, "task", chunk)
         sample_by_node: dict[tuple, GroundingTask] = {}
         expected: dict[tuple, int] = {}
         partials: dict[tuple, list[tuple[dict, int]]] = {}
@@ -531,33 +608,42 @@ class ShardedExecutor:
             # range, the parent folds the prior back in on assembly.
             shippable = replace(task, sample_spec=replace(spec, prior=None))
             for range_start, count in ranges:
-                futures[
-                    pool.submit(_run_sample_chunk, shippable, range_start, count)
-                ] = "sample"
+                _submit(_run_sample_chunk, "sample", shippable, range_start, count)
         done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
         try:
             for future in done:
-                if futures[future] == "sample":
-                    node_id, totals, evaluations = future.result()
+                kind = futures[future]
+                if kind == "sample":
+                    node_id, totals, evaluations, shipment = future.result()
                     partials[node_id].append((totals, evaluations))
                     stats.shipped += 1
-                    continue
-                for node_id, value in future.result():
-                    if futures[future] == "bundle":
-                        cache.seed(node_id[1], value)
-                        stats.bundle_tasks += 1
-                    else:
-                        results[node_id] = value
-                        stats.tasks += 1
-                    stats.shipped += 1
+                else:
+                    pairs, shipment = future.result()
+                    for node_id, value in pairs:
+                        if kind == "bundle":
+                            cache.seed(node_id[1], value)
+                            stats.bundle_tasks += 1
+                        else:
+                            results[node_id] = value
+                            stats.tasks += 1
+                        stats.shipped += 1
+                _merge_shipped_trace(
+                    tracer, submits.get(future), shipment, f"shard:{kind}"
+                )
             for node_id, parts in partials.items():
                 if len(parts) != expected[node_id]:
                     continue
-                totals = merge_totals({}, *(part[0] for part in parts))
-                evaluations = sum(part[1] for part in parts)
-                results[node_id] = assemble_sample_result(
-                    sample_by_node[node_id], totals, evaluations
-                )
+                with _tracing.maybe_span(
+                    tracer,
+                    "node:sampled",
+                    node=_tracing.label(node_id),
+                    ranges=len(parts),
+                ):
+                    totals = merge_totals({}, *(part[0] for part in parts))
+                    evaluations = sum(part[1] for part in parts)
+                    results[node_id] = assemble_sample_result(
+                        sample_by_node[node_id], totals, evaluations
+                    )
                 stats.tasks += 1
         finally:
             for future in not_done:

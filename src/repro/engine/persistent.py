@@ -63,6 +63,7 @@ from typing import Any
 from repro.core.facts import Fact
 from repro.engine.cache import CacheStats
 from repro.engine.results import BatchResult
+from repro.obs import tracing as _tracing
 from repro.io import (
     attribution_from_rows,
     attribution_to_rows,
@@ -168,6 +169,14 @@ class PersistentResultCache:
         of :func:`repro.engine.fingerprint.fingerprint_sample_state`)
         keeps the two from ever being confused.
         """
+        if _tracing.ACTIVE is None:
+            return self._get(key)
+        with _tracing.ACTIVE.span("store.get", tier="persistent") as span:
+            value = self._get(key)
+            span.set("hit", value is not None)
+            return value
+
+    def _get(self, key: tuple) -> BatchResult | SampleState | None:
         path = self._path(key)
         try:
             payload = json.loads(path.read_text())
@@ -230,6 +239,10 @@ class PersistentResultCache:
         sibling worker resumes the permutation stream instead of
         restarting it.
         """
+        with _tracing.maybe_span(_tracing.ACTIVE, "store.put", tier="persistent"):
+            return self._put(key, result)
+
+    def _put(self, key: tuple, result: BatchResult | SampleState) -> bool:
         if isinstance(result, SampleState):
             payload = self._encode_state(result)
         else:

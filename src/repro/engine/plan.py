@@ -64,6 +64,7 @@ from repro.engine.fingerprint import (
 )
 from repro.engine.policy import MethodPolicy
 from repro.engine.results import BatchResult, inflate_result, result_from_state
+from repro.obs import tracing as _tracing
 from repro.shapley.brute_force import MAX_BRUTE_FORCE_PLAYERS
 from repro.shapley.sampling import SampleState, rounds_for_contract, sample_seed
 from repro.util import kernels
@@ -286,6 +287,11 @@ class Plan:
     #: ``REPRO_KERNEL`` selection (``auto`` / ``schoolbook`` / ``packed``
     #: / ``gmpy``), re-read from the environment at plan time.
     kernel: str = "auto"
+    #: Per-request kernel accounting: the engine attaches the
+    #: :class:`repro.util.kernels.KernelStats` delta observed between
+    #: plan construction start and execution end, so one request's
+    #: convolution work is separable from the process-wide totals.
+    kernel_stats: "kernels.KernelStats | None" = None
 
 
 def _as_boolean(query: BooleanQuery) -> BooleanQuery:
@@ -390,7 +396,14 @@ def _plan_sampled(
     if node_id in seen:
         plan.requests.append(PlannedRequest(request, skey, node_id))
         return
-    cached = store.get(skey) if store is not None else None
+    if store is not None:
+        with _tracing.maybe_span(
+            _tracing.ACTIVE, "prune", key=_tracing.label(skey), sampled=True
+        ) as prune_span:
+            cached = store.get(skey)
+            prune_span.set("hit", cached is not None)
+    else:
+        cached = None
     if cached is not None:
         inflated, filled = inflate_result(cached, database.endogenous)
         plan.zero_filled += filled
@@ -494,6 +507,46 @@ def build_plan(
     """
     if policy is None:
         policy = MethodPolicy()
+    tracer = _tracing.ACTIVE
+    if tracer is None:
+        return _build_plan(
+            database,
+            requests,
+            exogenous_relations,
+            policy,
+            store,
+            include_bundles,
+            bundle_cache,
+            sample_strata,
+        )
+    with tracer.span("plan", requests=len(requests)) as span:
+        plan = _build_plan(
+            database,
+            requests,
+            exogenous_relations,
+            policy,
+            store,
+            include_bundles,
+            bundle_cache,
+            sample_strata,
+        )
+        span.set("planned", plan.stats.planned)
+        span.set("pruned", plan.stats.pruned)
+        span.set("bundles", plan.stats.bundles)
+        span.set("kernel", plan.kernel)
+        return plan
+
+
+def _build_plan(
+    database: Database,
+    requests: Sequence[PlanRequest],
+    exogenous_relations: AbstractSet[str] | None,
+    policy: MethodPolicy,
+    store: "ResultStore | None",
+    include_bundles: bool,
+    bundle_cache: "BundleCache | None",
+    sample_strata: int,
+) -> Plan:
     plan = Plan()
     # Kernel selection is a *plan-time* decision: the environment is read
     # once per plan, so one batch never mixes tiers mid-flight, and the
@@ -541,7 +594,14 @@ def build_plan(
         if node_id in seen:
             plan.requests.append(PlannedRequest(request, key, node_id))
             continue
-        cached = store.get(key) if store is not None else None
+        if store is not None:
+            with _tracing.maybe_span(
+                _tracing.ACTIVE, "prune", key=_tracing.label(key)
+            ) as prune_span:
+                cached = store.get(key)
+                prune_span.set("hit", cached is not None)
+        else:
+            cached = None
         if cached is not None:
             if policy.method == "exact" and cached.method == "brute-force":
                 # A warm store must not bypass the caller's polynomial-only

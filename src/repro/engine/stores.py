@@ -28,6 +28,7 @@ from typing import Protocol, Union, runtime_checkable
 
 from repro.engine.cache import CacheStats, LRUCache
 from repro.engine.results import BatchResult
+from repro.obs import tracing as _tracing
 from repro.shapley.sampling import SampleState
 
 #: What a store holds: finished results under request keys, and — since
@@ -77,10 +78,16 @@ class MemoryResultStore:
         return len(self.cache)
 
     def get(self, key: tuple) -> StoredValue | None:
-        return self.cache.get(key)
+        if _tracing.ACTIVE is None:
+            return self.cache.get(key)
+        with _tracing.ACTIVE.span("store.get", tier="memory") as span:
+            value = self.cache.get(key)
+            span.set("hit", value is not None)
+            return value
 
     def put(self, key: tuple, result: StoredValue) -> bool:
-        self.cache.put(key, result)
+        with _tracing.maybe_span(_tracing.ACTIVE, "store.put", tier="memory"):
+            self.cache.put(key, result)
         return True
 
     def clear(self) -> None:
@@ -103,6 +110,14 @@ class TieredResultStore:
         self.stats = CacheStats()
 
     def get(self, key: tuple) -> StoredValue | None:
+        if _tracing.ACTIVE is None:
+            return self._get(key)
+        with _tracing.ACTIVE.span("store.get", tier="tiered") as span:
+            value = self._get(key)
+            span.set("hit", value is not None)
+            return value
+
+    def _get(self, key: tuple) -> StoredValue | None:
         for position, tier in enumerate(self.tiers):
             value = tier.get(key)
             if value is not None:
@@ -114,11 +129,12 @@ class TieredResultStore:
         return None
 
     def put(self, key: tuple, result: StoredValue) -> bool:
-        stored = False
-        for tier in self.tiers:
-            if tier.put(key, result) is not False:
-                stored = True
-        return stored
+        with _tracing.maybe_span(_tracing.ACTIVE, "store.put", tier="tiered"):
+            stored = False
+            for tier in self.tiers:
+                if tier.put(key, result) is not False:
+                    stored = True
+            return stored
 
 
 __all__ = ["MemoryResultStore", "ResultStore", "StoredValue", "TieredResultStore"]

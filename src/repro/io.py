@@ -43,15 +43,20 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.engine.results import AttributionEstimate, BatchResult
 
 
-def write_json_atomic(path: Path, payload: Any) -> bool:
-    """Write ``payload`` as compact JSON to ``path`` atomically.
+def write_json_atomic(
+    path: Path, payload: Any, indent: int | None = None
+) -> bool:
+    """Write ``payload`` as JSON to ``path`` atomically.
 
     The document is written to a temporary file in the same directory and
     ``os.replace``-d into place, so concurrent readers and writers only
     ever observe complete documents.  Returns False (after cleaning up
     the temporary file) instead of raising on I/O errors — callers such
     as the engine's persistent result cache treat a failed write as a
-    skipped cache entry, never as a failed computation.
+    skipped cache entry, never as a failed computation; callers that
+    must not fail silently (e.g. an explicit trace export) raise on a
+    False return.  ``indent=None`` writes the compact separators form;
+    an integer pretty-prints for human-facing documents.
     """
     try:
         descriptor, temp_name = tempfile.mkstemp(
@@ -63,7 +68,11 @@ def write_json_atomic(path: Path, payload: Any) -> bool:
         return False
     try:
         with os.fdopen(descriptor, "w") as handle:
-            json.dump(payload, handle, separators=(",", ":"))
+            if indent is None:
+                json.dump(payload, handle, separators=(",", ":"))
+            else:
+                json.dump(payload, handle, indent=indent, sort_keys=True)
+                handle.write("\n")
         os.replace(temp_name, path)
     except OSError:
         try:

@@ -172,6 +172,19 @@ class AttributionClient:
     def address(self) -> str:
         return format_address(self.kind, self.location)
 
+    @property
+    def last_trace(self) -> dict[str, Any] | None:
+        """The trace document of the last response, when it was traced.
+
+        Populated by passing ``trace=True`` to :meth:`batch`,
+        :meth:`answers`, :meth:`aggregate`, or :meth:`refine`; feed it to
+        :func:`repro.obs.export_chrome` or :func:`repro.obs.render_trace`.
+        """
+        if self.last_response is None:
+            return None
+        trace = self.last_response.get("trace")
+        return trace if isinstance(trace, dict) else None
+
     # ------------------------------------------------------------------
     # Connection management
     # ------------------------------------------------------------------
@@ -453,6 +466,7 @@ class AttributionClient:
         *,
         policy: MethodPolicy | str | None = None,
         allow_brute_force: bool | None = None,
+        trace: bool = False,
     ):
         """All-facts attribution of one Boolean query, served warm.
 
@@ -464,7 +478,8 @@ class AttributionClient:
         an in-process engine would produce — including the ``estimate``
         accuracy block on sampled answers; the raw wire payload
         (per-request stats delta, ``coalesced`` flag) stays available on
-        :attr:`last_response`.
+        :attr:`last_response`.  ``trace=True`` asks the daemon to record
+        the request end to end; the document lands on :attr:`last_trace`.
         """
         method_policy = resolve_policy(policy, allow_brute_force)
         result = self._with_handle(
@@ -474,6 +489,7 @@ class AttributionClient:
                 db=handle,
                 query=self._query_text(query),
                 exogenous=self._exogenous_param(exogenous),
+                trace=True if trace else None,
                 **method_policy.to_params(),
             ),
         )
@@ -519,6 +535,7 @@ class AttributionClient:
         *,
         epsilon: float | None = None,
         delta: float | None = None,
+        trace: bool = False,
     ):
         """Tighten a sampled request's accuracy bound, resuming its stream.
 
@@ -537,6 +554,7 @@ class AttributionClient:
                 exogenous=self._exogenous_param(exogenous),
                 epsilon=epsilon,
                 delta=delta,
+                trace=True if trace else None,
             ),
         )
         return batch_result_from_dict(result["result"])
@@ -575,6 +593,7 @@ class AttributionClient:
         *,
         policy: MethodPolicy | str | None = None,
         allow_brute_force: bool | None = None,
+        trace: bool = False,
     ):
         """Per-answer attribution of a non-Boolean query, served warm.
 
@@ -590,6 +609,7 @@ class AttributionClient:
                 query=self._query_text(query),
                 answers=None if answers is None else [list(a) for a in answers],
                 exogenous=self._exogenous_param(exogenous),
+                trace=True if trace else None,
                 **method_policy.to_params(),
             ),
         )
@@ -645,6 +665,8 @@ class AttributionClient:
         aggregate: str = "count",
         value_index: int | None = None,
         exogenous: Iterable[str] | None = None,
+        *,
+        trace: bool = False,
     ) -> Mapping[Fact, Fraction]:
         """Aggregate attribution over all candidate answers (count/sum)."""
         result = self._with_handle(
@@ -656,6 +678,7 @@ class AttributionClient:
                 aggregate=aggregate,
                 value_index=value_index,
                 exogenous=self._exogenous_param(exogenous),
+                trace=True if trace else None,
             ),
         )
         return attribution_from_rows(result["values"])

@@ -80,8 +80,10 @@ from repro.engine.delta import delta_from_dict
 from repro.engine.policy import MethodPolicy
 from repro.io import batch_result_to_dict, database_from_dict
 from repro.server import protocol as protocol_module
+from repro.obs import tracing as _tracing
+from repro.obs.export import top_spans
 from repro.server.admission import AdmissionController
-from repro.server.metrics import DaemonMetrics
+from repro.server.metrics import DaemonMetrics, SlowTraceBuffer
 from repro.server.protocol import (
     OPERATIONS,
     PROTOCOL_VERSION,
@@ -166,6 +168,7 @@ class AttributionDaemon:
         engine_workers: int = 4,
         frame_timeout: float = 10.0,
         coalesce_timeout: float | None = None,
+        slow_trace_capacity: int = 8,
     ) -> None:
         self.kind, self.location = parse_address(address)
         self.engine = engine if engine is not None else BatchAttributionEngine()
@@ -178,6 +181,9 @@ class AttributionDaemon:
         self.auth_token = auth_token if self.kind == "tcp" else None
         self.coalescer = InFlightCoalescer()
         self.metrics = DaemonMetrics()
+        # The N slowest traced requests, for post-hoc slowness diagnosis
+        # (surfaced as ``slow_traces`` in the ``metrics`` op).
+        self.slow_traces = SlowTraceBuffer(slow_trace_capacity)
         self.admission = AdmissionController(
             max_inflight,
             per_client_rps=per_client_rps,
@@ -581,6 +587,8 @@ class AttributionDaemon:
                     "request-shed",
                     client=client,
                     op=op_label,
+                    id=request_id,
+                    trace_id=payload.get("_trace_id"),
                     error=type(error).__name__,
                 )
             await self._send(writer, write_lock, error_response(request_id, error))
@@ -603,8 +611,23 @@ class AttributionDaemon:
         client: str,
         admitted: set[asyncio.Task],
     ) -> dict[str, Any]:
-        """One admission-gated, coalesced, worker-executed compute op."""
+        """One admission-gated, coalesced, worker-executed compute op.
+
+        With ``trace: true`` on the request, the whole journey is
+        spanned: ``server.request`` wraps admission, preparation, and
+        the coalesced compute (whose engine spans nest inside), and the
+        finished trace document rides the response as ``trace``.  A
+        coalesced follower's trace holds the server-side spans plus a
+        ``server.coalesced`` span naming the leader's trace id — the
+        engine work happened (and was traced) under the leader.
+        """
         self._refuse_if_draining()
+        tracer = _tracing.Tracer() if payload.get("trace") else None
+        if tracer is not None:
+            # Bridges to _handle_request's error/shed logging: logs,
+            # metrics, and traces correlate on one key.
+            payload["_trace_id"] = tracer.trace_id
+        started = time.perf_counter()
         priority = int(payload.get("priority") or 0)
         deadline_ms = payload.get("deadline_ms")
         deadline = (
@@ -612,26 +635,52 @@ class AttributionDaemon:
             if deadline_ms is None
             else self.admission.clock() + float(deadline_ms) / 1000.0
         )
-        await self.admission.acquire(client, priority=priority, deadline=deadline)
-        task = asyncio.current_task()
-        if task is not None:
-            admitted.add(task)
-        try:
-            loop = asyncio.get_running_loop()
-            prepare = self._preparers[op]
-            key, compute = await loop.run_in_executor(
-                self._workers, partial(prepare, self, payload)
-            )
-            shared, coalesced = await self.coalescer.run_async(
-                key,
-                lambda: loop.run_in_executor(self._workers, compute),
-                timeout=self.coalesce_timeout,
-            )
-            result = dict(shared)
-            result["coalesced"] = coalesced
-            return result
-        finally:
-            self.admission.release()
+        key = None
+        with _tracing.maybe_span(
+            tracer,
+            "server.request",
+            op=op,
+            id=payload.get("id"),
+            client=client,
+            priority=priority,
+        ):
+            with _tracing.maybe_span(
+                tracer, "server.admission", queued=self.admission.queued
+            ):
+                await self.admission.acquire(
+                    client, priority=priority, deadline=deadline
+                )
+            task = asyncio.current_task()
+            if task is not None:
+                admitted.add(task)
+            try:
+                loop = asyncio.get_running_loop()
+                prepare = self._preparers[op]
+                with _tracing.maybe_span(tracer, "server.prepare"):
+                    key, compute = await loop.run_in_executor(
+                        self._workers, partial(prepare, self, payload, tracer)
+                    )
+                with _tracing.maybe_span(tracer, "server.coalesce") as span:
+                    shared, coalesced = await self.coalescer.run_async(
+                        key,
+                        lambda: loop.run_in_executor(self._workers, compute),
+                        timeout=self.coalesce_timeout,
+                    )
+                    span.set("coalesced", coalesced)
+                result = dict(shared)
+                result["coalesced"] = coalesced
+                if tracer is not None and coalesced:
+                    leader_id = result.get("trace_id")
+                    if leader_id and leader_id != tracer.trace_id:
+                        with tracer.span(
+                            "server.coalesced", leader_trace_id=leader_id
+                        ):
+                            pass
+            finally:
+                self.admission.release()
+        return self._attach_trace(
+            result, tracer, key, payload.get("id"), started
+        )
 
     # ------------------------------------------------------------------
     # Synchronous dispatch (compatibility surface; also: in-process use)
@@ -688,6 +737,7 @@ class AttributionDaemon:
             draining=self._draining,
         )
         document["kernel"] = kernel_metrics_document()
+        document["slow_traces"] = self.slow_traces.snapshot()
         return document
 
     def _op_db_load(self, payload: dict[str, Any]) -> dict[str, Any]:
@@ -750,6 +800,64 @@ class AttributionDaemon:
         result["coalesced"] = coalesced
         return result
 
+    def _attach_trace(
+        self,
+        result: dict[str, Any],
+        tracer: "_tracing.Tracer | None",
+        key: tuple | None,
+        request_id: Any,
+        started: float,
+    ) -> dict[str, Any]:
+        """Finish a traced request: response envelope, slow-trace ledger.
+
+        Untraced requests only have the leader's ``trace_id`` scrubbed
+        from their copy (a traced leader embeds it for its followers).
+        Traced ones get the finished document on the envelope, an offer
+        to the slowest-N buffer, and — when the buffer keeps it — one
+        structured ``slow-request`` log line correlating request id,
+        trace id, plan fingerprint, and the top spans.
+        """
+        if tracer is None:
+            result.pop("trace_id", None)
+            return result
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        document = tracer.document()
+        result["trace"] = document
+        result["trace_id"] = tracer.trace_id
+        if self.slow_traces.offer(document, elapsed_ms):
+            self._log(
+                "slow-request",
+                id=request_id,
+                trace_id=tracer.trace_id,
+                fingerprint=None if key is None else _tracing.label(key),
+                ms=round(elapsed_ms, 3),
+                top_spans=top_spans(document),
+            )
+        return result
+
+    def _compute_sync(self, op: str, payload: dict[str, Any]) -> dict[str, Any]:
+        """The synchronous dispatch twin of :meth:`_compute` (no admission)."""
+        tracer = _tracing.Tracer() if payload.get("trace") else None
+        if tracer is not None:
+            payload["_trace_id"] = tracer.trace_id
+        started = time.perf_counter()
+        key = None
+        with _tracing.maybe_span(
+            tracer, "server.request", op=op, id=payload.get("id"), sync=True
+        ):
+            key, compute = self._preparers[op](self, payload, tracer)
+            with _tracing.maybe_span(tracer, "server.coalesce") as span:
+                result = self._coalesced(key, compute)
+                span.set("coalesced", result.get("coalesced", False))
+            if tracer is not None and result.get("coalesced"):
+                leader_id = result.get("trace_id")
+                if leader_id and leader_id != tracer.trace_id:
+                    with tracer.span(
+                        "server.coalesced", leader_trace_id=leader_id
+                    ):
+                        pass
+        return self._attach_trace(result, tracer, key, payload.get("id"), started)
+
     @staticmethod
     def _policy_key(policy: MethodPolicy) -> tuple:
         """The coalescing-key component of a request's method policy.
@@ -762,7 +870,9 @@ class AttributionDaemon:
         return ("policy", policy.method, policy.contract())
 
     def _prepare_batch(
-        self, payload: dict[str, Any]
+        self,
+        payload: dict[str, Any],
+        tracer: "_tracing.Tracer | None" = None,
     ) -> tuple[tuple, Callable[[], dict[str, Any]]]:
         handle = str(payload.get("db"))
         database = self.registry.get(handle)
@@ -789,18 +899,29 @@ class AttributionDaemon:
             with self._engine_lock:
                 before = self.engine.counters()
                 result = self.engine.batch(
-                    database, query, exogenous_relations=exogenous, policy=policy
+                    database,
+                    query,
+                    exogenous_relations=exogenous,
+                    policy=policy,
+                    trace=tracer,
                 )
                 after = self.engine.counters()
-            return {
+            out = {
                 "result": batch_result_to_dict(result),
                 "stats": _counters_delta(before, after),
             }
+            if tracer is not None:
+                # Visible to coalesced followers through the shared
+                # result: how they learn which trace did the work.
+                out["trace_id"] = tracer.trace_id
+            return out
 
         return key, compute
 
     def _prepare_refine(
-        self, payload: dict[str, Any]
+        self,
+        payload: dict[str, Any],
+        tracer: "_tracing.Tracer | None" = None,
     ) -> tuple[tuple, Callable[[], dict[str, Any]]]:
         """Tighten a sampled request's accuracy bound from its stored state.
 
@@ -836,17 +957,23 @@ class AttributionDaemon:
                     exogenous_relations=exogenous,
                     epsilon=None if epsilon is None else float(epsilon),
                     delta=None if delta is None else float(delta),
+                    trace=tracer,
                 )
                 after = self.engine.counters()
-            return {
+            out = {
                 "result": batch_result_to_dict(result),
                 "stats": _counters_delta(before, after),
             }
+            if tracer is not None:
+                out["trace_id"] = tracer.trace_id
+            return out
 
         return key, compute
 
     def _prepare_answers(
-        self, payload: dict[str, Any]
+        self,
+        payload: dict[str, Any],
+        tracer: "_tracing.Tracer | None" = None,
     ) -> tuple[tuple, Callable[[], dict[str, Any]]]:
         handle = str(payload.get("db"))
         database = self.registry.get(handle)
@@ -877,9 +1004,10 @@ class AttributionDaemon:
                     answers,
                     exogenous_relations=exogenous,
                     policy=policy,
+                    trace=tracer,
                 )
                 after = self.engine.counters()
-            return {
+            out = {
                 "answers": [
                     {"answer": list(answer), "result": batch_result_to_dict(result)}
                     for answer, result in batch.per_answer.items()
@@ -890,11 +1018,16 @@ class AttributionDaemon:
                 },
                 "stats": _counters_delta(before, after),
             }
+            if tracer is not None:
+                out["trace_id"] = tracer.trace_id
+            return out
 
         return key, compute
 
     def _prepare_aggregate(
-        self, payload: dict[str, Any]
+        self,
+        payload: dict[str, Any],
+        tracer: "_tracing.Tracer | None" = None,
     ) -> tuple[tuple, Callable[[], dict[str, Any]]]:
         from repro.engine.results import aggregate_spec
         from repro.io import attribution_to_rows
@@ -919,7 +1052,11 @@ class AttributionDaemon:
             with self._engine_lock:
                 before = self.engine.counters()
                 batch = self.engine.batch_answers(
-                    database, query, None, exogenous_relations=exogenous
+                    database,
+                    query,
+                    None,
+                    exogenous_relations=exogenous,
+                    trace=tracer,
                 )
                 after = self.engine.counters()
             try:
@@ -934,30 +1071,29 @@ class AttributionDaemon:
                     "aggregate values contain constants that do not"
                     " round-trip through JSON scalars"
                 )
-            return {
+            out = {
                 "label": label,
                 "values": rows,
                 "stats": _counters_delta(before, after),
             }
+            if tracer is not None:
+                out["trace_id"] = tracer.trace_id
+            return out
 
         return key, compute
 
     # -- synchronous op table (dispatch + the async cheap/side paths) ----
     def _op_batch(self, payload: dict[str, Any]) -> dict[str, Any]:
-        key, compute = self._prepare_batch(payload)
-        return self._coalesced(key, compute)
+        return self._compute_sync("batch", payload)
 
     def _op_refine(self, payload: dict[str, Any]) -> dict[str, Any]:
-        key, compute = self._prepare_refine(payload)
-        return self._coalesced(key, compute)
+        return self._compute_sync("refine", payload)
 
     def _op_answers(self, payload: dict[str, Any]) -> dict[str, Any]:
-        key, compute = self._prepare_answers(payload)
-        return self._coalesced(key, compute)
+        return self._compute_sync("answers", payload)
 
     def _op_aggregate(self, payload: dict[str, Any]) -> dict[str, Any]:
-        key, compute = self._prepare_aggregate(payload)
-        return self._coalesced(key, compute)
+        return self._compute_sync("aggregate", payload)
 
     _operations: dict[str, Callable[["AttributionDaemon", dict[str, Any]], dict]] = {
         "ping": _op_ping,
@@ -974,7 +1110,7 @@ class AttributionDaemon:
     _preparers: dict[
         str,
         Callable[
-            ["AttributionDaemon", dict[str, Any]],
+            ["AttributionDaemon", dict[str, Any], "_tracing.Tracer | None"],
             tuple[tuple, Callable[[], dict[str, Any]]],
         ],
     ] = {

@@ -25,6 +25,7 @@ client-side percentile readings can never disagree.
 from __future__ import annotations
 
 import bisect
+import heapq
 import threading
 from typing import Any
 
@@ -176,4 +177,55 @@ class DaemonMetrics:
         return document
 
 
-__all__ = ["DaemonMetrics", "LatencyHistogram", "OpMetrics"]
+class SlowTraceBuffer:
+    """A bounded buffer keeping the N *slowest* request traces.
+
+    The daemon offers every finished traced request; the buffer admits
+    it while under capacity, and past capacity only when it is slower
+    than the current fastest resident (which it then evicts).  The
+    result — surfaced through the ``metrics`` op as ``slow_traces`` —
+    is the post-hoc diagnosis set: "what did the worst requests spend
+    their time on", bounded in memory no matter the traffic.
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: list[tuple[float, int, dict[str, Any]]] = []
+        self._seq = 0
+        self.offered = 0
+        self.evicted = 0
+
+    def offer(self, document: dict[str, Any], duration_ms: float) -> bool:
+        """Admit ``document`` if it ranks among the slowest; True if kept."""
+        with self._lock:
+            self.offered += 1
+            self._seq += 1
+            entry = (float(duration_ms), self._seq, document)
+            if len(self._entries) < self.capacity:
+                heapq.heappush(self._entries, entry)
+                return True
+            if self._entries and duration_ms > self._entries[0][0]:
+                heapq.heappushpop(self._entries, entry)
+                self.evicted += 1
+                return True
+            self.evicted += 1
+            return False
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        """Resident traces, slowest first, each tagged with ``duration_ms``."""
+        with self._lock:
+            ordered = sorted(self._entries, key=lambda entry: -entry[0])
+            return [
+                {"duration_ms": round(duration, 3), **document}
+                for duration, _seq, document in ordered
+            ]
+
+
+__all__ = ["DaemonMetrics", "LatencyHistogram", "OpMetrics", "SlowTraceBuffer"]

@@ -55,6 +55,12 @@ from repro.core.errors import (
 #: frames may carry ``retryable: true`` — load-shedding outcomes
 #: (:class:`OverloadedError`, :class:`DeadlineExceededError`,
 #: :class:`CoalescedRequestAborted`) that a client may simply resend.
+#:
+#: Still version 3 (tracing is *additive*): compute requests may carry
+#: ``trace: true``, in which case the result object gains ``trace_id``
+#: and a ``trace`` span document (see :mod:`repro.obs`).  Daemons that
+#: predate tracing ignore the unknown request field and omit both
+#: response fields, so neither side needs a version bump.
 PROTOCOL_VERSION = 3
 
 #: Upper bound on one frame's body; a larger header is a protocol error.

@@ -65,6 +65,7 @@ from repro.core.database import Database
 from repro.core.evaluation import holds
 from repro.core.facts import Fact
 from repro.core.query import BooleanQuery
+from repro.obs import tracing as _tracing
 from repro.shapley.approximate import hoeffding_sample_count
 
 
@@ -201,6 +202,26 @@ def run_rounds(
     """
     if strata < 1:
         raise ValueError(f"strata must be positive, got {strata}")
+    if _tracing.ACTIVE is not None:
+        with _tracing.ACTIVE.span(
+            "sampler.round", start=start, count=count, strata=strata
+        ) as span:
+            totals, evaluations = _run_rounds(
+                database, query, seed, start, count, strata
+            )
+            span.set("evaluations", evaluations)
+            return totals, evaluations
+    return _run_rounds(database, query, seed, start, count, strata)
+
+
+def _run_rounds(
+    database: Database,
+    query: BooleanQuery,
+    seed: int,
+    start: int,
+    count: int,
+    strata: int,
+) -> tuple[dict[Fact, int], int]:
     players = sorted(database.endogenous, key=repr)
     totals: dict[Fact, int] = {player: 0 for player in players}
     if count <= 0 or not players:

@@ -53,6 +53,8 @@ from functools import lru_cache
 from math import comb, factorial
 from typing import Callable, Iterator, Sequence
 
+from repro.obs import tracing as _tracing
+
 try:  # pragma: no cover - exercised only where gmpy2 is installed
     import gmpy2 as _gmpy2
 except ImportError:  # pragma: no cover - the common case in CI
@@ -114,6 +116,26 @@ class KernelStats:
             self.plan_selections_schoolbook,
             self.plan_selections_packed,
             self.plan_selections_gmpy,
+        )
+
+    def delta(self, before: "KernelStats") -> "KernelStats":
+        """The field-wise increase since ``before`` (clamped at zero).
+
+        The clamp absorbs a concurrent :func:`reset_kernel_stats` —
+        per-request scoping should never report negative work.
+        """
+        return KernelStats(
+            max(0, self.schoolbook_calls - before.schoolbook_calls),
+            max(0, self.packed_calls - before.packed_calls),
+            max(0, self.gmpy_calls - before.gmpy_calls),
+            max(0, self.tree_products - before.tree_products),
+            max(
+                0,
+                self.plan_selections_schoolbook
+                - before.plan_selections_schoolbook,
+            ),
+            max(0, self.plan_selections_packed - before.plan_selections_packed),
+            max(0, self.plan_selections_gmpy - before.plan_selections_gmpy),
         )
 
     def __repr__(self) -> str:
@@ -303,6 +325,17 @@ def convolve(left: Sequence[int], right: Sequence[int]) -> list[int]:
     if not left or not right:
         return []
     tier = tier_for_sizes(len(left), len(right))
+    if _tracing.ACTIVE is not None:
+        with _tracing.ACTIVE.span(
+            "kernel.convolve", tier=tier, left=len(left), right=len(right)
+        ):
+            return _convolve_tier(left, right, tier)
+    return _convolve_tier(left, right, tier)
+
+
+def _convolve_tier(
+    left: Sequence[int], right: Sequence[int], tier: str
+) -> list[int]:
     if tier == SCHOOLBOOK:
         _STATS.schoolbook_calls += 1
         return convolve_schoolbook(left, right)
