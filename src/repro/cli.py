@@ -162,21 +162,29 @@ def _parse_fact(relation: str, args: Sequence[str]) -> Fact:
 
 
 def _make_engine(options: argparse.Namespace):
-    """The shared engine, or a dedicated one for --cache-dir / --jobs."""
+    """The shared engine, or a dedicated one for --cache-dir / --jobs /
+    --shared-store."""
     from repro.engine import BatchAttributionEngine, default_engine
 
     cache_dir = getattr(options, "cache_dir", None)
     jobs = getattr(options, "jobs", None)
-    if cache_dir is None and jobs is None:
+    shared_store = getattr(options, "shared_store", None)
+    if cache_dir is None and jobs is None and shared_store is None:
         return default_engine()
     persistent = None
     if cache_dir is not None:
         from repro.engine.persistent import PersistentResultCache
 
         persistent = PersistentResultCache(cache_dir)
+    shared = None
+    if shared_store is not None:
+        from repro.engine import SQLiteResultStore
+
+        shared = SQLiteResultStore(shared_store)
     # A dedicated instance: the process-wide default engine must not keep
-    # a handle on this invocation's cache directory or worker pool.
-    return BatchAttributionEngine(persistent=persistent, jobs=jobs)
+    # a handle on this invocation's cache directory, shared store, or
+    # worker pool.
+    return BatchAttributionEngine(persistent=persistent, jobs=jobs, shared=shared)
 
 
 def _policy_from_options(options: argparse.Namespace):
@@ -273,6 +281,31 @@ def _reject_engine_flags_with_connect(options: argparse.Namespace) -> bool:
     return False
 
 
+def _connect_client(options: argparse.Namespace):
+    """The --connect client: one daemon, or a routed fleet for a comma-list.
+
+    A comma-separated ``--connect a.sock,b.sock`` gets a
+    :class:`~repro.server.fleet.FleetClient` — consistent-hash routing
+    with failover, fan-out database upload/update — behind the same
+    client surface a single :class:`AttributionClient` offers.
+    """
+    if "," in options.connect:
+        from repro.server.fleet import FleetClient
+
+        return FleetClient(
+            options.connect,
+            timeout=options.timeout,
+            auth_token=options.auth_token,
+        )
+    from repro.server.client import AttributionClient
+
+    return AttributionClient(
+        options.connect,
+        timeout=options.timeout,
+        auth_token=options.auth_token,
+    )
+
+
 def _trace_wanted(options: argparse.Namespace) -> bool:
     """--trace-out implies --trace: an export needs a recorded trace."""
     return bool(
@@ -333,13 +366,7 @@ def _cmd_batch(options: argparse.Namespace) -> int:
     stats: dict | None = None
     engine = None
     if options.connect:
-        from repro.server.client import AttributionClient
-
-        with AttributionClient(
-            options.connect,
-            timeout=options.timeout,
-            auth_token=options.auth_token,
-        ) as client:
+        with _connect_client(options) as client:
             if delta is not None:
                 # Upload the base once, ship only the delta: the daemon's
                 # warm stores carry everything the delta did not touch.
@@ -497,13 +524,7 @@ def _cmd_answers(options: argparse.Namespace) -> int:
     stats: dict | None = None
     engine = None
     if options.connect:
-        from repro.server.client import AttributionClient
-
-        with AttributionClient(
-            options.connect,
-            timeout=options.timeout,
-            auth_token=options.auth_token,
-        ) as client:
+        with _connect_client(options) as client:
             target: object = database
             if delta is not None:
                 target = client.update_database(database, delta=delta)
@@ -695,10 +716,16 @@ def _render_metrics(document: dict) -> None:
         counters = kernel.get("counters", {})
         for name in sorted(counters):
             print(f"kernel[{name}]: {counters[name]}")
+    shared = document.get("shared")
+    if shared:
+        for section in sorted(shared):
+            print(f"shared[{section}]: {json.dumps(shared[section], sort_keys=True)}")
     print(f"draining: {document.get('draining', False)}")
 
 
 def _cmd_metrics(options: argparse.Namespace) -> int:
+    if "," in options.connect:
+        return _cmd_metrics_fleet(options)
     from repro.server.client import AttributionClient
 
     with AttributionClient(
@@ -714,6 +741,37 @@ def _cmd_metrics(options: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics_fleet(options: argparse.Namespace) -> int:
+    """Fleet metrics: per-node documents plus the exact bucket-wise merge."""
+    from repro.server.fleet import FleetClient
+
+    with FleetClient(
+        options.connect,
+        timeout=options.timeout,
+        auth_token=options.auth_token,
+    ) as fleet:
+        document = fleet.metrics()
+    nodes = document["nodes"]
+    reachable = {
+        address: doc for address, doc in nodes.items() if isinstance(doc, dict)
+    }
+    if options.json:
+        printable = {
+            "nodes": {
+                address: (doc if isinstance(doc, dict) else {"error": str(doc)})
+                for address, doc in nodes.items()
+            },
+            "fleet": document["fleet"],
+        }
+        print(json.dumps(printable, indent=2, sort_keys=True))
+        return 0
+    print(f"fleet: {len(reachable)}/{len(nodes)} nodes reporting")
+    for address in sorted(set(nodes) - set(reachable)):
+        print(f"node[{address}]: unreachable ({nodes[address]})", file=sys.stderr)
+    _render_metrics(document["fleet"])
+    return 0
+
+
 def _cmd_trace(options: argparse.Namespace) -> int:
     """Run one traced request and print its span tree (optionally export)."""
     if _reject_engine_flags_with_connect(options):
@@ -725,13 +783,7 @@ def _cmd_trace(options: argparse.Namespace) -> int:
     exogenous = frozenset(options.exogenous) if options.exogenous else None
     policy = _policy_from_options(options)
     if options.connect:
-        from repro.server.client import AttributionClient
-
-        with AttributionClient(
-            options.connect,
-            timeout=options.timeout,
-            auth_token=options.auth_token,
-        ) as client:
+        with _connect_client(options) as client:
             if query.is_boolean:
                 client.batch(
                     database, options.query, exogenous, policy=policy, trace=True
@@ -913,7 +965,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--connect",
         metavar="ADDR",
         help="route through a running attribution daemon (socket path or"
-        " HOST:PORT) instead of computing in-process",
+        " HOST:PORT) instead of computing in-process; a comma-separated"
+        " list routes across a daemon fleet by consistent hashing",
     )
     p_batch.add_argument(
         "--timeout",
@@ -1013,7 +1066,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--connect",
         metavar="ADDR",
         help="route through a running attribution daemon (socket path or"
-        " HOST:PORT) instead of computing in-process",
+        " HOST:PORT) instead of computing in-process; a comma-separated"
+        " list routes across a daemon fleet by consistent hashing",
     )
     p_answers.add_argument(
         "--timeout",
@@ -1075,6 +1129,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent on-disk result store for the daemon's engine",
     )
     p_serve.add_argument(
+        "--shared-store",
+        metavar="PATH",
+        help="shared SQLite result tier (one file for a whole daemon"
+        " fleet: results computed by any daemon warm every other, and"
+        " concurrent identical requests coalesce fleet-wide)",
+    )
+    p_serve.add_argument(
         "--jobs",
         type=int,
         default=None,
@@ -1124,7 +1185,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--connect",
         required=True,
         metavar="ADDR",
-        help="running attribution daemon (socket path or HOST:PORT)",
+        help="running attribution daemon (socket path or HOST:PORT);"
+        " a comma-separated list reports per-fleet merged metrics",
     )
     p_metrics.add_argument(
         "--timeout",

@@ -162,6 +162,7 @@ from repro.engine.fingerprint import (
     relevant_facts,
 )
 from repro.engine.persistent import PersistentResultCache, digest_key
+from repro.engine.sqlite_store import SQLiteResultStore
 from repro.engine.plan import (
     BundleTask,
     GroundingTask,
@@ -221,6 +222,7 @@ __all__ = [
     "PlanRequest",
     "PlanStats",
     "ResultStore",
+    "SQLiteResultStore",
     "SampleSpec",
     "SampleStats",
     "SerialExecutor",

@@ -154,8 +154,12 @@ class BatchAttributionEngine:
     ``executor`` picks the backend (default: serial, or whatever
     ``REPRO_JOBS`` says); ``jobs`` is a convenience shortcut for
     ``executor=ShardedExecutor(jobs=...)``.  ``store`` replaces the whole
-    result layer; when omitted it is built from the LRU and
-    ``persistent``.
+    result layer; when omitted it is built from the LRU, ``shared``, and
+    ``persistent``.  ``shared`` is the fleet tier — typically a
+    :class:`repro.engine.sqlite_store.SQLiteResultStore` whose file N
+    daemons point at — slotted between the in-memory LRU and the
+    per-process JSON cache, so sibling daemons serve each other's warm
+    results and retirement propagates fleet-wide.
     """
 
     def __init__(
@@ -169,12 +173,16 @@ class BatchAttributionEngine:
         start_method: str | None = None,
         sample_strata: int = 1,
         trace: bool = False,
+        shared: ResultStore | None = None,
     ) -> None:
         self.component_cache: LRUCache = LRUCache(component_cache_size)
         self.result_cache: LRUCache = LRUCache(result_cache_size)
         self.persistent = persistent
+        self.shared = shared
         if store is None:
-            store = TieredResultStore(MemoryResultStore(self.result_cache), persistent)
+            store = TieredResultStore(
+                MemoryResultStore(self.result_cache), shared, persistent
+            )
         self.store = store
         if jobs is not None and jobs < 1:
             # Same contract as ShardedExecutor: reject broken job counts
@@ -456,10 +464,16 @@ class BatchAttributionEngine:
         versions can be retired (evicted first) later.
         """
         cache = pool if pool is not None else self.component_cache
-        if self.persistent is not None and version is not None:
+        if version is not None and (
+            self.persistent is not None or self.shared is not None
+        ):
             from repro.engine.persistent import digest_key
 
-            self.persistent.writer_version = digest_key(version)
+            writer = digest_key(version)
+            if self.persistent is not None:
+                self.persistent.writer_version = writer
+            if self.shared is not None and hasattr(self.shared, "writer_version"):
+                self.shared.writer_version = writer
         reused_before = cache.stats.hits
         dirty_before = cache.stats.misses
         with _tracing.maybe_span(
@@ -736,6 +750,11 @@ class BatchAttributionEngine:
         }
         if self.persistent is not None:
             counters["persistent"] = self.persistent.stats.snapshot()
+        if self.shared is not None:
+            counters["shared"] = self.shared.stats.snapshot()
+            claim_stats = getattr(self.shared, "claim_stats", None)
+            if claim_stats is not None:
+                counters["claims"] = claim_stats.snapshot()
         if isinstance(getattr(self.store, "stats", None), CacheStats):
             counters["store"] = self.store.stats.snapshot()
         counters["planner"] = self.planner_stats.snapshot()
@@ -757,15 +776,24 @@ class BatchAttributionEngine:
         back-dated so bounded-cache eviction takes them first.  Entries
         still valid across the delta re-earn their stamp on their next
         hit; live-version hot entries are never pushed out by stale
-        ones.  Returns the number of entries retired (0 without a
-        persistent store).
+        ones.  Retires through both durable tiers — the per-process
+        JSON cache and the fleet-shared store, where one daemon's
+        retirement reaches every sibling.  Returns the total number of
+        entries retired (0 without a durable store).
         """
-        if self.persistent is None:
+        shared_retire = getattr(self.shared, "retire", None)
+        if self.persistent is None and not callable(shared_retire):
             return 0
         from repro.engine.fingerprint import fingerprint_database
         from repro.engine.persistent import digest_key
 
-        return self.persistent.retire(digest_key(fingerprint_database(database)))
+        version = digest_key(fingerprint_database(database))
+        retired = 0
+        if self.persistent is not None:
+            retired += self.persistent.retire(version)
+        if callable(shared_retire):
+            retired += shared_retire(version)
+        return retired
 
     def clear(self) -> None:
         """Drop all cached entries (statistics are kept).

@@ -117,6 +117,36 @@ def digest_key(key: tuple) -> str:
     return hashlib.sha256(rendered.encode("utf-8")).hexdigest()
 
 
+def encode_stored_value(value: "BatchResult | SampleState") -> dict | None:
+    """The versioned JSON payload for one stored value, or None.
+
+    The single encode dialect behind every durable result tier — this
+    module's JSON-file cache and the SQLite shared store of
+    :mod:`repro.engine.sqlite_store` — so a value round-trips
+    bit-identically no matter which tier wrote or served it.  ``None``
+    means some constant in the value does not survive JSON (the entry is
+    simply not persisted).
+    """
+    if isinstance(value, SampleState):
+        payload = PersistentResultCache._encode_state(value)
+    else:
+        payload = PersistentResultCache._encode_result(value)
+    if payload is not None:
+        payload["version"] = FORMAT_VERSION
+    return payload
+
+
+def decode_stored_value(payload: dict) -> "BatchResult | SampleState":
+    """Decode a payload produced by :func:`encode_stored_value`.
+
+    Raises ``KeyError``/``TypeError``/``ValueError`` on malformed or
+    version-mismatched documents; durable tiers treat those as misses.
+    """
+    if not isinstance(payload, dict) or payload.get("version") != FORMAT_VERSION:
+        raise ValueError("unsupported stored-value document")
+    return PersistentResultCache._decode_payload(payload)
+
+
 class PersistentResultCache:
     """An on-disk cache of :class:`BatchResult` values, safe across processes.
 
@@ -374,6 +404,13 @@ class PersistentResultCache:
         pressure they are the first to go — superseded-version leftovers
         can never push a live version's hot entries out.  Best effort:
         unreadable entries and concurrent unlinks are skipped.
+
+        Each entry is rewritten through :func:`repro.io.write_json_atomic`
+        with a durable ``"retired"`` marker before its stamp is
+        back-dated: concurrent readers (and a crash mid-retire) only ever
+        observe complete documents, and the marker survives anything that
+        rewrites mtimes (backup restores, ``cp -r``) — a re-run of
+        :meth:`retire` after a crash simply finishes the sweep.
         """
         retired = 0
         for path in self.directory.glob("*.json"):
@@ -382,6 +419,9 @@ class PersistentResultCache:
             except (OSError, ValueError):
                 continue
             if not isinstance(payload, dict) or payload.get("writer") != version:
+                continue
+            payload["retired"] = True
+            if not write_json_atomic(path, payload):
                 continue
             try:
                 os.utime(path, (RETIRED_STAMP, RETIRED_STAMP))
@@ -399,4 +439,11 @@ class PersistentResultCache:
                 pass
 
 
-__all__ = ["FORMAT_VERSION", "PersistentResultCache", "RETIRED_STAMP", "digest_key"]
+__all__ = [
+    "FORMAT_VERSION",
+    "PersistentResultCache",
+    "RETIRED_STAMP",
+    "decode_stored_value",
+    "digest_key",
+    "encode_stored_value",
+]

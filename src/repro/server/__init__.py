@@ -45,14 +45,23 @@ Layers::
   same exact-``Fraction`` result objects as an in-process engine, with
   pipelined submits (:class:`PendingRequest`) on top of the same
   connection.
+* :mod:`repro.server.fleet` — :class:`FleetClient`, the horizontal
+  scale-out layer: consistent-hash routing over N daemons (per-daemon
+  LRUs stay hot), per-node health with the jittered backoff of
+  :mod:`repro.server.backoff`, failover on overload/disconnect, and
+  fan-out ``db_load``/``db_update``; pair it with ``repro serve
+  --shared-store`` so the fleet shares one SQLite result tier.
 
 From the CLI: ``python -m repro serve --socket /run/repro.sock`` and
-``python -m repro batch db.json QUERY --connect /run/repro.sock``.
+``python -m repro batch db.json QUERY --connect /run/repro.sock``
+(``--connect`` accepts a comma-separated node list for fleet routing).
 """
 
 from repro.server.admission import AdmissionController, TokenBucket
+from repro.server.backoff import BackoffPolicy
 from repro.server.client import AttributionClient, PendingRequest
 from repro.server.daemon import AttributionDaemon
+from repro.server.fleet import FleetClient, merge_metrics_documents
 from repro.server.metrics import DaemonMetrics
 from repro.server.protocol import (
     MAX_FRAME_BYTES,
@@ -77,11 +86,13 @@ __all__ = [
     "AttributionClient",
     "AttributionDaemon",
     "AuthenticationError",
+    "BackoffPolicy",
     "CoalescedRequestAborted",
     "CoalescerStats",
     "DaemonMetrics",
     "DatabaseRegistry",
     "DeadlineExceededError",
+    "FleetClient",
     "InFlightCoalescer",
     "MAX_FRAME_BYTES",
     "OverloadedError",
@@ -91,5 +102,6 @@ __all__ = [
     "ServerError",
     "TokenBucket",
     "UnknownHandleError",
+    "merge_metrics_documents",
     "parse_address",
 ]

@@ -1,0 +1,48 @@
+"""Jittered exponential backoff, shared by every retry loop in the
+serving layer.
+
+One tiny policy object keeps the client's connect retries and the fleet
+router's per-node health cooldowns on the same schedule: exponential
+growth from a base interval, a hard cap, and *equal jitter* (each delay
+is drawn uniformly from ``[delay/2, delay]``) so N clients retrying a
+booting daemon — or N routers probing a recovering node — never
+synchronize into thundering herds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """An exponential backoff schedule with equal jitter.
+
+    ``base`` is the first delay, doubled after every attempt and capped
+    at ``cap``; each emitted delay is jittered down to between half and
+    all of its nominal value.  ``rng`` (any object with ``random()``)
+    makes schedules deterministic under test.
+    """
+
+    base: float = 0.05
+    cap: float = 1.0
+    factor: float = 2.0
+
+    def delay(self, attempt: int, rng: random.Random | None = None) -> float:
+        """The jittered delay after the ``attempt``-th failure (0-based)."""
+        nominal = min(self.base * (self.factor ** attempt), self.cap)
+        draw = (rng or random).random()
+        return nominal * (0.5 + 0.5 * draw)
+
+    def delays(
+        self, attempts: int, rng: random.Random | None = None
+    ) -> Iterator[float]:
+        """The schedule of delays *between* ``attempts`` tries
+        (``attempts - 1`` values — no sleep follows the last failure)."""
+        for attempt in range(max(0, attempts - 1)):
+            yield self.delay(attempt, rng)
+
+
+__all__ = ["BackoffPolicy"]

@@ -5,9 +5,10 @@ protocol of :mod:`repro.server.protocol` to a running
 :class:`~repro.server.daemon.AttributionDaemon`:
 
 * **connection retries** — a daemon that is still booting (the socket
-  file not yet bound, the TCP port still closed) is retried with a short
-  interval before the client gives up, so "start the daemon, then the
-  client" needs no sleep choreography;
+  file not yet bound, the TCP port still closed) is retried with
+  jittered exponential backoff (:mod:`repro.server.backoff`) before the
+  client gives up, so "start the daemon, then the client" needs no
+  sleep choreography and a herd of clients never retries in lockstep;
 * **one automatic reconnect** per call — a connection that died between
   requests (daemon restarted, idle timeout on a proxy) is re-dialed and
   the request resent; ``shutdown`` is never retried, everything else the
@@ -54,6 +55,7 @@ from repro.core.database import Database
 from repro.core.facts import Constant, Fact
 from repro.core.query import ConjunctiveQuery
 from repro.engine.delta import DatabaseDelta, delta_to_dict
+from repro.server.backoff import BackoffPolicy
 from repro.engine.policy import MethodPolicy, resolve_policy
 from repro.io import (
     attribution_from_rows,
@@ -120,9 +122,10 @@ class PendingRequest:
 class AttributionClient:
     """A connection to an attribution daemon; see the module docstring.
 
-    ``connect_retries`` x ``retry_interval`` bounds how long the client
-    waits for a daemon that is still starting; ``timeout`` bounds each
-    socket operation once connected (``None`` waits as long as the
+    ``connect_retries`` bounds how many dials the client attempts while
+    a daemon is still starting, with jittered exponential delays growing
+    from ``retry_interval`` (capped at half a second) between attempts;
+    ``timeout`` bounds each socket operation once connected (``None`` waits as long as the
     computation needs — the right choice when requests may legitimately
     run for minutes, e.g. cold brute-force batches).
     """
@@ -145,6 +148,10 @@ class AttributionClient:
         self.timeout = timeout
         self.connect_retries = connect_retries
         self.retry_interval = retry_interval
+        # Shared with the fleet router: exponential growth from
+        # ``retry_interval`` with equal jitter, so many clients retrying
+        # one booting daemon spread out instead of stampeding it.
+        self._backoff = BackoffPolicy(base=retry_interval, cap=0.5)
         # A token-guarded TCP daemon requires every frame to carry the
         # token; REPRO_AUTH_TOKEN is the same env var the daemon reads,
         # so one exported variable configures both ends.
@@ -211,7 +218,13 @@ class AttributionClient:
         return sock
 
     def connect(self) -> None:
-        """Dial the daemon, retrying while it is still starting up."""
+        """Dial the daemon, retrying while it is still starting up.
+
+        Retries follow the shared :class:`BackoffPolicy` — jittered
+        exponential delays starting at ``retry_interval`` — rather than
+        a fixed sleep, so a fleet of clients waiting on one daemon
+        desynchronizes instead of hammering it in lockstep.
+        """
         if self._socket is not None:
             return
         last_error: OSError | None = None
@@ -226,7 +239,7 @@ class AttributionClient:
                 # listening (ConnectionRefusedError).
                 last_error = error
                 if attempt + 1 < max(1, self.connect_retries):
-                    time.sleep(self.retry_interval)
+                    time.sleep(self._backoff.delay(attempt))
         raise ConnectionError(
             f"no attribution daemon reachable at {self.address}"
             f" after {max(1, self.connect_retries)} attempts: {last_error}"

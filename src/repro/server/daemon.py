@@ -70,6 +70,7 @@ import socket
 import struct
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from functools import partial
 from typing import Any, Callable
@@ -193,6 +194,28 @@ class AttributionDaemon:
         self.drain_timeout = drain_timeout
         self.frame_timeout = frame_timeout
         self.coalesce_timeout = coalesce_timeout
+        # The fleet-shared store (engine ``shared=`` tier), when it
+        # speaks the claim protocol: identical requests landing on
+        # *different* daemons then coalesce through claim markers — the
+        # in-process coalescer handles same-daemon duplicates, the
+        # shared store's claims handle cross-daemon ones.
+        shared = getattr(self.engine, "shared", None)
+        self._shared_store = (
+            shared
+            if all(
+                callable(getattr(shared, name, None))
+                for name in ("claim", "release", "await_claim")
+            )
+            else None
+        )
+        # Request keys this daemon has already completed.  Once a key's
+        # result row is committed to the warm tiers, a later repeat
+        # cannot duplicate work anywhere in the fleet — so it skips the
+        # claim round-trip (two shared-store write transactions) on the
+        # hot path.  Bounded LRU; drained on db_update, whose
+        # retirement can evict the rows the skip relies on.
+        self._served_keys: OrderedDict[tuple, None] = OrderedDict()
+        self._served_lock = threading.Lock()
         self.requests = 0
         self.errors = 0
         self.connections = 0
@@ -660,6 +683,7 @@ class AttributionDaemon:
                     key, compute = await loop.run_in_executor(
                         self._workers, partial(prepare, self, payload, tracer)
                     )
+                compute = self._with_shared_claim(key, compute)
                 with _tracing.maybe_span(tracer, "server.coalesce") as span:
                     shared, coalesced = await self.coalescer.run_async(
                         key,
@@ -738,6 +762,20 @@ class AttributionDaemon:
         )
         document["kernel"] = kernel_metrics_document()
         document["slow_traces"] = self.slow_traces.snapshot()
+        shared = self._shared_store
+        if shared is not None:
+            # Fleet coalescing visibility: claim wins are computations
+            # this daemon led, ``coalesced`` are computations it *did
+            # not repeat* because a sibling daemon's claim won the race.
+            store_stats = shared.stats
+            document["shared"] = {
+                "store": {
+                    "hits": store_stats.hits,
+                    "misses": store_stats.misses,
+                    "evictions": store_stats.evictions,
+                },
+                "claims": vars(shared.claim_stats.snapshot()),
+            }
         return document
 
     def _op_db_load(self, payload: dict[str, Any]) -> dict[str, Any]:
@@ -773,6 +811,10 @@ class AttributionDaemon:
             # outside the engine lock: concurrent requests keep serving,
             # and a racing write at worst re-earns its stamp on next hit.
             self.engine.retire_version(base)
+            # Retirement can drain the rows the claim skip relies on:
+            # forget served keys so post-update requests re-claim.
+            with self._served_lock:
+                self._served_keys.clear()
         return {
             "handle": successor_handle,
             "base": handle,
@@ -786,6 +828,65 @@ class AttributionDaemon:
     def _exogenous(payload: dict[str, Any]) -> frozenset[str] | None:
         relations = payload.get("exogenous")
         return None if relations is None else frozenset(relations)
+
+    def _with_shared_claim(
+        self, key: tuple, compute: Callable[[], dict[str, Any]]
+    ) -> Callable[[], dict[str, Any]]:
+        """Coalesce ``compute`` across daemons via the shared store's claims.
+
+        Runs inside the in-process coalescer's leader (worker thread), so
+        each daemon stakes at most one claim per request key.  The claim
+        winner computes and releases; a loser blocks until the winner's
+        release — by which point the winner's result row is committed to
+        the shared store — and then runs ``compute``, whose engine store
+        lookup finds the row warm and executes nothing.  A timed-out
+        wait (or a crashed winner's expired claim) degrades to computing
+        locally: coalescing is an optimization, never a correctness
+        dependency.
+
+        Keys this daemon has already completed skip the claim entirely:
+        their result row is committed to the warm tiers, so a sibling's
+        concurrent duplicate finds it there instead of recomputing —
+        the claim's write transactions would buy nothing, and warm
+        repeats are the fleet's hot path.
+        """
+        shared = self._shared_store
+        if shared is None:
+            return compute
+
+        def claimed() -> dict[str, Any]:
+            if self._already_served(key):
+                return compute()
+            if shared.claim(key):
+                try:
+                    outcome = compute()
+                finally:
+                    shared.release(key)
+            else:
+                shared.await_claim(key)
+                outcome = compute()
+            self._note_served(key)
+            return outcome
+
+        return claimed
+
+    #: Completed-request keys remembered for the claim skip; past this
+    #: the oldest are forgotten (and at worst re-claim once).
+    SERVED_KEY_CAPACITY = 4096
+
+    def _already_served(self, key: tuple) -> bool:
+        with self._served_lock:
+            if key in self._served_keys:
+                self._served_keys.move_to_end(key)
+                return True
+        return False
+
+    def _note_served(self, key: tuple) -> None:
+        with self._served_lock:
+            self._served_keys[key] = None
+            self._served_keys.move_to_end(key)
+            while len(self._served_keys) > self.SERVED_KEY_CAPACITY:
+                self._served_keys.popitem(last=False)
 
     def _coalesced(
         self, key: tuple, compute: Callable[[], dict[str, Any]]
@@ -846,6 +947,7 @@ class AttributionDaemon:
             tracer, "server.request", op=op, id=payload.get("id"), sync=True
         ):
             key, compute = self._preparers[op](self, payload, tracer)
+            compute = self._with_shared_claim(key, compute)
             with _tracing.maybe_span(tracer, "server.coalesce") as span:
                 result = self._coalesced(key, compute)
                 span.set("coalesced", result.get("coalesced", False))

@@ -9,7 +9,13 @@ from repro.workloads.generators import (
     random_self_join_free_query,
     star_join_database,
 )
-from repro.workloads.traffic import TrafficRequest, request_stream, star_traffic
+from repro.workloads.traffic import (
+    TrafficRequest,
+    fleet_traffic,
+    grounded_star_templates,
+    request_stream,
+    star_traffic,
+)
 from repro.workloads.running_example import (
     EXAMPLE_2_3_SHAPLEY,
     EXOGENOUS_RELATIONS,
@@ -25,7 +31,9 @@ __all__ = [
     "EXOGENOUS_RELATIONS",
     "export_database",
     "figure_1_database",
+    "fleet_traffic",
     "generators",
+    "grounded_star_templates",
     "queries",
     "query_q1",
     "query_q2",

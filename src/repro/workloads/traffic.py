@@ -125,6 +125,76 @@ def zipf_stream(
     return stream
 
 
+def grounded_star_templates(
+    num_students: int, num_courses: int
+) -> list[TrafficRequest]:
+    """Distinct-key templates over the star schema, one per constant.
+
+    Grounded per-course and per-student variants of the star queries:
+    every template is its own request (and therefore its own routing key
+    for a :class:`~repro.server.fleet.FleetClient` hash ring), unlike
+    the handful of shared templates in :data:`STAR_BATCH_QUERIES`.  Many
+    distinct keys is what lets a fleet split a workload evenly — and
+    what the fleet benchmarks need to measure scaling rather than the
+    luck of a few keys' ring placement.  Costs stay tractable: each
+    family avoids self-joins, so per-query work grows polynomially with
+    the schema size.
+    """
+    templates: list[TrafficRequest] = []
+    for course in range(num_courses):
+        name = f'"c{course}"'
+        templates.append(
+            TrafficRequest(
+                "batch", f"q() :- Stud(x), not TA(x), Reg(x, {name})"
+            )
+        )
+        templates.append(
+            TrafficRequest(
+                "batch",
+                f"q() :- Reg(x, {name}), Course({name}, z), not TA(x)",
+            )
+        )
+        templates.append(
+            TrafficRequest(
+                "batch", f"q() :- Stud(x), Reg(x, {name}), Course({name}, z)"
+            )
+        )
+        templates.append(
+            TrafficRequest("answers", f"ans(x) :- Reg(x, {name}), not TA(x)")
+        )
+    for student in range(num_students):
+        name = f'"s{student}"'
+        templates.append(
+            TrafficRequest(
+                "batch",
+                f"q() :- Stud({name}), not TA({name}), Reg({name}, y)",
+            )
+        )
+    return templates
+
+
+def fleet_traffic(
+    num_requests: int,
+    num_students: int = 8,
+    num_courses: int = 3,
+    exponent: float = 1.1,
+    rng: random.Random | None = None,
+) -> tuple[Database, list[TrafficRequest]]:
+    """The fleet workload: a Zipf mix over many distinct routing keys.
+
+    Returns ``(database, stream)`` like :func:`storm_traffic`, but drawn
+    from :func:`grounded_star_templates` — ``4 * num_courses +
+    num_students`` distinct requests instead of seven shared templates.
+    This is what fleet routing benchmarks and the CI fleet smoke replay:
+    enough keys that a consistent-hash ring spreads the load over every
+    daemon, with the Zipf head still exercising the warm tiers.
+    """
+    rng = rng or random.Random()
+    database = star_join_database(num_students, num_courses, rng=rng)
+    templates = grounded_star_templates(num_students, num_courses)
+    return database, zipf_stream(templates, num_requests, exponent, rng)
+
+
 def storm_traffic(
     num_requests: int,
     num_students: int = 8,
@@ -204,6 +274,8 @@ __all__ = [
     "STAR_ANSWERS_QUERIES",
     "STAR_BATCH_QUERIES",
     "TrafficRequest",
+    "fleet_traffic",
+    "grounded_star_templates",
     "request_stream",
     "star_traffic",
     "storm_traffic",

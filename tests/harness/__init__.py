@@ -28,7 +28,11 @@ from harness.storm import (
     assert_bit_identical,
     assert_metrics_reconcile,
     assert_no_leaked_slots,
+    reference_digests,
     reference_results,
+    result_digest,
+    run_fleet_storm,
+    run_fleet_storm_processes,
     run_storm,
 )
 
@@ -42,7 +46,11 @@ __all__ = [
     "die_mid_frame",
     "encode_request",
     "raw_connection",
+    "reference_digests",
     "reference_results",
+    "result_digest",
+    "run_fleet_storm",
+    "run_fleet_storm_processes",
     "run_storm",
     "running_daemon",
     "send_truncated_frame",

@@ -1,0 +1,68 @@
+"""Subprocess worker for the process-based fleet storm driver.
+
+One worker = one real client process holding its own
+:class:`~repro.server.fleet.FleetClient`.  The thread-based
+:func:`harness.storm.run_fleet_storm` shares one interpreter across all
+clients, so decoding exact-``Fraction`` payloads serializes on the GIL
+and becomes the measurement's bottleneck long before the daemons do.
+Workers sidestep that: each decodes in its own process and reports a
+:func:`harness.storm.result_digest` per request instead of the decoded
+object, so the parent never pays decode at all and wall-clock measures
+the *fleet*.
+
+Protocol (driven by :func:`harness.storm.run_fleet_storm_processes`):
+``argv = [addresses_csv, database_json, stream_json]``; the worker
+connects, uploads the database, prints ``READY``, blocks until a line
+arrives on stdin, replays its slice synchronously, and prints one JSON
+document ``{"elapsed": seconds, "records": [...]}``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    addresses = [part for part in argv[0].split(",") if part]
+    database_path, stream_path = argv[1], argv[2]
+
+    from harness.storm import REFINE_CONTRACT, result_digest
+    from repro.io import load_database
+    from repro.server.fleet import FleetClient
+
+    database = load_database(database_path)
+    with open(stream_path, encoding="utf-8") as handle_file:
+        stream = json.load(handle_file)
+
+    records: list[dict] = []
+    with FleetClient(addresses) as fleet:
+        handle = fleet.load_database(database)
+        print("READY", flush=True)
+        sys.stdin.readline()  # the parent's GO, after every worker is up
+        started = time.perf_counter()
+        for op, query in stream:
+            begun = time.perf_counter()
+            record = {"op": op, "query": query, "ok": False}
+            try:
+                if op == "answers":
+                    result = fleet.answers(handle, query)
+                elif op == "refine":
+                    result = fleet.refine(handle, query, **REFINE_CONTRACT)
+                else:
+                    result = fleet.batch(handle, query)
+                record["ok"] = True
+                record["digest"] = result_digest(op, result)
+            except Exception as error:  # noqa: BLE001 - reported, not raised
+                record["error"] = type(error).__name__
+            record["elapsed_ms"] = (time.perf_counter() - begun) * 1000.0
+            records.append(record)
+        elapsed = time.perf_counter() - started
+    print(json.dumps({"elapsed": elapsed, "records": records}), flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,9 +15,15 @@ functions.
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
+import subprocess
+import sys
 import threading
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.core.database import Database
 from repro.core.errors import ReproError
@@ -200,6 +206,203 @@ def run_storm(
     return report
 
 
+def run_fleet_storm(
+    addresses: list[str],
+    database: Database,
+    stream: list[TrafficRequest],
+    clients: int = 4,
+    auth_token: str | None = None,
+    timeout: float | None = 60.0,
+) -> StormReport:
+    """Drive ``stream`` through :class:`FleetClient` routers at N daemons.
+
+    The fleet twin of :func:`run_storm`: the stream is partitioned
+    round-robin across ``clients`` threads, each holding its own
+    :class:`~repro.server.fleet.FleetClient` (so each thread routes and
+    fails over independently, like real clients would).  Calls are
+    synchronous — the fleet surface routes per request, so pipelining
+    depth is traded for client count.  Outcome records land in the same
+    :class:`StormReport` ledger, and the same invariant helpers below
+    apply (``assert_bit_identical`` against in-process ground truth).
+    """
+    from repro.server.fleet import FleetClient
+
+    report = StormReport()
+    barrier = threading.Barrier(clients)
+
+    def worker(client_index: int) -> None:
+        slice_ = stream[client_index::clients]
+        with FleetClient(
+            addresses, timeout=timeout, auth_token=auth_token
+        ) as fleet:
+            handle = fleet.load_database(database)
+            barrier.wait()
+            for index, entry in enumerate(slice_):
+                record = RequestRecord(
+                    client_index, index, entry.op, entry.query, False, 0.0
+                )
+                started = time.perf_counter()
+                try:
+                    if entry.op == "answers":
+                        record.result = fleet.answers(handle, entry.query)
+                    elif entry.op == "refine":
+                        record.result = fleet.refine(
+                            handle, entry.query, **REFINE_CONTRACT
+                        )
+                    else:
+                        record.result = fleet.batch(handle, entry.query)
+                    record.ok = True
+                except ReproError as error:
+                    record.error = type(error).__name__
+                    record.retryable = bool(getattr(error, "retryable", False))
+                except (ConnectionError, OSError) as error:
+                    record.error = type(error).__name__
+                record.elapsed_ms = (time.perf_counter() - started) * 1000.0
+                report.add(record)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), daemon=True)
+        for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=300)
+        assert not thread.is_alive(), "fleet storm worker hung"
+    return report
+
+
+def result_digest(op: str, result) -> str:
+    """A stable digest of a result's exact values, for cross-process checks.
+
+    Canonicalizes the decoded result — every ``(fact, Fraction)`` pair
+    of the Shapley and Banzhaf maps, per answer for ``answers`` — into
+    sorted text and hashes it.  Two results share a digest iff they are
+    bit-identical (``Fraction`` stringifies exactly), so worker
+    processes can assert fleet-wide agreement without shipping the
+    decoded objects back to the parent.
+    """
+
+    def batch_text(batch) -> str:
+        shapley = sorted(
+            (repr(item), str(value)) for item, value in batch.shapley.items()
+        )
+        banzhaf = sorted(
+            (repr(item), str(value)) for item, value in batch.banzhaf.items()
+        )
+        return repr((shapley, banzhaf))
+
+    if op == "answers":
+        text = repr(
+            sorted(
+                (repr(answer), batch_text(batch))
+                for answer, batch in result.per_answer.items()
+            )
+        )
+    else:
+        text = batch_text(result)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def run_fleet_storm_processes(
+    addresses: list[str],
+    database: Database,
+    stream: list[TrafficRequest],
+    scratch: "Path | str",
+    workers: int = 8,
+    timeout: float = 300.0,
+) -> tuple[float, list[dict]]:
+    """Drive ``stream`` from ``workers`` separate client *processes*.
+
+    The throughput twin of :func:`run_fleet_storm`: real fleets are hit
+    by independent client processes, and a thread-based driver caps the
+    measurement at one interpreter's decode rate.  Each worker
+    (:mod:`harness.fleet_worker`) gets a round-robin slice, connects and
+    uploads the database, and blocks on a GO line — so the measured
+    window starts with every client ready and excludes process startup.
+    Returns ``(wall_seconds, records)``; records are plain dicts
+    carrying a :func:`result_digest` per success, which the caller
+    checks against :func:`reference_digests`.  ``scratch`` is a
+    directory for the database/stream handoff files.
+    """
+    tests_dir = Path(__file__).resolve().parents[1]
+    src_dir = tests_dir.parent / "src"
+    env = {**os.environ}
+    env["PYTHONPATH"] = os.pathsep.join([str(src_dir), str(tests_dir)])
+    scratch = Path(scratch)
+
+    from repro.io import save_database
+
+    database_path = scratch / "fleet-storm-db.json"
+    save_database(database, database_path)
+    processes: list[subprocess.Popen] = []
+    error_paths: list[Path] = []
+    for index in range(workers):
+        stream_path = scratch / f"fleet-storm-{index}.json"
+        with open(stream_path, "w", encoding="utf-8") as handle:
+            json.dump(
+                [[entry.op, entry.query] for entry in stream[index::workers]],
+                handle,
+            )
+        error_path = scratch / f"fleet-storm-{index}.err"
+        error_paths.append(error_path)
+        processes.append(
+            subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "harness.fleet_worker",
+                    ",".join(addresses),
+                    str(database_path),
+                    str(stream_path),
+                ],
+                stdin=subprocess.PIPE,
+                stdout=subprocess.PIPE,
+                stderr=open(error_path, "w", encoding="utf-8"),
+                text=True,
+                env=env,
+            )
+        )
+    try:
+        for index, process in enumerate(processes):
+            line = process.stdout.readline()
+            assert line.strip() == "READY", (
+                f"worker {index} failed to start: {line!r};"
+                f" stderr: {error_paths[index].read_text()}"
+            )
+        start = time.perf_counter()
+        for process in processes:
+            process.stdin.write("GO\n")
+            process.stdin.flush()
+        outputs = []
+        for index, process in enumerate(processes):
+            line = process.stdout.readline()
+            assert line, (
+                f"worker {index} died mid-storm;"
+                f" stderr: {error_paths[index].read_text()}"
+            )
+            outputs.append(json.loads(line))
+        wall = time.perf_counter() - start
+        for process in processes:
+            process.stdin.close()
+            assert process.wait(timeout=30) == 0
+    finally:
+        for process in processes:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+    records = [record for output in outputs for record in output["records"]]
+    return wall, records
+
+
+def reference_digests(database: Database, stream: list[TrafficRequest]) -> dict:
+    """Ground-truth digests per distinct request, for process storms."""
+    return {
+        key: result_digest(key[0], value)
+        for key, value in reference_results(database, stream).items()
+    }
+
+
 # ----------------------------------------------------------------------
 # Invariants (the acceptance criteria as executable checks)
 # ----------------------------------------------------------------------
@@ -293,6 +496,10 @@ __all__ = [
     "assert_bit_identical",
     "assert_metrics_reconcile",
     "assert_no_leaked_slots",
+    "reference_digests",
     "reference_results",
+    "result_digest",
+    "run_fleet_storm",
+    "run_fleet_storm_processes",
     "run_storm",
 ]

@@ -275,6 +275,57 @@ class TestVersionRetirement:
         path = next(cache.directory.glob("*.json"))
         assert path.stat().st_mtime > RETIRED_STAMP  # ...re-earns its stamp
 
+    def test_crash_mid_retire_leaves_parseable_entries_and_resumes(
+        self, tmp_path, monkeypatch
+    ):
+        """Retirement is atomic per entry and resumable across a crash.
+
+        The regression this pins: retire used to flip only the mtime, so
+        a crash between entries left no durable record of which ones the
+        sweep had processed, and anything rewriting mtimes (backup
+        restore, ``cp -r``) silently un-retired them.  Now every entry is
+        rewritten with a ``"retired"`` marker through the atomic-write
+        path first, so a crash mid-sweep leaves only complete documents
+        and a re-run finishes the job.
+        """
+        import repro.engine.persistent as persistent_module
+        from repro.engine.persistent import RETIRED_STAMP
+
+        cache = PersistentResultCache(tmp_path)
+        cache.writer_version = "v1"
+        for index in range(4):
+            cache.put(("old", index), self._result(index))
+
+        real = persistent_module.write_json_atomic
+        calls = {"rewrites": 0}
+
+        def crashing(path, payload):
+            if calls["rewrites"] >= 2:
+                raise RuntimeError("simulated crash mid-retire")
+            calls["rewrites"] += 1
+            return real(path, payload)
+
+        monkeypatch.setattr(persistent_module, "write_json_atomic", crashing)
+        with pytest.raises(RuntimeError):
+            cache.retire("v1")
+
+        # Every entry on disk is still one complete, parseable document;
+        # exactly the entries processed before the crash carry the marker.
+        payloads = [
+            json.loads(path.read_text())
+            for path in cache.directory.glob("*.json")
+        ]
+        assert len(payloads) == 4
+        assert sum(1 for payload in payloads if payload.get("retired")) == 2
+        # Mid-crash, every entry still serves (retired or not).
+        assert cache.get(("old", 0)) is not None
+
+        monkeypatch.setattr(persistent_module, "write_json_atomic", real)
+        assert cache.retire("v1") == 4  # the re-run finishes the sweep
+        for path in cache.directory.glob("*.json"):
+            assert path.stat().st_mtime == pytest.approx(RETIRED_STAMP)
+            assert json.loads(path.read_text()).get("retired") is True
+
     def test_engine_tags_writes_with_the_database_version(self, tmp_path, db, q1):
         from repro.engine import fingerprint_database
 

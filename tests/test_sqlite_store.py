@@ -1,0 +1,422 @@
+"""The SQLite shared result store: one file, many writers, shared warmth.
+
+The fleet tier's acceptance bar (ISSUE 10): a conforming ResultStore in
+one WAL-mode SQLite file, safe under concurrent daemon writers, with
+access-stamp LRU bounds and claim markers that coalesce identical
+requests across processes.  The torture test at the bottom hammers one
+file from N real processes — no lost updates, bounded size,
+bit-identical reads.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import subprocess
+import sys
+import threading
+import time
+from fractions import Fraction
+from pathlib import Path
+
+import pytest
+
+from repro.core.facts import fact
+from repro.engine import (
+    BatchAttributionEngine,
+    SQLiteResultStore,
+    digest_key,
+)
+from repro.engine.persistent import RETIRED_STAMP
+from repro.shapley.sampling import SampleState
+from repro.workloads.running_example import figure_1_database
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def _result(index: int):
+    from repro.engine import BatchResult
+
+    value = Fraction(1, index + 1)
+    return BatchResult(
+        {fact("R", index): value}, {fact("R", index): value}, "cntsat", 1
+    )
+
+
+def _stamp(store: SQLiteResultStore, key: tuple, when: float) -> None:
+    """Back-date one row's access stamp directly (test-only plumbing)."""
+    with sqlite3.connect(str(store.path)) as conn:
+        conn.execute(
+            "UPDATE results SET accessed = ? WHERE digest = ?",
+            (when, digest_key(key)),
+        )
+
+
+class TestRoundTrip:
+    def test_put_get_result_is_bit_identical(self, tmp_path):
+        store = SQLiteResultStore(tmp_path / "shared.db")
+        original = _result(3)
+        assert store.put(("key",), original)
+        served = store.get(("key",))
+        assert dict(served.shapley) == dict(original.shapley)
+        assert dict(served.banzhaf) == dict(original.banzhaf)
+        assert served.method == original.method
+        for value in served.shapley.values():
+            assert isinstance(value, Fraction)
+        assert store.stats.hits == 1
+
+    def test_put_get_sample_state(self, tmp_path):
+        store = SQLiteResultStore(tmp_path / "shared.db")
+        state = SampleState(
+            seed=7, rounds=4, totals={fact("R", 1): 3}, evaluations=12
+        )
+        assert store.put(("sample-state", "x"), state)
+        served = store.get(("sample-state", "x"))
+        assert isinstance(served, SampleState)
+        assert served == state
+
+    def test_miss_counts_and_returns_none(self, tmp_path):
+        store = SQLiteResultStore(tmp_path / "shared.db")
+        assert store.get(("absent",)) is None
+        assert store.stats.misses == 1
+
+    def test_non_json_safe_value_is_skipped(self, tmp_path):
+        from repro.engine import BatchResult
+
+        store = SQLiteResultStore(tmp_path / "shared.db")
+        weird = BatchResult(
+            {fact("R", (1, 2)): Fraction(1)}, {}, "cntsat", 1
+        )
+        assert store.put(("weird",), weird) is False
+        assert len(store) == 0
+
+    def test_corrupt_row_is_a_miss(self, tmp_path):
+        store = SQLiteResultStore(tmp_path / "shared.db")
+        store.put(("key",), _result(0))
+        with sqlite3.connect(str(store.path)) as conn:
+            conn.execute("UPDATE results SET payload = '{ not json'")
+        assert store.get(("key",)) is None
+        assert store.stats.misses == 1
+
+    def test_overwrite_replaces_the_row(self, tmp_path):
+        store = SQLiteResultStore(tmp_path / "shared.db")
+        store.put(("key",), _result(0))
+        store.put(("key",), _result(5))
+        assert len(store) == 1
+        served = store.get(("key",))
+        assert served.shapley[fact("R", 5)] == Fraction(1, 6)
+
+    def test_two_instances_share_one_file(self, tmp_path):
+        writer = SQLiteResultStore(tmp_path / "shared.db")
+        reader = SQLiteResultStore(tmp_path / "shared.db")
+        writer.put(("key",), _result(2))
+        served = reader.get(("key",))
+        assert served is not None
+        assert served.shapley[fact("R", 2)] == Fraction(1, 3)
+
+
+class TestEngineIntegration:
+    def test_shared_warmth_across_engines(self, tmp_path, q1):
+        """Engine B serves warm what engine A computed, through one file."""
+        db = figure_1_database()
+        a = BatchAttributionEngine(
+            shared=SQLiteResultStore(tmp_path / "shared.db")
+        )
+        cold = a.batch(db, q1)
+        assert not cold.from_cache
+
+        b = BatchAttributionEngine(
+            shared=SQLiteResultStore(tmp_path / "shared.db")
+        )
+        warm = b.batch(db, q1)
+        assert warm.from_cache
+        assert dict(warm.shapley) == dict(cold.shapley)
+        assert b.shared.stats.hits >= 1
+        assert b.counters()["shared.hits"] >= 1
+
+    def test_engine_tags_and_retires_shared_rows(self, tmp_path, q1):
+        db = figure_1_database()
+        store = SQLiteResultStore(tmp_path / "shared.db")
+        engine = BatchAttributionEngine(shared=store)
+        engine.batch(db, q1)
+        assert engine.retire_version(db) >= 1
+        with sqlite3.connect(str(store.path)) as conn:
+            stamps = [
+                row[0]
+                for row in conn.execute("SELECT accessed FROM results")
+            ]
+        assert min(stamps) == pytest.approx(RETIRED_STAMP)
+
+    def test_stats_surface_claims(self, tmp_path, q1):
+        db = figure_1_database()
+        engine = BatchAttributionEngine(
+            shared=SQLiteResultStore(tmp_path / "shared.db")
+        )
+        engine.batch(db, q1)
+        assert "claims" in engine.stats
+        assert engine.counters()["claims.won"] == 0  # engine never claims
+
+
+class TestEviction:
+    def test_max_entries_evicts_least_recently_used(self, tmp_path):
+        store = SQLiteResultStore(tmp_path / "shared.db", max_entries=2)
+        store.put(("key", 0), _result(0))
+        store.put(("key", 1), _result(1))
+        _stamp(store, ("key", 0), 1_000_000.0)  # stalest
+        _stamp(store, ("key", 1), 1_000_001.0)
+        store.put(("key", 2), _result(2))
+        assert len(store) == 2
+        assert store.get(("key", 0)) is None
+        assert store.get(("key", 1)) is not None
+        assert store.get(("key", 2)) is not None
+        assert store.stats.evictions == 1
+
+    def test_access_refreshes_stamp(self, tmp_path):
+        store = SQLiteResultStore(tmp_path / "shared.db", max_entries=2)
+        store.put(("a",), _result(0))
+        store.put(("b",), _result(1))
+        _stamp(store, ("a",), 1_000_000.0)
+        _stamp(store, ("b",), 1_000_001.0)
+        assert store.get(("a",)) is not None  # bumps ("a",) to now
+        store.put(("c",), _result(2))  # must evict ("b",), not ("a",)
+        assert store.get(("a",)) is not None
+        assert store.get(("b",)) is None
+
+    def test_max_bytes_evicts_until_under_cap(self, tmp_path):
+        probe = SQLiteResultStore(tmp_path / "probe.db")
+        probe.put(("probe",), _result(0))
+        with sqlite3.connect(str(probe.path)) as conn:
+            entry_bytes = conn.execute(
+                "SELECT bytes FROM results"
+            ).fetchone()[0]
+
+        store = SQLiteResultStore(
+            tmp_path / "shared.db", max_bytes=2 * entry_bytes
+        )
+        for index in range(4):
+            store.put(("key", index), _result(index))
+            _stamp(store, ("key", index), 1_000_000.0 + index)
+        store.put(("key", 4), _result(4))
+        with sqlite3.connect(str(store.path)) as conn:
+            total = conn.execute(
+                "SELECT COALESCE(SUM(bytes), 0) FROM results"
+            ).fetchone()[0]
+        assert total <= 2 * entry_bytes
+        assert store.stats.evictions >= 3
+
+    def test_large_caps_drain_to_low_water(self, tmp_path):
+        store = SQLiteResultStore(tmp_path / "shared.db", max_entries=16)
+        for index in range(17):
+            store.put(("key", index), _result(index))
+        assert len(store) == 14  # 16 - 16 // 8
+        assert store.stats.evictions == 3
+
+    def test_retired_rows_evicted_before_live_ones(self, tmp_path):
+        store = SQLiteResultStore(tmp_path / "shared.db", max_entries=3)
+        store.writer_version = "v1"
+        store.put(("old", 0), _result(0))
+        store.put(("old", 1), _result(1))
+        store.writer_version = "v2"
+        store.put(("live", 0), _result(2))
+        assert store.retire("v1") == 2
+        store.put(("live", 1), _result(3))  # crosses max_entries
+        assert store.get(("live", 0)) is not None
+        assert store.get(("live", 1)) is not None
+        assert store.get(("old", 0)) is None or store.get(("old", 1)) is None
+
+    def test_hit_revives_a_retired_row(self, tmp_path):
+        store = SQLiteResultStore(tmp_path / "shared.db")
+        store.writer_version = "v1"
+        store.put(("shared",), _result(0))
+        store.retire("v1")
+        assert store.get(("shared",)) is not None
+        with sqlite3.connect(str(store.path)) as conn:
+            stamp = conn.execute("SELECT accessed FROM results").fetchone()[0]
+        assert stamp > RETIRED_STAMP
+
+    def test_unbounded_hit_leaves_a_live_stamp_alone(self, tmp_path):
+        """Hits on an unbounded store are read-only transactions.
+
+        An unbounded store never evicts, so re-stamping every hit would
+        buy nothing and cost a write transaction per warm request on
+        the fleet's hot path.  Only a retired row (above) earns the
+        revival write.
+        """
+        store = SQLiteResultStore(tmp_path / "shared.db")
+        store.put(("shared",), _result(0))
+        with sqlite3.connect(str(store.path)) as conn:
+            before = conn.execute("SELECT accessed FROM results").fetchone()[0]
+        assert store.get(("shared",)) is not None
+        with sqlite3.connect(str(store.path)) as conn:
+            after = conn.execute("SELECT accessed FROM results").fetchone()[0]
+        assert after == before
+
+
+class TestClaims:
+    def test_first_claim_wins_second_loses(self, tmp_path):
+        a = SQLiteResultStore(tmp_path / "shared.db")
+        b = SQLiteResultStore(tmp_path / "shared.db")
+        assert a.claim(("req",)) is True
+        assert b.claim(("req",)) is False
+        assert a.claim_stats.won == 1
+        assert b.claim_stats.lost == 1
+
+    def test_release_clears_the_marker(self, tmp_path):
+        a = SQLiteResultStore(tmp_path / "shared.db")
+        b = SQLiteResultStore(tmp_path / "shared.db")
+        a.claim(("req",))
+        a.release(("req",))
+        assert b.claim(("req",)) is True
+
+    def test_expired_claim_is_taken_over(self, tmp_path):
+        a = SQLiteResultStore(tmp_path / "shared.db")
+        b = SQLiteResultStore(tmp_path / "shared.db")
+        assert a.claim(("req",), ttl=0.01)
+        time.sleep(0.05)
+        assert b.claim(("req",)) is True  # crashed-winner takeover
+        assert b.claim_stats.expired == 1
+
+    def test_await_claim_returns_when_winner_releases(self, tmp_path):
+        a = SQLiteResultStore(tmp_path / "shared.db")
+        b = SQLiteResultStore(tmp_path / "shared.db")
+        a.claim(("req",))
+
+        def release_soon() -> None:
+            time.sleep(0.05)
+            a.release(("req",))
+
+        thread = threading.Thread(target=release_soon)
+        thread.start()
+        assert b.await_claim(("req",), timeout=5.0) is True
+        thread.join()
+        assert b.claim_stats.coalesced == 1
+
+    def test_await_claim_times_out(self, tmp_path):
+        a = SQLiteResultStore(tmp_path / "shared.db")
+        b = SQLiteResultStore(tmp_path / "shared.db")
+        a.claim(("req",), ttl=30.0)
+        assert b.await_claim(("req",), timeout=0.05) is False
+        assert b.claim_stats.timeouts == 1
+
+    def test_await_claim_with_no_claim_is_immediate(self, tmp_path):
+        store = SQLiteResultStore(tmp_path / "shared.db")
+        assert store.await_claim(("never-claimed",)) is True
+
+
+TORTURE_SCRIPT = r"""
+import json, sys, random
+from fractions import Fraction
+from repro.core.facts import fact
+from repro.engine import BatchResult, SQLiteResultStore
+
+worker, path, keys, rounds = (
+    int(sys.argv[1]), sys.argv[2], int(sys.argv[3]), int(sys.argv[4])
+)
+store = SQLiteResultStore(path, max_entries=64, timeout=60.0)
+rng = random.Random(worker)
+
+def expected(index):
+    value = Fraction(1, index + 1)
+    return BatchResult(
+        {fact("R", index): value}, {fact("R", index): value}, "cntsat", 1
+    )
+
+mismatches = 0
+puts = gets = hits = claims = 0
+for _ in range(rounds):
+    index = rng.randrange(keys)
+    key = ("torture", index)
+    action = rng.random()
+    if action < 0.45:
+        assert store.put(key, expected(index))
+        puts += 1
+    elif action < 0.9:
+        served = store.get(key)
+        gets += 1
+        if served is not None:
+            hits += 1
+            want = expected(index)
+            if (
+                dict(served.shapley) != dict(want.shapley)
+                or dict(served.banzhaf) != dict(want.banzhaf)
+                or served.method != want.method
+            ):
+                mismatches += 1
+    else:
+        if store.claim(key, ttl=5.0):
+            store.put(key, expected(index))
+            store.release(key)
+        claims += 1
+
+print(json.dumps({
+    "mismatches": mismatches, "puts": puts, "gets": gets,
+    "hits": hits, "claims": claims,
+}))
+"""
+
+
+class TestConcurrentWriters:
+    def test_n_process_torture_no_lost_updates(self, tmp_path):
+        """N real processes hammer one file with put/get/claim.
+
+        Values are a pure function of their key, so *any* read that
+        returns data must be bit-identical to what some writer put —
+        a torn or half-applied write would surface as a mismatch (or a
+        decode failure, which ``get`` would count as a miss and the
+        hit-rate floor below would catch).  The entry cap must hold at
+        the end, and nothing may deadlock or crash.
+        """
+        workers, keys, rounds = 4, 24, 120
+        path = tmp_path / "torture.db"
+        procs = [
+            subprocess.Popen(
+                [
+                    sys.executable,
+                    "-c",
+                    TORTURE_SCRIPT,
+                    str(worker),
+                    str(path),
+                    str(keys),
+                    str(rounds),
+                ],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+                env={**os.environ, "PYTHONPATH": SRC},
+            )
+            for worker in range(workers)
+        ]
+        reports = []
+        for proc in procs:
+            out, err = proc.communicate(timeout=300)
+            assert proc.returncode == 0, err
+            reports.append(json.loads(out))
+
+        # Bit-identical reads: no process ever observed a wrong value.
+        assert sum(report["mismatches"] for report in reports) == 0
+        # No lost updates: every key that was ever put decodes to exactly
+        # its expected value afterwards (the cap may have evicted some).
+        store = SQLiteResultStore(path)
+        present = 0
+        for index in range(keys):
+            served = store.get(("torture", index))
+            if served is None:
+                continue
+            present += 1
+            value = Fraction(1, index + 1)
+            assert served.shapley == {fact("R", index): value}
+        assert present > 0
+        # Bounded size: the cap held under concurrent writers.
+        assert len(store) <= 64
+        # No claim marker leaked past the storm.
+        with sqlite3.connect(str(path)) as conn:
+            live = conn.execute(
+                "SELECT COUNT(*) FROM claims WHERE expires > ?",
+                (time.time() + 10,),
+            ).fetchone()[0]
+        assert live == 0
+        # The workload actually exercised every verb.
+        assert sum(report["puts"] for report in reports) > 0
+        assert sum(report["hits"] for report in reports) > 0
+        assert sum(report["claims"] for report in reports) > 0
